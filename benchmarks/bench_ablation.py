@@ -1,0 +1,64 @@
+"""Ablations of SimProf's design choices (see DESIGN.md)."""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments.ablations import (
+    proportional_allocation,
+    run_allocation_ablation,
+    run_profiler_ablation,
+    run_projection_ablation,
+    run_top_k_ablation,
+)
+
+
+def test_allocation_ablation(benchmark, full_cfg):
+    result = run_allocation_ablation(full_cfg)
+    emit("Ablation: allocation", result.to_text())
+    # Neyman allocation never loses to proportional on expected SE.
+    for label, neyman, proportional, _srs in result.rows:
+        assert float(neyman) <= float(proportional) + 1e-9, label
+
+    benchmark(proportional_allocation, np.array([500.0, 300.0, 200.0]), 20)
+
+
+def test_top_k_ablation(benchmark, full_cfg):
+    result = run_top_k_ablation(full_cfg)
+    emit("Ablation: top-K", result.to_text())
+    # The feature budget caps the kept features.
+    for k, kept, _phases, _cov in result.rows:
+        assert kept <= k
+
+    benchmark.pedantic(
+        run_top_k_ablation, args=(full_cfg,), kwargs={"top_ks": (5,)},
+        rounds=1, iterations=1,
+    )
+
+
+def test_projection_ablation(benchmark, full_cfg):
+    result = run_projection_ablation(full_cfg)
+    emit("Ablation: random projection", result.to_text())
+    # Projection must keep the phase structure usable: the weighted CoV
+    # stays within 2x of the unprojected run at 15 dims.
+    by_name = {r[0]: r for r in result.rows}
+    assert float(by_name["project->15"][3]) <= 2 * float(by_name["none"][3]) + 0.05
+
+    benchmark.pedantic(
+        run_projection_ablation, args=(full_cfg,), kwargs={"dims": (5,)},
+        rounds=1, iterations=1,
+    )
+
+
+def test_profiler_ablation(benchmark, full_cfg):
+    result = run_profiler_ablation(full_cfg)
+    emit("Ablation: profiler settings", result.to_text())
+    by_setting = {r[0]: r for r in result.rows}
+    # Bigger units => fewer of them.
+    assert by_setting["unit=50M"][1] > by_setting["unit=200M"][1]
+    # Every variant still finds phase structure.
+    assert all(r[2] >= 1 for r in result.rows)
+
+    # Kernel: re-rendering from the (now cached) variants.
+    benchmark.pedantic(
+        run_profiler_ablation, args=(full_cfg,), rounds=1, iterations=1
+    )

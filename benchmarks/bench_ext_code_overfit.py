@@ -1,0 +1,17 @@
+"""Extension: the CODE over-fitting problem (paper, Related Work)."""
+
+from conftest import emit
+
+from repro.experiments.ext_code_overfit import run_code_overfit
+
+
+def test_code_overfit(benchmark, full_cfg):
+    result = benchmark.pedantic(
+        run_code_overfit, args=(full_cfg,), rounds=1, iterations=1
+    )
+    emit("Extension: CODE over-fitting", result.to_text())
+    assert len(result.rows) >= 2
+    # More clusters never buy CODE SimProf-level accuracy on the
+    # non-homogeneous wc_hp (its quicksort phase varies *within* code).
+    for _k, code_err, simprof_err in result.rows:
+        assert float(simprof_err) < float(code_err)

@@ -1,0 +1,24 @@
+"""Extension: expected error vs sample size."""
+
+from conftest import emit
+
+from repro.experiments.ext_error_curve import run_error_curve
+
+
+def test_error_curve(benchmark, full_cfg):
+    result = benchmark.pedantic(
+        run_error_curve, args=(full_cfg,), rounds=1, iterations=1
+    )
+    emit("Extension: error vs sample size", result.to_text())
+    simprof = [float(r[2]) for r in result.rows]
+    srs = [float(r[1]) for r in result.rows]
+    bounds = [float(r[3]) for r in result.rows]
+    # More points => tighter analytic bound, monotonically.
+    assert bounds == sorted(bounds, reverse=True)
+    # SimProf dominates SRS at (almost) every size; allow one tie-ish
+    # size since both are expectations over finite draws.
+    wins = sum(1 for a, b in zip(simprof, srs) if a <= b + 0.05)
+    assert wins >= len(simprof) - 1
+    # Measured errors respect the 99.7% bound.
+    violations = sum(1 for e, b in zip(simprof, bounds) if e > b)
+    assert violations == 0

@@ -1,0 +1,15 @@
+"""Extension: multi-metric validation of the simulation points."""
+
+from conftest import emit
+
+from repro.experiments.ext_multimetric import run_multimetric
+
+
+def test_multimetric(benchmark, full_cfg):
+    result = benchmark.pedantic(
+        run_multimetric, args=(full_cfg,), rounds=1, iterations=1
+    )
+    emit("Extension: multi-metric validation", result.to_text())
+    # The CPI-selected points must transfer: LLC-MPKI estimates stay
+    # within ~15% on average even though MPKI never drove the sampling.
+    assert result.average_mpki_error() < 0.15

@@ -1,0 +1,21 @@
+"""Extension: SimProf × systematic sampling (the paper's future work)."""
+
+from conftest import emit
+
+from repro.experiments.ext_systematic import run_systematic_sweep
+
+
+def test_systematic_sweep(benchmark, full_cfg):
+    result = benchmark.pedantic(
+        run_systematic_sweep, args=(full_cfg,), rounds=1, iterations=1
+    )
+    emit("Extension: systematic sampling", result.to_text())
+    # Sub-sampling each point must add only a small error on top of the
+    # selection error, while cutting the detailed budget by orders of
+    # magnitude.
+    for period, _detail, speedup, sel, comb, added in result.rows:
+        assert float(speedup.rstrip("x")) >= 3
+        assert float(added) < 5.0, (period, added)
+    # Sparser periods cost fewer detailed instructions.
+    speedups = [float(r[2].rstrip("x")) for r in result.rows]
+    assert speedups == sorted(speedups)

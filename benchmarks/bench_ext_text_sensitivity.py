@@ -1,0 +1,19 @@
+"""Extension: input sensitivity for text workloads (paper future work)."""
+
+from conftest import emit
+
+from repro.experiments.ext_text_sensitivity import run_text_sensitivity
+
+
+def test_text_sensitivity(benchmark, full_cfg):
+    result = benchmark.pedantic(
+        run_text_sensitivity, args=(full_cfg,), rounds=1, iterations=1
+    )
+    emit("Extension: text-workload input sensitivity", result.to_text())
+    assert len(result.rows) == 4
+    for label, phases, sensitive, insensitive, _pct, _by in result.rows:
+        assert sensitive + insensitive == phases
+    # The Zipf skew must register somewhere: word-frequency profiles
+    # change the combiner-map behaviour of at least one wc variant.
+    wc_rows = [r for r in result.rows if r[0].startswith("wc")]
+    assert any(r[2] > 0 for r in wc_rows)

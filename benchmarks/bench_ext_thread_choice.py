@@ -1,0 +1,17 @@
+"""Extension: the single-profiled-thread assumption, validated."""
+
+from conftest import emit
+
+from repro.experiments.ext_thread_choice import run_thread_choice
+
+
+def test_thread_choice(benchmark, full_cfg):
+    result = benchmark.pedantic(
+        run_thread_choice, args=(full_cfg,), rounds=1, iterations=1
+    )
+    emit("Extension: profiled-thread choice", result.to_text())
+    # The paper's assumption: executor threads run the same code, so any
+    # thread's profile represents the job.
+    assert len(result.rows) >= 4
+    assert result.oracle_spread() < 0.10
+    assert result.max_error() < 0.06

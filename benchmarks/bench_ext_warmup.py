@@ -1,0 +1,21 @@
+"""Extension: JIT warm-up bias vs sampling approach."""
+
+from conftest import emit
+
+from repro.experiments.ext_warmup import run_warmup_experiment
+
+
+def test_warmup(benchmark, full_cfg):
+    result = benchmark.pedantic(
+        run_warmup_experiment, args=(full_cfg,), rounds=1, iterations=1
+    )
+    emit("Extension: JIT warm-up", result.to_text())
+    # Warm-up concentrates in the early execution, so it moves the
+    # early-anchored SECOND estimate far more than the oracle moves —
+    # while SimProf's run-spanning stratified sample tracks the oracle.
+    assert result.second_shift() > 3 * result.oracle_shift()
+    assert result.simprof_shift() < result.second_shift()
+    # And SimProf stays accurate in both states.
+    by_state = {r[0]: r for r in result.rows}
+    assert float(by_state["on"][5]) < 5.0
+    assert float(by_state["off"][5]) < 5.0

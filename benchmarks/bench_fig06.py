@@ -1,0 +1,19 @@
+"""Figure 6: CoV of CPIs (population / weighted / max)."""
+
+from conftest import emit
+
+from repro.core.analysis import cov_report
+from repro.experiments.common import get_model
+from repro.experiments.fig06_cov import run_fig6
+
+
+def test_fig06(benchmark, full_cfg):
+    result = run_fig6(full_cfg)
+    emit("Figure 6", result.to_text())
+    # Paper property: phase formation separates performance levels.
+    assert result.weighted_below_population()
+
+    # Kernel: the CoV computation itself on the largest profile.
+    job, model = get_model("cc", "spark", full_cfg)
+    cpi = job.profile.cpi()
+    benchmark(cov_report, cpi, model.assignments)

@@ -1,0 +1,26 @@
+"""Figure 8: required sample size, SimProf vs SECOND."""
+
+from conftest import emit
+
+from repro.experiments.common import get_model
+from repro.experiments.fig08_samplesize import run_fig8
+
+
+def test_fig08(benchmark, full_cfg):
+    result = run_fig8(full_cfg)
+    emit("Figure 8", result.to_text())
+    avg = result.averages()
+    # Paper shape: 5%-error samples are much smaller than 2%-error
+    # samples, and both are (on average) well below the SECOND interval.
+    assert avg["SimProf_0.05"] < avg["SimProf_0.02"] < avg["SECOND"]
+    # Paper: cc_sp is the exception whose phases are so variable that it
+    # needs more units than SECOND covers.
+    by_label = {r.label: r for r in result.rows}
+    assert by_label["cc_sp"].simprof_2pct > by_label["cc_sp"].second_units
+
+    # Kernel: the sample-size solver on cc_sp.
+    job, model = get_model("cc", "spark", full_cfg)
+    tool = full_cfg.simprof_tool()
+    benchmark(
+        tool.sample_size_for, job, model, relative_error=0.02
+    )

@@ -1,0 +1,27 @@
+"""Figure 9: number of phases per workload."""
+
+from conftest import emit
+
+from repro.core.features import FeatureSpace
+from repro.core.clustering import choose_k
+from repro.experiments.common import get_profile
+from repro.experiments.fig09_phasecount import run_fig9
+
+
+def test_fig09(benchmark, full_cfg):
+    result = run_fig9(full_cfg)
+    emit("Figure 9", result.to_text())
+    # Paper shape: grep has the fewest phases; the graph workloads sit
+    # at the top of the Spark range.
+    counts = result.counts
+    assert counts["grep_sp"] == min(
+        v for k, v in counts.items() if k.endswith("_sp")
+    )
+    assert all(1 <= v <= 20 for v in counts.values())
+
+    # Kernel: the k-selection sweep on wc_sp's feature matrix.
+    job = get_profile("wc", "spark", full_cfg)
+    _space, X = FeatureSpace.fit(job, top_k=100)
+    benchmark.pedantic(
+        choose_k, args=(X,), kwargs={"seed": 0}, rounds=3, iterations=1
+    )

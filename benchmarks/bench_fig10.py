@@ -1,0 +1,22 @@
+"""Figure 10: phase-type distribution (map / reduce / sort / IO)."""
+
+from conftest import emit
+
+from repro.core.analysis import phase_type_distribution
+from repro.experiments.common import get_model
+from repro.experiments.fig10_phasetypes import run_fig10
+
+
+def test_fig10(benchmark, full_cfg):
+    result = run_fig10(full_cfg)
+    emit("Figure 10", result.to_text())
+    # Paper shape: sort phases appear in the Hadoop key-value workloads
+    # (spill sorting) but not in their Spark counterparts.
+    assert result.shares["wc_hp"].get("sort", 0.0) > 0.0
+    assert result.shares["wc_sp"].get("sort", 0.0) == 0.0
+    # Every row is a distribution.
+    for label, shares in result.shares.items():
+        assert abs(sum(shares.values()) - 1.0) < 1e-9, label
+
+    job, model = get_model("wc", "hadoop", full_cfg)
+    benchmark(phase_type_distribution, job, model.assignments)

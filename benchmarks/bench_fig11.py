@@ -1,0 +1,28 @@
+"""Figure 11: optimal allocation over the phases of cc_sp."""
+
+import numpy as np
+from conftest import emit
+
+from repro.core.sampling import optimal_allocation
+from repro.experiments.common import get_model
+from repro.experiments.fig11_allocation import run_fig11
+
+
+def test_fig11(benchmark, full_cfg):
+    result = run_fig11(full_cfg)
+    emit("Figure 11", result.to_text())
+    rows = result.rows
+    # Paper shape: the aggregateUsingIndex phase takes a sample share
+    # larger than its weight (high variance), while the low-variance
+    # mapPartitionsWithIndex phase takes far less than its weight.
+    agg = next(r for r in rows if "aggregateUsingIndex" in r.top_method)
+    load = next(r for r in rows if "mapPartitionsWithIndex" in r.top_method)
+    assert agg.sample_ratio > agg.weight
+    assert load.sample_ratio < load.weight
+    assert agg.cpi_cov > load.cpi_cov
+
+    job, model = get_model("cc", "spark", full_cfg)
+    stats = model.phase_stats(job.profile.cpi())
+    sizes = np.array([s.n_units for s in stats])
+    stds = np.array([s.cpi_std for s in stats])
+    benchmark(optimal_allocation, sizes, stds, 20)

@@ -1,0 +1,25 @@
+"""Figure 12: simulation points in input-sensitive phases."""
+
+from conftest import emit
+
+from repro.core.sensitivity import classify_units
+from repro.experiments.common import get_model, get_profile
+from repro.experiments.fig12_13_sensitivity import run_fig12_13
+
+
+def test_fig12(benchmark, full_cfg):
+    result = run_fig12_13(full_cfg)
+    emit("Figure 12", result.to_text())
+    # Paper shape: skipping input-insensitive phases shrinks the sample
+    # needed for reference inputs substantially (paper: 33.7% average).
+    assert 0.10 <= result.average_reduction() <= 0.90
+    for row in result.rows:
+        assert 0.0 <= row.sensitive_point_fraction <= 1.0
+
+    # Kernel: unit classification of one reference input (the hot step
+    # of Algorithm 1).
+    train_job, model = get_model("cc", "spark", full_cfg, graph_name="Google")
+    ref = get_profile("cc", "spark", full_cfg, graph_name="Road")
+    benchmark.pedantic(
+        classify_units, args=(model, ref), rounds=3, iterations=1
+    )

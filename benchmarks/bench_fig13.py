@@ -1,0 +1,36 @@
+"""Figure 13: number of input-sensitive vs insensitive phases."""
+
+from conftest import emit
+
+from repro.core.sensitivity import phase_sensitivity_test
+from repro.experiments.common import get_model
+from repro.experiments.fig12_13_sensitivity import run_fig12_13
+
+
+def test_fig13(benchmark, full_cfg):
+    result = run_fig12_13(full_cfg)
+    lines = [
+        f"{r.label}: sensitive={r.n_sensitive} insensitive={r.n_insensitive}"
+        for r in result.rows
+    ]
+    emit("Figure 13", "\n".join(lines))
+    # Paper shape: for most workloads, at least ~40% of the phases are
+    # input insensitive.
+    mostly_insensitive = sum(
+        1 for r in result.rows if r.n_insensitive >= 0.4 * r.n_phases
+    )
+    assert mostly_insensitive >= 3
+    # The flagship input-sensitive phase: cc_sp's aggregateUsingIndex.
+    cc_sp = result.details["cc_sp"]
+    _job, model = get_model("cc", "spark", full_cfg, graph_name="Google")
+    agg_phases = [
+        h
+        for h in range(model.k)
+        if any("aggregateUsingIndex" in m for m, _ in model.top_methods(h, 1))
+    ]
+    assert any(h in cc_sp.sensitive_phases for h in agg_phases)
+
+    # Kernel: the Eq. 6 comparison itself.
+    t = cc_sp.train_stats[0]
+    r = cc_sp.ref_stats["Road"][0]
+    benchmark(phase_sensitivity_test, t, r)

@@ -1,0 +1,22 @@
+"""Figure 14: WordCount phase behaviour on Spark."""
+
+from conftest import emit
+
+from repro.experiments.fig14_15_wordcount import run_wordcount_series
+
+
+def test_fig14(benchmark, full_cfg):
+    series = benchmark.pedantic(
+        run_wordcount_series, args=("spark", full_cfg), rounds=3, iterations=1
+    )
+    emit("Figure 14", series.to_text())
+    # Paper shape: the dominant phase carries the map-side reduce
+    # (Aggregator.combineValuesByKey) in stage 1 ...
+    dominant = max(series.phase_summary, key=lambda p: p["weight"])
+    assert "combineValuesByKey" in dominant["top_method"]
+    assert dominant["weight"] > 0.5
+    # ... and shows fairly stable performance (its ops are merged).
+    assert dominant["cpi_cov"] < 0.15
+    # The reduce+save stage is a small minority of the sample.
+    others = [p for p in series.phase_summary if p is not dominant]
+    assert sum(p["weight"] for p in others) < 0.5

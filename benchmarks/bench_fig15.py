@@ -1,0 +1,31 @@
+"""Figure 15: WordCount phase behaviour on Hadoop."""
+
+from conftest import emit
+
+from repro.experiments.fig14_15_wordcount import run_wordcount_series
+
+
+def test_fig15(benchmark, full_cfg):
+    series = benchmark.pedantic(
+        run_wordcount_series, args=("hadoop", full_cfg), rounds=3, iterations=1
+    )
+    emit("Figure 15", series.to_text())
+    summary = series.phase_summary
+
+    def phase_with(method: str):
+        matches = [
+            p for p in summary if any(method in m for m in p["top_methods"])
+        ]
+        assert matches, f"no phase dominated by {method}"
+        return matches[0]
+
+    # Paper shape: a TokenizerMapper map phase with high performance and
+    # low CPI variation ...
+    map_phase = phase_with("TokenizerMapper")
+    assert map_phase["cpi_cov"] < 0.1
+    # ... and a quicksort phase whose recursive partition sizes make the
+    # CPI variation the highest of all phases.
+    sort_phase = phase_with("QuickSort")
+    assert sort_phase["cpi_cov"] == max(p["cpi_cov"] for p in summary)
+    assert sort_phase["cpi_cov"] > 0.25
+    assert sort_phase["cpi_mean"] > map_phase["cpi_mean"]

@@ -1,0 +1,11 @@
+"""Table I: evaluated benchmarks (registry regeneration)."""
+
+from conftest import emit
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1(benchmark):
+    result = benchmark(run_table1)
+    emit("Table I", result.to_text())
+    assert len(result.rows) == 6

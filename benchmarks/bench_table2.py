@@ -1,0 +1,14 @@
+"""Table II: graph inputs (Kronecker synthesis of all eight seeds)."""
+
+from conftest import emit
+
+from repro.experiments.table2 import run_table2
+
+
+def test_table2(benchmark):
+    result = benchmark.pedantic(run_table2, rounds=3, iterations=1)
+    emit("Table II", result.to_text())
+    assert len(result.rows) == 8
+    # Topologies must differ: web graphs are more skewed than roads.
+    by_name = {r[0]: r for r in result.rows}
+    assert by_name["Google"][5] > by_name["Road"][5]

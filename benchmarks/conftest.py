@@ -1,0 +1,28 @@
+"""Benchmark-harness fixtures.
+
+Each ``bench_*`` module regenerates one paper table/figure at full
+scale, prints the rows/series the paper reports (run with ``-s`` to see
+them; the printed output is the reproduction artifact), and times a
+representative computational kernel with pytest-benchmark.
+
+Workload profiles are produced through the experiment cache, so the
+first benchmark session pays the simulation cost once and subsequent
+sessions reuse the cached profiles.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def full_cfg() -> ExperimentConfig:
+    """Full-scale configuration (the paper's setup)."""
+    return ExperimentConfig()
+
+
+def emit(title: str, text: str) -> None:
+    """Print a figure table with a separator (shown under ``-s``)."""
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{text}\n")

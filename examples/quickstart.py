@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: select simulation points for one workload.
+
+Runs WordCount on the simulated Spark cluster, profiles the busiest
+executor thread, forms phases from the call-stack snapshots, and picks
+20 simulation points by stratified random sampling — the full SimProf
+pipeline (Figure 2 of the paper) in a dozen lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SimProf, SimProfConfig
+from repro.workloads import run_workload
+
+
+def main() -> None:
+    print("Running WordCount on the Spark simulator ...")
+    trace = run_workload("wc", "spark", scale=0.25, seed=0)
+    print(
+        f"  {trace.n_threads} executor threads, "
+        f"{trace.total_instructions / 1e9:.1f} G instructions total"
+    )
+
+    # Smaller sampling units than the paper's 100 M keep the quarter-
+    # scale run statistically interesting; ratios are preserved.
+    simprof = SimProf(SimProfConfig(unit_size=25_000_000,
+                                    snapshot_period=1_000_000))
+    result = simprof.analyze(trace, n_points=20)
+
+    job = result.job
+    print(f"\nProfiled thread: {job.n_units} sampling units "
+          f"({job.profile.unit_size / 1e6:.0f} M instructions each)")
+    print(f"Phases found: {result.n_phases}")
+    for stats in result.phase_stats:
+        methods = result.model.top_methods(stats.phase_id, 2)
+        names = ", ".join(m.rsplit(".", 2)[-2] + "." + m.rsplit(".", 1)[-1]
+                          for m, _ in methods)
+        print(
+            f"  phase {stats.phase_id}: weight {stats.weight:5.1%}  "
+            f"CPI {stats.cpi_mean:5.2f} (CoV {stats.cpi_cov:.3f})  [{names}]"
+        )
+
+    print(f"\nSimulation points (unit ids): "
+          f"{[int(p) for p in result.simulation_points]}")
+    print(f"Per-phase allocation:          "
+          f"{[int(a) for a in result.points.allocation]}")
+
+    oracle = result.oracle_cpi()
+    lo, hi = result.points.confidence_interval(0.997)
+    print(f"\nOracle CPI (all units):        {oracle:.4f}")
+    print(f"Stratified estimate:           {result.points.estimate:.4f}")
+    print(f"Sampling error:                {result.sampling_error():.2%}")
+    print(f"99.7% confidence interval:     [{lo:.4f}, {hi:.4f}]")
+
+
+if __name__ == "__main__":
+    main()

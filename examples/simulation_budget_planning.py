@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Scenario: planning a simulation campaign under a time budget.
+
+An architect wants to simulate WordCount-on-Hadoop on a detailed
+micro-architectural simulator that runs ~200 KIPS.  Simulating the whole
+job is out of the question; this script walks the paper's Section III-C
+procedure instead:
+
+1. profile once on the (simulated) real machine — fast;
+2. ask SimProf how many 100 M-instruction simulation points a 5 % and a
+   2 % CPI error bound require (Figure 8's numbers);
+3. compare the simulation time of those points against simulating a
+   single 10-second interval (SECOND) and against the full job.
+
+Run:  python examples/simulation_budget_planning.py
+"""
+
+from repro import SimProf, SimProfConfig
+from repro.core.baselines import SecondSampler
+from repro.workloads import run_workload
+
+SIMULATOR_IPS = 200_000  # detailed simulator speed, instructions/second
+
+
+def sim_hours(n_units: int, unit_size: int) -> float:
+    """Wall-clock hours to simulate ``n_units`` sampling units."""
+    return n_units * unit_size / SIMULATOR_IPS / 3600
+
+
+def main() -> None:
+    print("Profiling WordCount on the Hadoop simulator ...")
+    trace = run_workload("wc", "hadoop", scale=0.5, seed=0)
+    simprof = SimProf(SimProfConfig(unit_size=50_000_000,
+                                    snapshot_period=2_000_000))
+    job = simprof.profile(trace)
+    model = simprof.form_phases(job)
+    unit = job.profile.unit_size
+    print(f"  {job.n_units} sampling units, {model.k} phases")
+
+    full = job.n_units
+    second = SecondSampler(seconds=10.0).sample(job).sample_size
+    n5 = simprof.sample_size_for(job, model, relative_error=0.05)
+    n2 = simprof.sample_size_for(job, model, relative_error=0.02)
+
+    print("\nSimulation-campaign options (99.7% confidence):")
+    print(f"  {'approach':30s} {'units':>6s} {'sim time':>10s}")
+    for name, n in [
+        ("full job (oracle)", full),
+        ("SECOND: one 10 s interval", second),
+        ("SimProf @ 5% CPI error", n5),
+        ("SimProf @ 2% CPI error", n2),
+    ]:
+        print(f"  {name:30s} {n:6d} {sim_hours(n, unit):9.1f} h")
+
+    # Sanity-check the 5% promise against the oracle with actual draws.
+    import numpy as np
+
+    errors = []
+    for i in range(20):
+        est = simprof.select_points(job, model, n5,
+                                    rng=np.random.default_rng(i))
+        errors.append(abs(est.estimate - job.oracle_cpi()) / job.oracle_cpi())
+    print(f"\nEmpirical error at the 5% design point "
+          f"(20 draws): mean {np.mean(errors):.2%}, max {np.max(errors):.2%}")
+
+
+if __name__ == "__main__":
+    main()

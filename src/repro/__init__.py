@@ -1,0 +1,44 @@
+"""SimProf reproduction: a sampling framework for data analytic workloads.
+
+Reproduces Huang et al., *SimProf: A Sampling Framework for Data
+Analytic Workloads* (IPDPS 2017), end to end on simulated substrates:
+
+* :mod:`repro.jvm` — simulated JVM, call stacks, hardware model, and
+  the JVMTI / perf_event-style profiling interfaces;
+* :mod:`repro.spark` / :mod:`repro.hadoop` — framework simulators that
+  really execute the dataflows while emitting hardware traces;
+* :mod:`repro.hdfs`, :mod:`repro.datagen` — storage and input synthesis
+  (Zipf text, Kronecker graphs fitted to Table II seed families);
+* :mod:`repro.workloads` — the six Table I benchmarks on both
+  frameworks;
+* :mod:`repro.core` — SimProf itself: thread profiling, phase
+  formation, stratified phase sampling, and the input-sensitivity test;
+* :mod:`repro.experiments` — drivers regenerating every table/figure.
+
+Quickstart::
+
+    from repro import SimProf
+    from repro.workloads import run_workload
+
+    trace = run_workload("wc", "spark")
+    result = SimProf().analyze(trace, n_points=20)
+    print(result.simulation_points, result.sampling_error())
+"""
+
+from repro.core.pipeline import SimProf, SimProfConfig, SimProfResult
+from repro.core.profiler import ProfilerConfig, SimProfProfiler
+from repro.core.units import JobProfile, SamplingUnit, ThreadProfile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "JobProfile",
+    "ProfilerConfig",
+    "SamplingUnit",
+    "SimProf",
+    "SimProfConfig",
+    "SimProfProfiler",
+    "SimProfResult",
+    "ThreadProfile",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Instrumented algorithms shared by the framework simulators."""
+
+from repro.algos.quicksort import instrumented_quicksort
+
+__all__ = ["instrumented_quicksort"]

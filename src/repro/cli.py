@@ -1,0 +1,302 @@
+"""Command-line interface.
+
+Four subcommands cover the library's everyday entry points::
+
+    simprof list                         # workloads and graph inputs
+    simprof run wc_sp --points 20        # run + analyze one benchmark
+    simprof figure fig7                  # regenerate a paper figure
+    simprof sensitivity cc_sp            # input-sensitivity analysis
+
+``simprof`` is installed as a console script; ``python -m repro.cli``
+works identically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+FIGURES = {
+    "table1": "repro.experiments.table1:run_table1",
+    "table2": "repro.experiments.table2:run_table2",
+    "fig6": "repro.experiments.fig06_cov:run_fig6",
+    "fig7": "repro.experiments.fig07_errors:run_fig7",
+    "fig8": "repro.experiments.fig08_samplesize:run_fig8",
+    "fig9": "repro.experiments.fig09_phasecount:run_fig9",
+    "fig10": "repro.experiments.fig10_phasetypes:run_fig10",
+    "fig11": "repro.experiments.fig11_allocation:run_fig11",
+    "fig12": "repro.experiments.fig12_13_sensitivity:run_fig12_13",
+    "fig13": "repro.experiments.fig12_13_sensitivity:run_fig12_13",
+}
+
+
+def _parse_label(label: str) -> tuple[str, str]:
+    """``wc_sp`` -> ("wc", "spark"); also accepts ``wc spark`` forms."""
+    suffixes = {"sp": "spark", "hp": "hadoop", "spark": "spark", "hadoop": "hadoop"}
+    if "_" in label:
+        workload, _, suffix = label.rpartition("_")
+        if suffix in suffixes:
+            return workload, suffixes[suffix]
+    raise SystemExit(
+        f"error: cannot parse benchmark label {label!r} "
+        "(expected e.g. wc_sp, cc_hp)"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="simprof",
+        description="SimProf (IPDPS'17) reproduction: sampling framework "
+        "for data analytic workloads.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and graph inputs")
+
+    run = sub.add_parser("run", help="run a benchmark and select points")
+    run.add_argument("label", help="benchmark label, e.g. wc_sp or cc_hp")
+    run.add_argument("--points", type=int, default=20,
+                     help="simulation points to select (default 20)")
+    run.add_argument("--scale", type=float, default=1.0,
+                     help="input-volume multiplier (default 1.0)")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--graph", default=None,
+                     help="Table II input name for graph workloads")
+    run.add_argument("--unit-size", type=int, default=100_000_000)
+    run.add_argument("--snapshot-period", type=int, default=2_000_000)
+    run.add_argument("--error", type=float, default=None,
+                     help="also solve the sample size for this relative "
+                     "CPI error bound (e.g. 0.05)")
+    run.add_argument("--export-dir", default=None,
+                     help="write <label>.simpoints/.weights (SimPoint "
+                     "format) into this directory")
+
+    fig = sub.add_parser("figure", help="regenerate a paper table/figure")
+    fig.add_argument("name", choices=sorted(FIGURES),
+                     help="which experiment to run")
+    fig.add_argument("--scale", type=float, default=1.0)
+    fig.add_argument("--seed", type=int, default=0)
+    fig.add_argument("--unit-size", type=int, default=100_000_000)
+    fig.add_argument("--snapshot-period", type=int, default=2_000_000)
+    fig.add_argument("--draws", type=int, default=20,
+                     help="sampling draws averaged for SRS/SimProf")
+
+    report = sub.add_parser(
+        "report", help="run every experiment and write a markdown report"
+    )
+    report.add_argument("--output", "-o", default="simprof_report.md")
+    report.add_argument("--scale", type=float, default=1.0)
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--unit-size", type=int, default=100_000_000)
+    report.add_argument("--snapshot-period", type=int, default=2_000_000)
+    report.add_argument("--draws", type=int, default=20)
+    report.add_argument("--no-extensions", action="store_true")
+
+    sens = sub.add_parser(
+        "sensitivity", help="input-sensitivity analysis for a graph workload"
+    )
+    sens.add_argument("label", help="cc_sp, cc_hp, rank_sp or rank_hp")
+    sens.add_argument("--references", nargs="*", default=None,
+                      help="reference input names (default: all seven)")
+    sens.add_argument("--scale", type=float, default=1.0)
+    sens.add_argument("--points", type=int, default=20)
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.datagen.seeds import GRAPH_INPUTS
+    from repro.experiments.common import format_table
+    from repro.workloads import WORKLOADS
+
+    print(
+        format_table(
+            ["abbrev", "workload", "type", "labels"],
+            [
+                (cls.abbrev, cls.name, cls.workload_type,
+                 f"{cls.abbrev}_hp, {cls.abbrev}_sp")
+                for cls in WORKLOADS.values()
+            ],
+            title="Workloads (Table I)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["input", "type", "role", "nodes"],
+            [
+                (g.name, g.category, g.role, g.n_nodes)
+                for g in GRAPH_INPUTS.values()
+            ],
+            title="Graph inputs (Table II)",
+        )
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro import SimProf, SimProfConfig
+    from repro.datagen.seeds import get_graph_input
+    from repro.experiments.common import format_table
+    from repro.workloads import run_workload
+
+    workload, framework = _parse_label(args.label)
+    graph = get_graph_input(args.graph) if args.graph else None
+    print(f"Running {args.label} (scale {args.scale}, seed {args.seed}) ...")
+    trace = run_workload(
+        workload,
+        framework,
+        scale=args.scale,
+        seed=args.seed,
+        graph=graph,
+        input_name=args.graph or "default",
+    )
+    simprof = SimProf(
+        SimProfConfig(
+            unit_size=args.unit_size,
+            snapshot_period=args.snapshot_period,
+            seed=args.seed,
+        )
+    )
+    result = simprof.analyze(trace, n_points=args.points)
+
+    print(
+        format_table(
+            ["phase", "weight", "CPI", "CoV", "points", "dominant method"],
+            [
+                (
+                    s.phase_id,
+                    f"{s.weight:.1%}",
+                    f"{s.cpi_mean:.3f}",
+                    f"{s.cpi_cov:.3f}",
+                    int(result.points.allocation[s.phase_id]),
+                    (result.model.top_methods(s.phase_id, 1) or [("-", 0)])[0][0],
+                )
+                for s in result.phase_stats
+            ],
+            title=(
+                f"{args.label}: {result.job.n_units} units, "
+                f"{result.n_phases} phases"
+            ),
+        )
+    )
+    lo, hi = result.points.confidence_interval(0.997)
+    print(f"\nsimulation points: {[int(p) for p in result.simulation_points]}")
+    print(
+        f"estimate {result.points.estimate:.4f} vs oracle "
+        f"{result.oracle_cpi():.4f} (error {result.sampling_error():.2%}); "
+        f"99.7% CI [{lo:.4f}, {hi:.4f}]"
+    )
+    if args.error is not None:
+        n = simprof.sample_size_for(
+            result.job, result.model, relative_error=args.error
+        )
+        print(f"sample size for {args.error:.0%} error bound: {n} units")
+    if args.export_dir is not None:
+        from repro.core.export import export_simpoints
+
+        files = export_simpoints(
+            result.points, result.model, args.export_dir, basename=args.label
+        )
+        print(f"wrote {files.simpoints} and {files.weights}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    import importlib
+
+    from repro.core.pipeline import SimProfConfig
+    from repro.experiments.common import ExperimentConfig
+
+    spec = FIGURES[args.name]
+    module_name, _, fn_name = spec.partition(":")
+    fn = getattr(importlib.import_module(module_name), fn_name)
+    if args.name.startswith("table"):
+        result = fn()
+    else:
+        cfg = ExperimentConfig(
+            scale=args.scale,
+            seed=args.seed,
+            n_sampling_draws=args.draws,
+            simprof=SimProfConfig(
+                seed=args.seed,
+                unit_size=args.unit_size,
+                snapshot_period=args.snapshot_period,
+            ),
+        )
+        result = fn(cfg)
+    print(result.to_text())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import SimProfConfig
+    from repro.experiments.common import ExperimentConfig
+    from repro.experiments.report import generate_report
+
+    cfg = ExperimentConfig(
+        scale=args.scale,
+        seed=args.seed,
+        n_sampling_draws=args.draws,
+        simprof=SimProfConfig(
+            seed=args.seed,
+            unit_size=args.unit_size,
+            snapshot_period=args.snapshot_period,
+        ),
+    )
+    text = generate_report(
+        cfg,
+        include_extensions=not args.no_extensions,
+        progress=lambda msg: print(f"  running {msg} ..."),
+    )
+    with open(args.output, "w") as fh:
+        fh.write(text)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import SimProfConfig
+    from repro.experiments.common import ExperimentConfig
+    from repro.experiments.fig12_13_sensitivity import run_fig12_13
+
+    workload, framework = _parse_label(args.label)
+    if workload not in ("cc", "rank"):
+        raise SystemExit("error: sensitivity analysis targets cc/rank")
+    cfg = ExperimentConfig(scale=args.scale, simprof=SimProfConfig())
+    result = run_fig12_13(
+        cfg,
+        n_points=args.points,
+        reference_names=tuple(args.references) if args.references else None,
+    )
+    print(result.to_text())
+    print()
+    detail = result.details[f"{workload}_{'sp' if framework == 'spark' else 'hp'}"]
+    for phase in detail.phases:
+        verdict = "SENSITIVE" if phase.sensitive else "insensitive"
+        by = f" ({', '.join(phase.triggered_by)})" if phase.triggered_by else ""
+        print(f"  phase {phase.phase_id}: {verdict}{by}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for the ``simprof`` console script."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "sensitivity":
+        return _cmd_sensitivity(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

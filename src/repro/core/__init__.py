@@ -1,0 +1,64 @@
+"""SimProf core: profiling, phase formation, phase sampling, input
+sensitivity (Sections III-A through III-D of the paper)."""
+
+from repro.core.units import JobProfile, SamplingUnit, ThreadProfile
+from repro.core.profiler import ProfilerConfig, SimProfProfiler
+from repro.core.features import FeatureSpace, build_feature_matrix, select_features
+from repro.core.clustering import KMeansResult, choose_k, kmeans, silhouette_score
+from repro.core.phases import PhaseModel, PhaseStats
+from repro.core.sampling import (
+    StratifiedEstimate,
+    optimal_allocation,
+    required_sample_size,
+    stratified_sample,
+)
+from repro.core.baselines import (
+    CodeSampler,
+    SecondSampler,
+    SimProfSampler,
+    SRSSampler,
+)
+from repro.core.sensitivity import (
+    InputSensitivityResult,
+    PhaseSensitivity,
+    classify_units,
+    input_sensitivity_test,
+)
+from repro.core.analysis import CoVReport, cov_report, phase_type_of, phase_types
+from repro.core.pipeline import SimProf, SimProfConfig, SimProfResult
+
+__all__ = [
+    "CoVReport",
+    "CodeSampler",
+    "FeatureSpace",
+    "InputSensitivityResult",
+    "JobProfile",
+    "KMeansResult",
+    "PhaseModel",
+    "PhaseSensitivity",
+    "PhaseStats",
+    "ProfilerConfig",
+    "SRSSampler",
+    "SamplingUnit",
+    "SecondSampler",
+    "SimProf",
+    "SimProfConfig",
+    "SimProfProfiler",
+    "SimProfResult",
+    "SimProfSampler",
+    "StratifiedEstimate",
+    "ThreadProfile",
+    "build_feature_matrix",
+    "choose_k",
+    "classify_units",
+    "cov_report",
+    "input_sensitivity_test",
+    "kmeans",
+    "optimal_allocation",
+    "phase_type_of",
+    "phase_types",
+    "required_sample_size",
+    "select_features",
+    "silhouette_score",
+    "stratified_sample",
+]

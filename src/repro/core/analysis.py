@@ -1,0 +1,171 @@
+"""Phase analysis: homogeneity (Figure 6) and phase typing (Figure 10).
+
+* :func:`cov_report` computes the population / weighted / maximum
+  coefficient of variation of per-unit CPI — the paper's measure of how
+  well phase formation separates performance levels.
+* :func:`phase_types` categorises phases into the four operation types
+  (map / reduce / sort / IO) by the dominant *typed* method across the
+  units of the phase, using a pattern table over method names — the
+  same by-dominant-operation judgement the paper applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.units import JobProfile
+
+__all__ = [
+    "CoVReport",
+    "cov_report",
+    "method_type_of",
+    "phase_type_of",
+    "phase_types",
+    "phase_type_distribution",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class CoVReport:
+    """Figure 6 row: CPI CoV for one benchmark."""
+
+    population: float
+    weighted: float
+    maximum: float
+
+
+def _cov(values: np.ndarray) -> float:
+    if len(values) < 2:
+        return 0.0
+    mean = values.mean()
+    return float(values.std(ddof=1) / mean) if mean > 0 else 0.0
+
+
+def cov_report(cpi: np.ndarray, assignments: np.ndarray) -> CoVReport:
+    """Population, phase-weighted, and maximum CoV of CPI.
+
+    The weighted CoV weights each phase's CoV by its unit count; an
+    effective phase formation drives it well below the population CoV.
+    """
+    phases = np.unique(assignments)
+    covs = []
+    weights = []
+    for h in phases:
+        members = cpi[assignments == h]
+        covs.append(_cov(members))
+        weights.append(len(members))
+    weights_arr = np.array(weights, dtype=np.float64)
+    covs_arr = np.array(covs, dtype=np.float64)
+    return CoVReport(
+        population=_cov(cpi),
+        weighted=float((covs_arr * weights_arr).sum() / weights_arr.sum()),
+        maximum=float(covs_arr.max()) if len(covs_arr) else 0.0,
+    )
+
+
+# Ordered pattern table: first match (leaf-most frame wins) decides the
+# type of a call stack.  Specific class names come first; the generic
+# "reduce"/"map" substrings are last because package names like
+# ``org.apache.hadoop.mapreduce`` would otherwise shadow them.
+METHOD_TYPE_PATTERNS: tuple[tuple[str, str], ...] = (
+    ("QuickSort", "sort"),
+    ("TimSort", "sort"),
+    ("ExternalSorter", "sort"),
+    ("Merger", "sort"),
+    ("sortAndSpill", "sort"),
+    ("DFSInputStream", "io"),
+    ("DFSOutputStream", "io"),
+    ("IFile$Writer", "io"),
+    ("LineRecordWriter", "io"),
+    ("SnappyCodec", "io"),
+    ("DiskBlockObjectWriter", "io"),
+    ("ObjectOutputStream", "io"),
+    ("ObjectInputStream", "io"),
+    ("Fetcher", "io"),
+    ("ShuffleBlockFetcherIterator", "io"),
+    ("saveAsHadoopDataset", "io"),
+    ("combineValuesByKey", "reduce"),
+    ("combineCombinersByKey", "reduce"),
+    ("aggregateUsingIndex", "reduce"),
+    ("AppendOnlyMap", "reduce"),
+    ("innerJoin", "reduce"),
+    ("Reducer", "reduce"),
+    ("CombinerRunner", "reduce"),
+    ("aggregateMessages", "map"),
+    ("Mapper", "map"),
+    ("flatMap", "map"),
+    ("filter", "map"),
+    ("mapPartitions", "map"),
+    ("mapValues", "map"),
+    ("GraphLoader", "map"),
+    ("EdgePartitionBuilder", "map"),
+    ("reduce", "reduce"),
+    ("map", "map"),
+)
+
+
+def method_type_of(fqn: str) -> str | None:
+    """Operation type of one method name, or None if untyped."""
+    for pattern, mtype in METHOD_TYPE_PATTERNS:
+        if pattern in fqn:
+            return mtype
+    return None
+
+
+def _stack_type(job: JobProfile, stack_id: int) -> str | None:
+    """Type of a call stack: the leaf-most typed frame decides."""
+    frames = job.stack_table.frames_of(stack_id)
+    for mid in reversed(frames):
+        mtype = method_type_of(job.registry.fqn(mid))
+        if mtype is not None:
+            return mtype
+    return None
+
+
+def phase_type_of(
+    job: JobProfile, assignments: np.ndarray, phase_id: int
+) -> str:
+    """Dominant operation type of one phase (Figure 10 judgement).
+
+    Counts snapshots by stack type over the phase's units; the most
+    frequent type wins.  Phases with no typed snapshots fall back to
+    ``"map"`` (the framework-plumbing default).
+    """
+    counts: dict[str, float] = {}
+    type_cache: dict[int, str | None] = {}
+    for unit in job.profile.units:
+        if assignments[unit.index] != phase_id:
+            continue
+        for sid, cnt in zip(unit.stack_ids, unit.stack_counts):
+            stype = type_cache.get(int(sid), "_missing")
+            if stype == "_missing":
+                stype = _stack_type(job, int(sid))
+                type_cache[int(sid)] = stype
+            if stype is not None:
+                counts[stype] = counts.get(stype, 0.0) + float(cnt)
+    if not counts:
+        return "map"
+    return max(counts, key=counts.get)
+
+
+def phase_types(job: JobProfile, assignments: np.ndarray) -> dict[int, str]:
+    """Dominant type of every phase present in ``assignments``."""
+    return {
+        int(h): phase_type_of(job, assignments, int(h))
+        for h in np.unique(assignments)
+    }
+
+
+def phase_type_distribution(
+    job: JobProfile, assignments: np.ndarray
+) -> dict[str, float]:
+    """Figure 10 bar: unit-weight share of each phase type."""
+    types = phase_types(job, assignments)
+    dist: dict[str, float] = {}
+    n = len(assignments)
+    for h, t in types.items():
+        weight = float((assignments == h).sum()) / n
+        dist[t] = dist.get(t, 0.0) + weight
+    return dist

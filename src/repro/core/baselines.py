@@ -1,0 +1,167 @@
+"""The compared sampling approaches (Section IV-B).
+
+* **SECOND** — one contiguous N-second interval (N = 10 in the paper),
+  the classic approach for transaction-based server workloads.
+* **SRS** — simple random sampling of n units.
+* **CODE** — a SimPoint-like approach: cluster on call stacks only and
+  simulate the unit closest to each phase centre, weighting phase means
+  by phase size.
+* **SimProf** — stratified random sampling with optimal allocation
+  (implemented in :mod:`repro.core.sampling`; wrapped here for a
+  uniform sampler interface).
+
+All samplers return a :class:`SamplerResult` whose ``estimate`` is a
+predicted mean CPI; ``error_vs`` compares it to the oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.phases import PhaseModel
+from repro.core.sampling import stratified_sample
+from repro.core.units import JobProfile
+
+__all__ = [
+    "SamplerResult",
+    "SecondSampler",
+    "SRSSampler",
+    "CodeSampler",
+    "SimProfSampler",
+]
+
+
+@dataclass(frozen=True)
+class SamplerResult:
+    """A sample (unit indices) and its CPI estimate."""
+
+    name: str
+    selected: np.ndarray
+    estimate: float
+
+    @property
+    def sample_size(self) -> int:
+        """Number of sampling units selected."""
+        return len(self.selected)
+
+    def error_vs(self, oracle_cpi: float) -> float:
+        """Relative CPI error against the oracle."""
+        return abs(self.estimate - oracle_cpi) / oracle_cpi
+
+
+class SecondSampler:
+    """Single contiguous N-second interval.
+
+    The window is placed after a warm-up fraction of the execution
+    (time-based, like attaching a simulator N seconds in).  The estimate
+    is the mean CPI of the units the window covers.
+    """
+
+    def __init__(self, seconds: float = 10.0, warmup_fraction: float = 0.1) -> None:
+        if seconds <= 0:
+            raise ValueError("seconds must be positive")
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        self.seconds = seconds
+        self.warmup_fraction = warmup_fraction
+
+    def sample(self, job: JobProfile) -> SamplerResult:
+        """Select the units covered by the time window."""
+        cycles = job.profile.cycles()
+        cum = np.concatenate([[0.0], np.cumsum(cycles)])
+        total_cycles = cum[-1]
+        window_cycles = self.seconds * job.machine.clock_hz
+        start = min(
+            self.warmup_fraction * total_cycles,
+            max(0.0, total_cycles - window_cycles),
+        )
+        stop = start + window_cycles
+        # Units whose cycle span intersects [start, stop).
+        selected = np.nonzero((cum[:-1] < stop) & (cum[1:] > start))[0]
+        if len(selected) == 0:
+            selected = np.array([0])
+        cpi = job.profile.cpi()
+        return SamplerResult(
+            name="SECOND",
+            selected=selected,
+            estimate=float(cpi[selected].mean()),
+        )
+
+
+class SRSSampler:
+    """Simple random sampling of n units."""
+
+    def __init__(self, n: int = 20) -> None:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        self.n = n
+
+    def sample(
+        self, job: JobProfile, rng: np.random.Generator | None = None
+    ) -> SamplerResult:
+        """Draw n units uniformly without replacement."""
+        rng = rng or np.random.default_rng(0)
+        cpi = job.profile.cpi()
+        n = min(self.n, len(cpi))
+        selected = np.sort(rng.choice(len(cpi), size=n, replace=False))
+        return SamplerResult(
+            name="SRS", selected=selected, estimate=float(cpi[selected].mean())
+        )
+
+
+class CodeSampler:
+    """SimPoint-like: one simulation point per phase, at the centre.
+
+    Uses the same call-stack clustering as SimProf but ignores the
+    performance counters: one unit per phase (the one closest to the
+    centre), phase means weighted by phase size.
+    """
+
+    def sample(self, job: JobProfile, model: PhaseModel) -> SamplerResult:
+        """Select each phase's medoid-by-centre unit."""
+        X = model.space.project_job(job)
+        cpi = job.profile.cpi()
+        selected: list[int] = []
+        estimate = 0.0
+        N = len(cpi)
+        for h in range(model.k):
+            members = np.nonzero(model.assignments == h)[0]
+            if len(members) == 0:
+                continue
+            d = ((X[members] - model.centers[h]) ** 2).sum(axis=1)
+            rep = int(members[int(d.argmin())])
+            selected.append(rep)
+            estimate += (len(members) / N) * cpi[rep]
+        return SamplerResult(
+            name="CODE",
+            selected=np.array(sorted(selected), dtype=np.int64),
+            estimate=float(estimate),
+        )
+
+
+class SimProfSampler:
+    """Stratified random sampling with optimal allocation (the paper)."""
+
+    def __init__(self, n: int = 20) -> None:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        self.n = n
+
+    def sample(
+        self,
+        job: JobProfile,
+        model: PhaseModel,
+        rng: np.random.Generator | None = None,
+    ) -> SamplerResult:
+        """Draw the stratified sample over the model's phases."""
+        rng = rng or np.random.default_rng(0)
+        cpi = job.profile.cpi()
+        n = max(min(self.n, len(cpi)), model.k)
+        est = stratified_sample(
+            model.assignments, cpi, n, rng=rng, k=model.k
+        )
+        return SamplerResult(
+            name="SimProf", selected=est.selected, estimate=est.estimate
+        )

@@ -1,0 +1,233 @@
+"""k-means clustering and phase-count selection (Section III-B).
+
+SimProf clusters the unit feature vectors with k-means, scores each
+k ∈ [1, 20] with the silhouette coefficient, and picks the *smallest*
+k whose score reaches 90 % of the best — favouring fewer phases when
+the structure is flat (grep collapses to a single phase this way).
+
+Implemented from scratch on NumPy: k-means++ seeding, Lloyd iterations
+with vectorised distance computation, empty-cluster re-seeding to the
+farthest point, and an exact silhouette.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "KMeansResult",
+    "kmeans",
+    "silhouette_score",
+    "choose_k",
+    "random_projection",
+]
+
+
+def random_projection(
+    X: np.ndarray, dims: int = 15, seed: int = 0
+) -> np.ndarray:
+    """SimPoint-style random linear projection to ``dims`` dimensions.
+
+    SimPoint projects its basic-block vectors to ~15 dimensions before
+    clustering to keep k-means cheap on million-dimension inputs.  Our
+    regression-selected space is already small, so this is offered as
+    an ablation variant, not the default.  Entries are i.i.d. uniform
+    on [-1, 1] as in the original; pairwise distances are preserved in
+    expectation (Johnson–Lindenstrauss).
+    """
+    if dims <= 0:
+        raise ValueError("dims must be positive")
+    n_features = X.shape[1]
+    if n_features <= dims:
+        return X.copy()
+    rng = np.random.default_rng(seed)
+    P = rng.uniform(-1.0, 1.0, size=(n_features, dims))
+    return X @ P / np.sqrt(dims)
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Result of one k-means run."""
+
+    centers: np.ndarray
+    assignments: np.ndarray
+    inertia: float
+
+    @property
+    def k(self) -> int:
+        """Number of clusters."""
+        return len(self.centers)
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Units per cluster."""
+        return np.bincount(self.assignments, minlength=self.k)
+
+
+def _pairwise_sq_dists(X: np.ndarray, C: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances, ``(n, k)``."""
+    # ||x||^2 + ||c||^2 - 2 x.c  (clipped: rounding can go barely negative)
+    d = (
+        (X**2).sum(axis=1)[:, None]
+        + (C**2).sum(axis=1)[None, :]
+        - 2.0 * X @ C.T
+    )
+    return np.maximum(d, 0.0)
+
+
+def _kmeanspp_init(
+    X: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding."""
+    n = len(X)
+    centers = np.empty((k, X.shape[1]), dtype=np.float64)
+    centers[0] = X[rng.integers(0, n)]
+    closest = _pairwise_sq_dists(X, centers[:1]).ravel()
+    for j in range(1, k):
+        total = closest.sum()
+        if total <= 0:
+            # All points coincide with an existing centre.
+            centers[j:] = centers[0]
+            return centers
+        probs = closest / total
+        idx = rng.choice(n, p=probs)
+        centers[j] = X[idx]
+        closest = np.minimum(closest, _pairwise_sq_dists(X, centers[j : j + 1]).ravel())
+    return centers
+
+
+def kmeans(
+    X: np.ndarray,
+    k: int,
+    *,
+    seed: int = 0,
+    n_init: int = 4,
+    max_iter: int = 100,
+    tol: float = 1e-9,
+) -> KMeansResult:
+    """Lloyd's k-means with k-means++ seeding; best of ``n_init`` runs."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    n = len(X)
+    if n == 0:
+        raise ValueError("cannot cluster zero points")
+    k = min(k, n)
+    rng = np.random.default_rng(seed)
+
+    best: KMeansResult | None = None
+    for _run in range(n_init):
+        centers = _kmeanspp_init(X, k, rng)
+        assignments = np.zeros(n, dtype=np.int64)
+        prev_inertia = np.inf
+        for _it in range(max_iter):
+            dists = _pairwise_sq_dists(X, centers)
+            assignments = dists.argmin(axis=1)
+            inertia = float(dists[np.arange(n), assignments].sum())
+            # Recompute centres; re-seed any emptied cluster on the
+            # point farthest from its centre.
+            for j in range(k):
+                members = assignments == j
+                if members.any():
+                    centers[j] = X[members].mean(axis=0)
+                else:
+                    farthest = int(dists[np.arange(n), assignments].argmax())
+                    centers[j] = X[farthest]
+            if prev_inertia - inertia <= tol * max(prev_inertia, 1.0):
+                break
+            prev_inertia = inertia
+        dists = _pairwise_sq_dists(X, centers)
+        assignments = dists.argmin(axis=1)
+        inertia = float(dists[np.arange(n), assignments].sum())
+        if best is None or inertia < best.inertia:
+            best = KMeansResult(centers.copy(), assignments, inertia)
+    assert best is not None
+    return best
+
+
+def silhouette_score(
+    X: np.ndarray, assignments: np.ndarray, *, max_points: int = 3000,
+    seed: int = 0,
+) -> float:
+    """Mean silhouette coefficient of a clustering.
+
+    Exact for up to ``max_points`` points; larger inputs are scored on a
+    uniform subsample (distances to *all* points are still exact — only
+    the averaged index set is subsampled).
+    """
+    n = len(X)
+    labels = np.unique(assignments)
+    if len(labels) < 2 or n < 3:
+        return 0.0
+    if n > max_points:
+        rng = np.random.default_rng(seed)
+        idx = np.sort(rng.choice(n, size=max_points, replace=False))
+    else:
+        idx = np.arange(n)
+
+    sizes = {int(l): int((assignments == l).sum()) for l in labels}
+    # Mean distance from each scored point to every cluster.
+    mean_d = np.empty((len(idx), len(labels)))
+    for j, lab in enumerate(labels):
+        members = X[assignments == lab]
+        d = np.sqrt(_pairwise_sq_dists(X[idx], members))
+        mean_d[:, j] = d.mean(axis=1)
+
+    label_pos = {int(l): j for j, l in enumerate(labels)}
+    s = np.zeros(len(idx))
+    for i, point in enumerate(idx):
+        own = int(assignments[point])
+        j_own = label_pos[own]
+        size_own = sizes[own]
+        if size_own <= 1:
+            s[i] = 0.0
+            continue
+        # Within-cluster mean excludes the point itself.
+        a = mean_d[i, j_own] * size_own / (size_own - 1)
+        b = np.min(np.delete(mean_d[i], j_own))
+        denom = max(a, b)
+        s[i] = 0.0 if denom == 0 else (b - a) / denom
+    return float(s.mean())
+
+
+def choose_k(
+    X: np.ndarray,
+    *,
+    k_max: int = 20,
+    score_threshold: float = 0.9,
+    min_structure: float = 0.40,
+    seed: int = 0,
+) -> tuple[int, dict[int, float]]:
+    """Pick the number of phases (paper rule).
+
+    Scores each k in [2, k_max] with the silhouette coefficient and
+    returns the smallest k whose score is at least ``score_threshold``
+    of the best.  If even the best silhouette is below
+    ``min_structure`` — set above the ~0.35 a k-means split of one
+    isotropic blob scores, so "no real cluster structure" — the run is
+    a single phase (k = 1), which is how a uniform workload like grep
+    ends up with one phase in Figure 9.
+
+    Returns ``(k, scores_by_k)``.
+    """
+    n = len(X)
+    if n < 3 or np.allclose(X, X[0]):
+        return 1, {1: 0.0}
+    scores: dict[int, float] = {}
+    k_cap = min(k_max, n - 1)
+    for k in range(2, k_cap + 1):
+        result = kmeans(X, k, seed=seed)
+        if len(np.unique(result.assignments)) < 2:
+            scores[k] = 0.0
+            continue
+        scores[k] = silhouette_score(X, result.assignments, seed=seed)
+    if not scores:
+        return 1, {1: 0.0}
+    best = max(scores.values())
+    if best < min_structure:
+        return 1, scores
+    cutoff = score_threshold * best
+    for k in sorted(scores):
+        if scores[k] >= cutoff:
+            return k, scores
+    return max(scores, key=scores.get), scores  # pragma: no cover

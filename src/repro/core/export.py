@@ -1,0 +1,98 @@
+"""Export simulation points in SimPoint's file format.
+
+Downstream simulators (gem5, Sniper, ...) already know how to consume
+SimPoint output: a ``.simpoints`` file ("<unit-index> <point-id>" per
+line) and a ``.weights`` file ("<weight> <point-id>").  Writing
+SimProf's selection in the same format lets those flows adopt it
+without modification.
+
+SimPoint semantics: each point's weight is the fraction of execution it
+represents.  For SimProf's stratified sample, a phase's weight is split
+evenly over the points drawn from it (together they represent the
+phase), so the weighted mean of per-point CPIs *is* the stratified
+estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.phases import PhaseModel
+from repro.core.sampling import StratifiedEstimate
+
+__all__ = ["SimPointFiles", "export_simpoints", "load_simpoints"]
+
+
+@dataclass(frozen=True)
+class SimPointFiles:
+    """Paths of one exported point set."""
+
+    simpoints: Path
+    weights: Path
+
+
+def export_simpoints(
+    points: StratifiedEstimate,
+    model: PhaseModel,
+    out_dir: str | Path,
+    *,
+    basename: str = "simprof",
+) -> SimPointFiles:
+    """Write ``<basename>.simpoints`` and ``<basename>.weights``.
+
+    Returns the written paths.  Point ids are assigned in unit order,
+    as SimPoint does.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    sp_path = out / f"{basename}.simpoints"
+    w_path = out / f"{basename}.weights"
+
+    assignments = model.assignments
+    N = len(assignments)
+    phase_weight = {
+        h: float((assignments == h).sum()) / N for h in range(model.k)
+    }
+    points_per_phase = {
+        h: int((assignments[points.selected] == h).sum()) for h in range(model.k)
+    }
+
+    sp_lines = []
+    w_lines = []
+    for point_id, unit in enumerate(points.selected):
+        h = int(assignments[unit])
+        weight = phase_weight[h] / max(1, points_per_phase[h])
+        sp_lines.append(f"{int(unit)} {point_id}")
+        w_lines.append(f"{weight:.10f} {point_id}")
+    sp_path.write_text("\n".join(sp_lines) + "\n")
+    w_path.write_text("\n".join(w_lines) + "\n")
+    return SimPointFiles(simpoints=sp_path, weights=w_path)
+
+
+def load_simpoints(files: SimPointFiles) -> tuple[np.ndarray, np.ndarray]:
+    """Read a SimPoint file pair back: ``(unit_indices, weights)``.
+
+    Units and weights are aligned by point id, so
+    ``weights @ cpi[units]`` reproduces the exported estimator.
+    """
+    units_by_id: dict[int, int] = {}
+    for line in files.simpoints.read_text().splitlines():
+        if not line.strip():
+            continue
+        unit, point_id = line.split()
+        units_by_id[int(point_id)] = int(unit)
+    weights_by_id: dict[int, float] = {}
+    for line in files.weights.read_text().splitlines():
+        if not line.strip():
+            continue
+        weight, point_id = line.split()
+        weights_by_id[int(point_id)] = float(weight)
+    if set(units_by_id) != set(weights_by_id):
+        raise ValueError(".simpoints and .weights disagree on point ids")
+    ids = sorted(units_by_id)
+    units = np.array([units_by_id[i] for i in ids], dtype=np.int64)
+    weights = np.array([weights_by_id[i] for i in ids])
+    return units, weights

@@ -1,0 +1,211 @@
+"""Feature vectors from call stacks (Section III-B, first half).
+
+Every sampling unit becomes a vector over *methods*: dimension j counts
+how often method j appeared in the unit's call-stack snapshots (a
+snapshot contributes one count to every frame on its stack).  Rows are
+normalised to frequencies so units with different snapshot counts stay
+comparable.
+
+Because the raw space easily has hundreds of dimensions dominated by
+frames common to every unit (thread entry, task runner), SimProf keeps
+only the top-K methods most correlated with performance, selected by a
+univariate linear-regression test against per-unit IPC (K = 100 in the
+paper).  The surviving dimensions are remembered *by fully-qualified
+method name*, so units profiled from a different run (whose registry
+assigns different ids) can be projected into the same space — the
+mechanism the input-sensitivity test relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.units import JobProfile
+from repro.jvm.methods import MethodRegistry, StackTable
+
+__all__ = [
+    "build_feature_matrix",
+    "univariate_regression_scores",
+    "select_features",
+    "FeatureSpace",
+]
+
+
+def build_feature_matrix(job: JobProfile, *, normalize: bool = True) -> np.ndarray:
+    """Dense ``(n_units, n_methods)`` method-frequency matrix.
+
+    Row i is the frequency distribution of methods over the snapshots of
+    unit i (rows sum to ~1; an all-zero row means the unit had no
+    snapshots, which cannot happen with period ≤ unit size).  With
+    ``normalize=False`` the rows are raw appearance counts (one count
+    per snapshot whose stack contains the method).
+    """
+    n_methods = len(job.registry)
+    units = job.profile.units
+    X = np.zeros((len(units), n_methods), dtype=np.float64)
+    frames_cache: dict[int, np.ndarray] = {}
+    table = job.stack_table
+    for i, unit in enumerate(units):
+        row = X[i]
+        for sid, count in zip(unit.stack_ids, unit.stack_counts):
+            frames = frames_cache.get(int(sid))
+            if frames is None:
+                frames = np.fromiter(table.frames_of(int(sid)), dtype=np.intp)
+                frames_cache[int(sid)] = frames
+            np.add.at(row, frames, float(count))
+        if normalize:
+            total = row.sum()
+            if total > 0:
+                row /= total
+    return X
+
+
+def univariate_regression_scores(X: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """F-scores of a per-feature univariate linear regression on ``y``.
+
+    Identical to scikit-learn's ``f_regression``: the squared Pearson
+    correlation ``r²`` mapped to ``F = r² / (1 − r²) · (n − 2)``.
+    Constant features (including the frames shared by every stack)
+    score 0 — exactly the elimination the paper describes.
+    """
+    n = len(y)
+    if n != len(X):
+        raise ValueError("X and y disagree on the number of units")
+    if n < 3:
+        return np.zeros(X.shape[1])
+    xc = X - X.mean(axis=0)
+    yc = y - y.mean()
+    x_norm = np.sqrt((xc**2).sum(axis=0))
+    y_norm = np.sqrt((yc**2).sum())
+    denom = x_norm * y_norm
+    with np.errstate(divide="ignore", invalid="ignore"):
+        r = np.where(denom > 0, xc.T @ yc / np.where(denom > 0, denom, 1.0), 0.0)
+    r2 = np.clip(r**2, 0.0, 1.0 - 1e-12)
+    return r2 / (1.0 - r2) * (n - 2)
+
+
+def select_features(
+    X: np.ndarray,
+    ipc: np.ndarray,
+    top_k: int = 100,
+    significance: float = 0.01,
+    mean_appearances: np.ndarray | None = None,
+    min_appearances: float = 0.5,
+    min_r2: float = 0.10,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Indices (sorted) and scores of the top-K IPC-correlated methods.
+
+    Three filters beyond the top-K ranking:
+
+    * methods must be *statistically* related to performance — the
+      regression F-score must clear a Bonferroni-corrected critical
+      value;
+    * the relation must be *practically* relevant — the method must
+      explain at least ``min_r2`` of the IPC variance (the paper's
+      selection exists to keep performance-relevant methods, so a
+      workload with essentially flat IPC, like grep, retains nothing
+      and collapses to one phase downstream);
+    * methods must be *resolvable* by the snapshot poller — a method
+      seen in well under one snapshot per unit on average yields a
+      quantised 0-or-1 feature that is sampling noise, not phase
+      structure (``mean_appearances`` carries the raw per-unit counts).
+    """
+    from scipy import stats
+
+    n, n_features = X.shape
+    scores = univariate_regression_scores(X, ipc)
+    if n_features == 0 or n < 3:
+        return np.empty(0, dtype=np.intp), scores
+    f_crit = float(
+        stats.f.isf(min(1.0, significance / n_features), 1, max(1, n - 2))
+    )
+    # Invert F = r²/(1−r²)·(n−2) at the effect-size floor.
+    f_floor = min_r2 / (1.0 - min_r2) * (n - 2)
+    eligible = scores > max(f_crit, f_floor)
+    if mean_appearances is not None:
+        eligible &= mean_appearances >= min_appearances
+    passing = np.nonzero(eligible)[0]
+    order = np.argsort(-scores[passing], kind="stable")
+    chosen = passing[order[:top_k]]
+    return np.sort(chosen), scores
+
+
+@dataclass
+class FeatureSpace:
+    """The selected method space of a training run.
+
+    ``method_ids`` index the *training* registry; ``method_fqns`` name
+    the same methods portably.  ``transform`` slices a full training
+    matrix; ``project_job`` rebuilds the same columns for any profile
+    (matching methods by name).
+    """
+
+    method_ids: np.ndarray
+    method_fqns: tuple[str, ...]
+    scores: np.ndarray
+
+    @staticmethod
+    def fit(job: JobProfile, top_k: int = 100) -> tuple["FeatureSpace", np.ndarray]:
+        """Select the space from a training profile.
+
+        Returns ``(space, X_selected)`` where ``X_selected`` is the
+        training matrix restricted to the selected methods.
+        """
+        raw = build_feature_matrix(job, normalize=False)
+        totals = raw.sum(axis=1, keepdims=True)
+        X = np.divide(raw, np.where(totals > 0, totals, 1.0))
+        ipc = job.profile.ipc()
+        ids, scores = select_features(
+            X, ipc, top_k=top_k, mean_appearances=raw.mean(axis=0)
+        )
+        fqns = tuple(job.registry.fqn(int(m)) for m in ids)
+        return FeatureSpace(ids, fqns, scores[ids]), X[:, ids]
+
+    @property
+    def n_features(self) -> int:
+        """Dimensionality of the selected space."""
+        return len(self.method_ids)
+
+    def transform(self, X_full: np.ndarray) -> np.ndarray:
+        """Restrict a full training-registry matrix to the space."""
+        return X_full[:, self.method_ids]
+
+    def project_job(self, job: JobProfile) -> np.ndarray:
+        """Feature matrix of any profile in this space (match by FQN).
+
+        Methods of ``job`` that are not in the space are ignored; space
+        methods absent from ``job`` contribute zero columns.  Rows are
+        normalised by the unit's *total* snapshot frame count so
+        frequencies remain comparable to training rows.
+        """
+        col_of_fqn = {fqn: j for j, fqn in enumerate(self.method_fqns)}
+        registry: MethodRegistry = job.registry
+        col_of_mid = np.full(len(registry), -1, dtype=np.intp)
+        for mid in range(len(registry)):
+            j = col_of_fqn.get(registry.fqn(mid))
+            if j is not None:
+                col_of_mid[mid] = j
+
+        table: StackTable = job.stack_table
+        units = job.profile.units
+        X = np.zeros((len(units), self.n_features), dtype=np.float64)
+        frames_cache: dict[int, tuple[np.ndarray, int]] = {}
+        for i, unit in enumerate(units):
+            row = X[i]
+            total = 0.0
+            for sid, count in zip(unit.stack_ids, unit.stack_counts):
+                cached = frames_cache.get(int(sid))
+                if cached is None:
+                    frames = np.fromiter(table.frames_of(int(sid)), dtype=np.intp)
+                    cols = col_of_mid[frames]
+                    cols = cols[cols >= 0]
+                    cached = (cols, len(frames))
+                    frames_cache[int(sid)] = cached
+                cols, n_frames = cached
+                np.add.at(row, cols, float(count))
+                total += float(count) * n_frames
+            if total > 0:
+                row /= total
+        return X

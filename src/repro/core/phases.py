@@ -1,0 +1,222 @@
+"""Phase model: the outcome of phase formation.
+
+Bundles the selected feature space, the cluster centres, and the
+per-unit phase assignments, and computes the per-phase statistics the
+rest of the pipeline consumes (weights, CPI mean/std/CoV).  The model
+can classify units from *other* profiles (nearest centre in the shared
+feature space) — the unit-classification step of the input-sensitivity
+test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.clustering import KMeansResult, choose_k, kmeans
+from repro.core.features import FeatureSpace
+from repro.core.units import JobProfile
+
+__all__ = ["PhaseStats", "PhaseModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseStats:
+    """Summary of one phase over a profile."""
+
+    phase_id: int
+    n_units: int
+    weight: float
+    cpi_mean: float
+    cpi_std: float
+
+    @property
+    def cpi_cov(self) -> float:
+        """Coefficient of variation of CPI within the phase."""
+        return self.cpi_std / self.cpi_mean if self.cpi_mean > 0 else 0.0
+
+
+@dataclass
+class PhaseModel:
+    """Phases of a training profile.
+
+    ``centers`` live in the selected feature space; ``assignments`` maps
+    each training unit to its phase.
+    """
+
+    space: FeatureSpace
+    centers: np.ndarray
+    assignments: np.ndarray
+    silhouette_by_k: dict[int, float]
+    # Mean feature row over all training units; used to rank a phase's
+    # characteristic methods by *lift* so frames common to every stack
+    # (thread entry, task runner) do not dominate the readout.
+    global_mean: np.ndarray | None = None
+    # Optional SimPoint-style random projection applied before
+    # clustering; centres then live in the projected space and
+    # classification projects likewise.  None = identity (the default).
+    projection: np.ndarray | None = None
+    # Per-phase mean rows in the *original* feature space (equal to
+    # ``centers`` when no projection is used); this is what
+    # ``top_methods`` interprets, since projected axes have no names.
+    feature_centers: np.ndarray | None = None
+
+    @property
+    def k(self) -> int:
+        """Number of phases."""
+        return len(self.centers)
+
+    @staticmethod
+    def fit(
+        job: JobProfile,
+        *,
+        top_k: int = 100,
+        max_phases: int = 20,
+        score_threshold: float = 0.9,
+        seed: int = 0,
+        projection_dims: int | None = None,
+    ) -> "PhaseModel":
+        """Phase formation: vectorise, select features, cluster.
+
+        ``projection_dims`` enables the SimPoint-style random projection
+        before clustering (an ablation variant; None = off).
+        """
+        space, X = FeatureSpace.fit(job, top_k=top_k)
+        if space.n_features == 0:
+            # No method correlates with performance: the whole run is
+            # one phase (the grep case).
+            return PhaseModel(
+                space=space,
+                centers=np.zeros((1, 0)),
+                assignments=np.zeros(len(job.profile.units), dtype=np.int64),
+                silhouette_by_k={1: 0.0},
+                global_mean=np.zeros(0),
+            )
+        projection: np.ndarray | None = None
+        X_cluster = X
+        if projection_dims is not None and space.n_features > projection_dims:
+            rng = np.random.default_rng(seed)
+            projection = rng.uniform(
+                -1.0, 1.0, size=(space.n_features, projection_dims)
+            ) / np.sqrt(projection_dims)
+            X_cluster = X @ projection
+        k, scores = choose_k(
+            X_cluster, k_max=max_phases, score_threshold=score_threshold,
+            seed=seed,
+        )
+        if k == 1:
+            centers = X_cluster.mean(axis=0, keepdims=True)
+            assignments = np.zeros(len(X_cluster), dtype=np.int64)
+        else:
+            result: KMeansResult = kmeans(X_cluster, k, seed=seed)
+            centers = result.centers
+            assignments = result.assignments
+        feature_centers = np.vstack(
+            [
+                X[assignments == h].mean(axis=0)
+                if (assignments == h).any()
+                else np.zeros(space.n_features)
+                for h in range(k)
+            ]
+        )
+        return PhaseModel(
+            space=space,
+            centers=centers,
+            assignments=assignments,
+            silhouette_by_k=scores,
+            global_mean=X.mean(axis=0),
+            projection=projection,
+            feature_centers=feature_centers,
+        )
+
+    # -- classification -----------------------------------------------------
+
+    def classify(self, X: np.ndarray) -> np.ndarray:
+        """Nearest-centre phase assignment for feature rows ``X``.
+
+        ``X`` is in the selected-feature space; if the model was fitted
+        with a random projection, rows are projected first.
+        """
+        if self.projection is not None:
+            X = X @ self.projection
+        d = (
+            (X**2).sum(axis=1)[:, None]
+            + (self.centers**2).sum(axis=1)[None, :]
+            - 2.0 * X @ self.centers.T
+        )
+        return d.argmin(axis=1)
+
+    def classify_job(self, job: JobProfile) -> np.ndarray:
+        """Classify another profile's units into this model's phases."""
+        return self.classify(self.space.project_job(job))
+
+    # -- statistics -----------------------------------------------------------
+
+    def phase_stats(
+        self, cpi: np.ndarray, assignments: np.ndarray | None = None
+    ) -> list[PhaseStats]:
+        """Per-phase CPI statistics for a profile.
+
+        ``assignments`` defaults to the training assignments; pass the
+        output of :meth:`classify_job` for a reference input.  Phases
+        with no units get zero stats (they can legitimately be empty on
+        a reference input).
+        """
+        if assignments is None:
+            assignments = self.assignments
+        if len(cpi) != len(assignments):
+            raise ValueError("cpi and assignments disagree on unit count")
+        n = len(cpi)
+        out: list[PhaseStats] = []
+        for h in range(self.k):
+            members = cpi[assignments == h]
+            if len(members) == 0:
+                out.append(PhaseStats(h, 0, 0.0, 0.0, 0.0))
+                continue
+            out.append(
+                PhaseStats(
+                    phase_id=h,
+                    n_units=len(members),
+                    weight=len(members) / n,
+                    cpi_mean=float(members.mean()),
+                    # ddof=1 matches the paper's s_h (sample std).
+                    cpi_std=float(members.std(ddof=1)) if len(members) > 1 else 0.0,
+                )
+            )
+        return out
+
+    def top_methods(self, phase_id: int, n: int = 5) -> list[tuple[str, float]]:
+        """Most characteristic methods of a phase.
+
+        This is the paper's Section III-D.2 trick: the heavy dimensions
+        of the centre name the methods of the phase.  Methods are ranked
+        by lift over the global mean frequency, so frames present in
+        every stack (thread entry, task runner) rank at ~1 while the
+        phase-specific operations rank high.  Returns
+        ``(fqn, lift)`` pairs.
+        """
+        if not 0 <= phase_id < self.k:
+            raise IndexError(f"phase {phase_id} out of range")
+        center = (
+            self.feature_centers[phase_id]
+            if self.feature_centers is not None
+            else self.centers[phase_id]
+        )
+        # Only methods with real presence in the phase qualify —
+        # otherwise an ultra-rare frame (a one-off GC safepoint) gets an
+        # enormous lift from a near-zero global mean.
+        floor = max(0.005, 0.05 * float(center.max(initial=0.0)))
+        if self.global_mean is not None:
+            eps = 1e-9
+            score = np.where(
+                center >= floor, (center + eps) / (self.global_mean + eps), 0.0
+            )
+        else:
+            score = np.where(center >= floor, center, 0.0)
+        order = np.argsort(-score, kind="stable")[:n]
+        return [
+            (self.space.method_fqns[j], float(score[j]))
+            for j in order
+            if score[j] > 0
+        ]

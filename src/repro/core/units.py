@@ -1,0 +1,127 @@
+"""Sampling units and profiles — SimProf's unit of account.
+
+A *sampling unit* is a fixed-size instruction interval of one executor
+thread (100 M instructions by default).  The profiler summarises each
+unit by (a) the call-stack snapshots taken inside it and (b) its
+hardware-counter totals.  A :class:`ThreadProfile` is the unit sequence
+of the profiled thread; a :class:`JobProfile` adds job identity and the
+interning tables needed to interpret stack ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.jvm.job import StageInfo
+from repro.jvm.machine import MachineConfig
+from repro.jvm.methods import MethodRegistry, StackTable
+
+__all__ = ["SamplingUnit", "ThreadProfile", "JobProfile"]
+
+
+@dataclass(frozen=True, slots=True)
+class SamplingUnit:
+    """One fixed-size instruction interval of the profiled thread.
+
+    ``stack_ids``/``stack_counts`` hold the distinct call stacks seen by
+    the snapshot poller inside the unit and how often each was seen.
+    """
+
+    index: int
+    stack_ids: np.ndarray
+    stack_counts: np.ndarray
+    instructions: float
+    cycles: float
+    l1d_misses: float
+    llc_misses: float
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction of the unit."""
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle of the unit."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def n_snapshots(self) -> int:
+        """Number of call-stack snapshots taken in the unit."""
+        return int(self.stack_counts.sum())
+
+
+@dataclass
+class ThreadProfile:
+    """The sampling-unit sequence of one profiled executor thread."""
+
+    thread_id: int
+    unit_size: int
+    snapshot_period: int
+    units: list[SamplingUnit]
+
+    def __len__(self) -> int:
+        return len(self.units)
+
+    @property
+    def n_units(self) -> int:
+        """Total number of sampling units (the paper's N)."""
+        return len(self.units)
+
+    def cpi(self) -> np.ndarray:
+        """Per-unit CPI vector."""
+        return np.array([u.cpi for u in self.units], dtype=np.float64)
+
+    def ipc(self) -> np.ndarray:
+        """Per-unit IPC vector."""
+        return np.array([u.ipc for u in self.units], dtype=np.float64)
+
+    def cycles(self) -> np.ndarray:
+        """Per-unit cycle totals."""
+        return np.array([u.cycles for u in self.units], dtype=np.float64)
+
+    def llc_mpki(self) -> np.ndarray:
+        """Per-unit LLC misses per kilo-instruction."""
+        return np.array(
+            [1000.0 * u.llc_misses / u.instructions for u in self.units],
+            dtype=np.float64,
+        )
+
+    def oracle_cpi(self) -> float:
+        """The paper's oracle: the mean CPI over all sampling units."""
+        if not self.units:
+            raise ValueError("profile has no sampling units")
+        return float(self.cpi().mean())
+
+
+@dataclass
+class JobProfile:
+    """A thread profile plus the job context needed to interpret it."""
+
+    workload: str
+    framework: str
+    input_name: str
+    profile: ThreadProfile
+    registry: MethodRegistry
+    stack_table: StackTable
+    machine: MachineConfig
+    stages: list[StageInfo] = field(default_factory=list)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        """Paper-style short label (``wc_sp``, ``cc_hp``, …)."""
+        suffix = {"hadoop": "hp", "spark": "sp"}.get(self.framework, self.framework)
+        return f"{self.workload}_{suffix}"
+
+    @property
+    def n_units(self) -> int:
+        """Number of sampling units in the profiled thread."""
+        return self.profile.n_units
+
+    def oracle_cpi(self) -> float:
+        """Mean CPI over all units (ground truth for sampling error)."""
+        return self.profile.oracle_cpi()

@@ -1,0 +1,24 @@
+"""Input synthesis: BigDataBench-style text and Kronecker graphs."""
+
+from repro.datagen.text import TextSpec, synthesize_text, synthesize_labeled_text
+from repro.datagen.kronecker import KroneckerSpec, generate_kronecker_edges
+from repro.datagen.seeds import (
+    GRAPH_INPUTS,
+    GraphInput,
+    REFERENCE_INPUTS,
+    TRAINING_INPUT,
+    get_graph_input,
+)
+
+__all__ = [
+    "GRAPH_INPUTS",
+    "GraphInput",
+    "KroneckerSpec",
+    "REFERENCE_INPUTS",
+    "TRAINING_INPUT",
+    "TextSpec",
+    "generate_kronecker_edges",
+    "get_graph_input",
+    "synthesize_labeled_text",
+    "synthesize_text",
+]

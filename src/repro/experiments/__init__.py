@@ -1,0 +1,24 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each driver exposes a ``run_*`` function returning a small result
+object with the figure's rows/series and a ``to_text()`` rendering that
+prints what the paper plots.  The benchmark harness under
+``benchmarks/`` calls these drivers and times their computational
+kernels; the examples under ``examples/`` reuse them too.
+"""
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    all_label_pairs,
+    format_table,
+    get_model,
+    get_profile,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "all_label_pairs",
+    "format_table",
+    "get_model",
+    "get_profile",
+]

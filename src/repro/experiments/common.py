@@ -1,0 +1,189 @@
+"""Shared infrastructure for the experiment drivers.
+
+Workload runs cost seconds each, and several figures need the same
+profiles, so profiles and phase models are cached — in memory for the
+process and on disk (pickle) across processes.  Cache entries are keyed
+by every parameter that affects the result plus a calibration version
+string, so stale entries die when the simulator is re-tuned.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.core.phases import PhaseModel
+from repro.core.pipeline import SimProf, SimProfConfig
+from repro.core.units import JobProfile
+from repro.datagen.seeds import GRAPH_INPUTS
+from repro.workloads import WORKLOADS, run_workload
+
+__all__ = [
+    "CACHE_VERSION",
+    "ExperimentConfig",
+    "all_label_pairs",
+    "format_table",
+    "get_model",
+    "get_profile",
+]
+
+# Bump when simulator calibration changes so cached profiles refresh.
+CACHE_VERSION = "v6"
+
+_MEMORY_CACHE: dict[str, Any] = {}
+
+
+def _cache_dir() -> Path:
+    root = os.environ.get("SIMPROF_CACHE_DIR")
+    if root:
+        path = Path(root)
+    else:
+        path = Path.home() / ".cache" / "simprof-repro"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _cache_key(kind: str, **params: Any) -> str:
+    blob = repr(sorted(params.items())).encode()
+    return f"{kind}-{CACHE_VERSION}-{hashlib.sha256(blob).hexdigest()[:20]}"
+
+
+def _cached(key: str, compute: Any) -> Any:
+    if key in _MEMORY_CACHE:
+        return _MEMORY_CACHE[key]
+    path = _cache_dir() / f"{key}.pkl"
+    if path.exists():
+        try:
+            with path.open("rb") as fh:
+                value = pickle.load(fh)
+            _MEMORY_CACHE[key] = value
+            return value
+        except Exception:
+            path.unlink(missing_ok=True)  # corrupt entry: recompute
+    value = compute()
+    _MEMORY_CACHE[key] = value
+    tmp = path.with_suffix(".tmp")
+    with tmp.open("wb") as fh:
+        pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    tmp.replace(path)
+    return value
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs every experiment shares.
+
+    ``scale`` shrinks workload inputs for quick runs (tests use 0.25);
+    ``n_sampling_draws`` averages the stochastic samplers (SRS, SimProf)
+    over several draws for stable error numbers.
+    """
+
+    scale: float = 1.0
+    seed: int = 0
+    n_sampling_draws: int = 20
+    simprof: SimProfConfig = SimProfConfig()
+
+    def simprof_tool(self) -> SimProf:
+        """A SimProf instance configured for this experiment."""
+        return SimProf(self.simprof)
+
+
+def all_label_pairs() -> list[tuple[str, str]]:
+    """(workload, framework) pairs in the paper's Figure 7 order."""
+    return [
+        (abbrev, fw) for fw in ("hadoop", "spark") for abbrev in WORKLOADS
+    ]
+
+
+def get_profile(
+    workload: str,
+    framework: str,
+    cfg: ExperimentConfig,
+    *,
+    graph_name: str | None = None,
+    input_name: str | None = None,
+    params: dict[str, Any] | None = None,
+) -> JobProfile:
+    """Run (or load) a workload and profile its busiest thread."""
+    graph = GRAPH_INPUTS[graph_name] if graph_name else None
+    key = _cache_key(
+        "profile",
+        workload=workload,
+        framework=framework,
+        scale=cfg.scale,
+        seed=cfg.seed,
+        graph=graph_name or "",
+        params=params or {},
+        unit=cfg.simprof.unit_size,
+        period=cfg.simprof.snapshot_period,
+        jitter=cfg.simprof.snapshot_jitter,
+    )
+
+    def compute() -> JobProfile:
+        trace = run_workload(
+            workload,
+            framework,
+            scale=cfg.scale,
+            seed=cfg.seed,
+            graph=graph,
+            input_name=input_name or graph_name or "default",
+            params=params,
+        )
+        return cfg.simprof_tool().profile(trace)
+
+    return _cached(key, compute)
+
+
+def get_model(
+    workload: str,
+    framework: str,
+    cfg: ExperimentConfig,
+    *,
+    graph_name: str | None = None,
+    params: dict[str, Any] | None = None,
+) -> tuple[JobProfile, PhaseModel]:
+    """Profile + fitted phase model (both cached)."""
+    job = get_profile(
+        workload, framework, cfg, graph_name=graph_name, params=params
+    )
+    key = _cache_key(
+        "model",
+        workload=workload,
+        framework=framework,
+        scale=cfg.scale,
+        seed=cfg.seed,
+        graph=graph_name or "",
+        params=params or {},
+        unit=cfg.simprof.unit_size,
+        period=cfg.simprof.snapshot_period,
+        jitter=cfg.simprof.snapshot_jitter,
+        top_k=cfg.simprof.top_k_methods,
+        max_phases=cfg.simprof.max_phases,
+        threshold=cfg.simprof.silhouette_threshold,
+    )
+    model = _cached(key, lambda: cfg.simprof_tool().form_phases(job))
+    return job, model
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str = ""
+) -> str:
+    """Plain-text table rendering shared by every driver."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Extension experiment: can more clusters rescue CODE?
+
+The paper's Related Work: "simply increasing the number of clusters
+does not result in having more homogeneous performance in each phase,
+which becomes the over-fitting problem."  This experiment forces the
+SimPoint-like CODE baseline to use more and more clusters and compares
+its error against SimProf at the same *sample size* (CODE's sample size
+equals its cluster count, so SimProf gets n = k points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.baselines import CodeSampler, SimProfSampler
+from repro.core.clustering import kmeans
+from repro.core.features import FeatureSpace
+from repro.core.phases import PhaseModel
+from repro.experiments.common import ExperimentConfig, format_table, get_model, get_profile
+
+__all__ = ["CodeOverfitResult", "run_code_overfit"]
+
+
+@dataclass
+class CodeOverfitResult:
+    """Rows: (k, CODE err %, SimProf err % at n=k)."""
+
+    label: str
+    rows: list[tuple]
+
+    def to_text(self) -> str:
+        """Render the table."""
+        return format_table(
+            ["clusters k", "CODE err %", "SimProf err % (n=k)"],
+            self.rows,
+            title=f"Extension: CODE over-fitting ({self.label})",
+        )
+
+
+def run_code_overfit(
+    cfg: ExperimentConfig | None = None,
+    *,
+    workload: str = "wc",
+    framework: str = "hadoop",
+    ks: tuple[int, ...] = (5, 10, 20),
+) -> CodeOverfitResult:
+    """Force CODE to k clusters; compare against SimProf at n = k."""
+    cfg = cfg or ExperimentConfig()
+    job = get_profile(workload, framework, cfg)
+    _job, base_model = get_model(workload, framework, cfg)
+    oracle = job.oracle_cpi()
+    space, X = FeatureSpace.fit(job, top_k=cfg.simprof.top_k_methods)
+
+    rows = []
+    for k in ks:
+        if space.n_features == 0 or k > len(X):
+            continue
+        result = kmeans(X, k, seed=cfg.seed)
+        forced = PhaseModel(
+            space=space,
+            centers=result.centers,
+            assignments=result.assignments,
+            silhouette_by_k={},
+            global_mean=X.mean(axis=0),
+        )
+        code_err = CodeSampler().sample(job, forced).error_vs(oracle)
+        simprof_errs = [
+            SimProfSampler(k)
+            .sample(job, base_model, np.random.default_rng(i))
+            .error_vs(oracle)
+            for i in range(cfg.n_sampling_draws)
+        ]
+        rows.append(
+            (
+                k,
+                f"{100 * code_err:.2f}",
+                f"{100 * float(np.mean(simprof_errs)):.2f}",
+            )
+        )
+    suffix = "sp" if framework == "spark" else "hp"
+    return CodeOverfitResult(label=f"{workload}_{suffix}", rows=rows)

@@ -1,0 +1,88 @@
+"""Extension experiment: sampling error as a function of sample size.
+
+The classic error-vs-budget curve behind Figure 8's point estimates:
+for one benchmark, the expected CPI error of SimProf (stratified,
+optimal allocation) and SRS at increasing sample sizes, next to the
+analytic 99.7 % bound from Eq. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.baselines import SimProfSampler, SRSSampler
+from repro.core.sampling import (
+    optimal_allocation,
+    stratified_standard_error,
+    z_for_confidence,
+)
+from repro.experiments.common import ExperimentConfig, format_table, get_model
+
+__all__ = ["ErrorCurveResult", "run_error_curve"]
+
+
+@dataclass
+class ErrorCurveResult:
+    """Rows: (n, SRS err, SimProf err, analytic bound)."""
+
+    label: str
+    rows: list[tuple]
+
+    def to_text(self) -> str:
+        """Render the curve as a table."""
+        return format_table(
+            ["n", "SRS err %", "SimProf err %", "Eq.4 bound % (99.7%)"],
+            self.rows,
+            title=f"Extension: error vs sample size ({self.label})",
+        )
+
+
+def run_error_curve(
+    cfg: ExperimentConfig | None = None,
+    *,
+    workload: str = "wc",
+    framework: str = "hadoop",
+    sizes: tuple[int, ...] = (10, 20, 40, 80, 160),
+) -> ErrorCurveResult:
+    """Expected error at each sample size for one benchmark."""
+    cfg = cfg or ExperimentConfig()
+    job, model = get_model(workload, framework, cfg)
+    oracle = job.oracle_cpi()
+    cpi = job.profile.cpi()
+    stats = model.phase_stats(cpi)
+    N_h = np.array([s.n_units for s in stats], dtype=np.float64)
+    s_h = np.array([s.cpi_std for s in stats])
+    z = z_for_confidence(0.997)
+
+    rows = []
+    for n in sizes:
+        n_eff = max(n, model.k)
+        srs_errs = []
+        simprof_errs = []
+        for draw in range(cfg.n_sampling_draws):
+            rng = np.random.default_rng(np.random.SeedSequence([cfg.seed, n, draw]))
+            srs_errs.append(
+                SRSSampler(n_eff).sample(job, rng).error_vs(oracle)
+            )
+            simprof_errs.append(
+                SimProfSampler(n_eff).sample(job, model, rng).error_vs(oracle)
+            )
+        bound = (
+            z
+            * stratified_standard_error(
+                N_h, optimal_allocation(N_h, s_h, n_eff), s_h
+            )
+            / oracle
+        )
+        rows.append(
+            (
+                n_eff,
+                f"{100 * float(np.mean(srs_errs)):.2f}",
+                f"{100 * float(np.mean(simprof_errs)):.2f}",
+                f"{100 * bound:.2f}",
+            )
+        )
+    suffix = "sp" if framework == "spark" else "hp"
+    return ErrorCurveResult(label=f"{workload}_{suffix}", rows=rows)

@@ -1,0 +1,96 @@
+"""Extension experiment: SimProf × systematic sampling.
+
+The paper's future-work direction, quantified: for a workload, sweep
+the SMARTS chunk period and report the end-to-end CPI error and the
+detailed-simulation budget per simulation point, against simulating
+each 100 M-instruction point in full.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import SimProf
+from repro.core.systematic import SystematicConfig, SystematicSimProf
+from repro.experiments.common import ExperimentConfig, format_table
+from repro.jvm.perf import PerfCounterReader
+from repro.workloads import run_workload
+
+__all__ = ["SystematicSweepResult", "run_systematic_sweep"]
+
+
+@dataclass
+class SystematicSweepResult:
+    """Rows of the period sweep for one benchmark."""
+
+    label: str
+    n_points: int
+    rows: list[tuple]
+
+    def to_text(self) -> str:
+        """Render the sweep as a table."""
+        return format_table(
+            [
+                "period",
+                "detailed/unit",
+                "speedup",
+                "SimProf err %",
+                "combined err %",
+                "added err %",
+            ],
+            self.rows,
+            title=(
+                f"Extension: SimProf x systematic sampling "
+                f"({self.label}, n={self.n_points})"
+            ),
+        )
+
+
+def run_systematic_sweep(
+    cfg: ExperimentConfig | None = None,
+    *,
+    workload: str = "wc",
+    framework: str = "spark",
+    n_points: int = 20,
+    periods: tuple[int, ...] = (250_000, 1_000_000, 5_000_000),
+    detailed_size: int = 10_000,
+) -> SystematicSweepResult:
+    """Sweep the systematic period on one benchmark.
+
+    Needs sub-unit counters, so the workload is re-run here (the
+    experiment cache stores only per-unit profiles).
+    """
+    cfg = cfg or ExperimentConfig()
+    trace = run_workload(workload, framework, scale=cfg.scale, seed=cfg.seed)
+    tool: SimProf = cfg.simprof_tool()
+    job = tool.profile(trace)
+    model = tool.form_phases(job)
+    points = tool.select_points(job, model, n_points)
+    reader = PerfCounterReader(
+        trace.thread(job.profile.thread_id)
+    )
+
+    rows = []
+    for period in periods:
+        sys_cfg = SystematicConfig(
+            detailed_size=detailed_size, period=period
+        )
+        result = SystematicSimProf(sys_cfg).evaluate(
+            job, model, reader, points, rng=np.random.default_rng(cfg.seed)
+        )
+        rows.append(
+            (
+                f"{period / 1e6:g}M",
+                f"{sys_cfg.detailed_instructions(job.profile.unit_size) / 1e6:.2f}M",
+                f"{result.speedup:.0f}x",
+                f"{100 * result.selection_error:.2f}",
+                f"{100 * result.error:.2f}",
+                f"{100 * result.added_error:.2f}",
+            )
+        )
+    suffix = "sp" if framework == "spark" else "hp"
+    return SystematicSweepResult(
+        label=f"{workload}_{suffix}", n_points=n_points, rows=rows
+    )

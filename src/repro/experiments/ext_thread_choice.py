@@ -1,0 +1,97 @@
+"""Extension experiment: does the profiled-thread choice matter?
+
+The paper's design rests on an observation (Section II-B): "in each
+execution stage, executor threads are executing the same code", so
+profiling *one* executor thread suffices.  This experiment validates
+that on the simulator: profile every executor thread of one job, fit
+the phase model on each, and check that (a) oracle CPIs agree across
+threads, (b) each thread's SimProf estimate still predicts the *job*
+oracle, and (c) the busiest-thread default is representative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import SimProf
+from repro.experiments.common import ExperimentConfig, format_table
+from repro.workloads import run_workload
+
+__all__ = ["ThreadChoiceResult", "run_thread_choice"]
+
+
+@dataclass
+class ThreadChoiceResult:
+    """Per-thread profiling outcomes for one job."""
+
+    label: str
+    rows: list[tuple]
+    job_oracle: float
+
+    def oracle_spread(self) -> float:
+        """(max − min)/mean of per-thread oracle CPIs."""
+        oracles = [float(r[2]) for r in self.rows]
+        return (max(oracles) - min(oracles)) / float(np.mean(oracles))
+
+    def max_error(self) -> float:
+        """Worst per-thread SimProf error vs the job-wide oracle."""
+        return max(float(r[4]) for r in self.rows) / 100.0
+
+    def to_text(self) -> str:
+        """Render the table."""
+        return format_table(
+            ["thread", "units", "oracle CPI", "phases", "err vs job oracle %"],
+            self.rows,
+            title=(
+                f"Extension: choice of profiled thread ({self.label}, "
+                f"job oracle {self.job_oracle:.3f})"
+            ),
+        )
+
+
+def run_thread_choice(
+    cfg: ExperimentConfig | None = None,
+    *,
+    workload: str = "wc",
+    framework: str = "spark",
+    n_points: int = 20,
+) -> ThreadChoiceResult:
+    """Profile every executor thread of one job and compare."""
+    cfg = cfg or ExperimentConfig()
+    trace = run_workload(workload, framework, scale=cfg.scale, seed=cfg.seed)
+    tool: SimProf = cfg.simprof_tool()
+
+    # Job-wide oracle: instruction-weighted CPI over all threads.
+    total_cycles = sum(t.total_cycles for t in trace.traces)
+    total_insts = sum(t.total_instructions for t in trace.traces)
+    job_oracle = total_cycles / total_insts
+
+    rows = []
+    for t in sorted(trace.traces, key=lambda t: t.thread_id):
+        try:
+            job = tool.profile(trace, thread_id=t.thread_id)
+        except ValueError:
+            continue  # thread too short for one unit
+        model = tool.form_phases(job)
+        errs = []
+        for draw in range(cfg.n_sampling_draws):
+            rng = np.random.default_rng(
+                np.random.SeedSequence([cfg.seed, t.thread_id, draw])
+            )
+            est = tool.select_points(job, model, n_points, rng=rng)
+            errs.append(abs(est.estimate - job_oracle) / job_oracle)
+        rows.append(
+            (
+                t.thread_id,
+                job.n_units,
+                f"{job.oracle_cpi():.4f}",
+                model.k,
+                f"{100 * float(np.mean(errs)):.2f}",
+            )
+        )
+    suffix = "sp" if framework == "spark" else "hp"
+    return ThreadChoiceResult(
+        label=f"{workload}_{suffix}", rows=rows, job_oracle=job_oracle
+    )

@@ -1,0 +1,116 @@
+"""Extension experiment: JVM warm-up and sampling robustness.
+
+Data-analytic jobs run on a managed runtime; early execution is
+interpreted/C1 until the JIT compiles the hot paths.  The paper
+side-steps warm-up by profiling long runs, but a sampling approach that
+anchors to wall-clock time (SECOND's early interval) inherits the
+start-up bias, while SimProf's phase-stratified sample spreads across
+the run.  This experiment turns the machine model's warm-up knob on and
+compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.baselines import SecondSampler, SimProfSampler
+from repro.core.pipeline import SimProf
+from repro.experiments.common import ExperimentConfig, format_table
+from repro.jvm.machine import MachineConfig
+from repro.spark.context import SparkConfig
+from repro.workloads import get_workload, WorkloadInput
+
+__all__ = ["WarmupResult", "run_warmup_experiment"]
+
+
+@dataclass
+class WarmupResult:
+    """Estimates and errors with and without warm-up, per approach."""
+
+    rows: list[tuple]
+
+    def estimate_shift(self, column: int) -> float:
+        """|estimate(on) − estimate(off)| for one approach's column."""
+        by_state = {r[0]: r for r in self.rows}
+        return abs(float(by_state["on"][column]) - float(by_state["off"][column]))
+
+    def second_shift(self) -> float:
+        """How much warm-up moved SECOND's estimate (CPI)."""
+        return self.estimate_shift(2)
+
+    def simprof_shift(self) -> float:
+        """How much warm-up moved SimProf's estimate (CPI)."""
+        return self.estimate_shift(4)
+
+    def oracle_shift(self) -> float:
+        """How much warm-up moved the oracle itself (CPI)."""
+        return self.estimate_shift(1)
+
+    def to_text(self) -> str:
+        """Render the table."""
+        return format_table(
+            [
+                "warm-up",
+                "oracle CPI",
+                "SECOND est",
+                "SECOND err %",
+                "SimProf est",
+                "SimProf err %",
+            ],
+            self.rows,
+            title="Extension: JIT warm-up vs sampling approach (wc_sp)",
+        )
+
+
+def run_warmup_experiment(
+    cfg: ExperimentConfig | None = None,
+    *,
+    workload: str = "wc",
+    n_points: int = 20,
+    warmup_penalty: float = 0.8,
+    warmup_scale: float = 3e9,
+) -> WarmupResult:
+    """Compare SECOND vs SimProf with the JIT warm-up on and off."""
+    cfg = cfg or ExperimentConfig()
+    wl = get_workload(workload)
+    rows = []
+    for enabled in (False, True):
+        machine = replace(
+            MachineConfig(),
+            instruction_scale=wl.spark_inst_scale,
+            jit_warmup_penalty=warmup_penalty if enabled else 0.0,
+            jit_warmup_scale=warmup_scale,
+        )
+        trace = wl.execute(
+            "spark",
+            WorkloadInput(scale=cfg.scale, seed=cfg.seed),
+            spark_config=SparkConfig(seed=cfg.seed, machine=machine),
+        )
+        tool: SimProf = cfg.simprof_tool()
+        job = tool.profile(trace)
+        model = tool.form_phases(job)
+        oracle = job.oracle_cpi()
+        second = SecondSampler(seconds=10.0, warmup_fraction=0.0).sample(job)
+        simprof_results = [
+            SimProfSampler(n_points).sample(
+                job, model, np.random.default_rng(i)
+            )
+            for i in range(cfg.n_sampling_draws)
+        ]
+        simprof_est = float(np.mean([r.estimate for r in simprof_results]))
+        simprof_err = float(
+            np.mean([r.error_vs(oracle) for r in simprof_results])
+        )
+        rows.append(
+            (
+                "on" if enabled else "off",
+                f"{oracle:.4f}",
+                f"{second.estimate:.4f}",
+                f"{100 * second.error_vs(oracle):.2f}",
+                f"{simprof_est:.4f}",
+                f"{100 * simprof_err:.2f}",
+            )
+        )
+    return WarmupResult(rows=rows)

@@ -1,0 +1,73 @@
+"""Figure 6: coefficient of variation of CPIs.
+
+For every benchmark, the population CoV (all sampling units), the
+weighted CoV (per-phase CoV weighted by phase size) and the maximum
+per-phase CoV.  The paper's claim: weighted < population everywhere
+(phase formation separates performance levels), while the maximum CoV
+shows that some phases stay non-homogeneous (quicksort, reduce…).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analysis import CoVReport, cov_report
+from repro.experiments.common import (
+    ExperimentConfig,
+    all_label_pairs,
+    format_table,
+    get_model,
+)
+from repro.workloads import label_of
+
+__all__ = ["Fig6Row", "Fig6Result", "run_fig6"]
+
+
+@dataclass(frozen=True)
+class Fig6Row:
+    """One bar group of Figure 6."""
+
+    label: str
+    population: float
+    weighted: float
+    maximum: float
+
+
+@dataclass
+class Fig6Result:
+    """All bar groups plus convenience checks."""
+
+    rows: list[Fig6Row]
+
+    def weighted_below_population(self) -> bool:
+        """The paper's headline property of the figure."""
+        return all(r.weighted <= r.population + 1e-9 for r in self.rows)
+
+    def to_text(self) -> str:
+        """Render the figure as a table."""
+        return format_table(
+            ["benchmark", "population", "weighted", "max"],
+            [
+                (r.label, f"{r.population:.3f}", f"{r.weighted:.3f}", f"{r.maximum:.3f}")
+                for r in self.rows
+            ],
+            title="Figure 6: CoV of CPIs (population / weighted / max)",
+        )
+
+
+def run_fig6(cfg: ExperimentConfig | None = None) -> Fig6Result:
+    """Compute Figure 6 for all twelve benchmark configurations."""
+    cfg = cfg or ExperimentConfig()
+    rows: list[Fig6Row] = []
+    for workload, framework in all_label_pairs():
+        job, model = get_model(workload, framework, cfg)
+        report: CoVReport = cov_report(job.profile.cpi(), model.assignments)
+        rows.append(
+            Fig6Row(
+                label=label_of(workload, framework),
+                population=report.population,
+                weighted=report.weighted,
+                maximum=report.maximum,
+            )
+        )
+    return Fig6Result(rows=rows)

@@ -1,0 +1,109 @@
+"""Figure 8: required sample size, SimProf vs SECOND.
+
+For each benchmark: the number of sampling units SimProf needs for a
+99.7 % confidence interval at 5 % and at 2 % relative CPI error (via
+the stratified sample-size solver), against the number of units a
+10-second SECOND interval contains.  Paper averages: 85 / 244 / 611 —
+SimProf needs far fewer units except for cc_sp and rank_sp, whose many
+high-variance phases push its requirement above SECOND's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.baselines import SecondSampler
+from repro.experiments.common import (
+    ExperimentConfig,
+    all_label_pairs,
+    format_table,
+    get_model,
+)
+from repro.workloads import label_of
+
+__all__ = ["Fig8Row", "Fig8Result", "run_fig8"]
+
+
+@dataclass(frozen=True)
+class Fig8Row:
+    """Sample sizes for one benchmark."""
+
+    label: str
+    simprof_5pct: int
+    simprof_2pct: int
+    second_units: int
+    total_units: int
+
+
+@dataclass
+class Fig8Result:
+    """All rows plus the three averages the paper quotes."""
+
+    rows: list[Fig8Row]
+    confidence: float = 0.997
+
+    def averages(self) -> dict[str, float]:
+        """Mean sample sizes (paper: 85 / 244 / 611)."""
+        return {
+            "SimProf_0.05": float(np.mean([r.simprof_5pct for r in self.rows])),
+            "SimProf_0.02": float(np.mean([r.simprof_2pct for r in self.rows])),
+            "SECOND": float(np.mean([r.second_units for r in self.rows])),
+        }
+
+    def to_text(self) -> str:
+        """Render the figure as a table."""
+        body = [
+            (r.label, r.simprof_5pct, r.simprof_2pct, r.second_units, r.total_units)
+            for r in self.rows
+        ]
+        avg = self.averages()
+        body.append(
+            (
+                "AVERAGE",
+                f"{avg['SimProf_0.05']:.0f}",
+                f"{avg['SimProf_0.02']:.0f}",
+                f"{avg['SECOND']:.0f}",
+                "",
+            )
+        )
+        return format_table(
+            ["benchmark", "SimProf_0.05", "SimProf_0.02", "SECOND", "N_total"],
+            body,
+            title=(
+                f"Figure 8: required sample size (units) @ "
+                f"{100 * self.confidence:.1f}% confidence"
+            ),
+        )
+
+
+def run_fig8(
+    cfg: ExperimentConfig | None = None,
+    *,
+    confidence: float = 0.997,
+    second_seconds: float = 10.0,
+) -> Fig8Result:
+    """Compute Figure 8 for all twelve benchmark configurations."""
+    cfg = cfg or ExperimentConfig()
+    tool = cfg.simprof_tool()
+    rows: list[Fig8Row] = []
+    for workload, framework in all_label_pairs():
+        job, model = get_model(workload, framework, cfg)
+        n5 = tool.sample_size_for(
+            job, model, relative_error=0.05, confidence=confidence
+        )
+        n2 = tool.sample_size_for(
+            job, model, relative_error=0.02, confidence=confidence
+        )
+        second = SecondSampler(seconds=second_seconds).sample(job)
+        rows.append(
+            Fig8Row(
+                label=label_of(workload, framework),
+                simprof_5pct=n5,
+                simprof_2pct=n2,
+                second_units=second.sample_size,
+                total_units=job.n_units,
+            )
+        )
+    return Fig8Result(rows=rows, confidence=confidence)

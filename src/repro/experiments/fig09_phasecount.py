@@ -1,0 +1,58 @@
+"""Figure 9: number of phases per workload.
+
+The paper's observation: Spark phase counts span a much wider range
+(1 for grep up to 9 for cc) than Hadoop's, because GraphX-style Spark
+programs use many more distinct operations while Hadoop jobs define one
+or two map/reduce operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    all_label_pairs,
+    format_table,
+    get_model,
+)
+from repro.workloads import label_of
+
+__all__ = ["Fig9Result", "run_fig9"]
+
+
+@dataclass
+class Fig9Result:
+    """Phase count per benchmark label."""
+
+    counts: dict[str, int]
+
+    def range_for(self, framework_suffix: str) -> tuple[int, int]:
+        """(min, max) phase count for one framework (``"hp"``/``"sp"``)."""
+        vals = [
+            v for k, v in self.counts.items() if k.endswith(f"_{framework_suffix}")
+        ]
+        return (min(vals), max(vals))
+
+    def to_text(self) -> str:
+        """Render the figure as a table."""
+        body = [(label, count) for label, count in self.counts.items()]
+        hp = self.range_for("hp")
+        sp = self.range_for("sp")
+        body.append(("hadoop range", f"{hp[0]}..{hp[1]}"))
+        body.append(("spark range", f"{sp[0]}..{sp[1]}"))
+        return format_table(
+            ["benchmark", "phases"],
+            body,
+            title="Figure 9: number of phases",
+        )
+
+
+def run_fig9(cfg: ExperimentConfig | None = None) -> Fig9Result:
+    """Compute Figure 9 for all twelve benchmark configurations."""
+    cfg = cfg or ExperimentConfig()
+    counts: dict[str, int] = {}
+    for workload, framework in all_label_pairs():
+        _job, model = get_model(workload, framework, cfg)
+        counts[label_of(workload, framework)] = model.k
+    return Fig9Result(counts=counts)

@@ -1,0 +1,67 @@
+"""Figure 10: phase-type distribution.
+
+Each benchmark's unit weight is broken down over the four phase types
+(map / reduce / sort / IO) by the dominant operation of each phase.
+Paper observations to reproduce: sort appears in the Hadoop text
+benchmarks (spill sorting) but not in their Spark counterparts (no
+map-side sort by default), and Hadoop spends more of its time on IO
+than Spark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analysis import phase_type_distribution
+from repro.experiments.common import (
+    ExperimentConfig,
+    all_label_pairs,
+    format_table,
+    get_model,
+)
+from repro.workloads import label_of
+
+__all__ = ["Fig10Result", "run_fig10", "PHASE_TYPES"]
+
+PHASE_TYPES = ("map", "reduce", "sort", "io")
+
+
+@dataclass
+class Fig10Result:
+    """Per-benchmark type shares (each row sums to ~1)."""
+
+    shares: dict[str, dict[str, float]]
+
+    def framework_share(self, framework_suffix: str, phase_type: str) -> float:
+        """Mean share of a type over one framework's benchmarks."""
+        rows = [
+            v
+            for k, v in self.shares.items()
+            if k.endswith(f"_{framework_suffix}")
+        ]
+        return sum(r.get(phase_type, 0.0) for r in rows) / len(rows)
+
+    def to_text(self) -> str:
+        """Render the figure as a table."""
+        body = [
+            (label,)
+            + tuple(f"{row.get(t, 0.0):.2f}" for t in PHASE_TYPES)
+            for label, row in self.shares.items()
+        ]
+        return format_table(
+            ("benchmark",) + PHASE_TYPES,
+            body,
+            title="Figure 10: phase type distribution (unit-weight share)",
+        )
+
+
+def run_fig10(cfg: ExperimentConfig | None = None) -> Fig10Result:
+    """Compute Figure 10 for all twelve benchmark configurations."""
+    cfg = cfg or ExperimentConfig()
+    shares: dict[str, dict[str, float]] = {}
+    for workload, framework in all_label_pairs():
+        job, model = get_model(workload, framework, cfg)
+        shares[label_of(workload, framework)] = phase_type_distribution(
+            job, model.assignments
+        )
+    return Fig10Result(shares=shares)

@@ -1,0 +1,98 @@
+"""Figure 11: optimal allocation across the phases of cc_sp.
+
+For every phase of cc_sp (sorted by weight, as in the paper): the phase
+weight, the CoV of its CPI, and the share of the simulation points the
+optimal allocation assigns to it.  The paper's point: allocation tracks
+*both* weight and variance — its Phase 0 (aggregateUsingIndex, high
+weight, high variance) receives more than its weight share, while its
+Phase 1 (mapPartitionsWithIndex, high weight, low variance from
+sequential access) receives far less.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.sampling import stratified_sample
+from repro.experiments.common import ExperimentConfig, format_table, get_model
+
+__all__ = ["Fig11Row", "Fig11Result", "run_fig11"]
+
+
+@dataclass(frozen=True)
+class Fig11Row:
+    """One phase of the Figure 11 bar chart."""
+
+    phase_id: int
+    weight: float
+    cpi_cov: float
+    sample_ratio: float
+    top_method: str
+
+
+@dataclass
+class Fig11Result:
+    """Phases of the target benchmark, sorted by weight."""
+
+    workload_label: str
+    n_points: int
+    rows: list[Fig11Row]
+
+    def to_text(self) -> str:
+        """Render the figure as a table."""
+        return format_table(
+            ["phase", "weight", "CoV(CPI)", "sample ratio", "dominant method"],
+            [
+                (
+                    r.phase_id,
+                    f"{r.weight:.3f}",
+                    f"{r.cpi_cov:.3f}",
+                    f"{r.sample_ratio:.3f}",
+                    r.top_method,
+                )
+                for r in self.rows
+            ],
+            title=(
+                f"Figure 11: optimal allocation over phases of "
+                f"{self.workload_label} (n={self.n_points})"
+            ),
+        )
+
+
+def run_fig11(
+    cfg: ExperimentConfig | None = None,
+    *,
+    workload: str = "cc",
+    framework: str = "spark",
+    n_points: int = 20,
+) -> Fig11Result:
+    """Compute Figure 11 (defaults to cc_sp, as in the paper)."""
+    cfg = cfg or ExperimentConfig()
+    job, model = get_model(workload, framework, cfg)
+    cpi = job.profile.cpi()
+    est = stratified_sample(
+        model.assignments,
+        cpi,
+        max(n_points, model.k),
+        rng=np.random.default_rng(cfg.seed),
+        k=model.k,
+    )
+    stats = model.phase_stats(cpi)
+    total = est.allocation.sum()
+    rows = [
+        Fig11Row(
+            phase_id=s.phase_id,
+            weight=s.weight,
+            cpi_cov=s.cpi_cov,
+            sample_ratio=float(est.allocation[s.phase_id]) / total,
+            top_method=(model.top_methods(s.phase_id, 1) or [("-", 0.0)])[0][0],
+        )
+        for s in stats
+    ]
+    rows.sort(key=lambda r: -r.weight)
+    suffix = "sp" if framework == "spark" else "hp"
+    return Fig11Result(
+        workload_label=f"{workload}_{suffix}", n_points=n_points, rows=rows
+    )

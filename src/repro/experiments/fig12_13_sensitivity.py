@@ -1,0 +1,148 @@
+"""Figures 12 and 13: input sensitivity analysis.
+
+The graph workloads (cc, rank on both frameworks) train on the Google
+input and test the seven Table II reference inputs.  Figure 12 plots
+the percentage of simulation points that fall in input-*sensitive*
+phases (the sample needed per reference input; paper: the sample size
+shrinks by 20–45 %, 33.7 % on average).  Figure 13 counts sensitive vs
+insensitive phases (paper: insensitive phases are at least ~40 % of the
+total for most workloads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.sampling import stratified_sample
+from repro.core.sensitivity import InputSensitivityResult, input_sensitivity_test
+from repro.datagen.seeds import REFERENCE_INPUTS, TRAINING_INPUT
+from repro.experiments.common import ExperimentConfig, format_table, get_model, get_profile
+
+__all__ = [
+    "SensitivityRow",
+    "Fig12_13Result",
+    "run_fig12_13",
+    "GRAPH_LABEL_PAIRS",
+]
+
+GRAPH_LABEL_PAIRS: tuple[tuple[str, str], ...] = (
+    ("cc", "hadoop"),
+    ("cc", "spark"),
+    ("rank", "hadoop"),
+    ("rank", "spark"),
+)
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """One workload's sensitivity summary."""
+
+    label: str
+    n_phases: int
+    n_sensitive: int
+    sensitive_point_fraction: float  # Figure 12's bar
+    triggered_by: dict[int, tuple[str, ...]]
+
+    @property
+    def n_insensitive(self) -> int:
+        """Phases whose performance does not change by input."""
+        return self.n_phases - self.n_sensitive
+
+    @property
+    def sample_reduction(self) -> float:
+        """Fraction of simulation points skippable on reference inputs."""
+        return 1.0 - self.sensitive_point_fraction
+
+
+@dataclass
+class Fig12_13Result:
+    """Rows for the four graph workloads + full per-input detail."""
+
+    rows: list[SensitivityRow]
+    details: dict[str, InputSensitivityResult]
+    n_points: int
+
+    def average_reduction(self) -> float:
+        """Mean sample-size reduction (paper: 33.7 %)."""
+        return float(np.mean([r.sample_reduction for r in self.rows]))
+
+    def to_text(self) -> str:
+        """Render both figures as one table."""
+        body = [
+            (
+                r.label,
+                r.n_phases,
+                r.n_sensitive,
+                r.n_insensitive,
+                f"{100 * r.sensitive_point_fraction:.1f}",
+                f"{100 * r.sample_reduction:.1f}",
+            )
+            for r in self.rows
+        ]
+        body.append(
+            ("AVERAGE", "", "", "", "", f"{100 * self.average_reduction():.1f}")
+        )
+        return format_table(
+            [
+                "benchmark",
+                "phases",
+                "sensitive",
+                "insensitive",
+                "sensitive points %",
+                "reduction %",
+            ],
+            body,
+            title=(
+                "Figures 12-13: input sensitivity "
+                f"(training={TRAINING_INPUT.name}, n={self.n_points})"
+            ),
+        )
+
+
+def run_fig12_13(
+    cfg: ExperimentConfig | None = None,
+    *,
+    n_points: int = 20,
+    reference_names: tuple[str, ...] | None = None,
+) -> Fig12_13Result:
+    """Compute Figures 12 and 13 over the Table II inputs."""
+    cfg = cfg or ExperimentConfig()
+    ref_names = reference_names or tuple(g.name for g in REFERENCE_INPUTS)
+
+    rows: list[SensitivityRow] = []
+    details: dict[str, InputSensitivityResult] = {}
+    for workload, framework in GRAPH_LABEL_PAIRS:
+        train_job, model = get_model(
+            workload, framework, cfg, graph_name=TRAINING_INPUT.name
+        )
+        ref_jobs = {
+            name: get_profile(workload, framework, cfg, graph_name=name)
+            for name in ref_names
+        }
+        result = input_sensitivity_test(model, train_job, ref_jobs)
+
+        est = stratified_sample(
+            model.assignments,
+            train_job.profile.cpi(),
+            max(n_points, model.k),
+            rng=np.random.default_rng(cfg.seed),
+            k=model.k,
+        )
+        label = f"{workload}_{'sp' if framework == 'spark' else 'hp'}"
+        rows.append(
+            SensitivityRow(
+                label=label,
+                n_phases=model.k,
+                n_sensitive=len(result.sensitive_phases),
+                sensitive_point_fraction=result.sensitive_point_fraction(
+                    est.allocation
+                ),
+                triggered_by={
+                    p.phase_id: p.triggered_by for p in result.phases if p.sensitive
+                },
+            )
+        )
+        details[label] = result
+    return Fig12_13Result(rows=rows, details=details, n_points=n_points)

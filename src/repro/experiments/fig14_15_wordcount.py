@@ -1,0 +1,93 @@
+"""Figures 14 and 15: WordCount phase behaviour on both frameworks.
+
+The scatter data of the paper's final figures: per sampling unit (units
+sorted by phase id), the CPI (blue dots / left axis) and the phase id
+(red line / right axis), plus the per-phase narrative:
+
+* Figure 14 (Spark): the dominant phase carries the map-side reduce —
+  ``Aggregator.combineValuesByKey`` coupled with the map and shuffle
+  work of stage 1 — with fairly stable CPI; the small second phase is
+  the reduce+HDFS-output stage with higher CPI variation.
+* Figure 15 (Hadoop): map (TokenizerMapper, low CPI, stable), combine
+  (NewCombinerRunner), and sort (QuickSort, high CPI variation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import ExperimentConfig, format_table, get_model
+
+__all__ = ["WordCountPhaseSeries", "run_wordcount_series"]
+
+
+@dataclass
+class WordCountPhaseSeries:
+    """The plotted series of Figure 14 or 15."""
+
+    label: str
+    cpi_sorted: np.ndarray  # CPI per unit, units sorted by phase id
+    phase_sorted: np.ndarray  # phase id per unit, same order
+    phase_summary: list[dict]
+
+    def to_text(self, plot: bool = True) -> str:
+        """Summarise the scatter as a table (+ ASCII scatter)."""
+        from repro.experiments.textplot import phase_scatter
+
+        table = self._summary_table()
+        if not plot:
+            return table
+        scatter = phase_scatter(self.cpi_sorted, self.phase_sorted)
+        return f"{table}\n\n{scatter}"
+
+    def _summary_table(self) -> str:
+        return format_table(
+            ["phase", "units", "weight", "cpi mean", "cpi CoV", "dominant method"],
+            [
+                (
+                    p["phase_id"],
+                    p["n_units"],
+                    f"{p['weight']:.3f}",
+                    f"{p['cpi_mean']:.3f}",
+                    f"{p['cpi_cov']:.3f}",
+                    p["top_method"],
+                )
+                for p in self.phase_summary
+            ],
+            title=f"Figure {'14' if self.label.endswith('sp') else '15'}: "
+            f"WordCount phases ({self.label})",
+        )
+
+
+def run_wordcount_series(
+    framework: str, cfg: ExperimentConfig | None = None
+) -> WordCountPhaseSeries:
+    """Figure 14 (``framework='spark'``) or 15 (``'hadoop'``)."""
+    cfg = cfg or ExperimentConfig()
+    job, model = get_model("wc", framework, cfg)
+    cpi = job.profile.cpi()
+    order = np.argsort(model.assignments, kind="stable")
+    stats = model.phase_stats(cpi)
+    summary = []
+    for s in stats:
+        tops = [m for m, _lift in model.top_methods(s.phase_id, 3)] or ["-"]
+        summary.append(
+            {
+                "phase_id": s.phase_id,
+                "n_units": s.n_units,
+                "weight": s.weight,
+                "cpi_mean": s.cpi_mean,
+                "cpi_cov": s.cpi_cov,
+                "top_method": tops[0],
+                "top_methods": tops,
+            }
+        )
+    suffix = "sp" if framework == "spark" else "hp"
+    return WordCountPhaseSeries(
+        label=f"wc_{suffix}",
+        cpi_sorted=cpi[order],
+        phase_sorted=model.assignments[order],
+        phase_summary=summary,
+    )

@@ -1,0 +1,98 @@
+"""Terminal rendering of the paper's scatter figures.
+
+No plotting stack is assumed offline, so Figures 14/15 (CPI per
+sampling unit + phase id, units sorted by phase) render as ASCII:
+CPI dots on a character grid with phase boundaries marked — enough to
+eyeball the per-phase CPI bands and variance the paper's plots show.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_scatter", "phase_scatter"]
+
+
+def ascii_scatter(
+    y: np.ndarray,
+    *,
+    width: int = 78,
+    height: int = 16,
+    marker: str = "·",
+    y_label: str = "",
+) -> str:
+    """Render a 1-D series as an ASCII scatter (index vs value)."""
+    y = np.asarray(y, dtype=np.float64)
+    if len(y) == 0:
+        return "(empty series)"
+    lo, hi = float(y.min()), float(y.max())
+    if hi <= lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    xs = np.minimum((np.arange(len(y)) * width) // max(1, len(y)), width - 1)
+    ys = ((y - lo) / (hi - lo) * (height - 1)).round().astype(int)
+    for x, row in zip(xs, ys):
+        grid[height - 1 - row][x] = marker
+    lines = []
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = f"{hi:7.2f} |"
+        elif i == height - 1:
+            prefix = f"{lo:7.2f} |"
+        else:
+            prefix = "        |"
+        lines.append(prefix + "".join(row))
+    lines.append("        +" + "-" * width)
+    if y_label:
+        lines.insert(0, f"{y_label} (n={len(y)})")
+    return "\n".join(lines)
+
+
+def phase_scatter(
+    cpi: np.ndarray,
+    phases: np.ndarray,
+    *,
+    width: int = 78,
+    height: int = 16,
+) -> str:
+    """The Figure 14/15 rendering: CPI dots with phase boundaries.
+
+    ``cpi``/``phases`` must already be sorted by phase id (as the
+    figure's x-axis is).  Phase boundaries are drawn as ``|`` columns
+    and the phase ids printed beneath.
+    """
+    cpi = np.asarray(cpi, dtype=np.float64)
+    phases = np.asarray(phases)
+    if len(cpi) != len(phases):
+        raise ValueError("cpi and phases disagree on length")
+    plot = ascii_scatter(cpi, width=width, height=height, y_label="CPI")
+    lines = plot.splitlines()
+
+    # Column index of each unit.
+    xs = np.minimum((np.arange(len(cpi)) * width) // max(1, len(cpi)), width - 1)
+    boundary_cols = set()
+    for i in range(1, len(phases)):
+        if phases[i] != phases[i - 1]:
+            boundary_cols.add(int(xs[i]))
+    # Overlay boundaries on the grid rows (skip label/axis rows).
+    out = []
+    for line in lines:
+        if line.startswith(("CPI", "        +")):
+            out.append(line)
+            continue
+        prefix, body = line[:9], list(line[9:].ljust(width))
+        for col in boundary_cols:
+            body[col] = "|"
+        out.append(prefix + "".join(body))
+
+    # Phase-id ruler.
+    ruler = [" "] * width
+    for phase_id in np.unique(phases):
+        members = np.nonzero(phases == phase_id)[0]
+        mid = int(xs[members[len(members) // 2]])
+        label = str(int(phase_id))
+        for j, ch in enumerate(label):
+            if mid + j < width:
+                ruler[mid + j] = ch
+    out.append("  phase  " + "".join(ruler))
+    return "\n".join(out)

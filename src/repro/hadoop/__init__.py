@@ -1,0 +1,20 @@
+"""Hadoop-like MapReduce simulator.
+
+Models the classic MapReduce execution pipeline at the fidelity the
+paper's analysis needs: record-at-a-time mappers feeding a sort buffer,
+sort-and-spill with an instrumented quicksort, an optional combiner
+(map-side reduce), compressed spill output, a fetch/merge shuffle, and
+record-at-a-time reducers writing to HDFS.
+
+Unlike Spark, executor threads are short-lived — one per task — so the
+runtime merges the traces of tasks that ran on the same core into one
+long pseudo-thread, exactly as the paper's profiler does (Section III-A).
+The paper's Hadoop tuning (bigger sort buffers, compressed map output)
+is the default configuration here as well.
+"""
+
+from repro.hadoop.api import Context, Mapper, Reducer
+from repro.hadoop.job import HadoopJobConf
+from repro.hadoop.runtime import HadoopCluster
+
+__all__ = ["Context", "HadoopCluster", "HadoopJobConf", "Mapper", "Reducer"]

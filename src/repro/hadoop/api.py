@@ -1,0 +1,85 @@
+"""The user-facing MapReduce API (Mapper / Reducer / Context).
+
+Mirrors ``org.apache.hadoop.mapreduce``: a mapper is called once per
+input record, a reducer once per key group, and both emit through a
+:class:`Context`.  Workloads subclass these; the runtime drives them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+__all__ = ["Context", "Mapper", "Reducer"]
+
+
+class Context:
+    """Collects ``write`` output and user counters for the runtime."""
+
+    def __init__(self) -> None:
+        self.records: list[tuple[Any, Any]] = []
+        self.counters: dict[tuple[str, str], int] = {}
+
+    def write(self, key: Any, value: Any) -> None:
+        """Emit one key-value record."""
+        self.records.append((key, value))
+
+    def increment_counter(self, group: str, name: str, amount: int = 1) -> None:
+        """Bump a user counter (Hadoop's ``context.getCounter`` API)."""
+        key = (group, name)
+        self.counters[key] = self.counters.get(key, 0) + amount
+
+    def drain(self) -> list[tuple[Any, Any]]:
+        """Take and clear the buffered records."""
+        out = self.records
+        self.records = []
+        return out
+
+
+class Mapper:
+    """Base mapper: override :meth:`map`.
+
+    ``frames`` names the class/method JVMTI shows while the mapper runs;
+    subclasses override it so the profile carries the real workload
+    method (e.g. ``WordCount$TokenizerMapper.map``).
+    """
+
+    frames: tuple[tuple[str, str], ...] = (
+        ("org.apache.hadoop.mapreduce.Mapper", "run"),
+        ("repro.hadoop.IdentityMapper", "map"),
+    )
+    inst_per_record: float = 260_000.0
+
+    def setup(self) -> None:
+        """Called once per task before the first record."""
+
+    def map(self, key: Any, value: Any, context: Context) -> None:
+        """Process one input record (default: identity)."""
+        context.write(key, value)
+
+    def cleanup(self, context: Context) -> None:
+        """Called once per task after the last record."""
+
+
+class Reducer:
+    """Base reducer: override :meth:`reduce`.
+
+    Used both as the combiner (map side) and the reducer (reduce side),
+    as in Hadoop itself.
+    """
+
+    frames: tuple[tuple[str, str], ...] = (
+        ("org.apache.hadoop.mapreduce.Reducer", "run"),
+        ("repro.hadoop.IdentityReducer", "reduce"),
+    )
+    inst_per_record: float = 280_000.0
+
+    def setup(self) -> None:
+        """Called once per task before the first group."""
+
+    def reduce(self, key: Any, values: Iterable[Any], context: Context) -> None:
+        """Process one key group (default: identity pass-through)."""
+        for v in values:
+            context.write(key, v)
+
+    def cleanup(self, context: Context) -> None:
+        """Called once per task after the last group."""

@@ -1,0 +1,56 @@
+"""Job configuration for the MapReduce simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hadoop.api import Mapper, Reducer
+
+__all__ = ["HadoopJobConf"]
+
+
+@dataclass
+class HadoopJobConf:
+    """Everything a MapReduce job needs.
+
+    Defaults reflect the paper's tuned Hadoop setup: a large map-output
+    sort buffer (fewer spills) and compressed map output.  ``n_reduces``
+    defaults to the slot count so the reduce stage fills the machine.
+    """
+
+    name: str
+    mapper: Mapper
+    reducer: Reducer | None = None
+    combiner: Reducer | None = None
+    n_reduces: int = 8
+    # Map-output buffer capacity (estimated bytes) before sort-and-spill.
+    sort_buffer_bytes: float = 64e6
+    # Compressed spill output (mapreduce.map.output.compress=true).
+    compress_map_output: bool = True
+    compression_ratio: float = 0.35
+    # Simulated-instruction costs of the framework paths.
+    inst_collect_per_record: float = 60_000.0
+    inst_sort_per_element: float = 26_000.0
+    inst_partition_per_record: float = 30_000.0
+    inst_merge_per_record: float = 40_000.0
+    # Per-byte path costs: Hadoop is disk-IO heavy (the paper keeps IO
+    # prominent even after its buffer/compression tuning, and finds the
+    # Hadoop implementations spend more time on IO than Spark's).
+    inst_compress_per_byte: float = 120.0
+    io_read_inst_per_byte: float = 1500.0
+    io_write_inst_per_byte: float = 1650.0
+    shuffle_inst_per_byte: float = 1800.0
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_reduces < 0:
+            raise ValueError("n_reduces must be non-negative")
+        if self.sort_buffer_bytes <= 0:
+            raise ValueError("sort_buffer_bytes must be positive")
+        if not 0.0 < self.compression_ratio <= 1.0:
+            raise ValueError("compression_ratio must be in (0, 1]")
+
+    @property
+    def is_map_only(self) -> bool:
+        """Jobs with no reducer skip sort/spill/shuffle entirely."""
+        return self.reducer is None or self.n_reduces == 0

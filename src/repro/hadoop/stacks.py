@@ -1,0 +1,152 @@
+"""Canonical Hadoop call-stack frames.
+
+Counterpart to :mod:`repro.spark.stacks` for the MapReduce pipeline:
+YarnChild task entry, the map-output buffer, sort-and-spill, the
+combiner runner, the shuffle fetcher/merger, and the output writer —
+the vocabulary behind the paper's Figure 15 phase analysis.
+"""
+
+from __future__ import annotations
+
+from repro.jvm.methods import CallStack, MethodRegistry
+
+__all__ = ["HadoopFrames"]
+
+Frame = tuple[str, str]
+
+TASK_BASE: tuple[Frame, ...] = (
+    ("org.apache.hadoop.mapred.YarnChild", "main"),
+    ("org.apache.hadoop.mapred.Task", "run"),
+)
+
+MAP_TASK: tuple[Frame, ...] = (
+    ("org.apache.hadoop.mapred.MapTask", "run"),
+    ("org.apache.hadoop.mapred.MapTask", "runNewMapper"),
+)
+
+REDUCE_TASK: tuple[Frame, ...] = (
+    ("org.apache.hadoop.mapred.ReduceTask", "run"),
+)
+
+HDFS_READ: tuple[Frame, ...] = (
+    ("org.apache.hadoop.mapreduce.lib.input.LineRecordReader", "nextKeyValue"),
+    ("org.apache.hadoop.hdfs.DFSInputStream", "read"),
+)
+
+COLLECT: tuple[Frame, ...] = (
+    ("org.apache.hadoop.mapred.MapTask$MapOutputBuffer", "collect"),
+)
+
+SORT_SPILL: tuple[Frame, ...] = (
+    ("org.apache.hadoop.mapred.MapTask$MapOutputBuffer", "sortAndSpill"),
+    ("org.apache.hadoop.util.QuickSort", "sort"),
+)
+
+COMBINE: tuple[Frame, ...] = (
+    ("org.apache.hadoop.mapred.MapTask$MapOutputBuffer", "sortAndSpill"),
+    ("org.apache.hadoop.mapred.Task$NewCombinerRunner", "combine"),
+)
+
+SPILL_WRITE: tuple[Frame, ...] = (
+    ("org.apache.hadoop.mapred.MapTask$MapOutputBuffer", "sortAndSpill"),
+    ("org.apache.hadoop.mapred.IFile$Writer", "append"),
+    ("org.apache.hadoop.io.compress.SnappyCodec", "compress"),
+)
+
+MERGE_SPILLS: tuple[Frame, ...] = (
+    ("org.apache.hadoop.mapred.MapTask$MapOutputBuffer", "mergeParts"),
+    ("org.apache.hadoop.mapred.Merger$MergeQueue", "merge"),
+)
+
+FETCH: tuple[Frame, ...] = (
+    ("org.apache.hadoop.mapreduce.task.reduce.Shuffle", "run"),
+    ("org.apache.hadoop.mapreduce.task.reduce.Fetcher", "copyFromHost"),
+)
+
+REDUCE_MERGE: tuple[Frame, ...] = (
+    ("org.apache.hadoop.mapreduce.task.reduce.MergeManagerImpl", "close"),
+    ("org.apache.hadoop.mapred.Merger$MergeQueue", "merge"),
+)
+
+OUTPUT_WRITE: tuple[Frame, ...] = (
+    ("org.apache.hadoop.mapred.TextOutputFormat$LineRecordWriter", "write"),
+    ("org.apache.hadoop.hdfs.DFSOutputStream", "write"),
+)
+
+GC: tuple[Frame, ...] = (
+    ("jvm.internal.SafepointSynchronize", "begin"),
+    ("jvm.gc.ParallelScavengeHeap", "collect"),
+)
+
+
+class HadoopFrames:
+    """Interns the canonical MapReduce frames against one registry."""
+
+    def __init__(self, registry: MethodRegistry) -> None:
+        self.registry = registry
+        self._task_base = self._intern(TASK_BASE)
+        self._map_task = self._intern(MAP_TASK)
+        self._reduce_task = self._intern(REDUCE_TASK)
+
+    def _intern(self, frames: tuple[Frame, ...]) -> tuple[int, ...]:
+        return tuple(self.registry.intern(c, m) for c, m in frames)
+
+    def map_task_stack(self) -> CallStack:
+        """Base stack of a running map task."""
+        return CallStack(self._task_base + self._map_task)
+
+    def reduce_task_stack(self) -> CallStack:
+        """Base stack of a running reduce task."""
+        return CallStack(self._task_base + self._reduce_task)
+
+    def with_frames(self, base: CallStack, frames: tuple[Frame, ...]) -> CallStack:
+        """Push named frames (interning them) onto ``base``."""
+        return base.push_all(self._intern(frames))
+
+    def hdfs_read(self, base: CallStack) -> CallStack:
+        """Inside the input record reader."""
+        return self.with_frames(base, HDFS_READ)
+
+    def mapper(self, base: CallStack, mapper_frames: tuple[Frame, ...]) -> CallStack:
+        """Inside the user mapper, ending in the collect path."""
+        return self.with_frames(base, mapper_frames + COLLECT)
+
+    def sort_spill(self, base: CallStack) -> CallStack:
+        """Inside the spill quicksort."""
+        return self.with_frames(base, SORT_SPILL)
+
+    def combiner(
+        self, base: CallStack, combiner_frames: tuple[Frame, ...]
+    ) -> CallStack:
+        """Inside the combiner run during a spill."""
+        return self.with_frames(base, COMBINE + combiner_frames)
+
+    def spill_write(self, base: CallStack) -> CallStack:
+        """Writing (compressing) a spill file."""
+        return self.with_frames(base, SPILL_WRITE)
+
+    def merge_spills(self, base: CallStack) -> CallStack:
+        """Final merge of multiple spill files on the map side."""
+        return self.with_frames(base, MERGE_SPILLS)
+
+    def fetch(self, base: CallStack) -> CallStack:
+        """Reduce-side shuffle fetch."""
+        return self.with_frames(base, FETCH)
+
+    def reduce_merge(self, base: CallStack) -> CallStack:
+        """Reduce-side merge of sorted map outputs."""
+        return self.with_frames(base, REDUCE_MERGE)
+
+    def reducer(
+        self, base: CallStack, reducer_frames: tuple[Frame, ...]
+    ) -> CallStack:
+        """Inside the user reducer."""
+        return self.with_frames(base, reducer_frames)
+
+    def output_write(self, base: CallStack) -> CallStack:
+        """Writing final output records to HDFS."""
+        return self.with_frames(base, OUTPUT_WRITE)
+
+    def gc_stack(self, base: CallStack) -> CallStack:
+        """Stop-the-world GC during a task."""
+        return self.with_frames(base, GC)

@@ -1,0 +1,5 @@
+"""Simulated HDFS: a block-structured in-memory distributed filesystem."""
+
+from repro.hdfs.filesystem import HDFSFile, SimulatedHDFS, estimate_record_bytes
+
+__all__ = ["HDFSFile", "SimulatedHDFS", "estimate_record_bytes"]

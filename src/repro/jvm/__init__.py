@@ -1,0 +1,49 @@
+"""Simulated JVM substrate.
+
+The real SimProf attaches to a JVM through JVMTI (call-stack snapshots)
+and to the kernel through ``perf_event`` (hardware counters).  Offline we
+reproduce that bridge with a simulated JVM:
+
+* :mod:`repro.jvm.methods` — method registry, frames and call stacks,
+  interned to integer ids so feature vectorisation is array work.
+* :mod:`repro.jvm.threads` — executor threads emit *trace segments*
+  (call stack + instructions + cycles + cache misses) as the framework
+  simulators execute real computation.
+* :mod:`repro.jvm.machine` — the analytic hardware model that converts
+  operation descriptors into counter values (base CPI + miss penalties
+  from a working-set cache model, LLC sharing, OS-migration cold starts).
+* :mod:`repro.jvm.jvmti` / :mod:`repro.jvm.perf` — the JVMTI-like
+  snapshot interface and the perf_event-like counter reader that
+  SimProf's thread profiler consumes; they see only what the real
+  interfaces would expose (stacks at sampled instants, counters per
+  window), never the underlying segments.
+"""
+
+from repro.jvm.methods import CallStack, MethodRef, MethodRegistry, StackTable
+from repro.jvm.machine import (
+    AccessPattern,
+    HardwareModel,
+    MachineConfig,
+    OpKind,
+)
+from repro.jvm.threads import ThreadTrace, TraceBuilder, TraceSegment
+from repro.jvm.jvmti import StackSnapshot, StackSnapshotter
+from repro.jvm.perf import CounterWindow, PerfCounterReader
+
+__all__ = [
+    "AccessPattern",
+    "CallStack",
+    "CounterWindow",
+    "HardwareModel",
+    "MachineConfig",
+    "MethodRef",
+    "MethodRegistry",
+    "OpKind",
+    "PerfCounterReader",
+    "StackSnapshot",
+    "StackSnapshotter",
+    "StackTable",
+    "ThreadTrace",
+    "TraceBuilder",
+    "TraceSegment",
+]

@@ -1,0 +1,81 @@
+"""Job-level trace container shared by both framework simulators.
+
+A :class:`JobTrace` is everything one workload run leaves behind: the
+per-thread segment traces, the interned method/stack tables, stage
+metadata, and the machine configuration the trace was priced against.
+It is the boundary between the substrates (which produce it) and the
+SimProf core (which consumes it only through the JVMTI/perf-style
+interfaces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.jvm.machine import MachineConfig
+from repro.jvm.methods import MethodRegistry, StackTable
+from repro.jvm.threads import ThreadTrace
+
+__all__ = ["StageInfo", "JobTrace"]
+
+
+@dataclass(frozen=True, slots=True)
+class StageInfo:
+    """Metadata for one execution stage of the job."""
+
+    stage_id: int
+    name: str
+    n_tasks: int
+
+
+@dataclass
+class JobTrace:
+    """The complete execution record of one workload run."""
+
+    framework: str  # "spark" | "hadoop"
+    workload: str
+    input_name: str
+    registry: MethodRegistry
+    stack_table: StackTable
+    machine: MachineConfig
+    traces: list[ThreadTrace] = field(default_factory=list)
+    stages: list[StageInfo] = field(default_factory=list)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        """Short label, e.g. ``wc_sp`` style ``wordcount_spark``."""
+        return f"{self.workload}_{self.framework}"
+
+    @property
+    def n_threads(self) -> int:
+        """Number of (merged) executor threads in the trace."""
+        return len(self.traces)
+
+    @property
+    def total_instructions(self) -> int:
+        """Instructions across all threads."""
+        return sum(t.total_instructions for t in self.traces)
+
+    @property
+    def total_cycles(self) -> int:
+        """Cycles across all threads."""
+        return sum(t.total_cycles for t in self.traces)
+
+    def thread(self, thread_id: int = 0) -> ThreadTrace:
+        """The trace of one executor thread (SimProf profiles one)."""
+        for t in self.traces:
+            if t.thread_id == thread_id:
+                return t
+        raise KeyError(f"no thread {thread_id} in job trace")
+
+    def longest_thread(self) -> ThreadTrace:
+        """The thread that retired the most instructions.
+
+        SimProf profiles a single executor thread; the busiest one gives
+        the best stage coverage, so profiling defaults to it.
+        """
+        if not self.traces:
+            raise ValueError("job trace has no threads")
+        return max(self.traces, key=lambda t: t.total_instructions)

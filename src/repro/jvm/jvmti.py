@@ -1,0 +1,122 @@
+"""JVMTI-like call-stack snapshot interface.
+
+The real SimProf polls ``GetAllStackTraces`` every ~10 M instructions.
+:class:`StackSnapshotter` offers the same contract against a simulated
+:class:`~repro.jvm.threads.ThreadTrace`: *"what stack was this thread
+executing when its instruction counter read X?"* — and nothing more.
+The profiler layered on top therefore cannot peek at segment boundaries
+or counter values through this interface, exactly like the real tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.jvm.threads import ThreadTrace
+
+__all__ = ["StackSnapshot", "StackSnapshotter"]
+
+
+@dataclass(frozen=True, slots=True)
+class StackSnapshot:
+    """One polled stack: the thread's instruction offset and the live
+    stack id at that instant."""
+
+    instruction_offset: int
+    stack_id: int
+
+
+class StackSnapshotter:
+    """Samples the live call stack of a thread at instruction offsets.
+
+    Internally precomputes the cumulative instruction count per segment
+    once, so each query is a vectorised ``searchsorted``.
+    """
+
+    def __init__(self, trace: ThreadTrace) -> None:
+        arrays = trace.to_arrays()
+        self._stack_ids = arrays["stack_id"]
+        # _cum[i] = instructions completed after segment i; a snapshot at
+        # offset x lands in the first segment whose _cum exceeds x.
+        self._cum = np.cumsum(arrays["instructions"])
+        self._total = int(self._cum[-1]) if len(self._cum) else 0
+
+    @property
+    def total_instructions(self) -> int:
+        """Instructions retired by the thread over its lifetime."""
+        return self._total
+
+    def stack_at(self, instruction_offset: int) -> int:
+        """Stack id live when the counter read ``instruction_offset``."""
+        if not 0 <= instruction_offset < self._total:
+            raise IndexError(
+                f"offset {instruction_offset} outside [0, {self._total})"
+            )
+        idx = int(np.searchsorted(self._cum, instruction_offset, side="right"))
+        return int(self._stack_ids[idx])
+
+    def _poll_points(
+        self, period: int, offset: int, jitter: float, rng: np.random.Generator | None
+    ) -> np.ndarray:
+        if period <= 0:
+            raise ValueError("snapshot period must be positive")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        first = offset if offset > 0 else period
+        if jitter == 0.0 or rng is None:
+            return np.arange(first, self._total, period, dtype=np.int64)
+        # Jittered polling: inter-poll gaps are period * U(1−j, 1+j),
+        # like a real profiling timer that is not phase-locked to the
+        # instruction counter.  The expected rate is unchanged.
+        n_max = int(self._total // (period * (1.0 - jitter))) + 2
+        gaps = period * rng.uniform(1.0 - jitter, 1.0 + jitter, size=n_max)
+        points = first + np.concatenate([[0.0], np.cumsum(gaps[:-1])])
+        return points[points < self._total].astype(np.int64)
+
+    def snapshots(
+        self,
+        period: int,
+        offset: int = 0,
+        *,
+        jitter: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> list[StackSnapshot]:
+        """Poll the stack every ~``period`` instructions.
+
+        Parameters
+        ----------
+        period:
+            Mean instructions between polls (the paper uses 10 M).
+        offset:
+            Instruction offset of the first poll (defaults to one full
+            period in, matching a timer that starts with the thread).
+        jitter:
+            Relative jitter of the inter-poll gap (0 = phase-locked).
+        rng:
+            Required when ``jitter`` > 0.
+        """
+        points = self._poll_points(period, offset, jitter, rng)
+        if len(points) == 0:
+            return []
+        idx = np.searchsorted(self._cum, points, side="right")
+        ids = self._stack_ids[idx]
+        return [
+            StackSnapshot(int(p), int(s)) for p, s in zip(points, ids)
+        ]
+
+    def snapshot_arrays(
+        self,
+        period: int,
+        offset: int = 0,
+        *,
+        jitter: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Array form of :meth:`snapshots`: (offsets, stack_ids)."""
+        points = self._poll_points(period, offset, jitter, rng)
+        if len(points) == 0:
+            return points, points.copy()
+        idx = np.searchsorted(self._cum, points, side="right")
+        return points, self._stack_ids[idx].astype(np.int64)

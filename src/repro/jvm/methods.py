@@ -1,0 +1,229 @@
+"""Methods, frames and call stacks of the simulated JVM.
+
+Everything SimProf learns about *what code ran* comes through call
+stacks, so this module is the vocabulary of the whole system.  Methods
+and stacks are interned to small integers:
+
+* a :class:`MethodRegistry` maps fully-qualified method names to dense
+  method ids (the feature-vector dimensions of Section III-B), and
+* a :class:`StackTable` maps whole stacks (tuples of method ids,
+  root -> leaf) to dense stack ids so trace segments and snapshots carry
+  a single integer instead of a frame list.
+
+Interning keeps the profiler and the vectoriser pure array code: a
+sampling unit is summarised by a histogram over stack ids, which is
+scattered into a histogram over method ids with one ``np.add.at``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["MethodRef", "MethodRegistry", "CallStack", "StackTable"]
+
+
+@dataclass(frozen=True, slots=True)
+class MethodRef:
+    """A resolved JVM method: ``class_name.method_name``.
+
+    Equality and hashing are by value so a :class:`MethodRef` can be used
+    as a dict key before it is interned.
+    """
+
+    class_name: str
+    method_name: str
+
+    @property
+    def fqn(self) -> str:
+        """Fully qualified name, e.g. ``org.apache.spark.rdd.RDD.map``."""
+        return f"{self.class_name}.{self.method_name}"
+
+    @property
+    def simple_class(self) -> str:
+        """Class name without the package prefix."""
+        return self.class_name.rsplit(".", 1)[-1]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.fqn
+
+
+class MethodRegistry:
+    """Dense interning of :class:`MethodRef` objects to method ids.
+
+    The registry is append-only: ids are assigned in first-seen order and
+    never reused, so arrays indexed by method id stay valid as new
+    methods appear.  A single registry is shared by every component of a
+    simulated job (frameworks, workloads, the JVM runtime frames).
+    """
+
+    def __init__(self) -> None:
+        self._refs: list[MethodRef] = []
+        self._ids: dict[MethodRef, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._refs)
+
+    def __contains__(self, ref: MethodRef) -> bool:
+        return ref in self._ids
+
+    def intern(self, class_name: str, method_name: str) -> int:
+        """Return the id for ``class_name.method_name``, interning it."""
+        ref = MethodRef(class_name, method_name)
+        return self.intern_ref(ref)
+
+    def intern_ref(self, ref: MethodRef) -> int:
+        """Return the id of ``ref``, assigning a fresh one if unseen."""
+        mid = self._ids.get(ref)
+        if mid is None:
+            mid = len(self._refs)
+            self._ids[ref] = mid
+            self._refs.append(ref)
+        return mid
+
+    def lookup(self, method_id: int) -> MethodRef:
+        """Resolve a method id back to its :class:`MethodRef`."""
+        return self._refs[method_id]
+
+    def id_of(self, ref: MethodRef) -> int:
+        """Return the id of an already-interned method.
+
+        Raises
+        ------
+        KeyError
+            If ``ref`` was never interned.
+        """
+        return self._ids[ref]
+
+    def fqn(self, method_id: int) -> str:
+        """Fully qualified name for a method id."""
+        return self._refs[method_id].fqn
+
+    def all_refs(self) -> Sequence[MethodRef]:
+        """All interned methods in id order (a read-only view)."""
+        return tuple(self._refs)
+
+    def find(self, substring: str) -> list[int]:
+        """Method ids whose fully-qualified name contains ``substring``."""
+        return [i for i, r in enumerate(self._refs) if substring in r.fqn]
+
+
+@dataclass(frozen=True, slots=True)
+class CallStack:
+    """An immutable call stack, root frame first, leaf frame last.
+
+    ``frames`` holds method ids relative to a :class:`MethodRegistry`.
+    Stacks compare and hash by their frames only, which is what both the
+    stack table and the snapshot machinery need.
+    """
+
+    frames: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.frames)
+
+    @property
+    def leaf(self) -> int:
+        """Method id of the innermost (currently executing) frame."""
+        return self.frames[-1]
+
+    @property
+    def root(self) -> int:
+        """Method id of the outermost frame (thread entry point)."""
+        return self.frames[0]
+
+    def push(self, method_id: int) -> "CallStack":
+        """Return a new stack with ``method_id`` pushed as the leaf."""
+        return CallStack(self.frames + (method_id,))
+
+    def push_all(self, method_ids: Iterable[int]) -> "CallStack":
+        """Return a new stack with all of ``method_ids`` pushed in order."""
+        return CallStack(self.frames + tuple(method_ids))
+
+    def pop(self) -> "CallStack":
+        """Return a new stack with the leaf frame removed."""
+        if len(self.frames) <= 1:
+            raise ValueError("cannot pop the root frame of a call stack")
+        return CallStack(self.frames[:-1])
+
+    def render(self, registry: MethodRegistry, indent: str = "  ") -> str:
+        """Human-readable rendering (one frame per line, root first)."""
+        return "\n".join(
+            f"{indent * depth}{registry.fqn(mid)}"
+            for depth, mid in enumerate(self.frames)
+        )
+
+
+@dataclass
+class StackTable:
+    """Dense interning of call stacks to stack ids.
+
+    Keeps, per stack id, the frame tuple; exposes bulk conversion of
+    stack-id histograms into method-id histograms for the vectoriser.
+    """
+
+    registry: MethodRegistry
+    _stacks: list[CallStack] = field(default_factory=list)
+    _ids: dict[tuple[int, ...], int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self._stacks)
+
+    def intern(self, stack: CallStack) -> int:
+        """Return the id for ``stack``, interning it if unseen."""
+        sid = self._ids.get(stack.frames)
+        if sid is None:
+            sid = len(self._stacks)
+            self._ids[stack.frames] = sid
+            self._stacks.append(stack)
+        return sid
+
+    def lookup(self, stack_id: int) -> CallStack:
+        """Resolve a stack id back to its :class:`CallStack`."""
+        return self._stacks[stack_id]
+
+    def frames_of(self, stack_id: int) -> tuple[int, ...]:
+        """Frame tuple (method ids, root first) for a stack id."""
+        return self._stacks[stack_id].frames
+
+    def method_histogram(
+        self, stack_ids: np.ndarray, counts: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Histogram over *method ids* from a histogram over stack ids.
+
+        Each occurrence of a stack contributes 1 to every method on it
+        (Section III-B: "all methods appearing in the call stacks in one
+        sampling unit need to be counted").
+
+        Parameters
+        ----------
+        stack_ids:
+            Stack ids observed (possibly with repeats) in one sampling
+            unit, or unique ids if ``counts`` is given.
+        counts:
+            Optional multiplicity per entry of ``stack_ids``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Float vector of length ``len(self.registry)``.
+        """
+        hist = np.zeros(len(self.registry), dtype=np.float64)
+        stack_ids = np.asarray(stack_ids, dtype=np.intp)
+        if counts is None:
+            counts = np.ones(len(stack_ids), dtype=np.float64)
+        else:
+            counts = np.asarray(counts, dtype=np.float64)
+        for sid, cnt in zip(stack_ids, counts):
+            frames = self._stacks[sid].frames
+            np.add.at(hist, np.fromiter(frames, dtype=np.intp), cnt)
+        return hist
+
+    def render(self, stack_id: int) -> str:
+        """Human-readable rendering of a stack id."""
+        return self._stacks[stack_id].render(self.registry)

@@ -1,0 +1,264 @@
+"""Executor-thread traces.
+
+Framework executors do two things at once: they *really compute* (count
+words, sort keys, propagate labels) and, for every batch of work, they
+emit a :class:`TraceSegment` describing what the simulated hardware did
+during that batch — the call stack that was live, the operation kind,
+and the counter values from :class:`~repro.jvm.machine.HardwareModel`.
+
+A :class:`ThreadTrace` is the full segment sequence of one executor
+thread; the SimProf profiler consumes traces only through the
+JVMTI/perf-like interfaces in :mod:`repro.jvm.jvmti` and
+:mod:`repro.jvm.perf`, never through the segments directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.jvm.machine import AccessPattern, HardwareModel, OpKind
+from repro.jvm.methods import CallStack, StackTable
+
+__all__ = ["TraceSegment", "ThreadTrace", "TraceBuilder"]
+
+# Stable integer coding of OpKind for the packed arrays.
+OP_KIND_CODES: dict[OpKind, int] = {kind: i for i, kind in enumerate(OpKind)}
+OP_KINDS_BY_CODE: tuple[OpKind, ...] = tuple(OpKind)
+
+
+@dataclass(frozen=True, slots=True)
+class TraceSegment:
+    """One contiguous batch of work on one thread.
+
+    ``stack_id`` refers to the job's :class:`~repro.jvm.methods.StackTable`.
+    ``stage_id``/``task_id`` are framework metadata (−1 when outside any
+    task) used by analysis code, not by SimProf itself.
+    """
+
+    stack_id: int
+    op_kind: OpKind
+    instructions: int
+    cycles: int
+    l1d_misses: int
+    llc_misses: int
+    stage_id: int = -1
+    task_id: int = -1
+    cold: bool = False
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction of the segment."""
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+
+@dataclass
+class ThreadTrace:
+    """The ordered segments of one executor thread.
+
+    ``start_cycle`` anchors the trace on the global job timeline so
+    short-lived Hadoop task threads can be merged per core in time
+    order (Section III-A).
+    """
+
+    thread_id: int
+    core_id: int
+    segments: list[TraceSegment] = field(default_factory=list)
+    start_cycle: int = 0
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    @property
+    def total_instructions(self) -> int:
+        """Instructions executed by the thread."""
+        return sum(s.instructions for s in self.segments)
+
+    @property
+    def total_cycles(self) -> int:
+        """Cycles consumed by the thread."""
+        return sum(s.cycles for s in self.segments)
+
+    @property
+    def end_cycle(self) -> int:
+        """Global cycle at which the thread finished."""
+        return self.start_cycle + self.total_cycles
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Pack the trace into parallel NumPy arrays.
+
+        Keys: ``stack_id``, ``op_kind`` (coded via ``OP_KIND_CODES``),
+        ``instructions``, ``cycles``, ``l1d_misses``, ``llc_misses``,
+        ``stage_id``, ``task_id``.  Downstream consumers (the profiler,
+        the counter reader) work exclusively on these arrays.
+        """
+        n = len(self.segments)
+        out = {
+            "stack_id": np.empty(n, dtype=np.int64),
+            "op_kind": np.empty(n, dtype=np.int64),
+            "instructions": np.empty(n, dtype=np.int64),
+            "cycles": np.empty(n, dtype=np.int64),
+            "l1d_misses": np.empty(n, dtype=np.int64),
+            "llc_misses": np.empty(n, dtype=np.int64),
+            "stage_id": np.empty(n, dtype=np.int64),
+            "task_id": np.empty(n, dtype=np.int64),
+        }
+        for i, s in enumerate(self.segments):
+            out["stack_id"][i] = s.stack_id
+            out["op_kind"][i] = OP_KIND_CODES[s.op_kind]
+            out["instructions"][i] = s.instructions
+            out["cycles"][i] = s.cycles
+            out["l1d_misses"][i] = s.l1d_misses
+            out["llc_misses"][i] = s.llc_misses
+            out["stage_id"][i] = s.stage_id
+            out["task_id"][i] = s.task_id
+        return out
+
+    @staticmethod
+    def merged(traces: list["ThreadTrace"], thread_id: int) -> "ThreadTrace":
+        """Concatenate per-task traces from one core in start-time order.
+
+        This mimics the paper's Hadoop handling: executor threads die
+        with their task, so the profiler stitches the threads that ran
+        on the same core into one long pseudo-thread.
+        """
+        if not traces:
+            raise ValueError("cannot merge an empty list of traces")
+        cores = {t.core_id for t in traces}
+        if len(cores) != 1:
+            raise ValueError(f"traces span multiple cores: {sorted(cores)}")
+        ordered = sorted(traces, key=lambda t: t.start_cycle)
+        merged = ThreadTrace(
+            thread_id=thread_id,
+            core_id=ordered[0].core_id,
+            start_cycle=ordered[0].start_cycle,
+        )
+        for t in ordered:
+            merged.segments.extend(t.segments)
+        return merged
+
+
+class TraceBuilder:
+    """Per-thread emission helper used by the framework executors.
+
+    Wraps the hardware model with the thread-local state the model needs
+    per call: the LLC contention currently in force and whether the last
+    OS migration left the caches cold.  Executors call :meth:`emit` once
+    per batch of records.
+    """
+
+    def __init__(
+        self,
+        stack_table: StackTable,
+        hardware: HardwareModel,
+        rng: np.random.Generator,
+        thread_id: int,
+        core_id: int,
+        start_cycle: int = 0,
+    ) -> None:
+        self.stack_table = stack_table
+        self.hardware = hardware
+        self.rng = rng
+        self.trace = ThreadTrace(
+            thread_id=thread_id, core_id=core_id, start_cycle=start_cycle
+        )
+        self.contention: int = 1
+        self._cold_next: bool = False
+        self._migrations: int = 0
+        self._retired: int = 0  # drives the JIT warm-up multiplier
+
+    @property
+    def migrations(self) -> int:
+        """Number of OS migrations the thread has suffered."""
+        return self._migrations
+
+    def set_contention(self, n_threads: int) -> None:
+        """Set how many threads currently share the LLC."""
+        self.contention = max(1, int(n_threads))
+
+    def emit(
+        self,
+        stack: CallStack,
+        op_kind: OpKind,
+        access: AccessPattern,
+        instructions: float,
+        *,
+        stage_id: int = -1,
+        task_id: int = -1,
+    ) -> TraceSegment:
+        """Cost one batch on the hardware model and append a segment.
+
+        ``instructions`` is multiplied by the machine's
+        ``instruction_scale`` (the per-workload calibration knob) before
+        pricing.
+        """
+        cold = self._cold_next
+        self._cold_next = False
+        cost = self.hardware.cost(
+            op_kind,
+            access,
+            instructions * self.hardware.config.instruction_scale,
+            self.rng,
+            contention=self.contention,
+            cold=cold,
+            retired_instructions=self._retired,
+        )
+        self._retired += cost.instructions
+        seg = TraceSegment(
+            stack_id=self.stack_table.intern(stack),
+            op_kind=op_kind,
+            instructions=cost.instructions,
+            cycles=cost.cycles,
+            l1d_misses=cost.l1d_misses,
+            llc_misses=cost.llc_misses,
+            stage_id=stage_id,
+            task_id=task_id,
+            cold=cold,
+        )
+        self.trace.segments.append(seg)
+        # The OS may move the thread between batches; the next segment
+        # then starts with cold private caches (Section III-B.1).
+        if self.hardware.migration_occurs(self.rng):
+            self._cold_next = True
+            self._migrations += 1
+        return seg
+
+    def emit_chunked(
+        self,
+        stack: CallStack,
+        op_kind: OpKind,
+        access: AccessPattern,
+        instructions: float,
+        *,
+        max_segment: float = 4e6,
+        stage_id: int = -1,
+        task_id: int = -1,
+    ) -> int:
+        """Emit a long operation as several bounded segments.
+
+        Keeps individual segments well below the profiler's snapshot
+        period so a single big operation (a top-level quicksort pass, a
+        large block read) spans many snapshots instead of hiding inside
+        one.  ``max_segment`` is in *final* (post-``instruction_scale``)
+        instructions.  Returns the number of segments emitted.
+        """
+        if max_segment <= 0:
+            raise ValueError("max_segment must be positive")
+        scale = self.hardware.config.instruction_scale
+        remaining = float(instructions) * scale
+        n = 0
+        while remaining > 0:
+            chunk = min(remaining, max_segment)
+            # emit() rescales, so hand it the unscaled chunk.
+            self.emit(
+                stack,
+                op_kind,
+                access,
+                chunk / scale,
+                stage_id=stage_id,
+                task_id=task_id,
+            )
+            remaining -= chunk
+            n += 1
+        return n

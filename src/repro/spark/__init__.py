@@ -1,0 +1,18 @@
+"""Spark-like framework simulator.
+
+A faithful-in-structure miniature of Apache Spark's execution model:
+RDDs with lazy lineage, stages cut at shuffle dependencies, tasks per
+partition scheduled in waves onto long-lived executor threads, hash and
+range partitioners, and the map-side-combine path through an
+``Aggregator`` (the mechanism behind the paper's Figure 14 observation
+that WordCount's reduce work actually happens in stage 1).
+
+Executors really compute on the data while emitting hardware trace
+segments through :mod:`repro.jvm`.
+"""
+
+from repro.spark.context import SparkConfig, SparkContext
+from repro.spark.ops import CustomOp, Operation
+from repro.spark.rdd import RDD
+
+__all__ = ["CustomOp", "Operation", "RDD", "SparkConfig", "SparkContext"]

@@ -1,0 +1,657 @@
+"""Executor threads: compute partitions while emitting hardware traces.
+
+One :class:`Executor` models one long-lived Spark executor thread (the
+Spark execution model the paper relies on: a thread lives for the whole
+job and therefore crosses every stage).
+
+Execution is *pipelined*, as in real Spark: a task pulls record batches
+from its source (HDFS block or shuffle fetch) and pushes each batch
+through the whole narrow-operation chain and into the task's sink
+(map-side combine + shuffle write, or the action) before touching the
+next batch.  Operations of one task therefore interleave at batch
+granularity inside the trace — which is why, exactly as the paper's
+Figure 14 observes, a WordCount stage forms a *single* phase whose
+stacks mix tokenisation, pair mapping, and the map-side reduce.
+
+Every step both does the real work (records really flow) and emits
+trace segments priced by the hardware model, with call stacks matching
+what JVMTI would report at that point.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from repro.algos.quicksort import instrumented_quicksort
+from repro.hdfs.filesystem import estimate_record_bytes
+from repro.jvm.machine import AccessPattern, OpKind
+from repro.jvm.methods import CallStack
+from repro.jvm.threads import TraceBuilder
+from repro.spark.ops import Operation
+from repro.spark.rdd import (
+    RDD,
+    CoalescedRDD,
+    HadoopRDD,
+    NarrowRDD,
+    ParallelCollectionRDD,
+    ShuffledRDD,
+    UnionRDD,
+)
+
+__all__ = ["Executor"]
+
+# Combiner-map entry overhead (object header + hash slot), bytes.
+MAP_ENTRY_OVERHEAD = 48
+# Instruction cost of inserting one record into a combiner map.
+INST_COMBINE_INSERT = 300_000.0
+# Instruction cost per element of one quicksort partitioning pass.
+INST_SORT_PER_ELEMENT = 24_000.0
+# Instruction cost of routing one record to its shuffle bucket.
+INST_PARTITION_RECORD = 60_000.0
+
+
+class _Missing:
+    """Sentinel distinct from any user value."""
+
+    __slots__ = ()
+
+
+_MISSING = _Missing()
+
+
+def batch_total_bytes(records: list[Any]) -> float:
+    """Estimated bytes of a record list (first record × count)."""
+    if not records:
+        return 0.0
+    return float(estimate_record_bytes(records[0]) * len(records))
+
+
+def format_record(record: Any) -> str:
+    """Text rendering used by ``saveAsTextFile`` (tab-joined for pairs)."""
+    if isinstance(record, tuple):
+        return "\t".join(str(f) for f in record)
+    return str(record)
+
+
+class _CombinerMap:
+    """An in-memory combiner map with working-set tracking.
+
+    The working set is the growing map itself, so early batches hit the
+    caches and late batches (large map) miss — the map-side reduce
+    behaviour behind Figure 14.
+    """
+
+    def __init__(self, aggregator: Any, merge_combiners: bool) -> None:
+        self.aggregator = aggregator
+        self.merge_combiners = merge_combiners
+        self.combiners: dict[Any, Any] = {}
+        self.entry_bytes = MAP_ENTRY_OVERHEAD
+
+    def insert_batch(self, batch: list[tuple[Any, Any]]) -> None:
+        """Merge one batch of key-value records."""
+        agg = self.aggregator
+        combiners = self.combiners
+        for key, value in batch:
+            existing = combiners.get(key, _MISSING)
+            if existing is _MISSING:
+                combiners[key] = (
+                    value if self.merge_combiners else agg.create_combiner(value)
+                )
+            elif self.merge_combiners:
+                combiners[key] = agg.merge_combiners(existing, value)
+            else:
+                combiners[key] = agg.merge_value(existing, value)
+        if batch:
+            self.entry_bytes = MAP_ENTRY_OVERHEAD + estimate_record_bytes(batch[0])
+
+    @property
+    def working_set_bytes(self) -> float:
+        """Current heap footprint of the map."""
+        return max(1.0, len(self.combiners) * self.entry_bytes)
+
+    def items(self) -> list[tuple[Any, Any]]:
+        """Drain the map to a record list."""
+        return list(self.combiners.items())
+
+
+class Executor:
+    """One executor thread bound to a trace builder."""
+
+    def __init__(
+        self, ctx: Any, thread_id: int, core_id: int, rng: np.random.Generator
+    ) -> None:
+        self.ctx = ctx
+        self.thread_id = thread_id
+        self.rng = rng
+        self.builder = TraceBuilder(
+            ctx.stack_table, ctx.hardware, rng, thread_id, core_id
+        )
+        self._alloc_since_gc = 0.0
+        self.silent = False  # silent executors sample without tracing
+
+    # -- bookkeeping --------------------------------------------------------
+
+    @property
+    def cfg(self) -> Any:
+        """The context's SparkConfig."""
+        return self.ctx.config
+
+    def _emit(
+        self,
+        stack: CallStack,
+        kind: OpKind,
+        access: AccessPattern,
+        instructions: float,
+        stage_id: int,
+        task_id: int,
+    ) -> None:
+        if self.silent or instructions <= 0:
+            return
+        self.builder.emit_chunked(
+            stack,
+            kind,
+            access,
+            instructions,
+            max_segment=self.cfg.max_segment_inst,
+            stage_id=stage_id,
+            task_id=task_id,
+        )
+
+    def _account_alloc(self, nbytes: float, stage_id: int, task_id: int) -> None:
+        """Track allocation; run a stop-the-world GC segment when the
+        young generation fills up."""
+        if self.silent:
+            return
+        self._alloc_since_gc += nbytes
+        if self._alloc_since_gc >= self.cfg.gc_threshold_bytes:
+            live = 0.5 * self.cfg.gc_threshold_bytes * (0.8 + 0.4 * self.rng.random())
+            self._emit(
+                self.ctx.frames.gc_stack(),
+                OpKind.GC,
+                AccessPattern.pointer(live),
+                self.cfg.gc_inst,
+                stage_id,
+                task_id,
+            )
+            self._alloc_since_gc = 0.0
+
+    def _batch_size(self, inst_per_record: float) -> int:
+        """Records per batch so one batch ≈ one segment budget.
+
+        ``max_segment_inst`` is in final (post-``instruction_scale``)
+        instructions, so the per-record cost must be scaled the same
+        way — otherwise a scaled-up workload emits unit-sized batches
+        and its operations stop interleaving inside sampling units.
+        """
+        scaled = inst_per_record * self.ctx.hardware.config.instruction_scale
+        if scaled <= 0:
+            return 1024
+        return max(1, min(4096, int(self.cfg.max_segment_inst / scaled)))
+
+    # -- pipelined computation -------------------------------------------------
+
+    def _collect_chain(
+        self, rdd: RDD, split: int
+    ) -> tuple[
+        RDD,
+        int,
+        list[Operation],
+        tuple[int, int] | None,
+        dict[int, tuple[int, int]],
+    ]:
+        """Walk narrow edges down to the stage's source.
+
+        Returns ``(source_rdd, source_split, ops, cache_hit, tee_after)``
+        with ``ops`` ordered source-side first.  Union nodes re-route the
+        split to the owning parent.
+
+        Caching: if a cached node's partition is in the block store, the
+        walk stops there — ``cache_hit = (rdd_id, split)`` becomes the
+        pipeline's source and ``ops`` holds only the downstream
+        operations.  Cached-but-absent nodes are recorded in
+        ``tee_after`` (op index in source order → rdd_id, with -1 for
+        the source itself) so the pipeline can fill the cache in
+        passing.
+        """
+        ops: list[Operation] = []
+        # (rdd_id, split-at-node) if this op's RDD caches, else None; the
+        # split can differ from the task's when a union re-routes it.
+        cached_flags: list[tuple[int, int] | None] = []
+        cache_hit: tuple[int, int] | None = None
+        store = self.ctx.block_store
+        node: RDD = rdd
+        while True:
+            if isinstance(node, NarrowRDD):
+                if node.is_cached and store.has(node.rdd_id, split):
+                    cache_hit = (node.rdd_id, split)
+                    break
+                ops.append(node.op)
+                cached_flags.append(
+                    (node.rdd_id, split) if node.is_cached else None
+                )
+                node = node.parent
+            elif isinstance(node, UnionRDD):
+                node, split = node.resolve_split(split)
+            else:
+                if node.is_cached and store.has(node.rdd_id, split):
+                    cache_hit = (node.rdd_id, split)
+                break
+        ops.reverse()
+        cached_flags.reverse()
+        tee_after: dict[int, tuple[int, int]] = {}
+        if cache_hit is None:
+            for idx, entry in enumerate(cached_flags):
+                if entry is not None:
+                    tee_after[idx] = entry
+            if (
+                not isinstance(node, UnionRDD)
+                and getattr(node, "is_cached", False)
+            ):
+                tee_after[-1] = (node.rdd_id, split)
+        return node, split, ops, cache_hit, tee_after
+
+    def _source_batches(
+        self,
+        source: RDD,
+        split: int,
+        task_stack: CallStack,
+        stage_id: int,
+        task_id: int,
+        batch_size: int,
+    ) -> Iterator[list[Any]]:
+        """Yield record batches from a stage source, emitting its IO."""
+        if isinstance(source, HadoopRDD):
+            records, nbytes = self.ctx.fs.read_block(source.path, split)
+            n_batches = max(1, (len(records) + batch_size - 1) // batch_size)
+            per_batch_inst = nbytes * self.cfg.io_read_inst_per_byte / n_batches
+            read_stack = self.ctx.frames.hdfs_read(task_stack)
+            for i in range(0, len(records), batch_size):
+                batch = list(records[i : i + batch_size])
+                # The record reader streams: IO interleaves with the ops.
+                self._emit(
+                    read_stack,
+                    OpKind.IO,
+                    AccessPattern.sequential(max(1.0, batch_total_bytes(batch))),
+                    per_batch_inst,
+                    stage_id,
+                    task_id,
+                )
+                yield batch
+        elif isinstance(source, ParallelCollectionRDD):
+            records = source.slices[split]
+            for i in range(0, len(records), batch_size):
+                yield list(records[i : i + batch_size])
+        elif isinstance(source, ShuffledRDD):
+            yield from self._shuffle_read_batches(
+                source, split, task_stack, stage_id, task_id, batch_size
+            )
+        elif isinstance(source, CoalescedRDD):
+            # Drain each parent split's pipeline in turn (Spark's
+            # coalesce iterator chains parent partitions the same way).
+            for psplit in source.parent_splits(split):
+                records = self.compute(
+                    source.parent, psplit, task_stack, stage_id, task_id
+                )
+                for i in range(0, len(records), batch_size):
+                    yield records[i : i + batch_size]
+        else:
+            raise TypeError(f"{type(source).__name__} cannot source a stage")
+
+    def _shuffle_read_batches(
+        self,
+        rdd: ShuffledRDD,
+        split: int,
+        task_stack: CallStack,
+        stage_id: int,
+        task_id: int,
+        batch_size: int,
+    ) -> Iterator[list[Any]]:
+        """Shuffle input: fetch blocks, combine or sort, yield batches."""
+        blocks = self.ctx.shuffle.fetch(rdd.shuffle_id, split)
+        fetch_stack = self.ctx.frames.shuffle_read(task_stack)
+
+        if rdd.aggregator is not None:
+            # Fetch and combine interleave per block, like Spark's
+            # ExternalAppendOnlyMap consuming the fetch iterator.
+            cmap = _CombinerMap(rdd.aggregator, merge_combiners=rdd.map_side_combine)
+            combine_stack = self.ctx.frames.reduce_side_combine(task_stack)
+            bsize = self._batch_size(INST_COMBINE_INSERT)
+            for records, nbytes in blocks:
+                self._emit(
+                    fetch_stack,
+                    OpKind.SHUFFLE,
+                    AccessPattern.sequential(max(1.0, float(nbytes))),
+                    nbytes * self.cfg.shuffle_inst_per_byte,
+                    stage_id,
+                    task_id,
+                )
+                for i in range(0, len(records), bsize):
+                    batch = records[i : i + bsize]
+                    cmap.insert_batch(batch)
+                    self._emit(
+                        combine_stack,
+                        OpKind.REDUCE,
+                        AccessPattern.random(cmap.working_set_bytes),
+                        INST_COMBINE_INSERT * len(batch),
+                        stage_id,
+                        task_id,
+                    )
+            out = cmap.items()
+            self._account_alloc(
+                len(out) * cmap.entry_bytes, stage_id, task_id
+            )
+        else:
+            all_records: list[Any] = []
+            for records, nbytes in blocks:
+                self._emit(
+                    fetch_stack,
+                    OpKind.SHUFFLE,
+                    AccessPattern.sequential(max(1.0, float(nbytes))),
+                    nbytes * self.cfg.shuffle_inst_per_byte,
+                    stage_id,
+                    task_id,
+                )
+                all_records.extend(records)
+            self._account_alloc(batch_total_bytes(all_records), stage_id, task_id)
+            if rdd.key_ordering:
+                # The sort is a barrier: everything must be fetched
+                # before the first sorted record can be produced.
+                all_records = self._sort_records(
+                    all_records,
+                    self.ctx.frames.sort_by_key(task_stack),
+                    stage_id,
+                    task_id,
+                )
+            out = all_records
+
+        for i in range(0, len(out), batch_size):
+            yield out[i : i + batch_size]
+
+    def _cached_batches(
+        self,
+        rdd_id: int,
+        split: int,
+        task_stack: CallStack,
+        stage_id: int,
+        task_id: int,
+        batch_size: int,
+    ) -> Iterator[list[Any]]:
+        """Yield a cached partition as batches (cheap memory scans)."""
+        records, nbytes = self.ctx.block_store.get(rdd_id, split)
+        n_batches = max(1, (len(records) + batch_size - 1) // batch_size)
+        per_batch = nbytes * self.cfg.cache_read_inst_per_byte / n_batches
+        stack = self.ctx.frames.cache_read(task_stack)
+        for i in range(0, len(records), batch_size):
+            batch = list(records[i : i + batch_size])
+            self._emit(
+                stack,
+                OpKind.FRAMEWORK,
+                AccessPattern.sequential(max(1.0, batch_total_bytes(batch))),
+                per_batch,
+                stage_id,
+                task_id,
+            )
+            yield batch
+
+    def _run_pipeline(
+        self,
+        rdd: RDD,
+        split: int,
+        task_stack: CallStack,
+        stage_id: int,
+        task_id: int,
+        sink: Callable[[list[Any]], None],
+    ) -> None:
+        """Pump source batches through the op chain into ``sink``.
+
+        Cached RDDs short-circuit the chain on a hit; on a miss, their
+        output batches are teed into the block store as they stream by
+        (emitting the memory-store write cost).
+        """
+        source, src_split, ops, cache_hit, tee_after = self._collect_chain(
+            rdd, split
+        )
+        states = [op.new_state() for op in ops]
+        stacks = [
+            self.ctx.frames.with_frames(task_stack, op.frames) for op in ops
+        ]
+        first_cost = ops[0].inst_per_record if ops else 200_000.0
+        batch_size = self._batch_size(first_cost)
+
+        tees: dict[int, list[Any]] = {idx: [] for idx in tee_after}
+        cache_write_stack = self.ctx.frames.cache_write(task_stack)
+
+        def tee(idx: int, batch: list[Any]) -> None:
+            if idx not in tees or self.silent:
+                return
+            tees[idx].extend(batch)
+            self._emit(
+                cache_write_stack,
+                OpKind.FRAMEWORK,
+                AccessPattern.sequential(max(1.0, batch_total_bytes(batch))),
+                batch_total_bytes(batch) * self.cfg.cache_write_inst_per_byte,
+                stage_id,
+                task_id,
+            )
+
+        if cache_hit is not None:
+            batches = self._cached_batches(
+                cache_hit[0], cache_hit[1], task_stack, stage_id, task_id,
+                batch_size,
+            )
+        else:
+            batches = self._source_batches(
+                source, src_split, task_stack, stage_id, task_id, batch_size
+            )
+
+        for batch in batches:
+            tee(-1, batch)
+            x = batch
+            for idx, (op, state, stack) in enumerate(zip(ops, states, stacks)):
+                if not x:
+                    break
+                self._emit(
+                    stack,
+                    op.op_kind,
+                    op.access(x, state),
+                    op.instructions(x),
+                    stage_id,
+                    task_id,
+                )
+                x = op.apply(x, state)
+                tee(idx, x)
+            if x:
+                self._account_alloc(batch_total_bytes(x), stage_id, task_id)
+                sink(x)
+
+        if not self.silent:
+            for idx, records in tees.items():
+                rdd_id, node_split = tee_after[idx]
+                self.ctx.block_store.put(rdd_id, node_split, records)
+
+    def compute(
+        self, rdd: RDD, split: int, task_stack: CallStack, stage_id: int, task_id: int
+    ) -> list[Any]:
+        """Materialise one partition (pipelined into a collect sink)."""
+        out: list[Any] = []
+        self._run_pipeline(rdd, split, task_stack, stage_id, task_id, out.extend)
+        return out
+
+    # -- sort kernel -------------------------------------------------------------
+
+    def _sort_records(
+        self,
+        records: list[Any],
+        stack: CallStack,
+        stage_id: int,
+        task_id: int,
+        *,
+        op_kind: OpKind = OpKind.SORT,
+    ) -> list[Any]:
+        """Sort key-value records with the instrumented quicksort."""
+        if not records:
+            return records
+        keys = np.array([k for k, _v in records])
+        # Include JVM object overhead: a buffered pair costs far more
+        # than its serialised payload.
+        rec_bytes = estimate_record_bytes(records[0]) + MAP_ENTRY_OVERHEAD
+
+        def emit_pass(n_elems: int, ws_elems: int, _is_leaf: bool) -> None:
+            self._emit(
+                stack,
+                op_kind,
+                AccessPattern.random(max(1.0, ws_elems * rec_bytes)),
+                INST_SORT_PER_ELEMENT * n_elems,
+                stage_id,
+                task_id,
+            )
+
+        order = instrumented_quicksort(keys, emit_pass, rng=self.rng)
+        return [records[int(i)] for i in order]
+
+    # -- task entry points -----------------------------------------------------
+
+    def run_shuffle_map_task(
+        self, stage: Any, split: int, task_id: int, contention: int
+    ) -> None:
+        """Compute a partition and write its shuffle buckets.
+
+        With map-side combine, every pipelined batch is merged into the
+        combiner map as it is produced (``Aggregator.combineValuesByKey``
+        interleaving with the upstream map work); otherwise batches are
+        routed to their buckets immediately.  Buckets are written out at
+        task end, as Spark's sort-shuffle writer does.
+        """
+        self.builder.set_contention(contention)
+        task_stack = self.ctx.frames.task_stack(shuffle_map=True)
+        dep: ShuffledRDD = stage.shuffle_dep
+        sid, write_stack = stage.stage_id, self.ctx.frames.shuffle_write(task_stack)
+
+        if dep.map_side_combine:
+            cmap = _CombinerMap(dep.aggregator, merge_combiners=False)
+            combine_stack = self.ctx.frames.map_side_combine(task_stack)
+
+            def sink(batch: list[Any]) -> None:
+                cmap.insert_batch(batch)
+                self._emit(
+                    combine_stack,
+                    OpKind.REDUCE,
+                    AccessPattern.random(cmap.working_set_bytes),
+                    INST_COMBINE_INSERT * len(batch),
+                    sid,
+                    task_id,
+                )
+
+            self._run_pipeline(stage.rdd, split, task_stack, sid, task_id, sink)
+            records = cmap.items()
+            self._account_alloc(len(records) * cmap.entry_bytes, sid, task_id)
+            buckets = self._partition_records(
+                records, dep, write_stack, sid, task_id
+            )
+        else:
+            partitioner = dep.partitioner
+            assert partitioner is not None, "partitioner must be fitted first"
+            buckets = [[] for _ in range(partitioner.num_partitions)]
+
+            def sink(batch: list[Any]) -> None:
+                for rec in batch:
+                    buckets[partitioner.partition(rec[0])].append(rec)
+                self._emit(
+                    write_stack,
+                    OpKind.SHUFFLE,
+                    AccessPattern.sequential(max(1.0, batch_total_bytes(batch))),
+                    INST_PARTITION_RECORD * len(batch),
+                    sid,
+                    task_id,
+                )
+
+            self._run_pipeline(stage.rdd, split, task_stack, sid, task_id, sink)
+
+        for reduce_part, bucket in enumerate(buckets):
+            nbytes = self.ctx.shuffle.write_block(
+                dep.shuffle_id, task_id, reduce_part, bucket
+            )
+            self._emit(
+                write_stack,
+                OpKind.IO,
+                AccessPattern.sequential(max(1.0, float(nbytes))),
+                nbytes * self.cfg.io_write_inst_per_byte,
+                sid,
+                task_id,
+            )
+
+    def _partition_records(
+        self,
+        records: list[Any],
+        dep: ShuffledRDD,
+        write_stack: CallStack,
+        stage_id: int,
+        task_id: int,
+    ) -> list[list[Any]]:
+        """Route combined records to their reduce buckets."""
+        partitioner = dep.partitioner
+        assert partitioner is not None
+        buckets: list[list[Any]] = [[] for _ in range(partitioner.num_partitions)]
+        bsize = self._batch_size(INST_PARTITION_RECORD)
+        for i in range(0, len(records), bsize):
+            batch = records[i : i + bsize]
+            for rec in batch:
+                buckets[partitioner.partition(rec[0])].append(rec)
+            self._emit(
+                write_stack,
+                OpKind.SHUFFLE,
+                AccessPattern.sequential(max(1.0, batch_total_bytes(batch))),
+                INST_PARTITION_RECORD * len(batch),
+                stage_id,
+                task_id,
+            )
+        return buckets
+
+    def run_result_task(
+        self,
+        stage: Any,
+        split: int,
+        task_id: int,
+        contention: int,
+        action: Callable[[list[Any], CallStack, int, int], Any],
+    ) -> Any:
+        """Compute a partition and apply the action to it."""
+        self.builder.set_contention(contention)
+        task_stack = self.ctx.frames.task_stack(shuffle_map=False)
+        records = self.compute(stage.rdd, split, task_stack, stage.stage_id, task_id)
+        return action(records, task_stack, stage.stage_id, task_id)
+
+    def run_save_task(
+        self, stage: Any, split: int, task_id: int, contention: int, path: str
+    ) -> int:
+        """Result task whose action writes text output, pipelined.
+
+        Formatting and HDFS writes interleave with the upstream chain
+        (one write burst per batch), as a real ``saveAsTextFile`` task's
+        record writer does.
+        """
+        self.builder.set_contention(contention)
+        task_stack = self.ctx.frames.task_stack(shuffle_map=False)
+        sid = stage.stage_id
+        write_stack = self.ctx.frames.hdfs_write(task_stack)
+        lines: list[str] = []
+
+        def sink(batch: list[Any]) -> None:
+            formatted = [format_record(r) for r in batch]
+            lines.extend(formatted)
+            nbytes = sum(len(s) + 1 for s in formatted)
+            self._emit(
+                write_stack,
+                OpKind.IO,
+                AccessPattern.sequential(max(1.0, float(nbytes))),
+                nbytes * self.cfg.io_write_inst_per_byte
+                + len(batch) * self.cfg.format_inst_per_record,
+                sid,
+                task_id,
+            )
+
+        self._run_pipeline(stage.rdd, split, task_stack, sid, task_id, sink)
+        self.ctx.fs.append_block(f"{path}/part-{task_id:05d}", lines)
+        return len(lines)

@@ -1,0 +1,259 @@
+"""Narrow-transformation operations.
+
+Every narrow RDD transformation is described by an :class:`Operation`:
+what it computes (a batch function over records), how it appears in
+call stacks (the frames pushed under the task runner), and what it
+costs on the hardware model (instructions per record and a memory
+access pattern).  The executor applies operations batch-by-batch,
+emitting one trace segment per (operation, batch).
+
+Instruction costs are *simulated instructions per record*, calibrated
+so that JVM-grade per-record overheads (iterator plumbing, boxing,
+virtual dispatch) land a sampling unit of 100 M instructions on a few
+hundred record operations — the same order as the paper's setup at 10 G
+input scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.hdfs.filesystem import estimate_record_bytes
+from repro.jvm.machine import AccessPattern, OpKind
+
+__all__ = [
+    "Operation",
+    "CustomOp",
+    "make_map_op",
+    "make_flat_map_op",
+    "make_filter_op",
+    "make_map_partitions_op",
+    "make_map_values_op",
+    "batch_bytes",
+]
+
+Frame = tuple[str, str]
+
+# Default simulated-instruction costs per record (see module docstring).
+INST_MAP = 220_000.0
+INST_FLAT_MAP = 260_000.0
+INST_FILTER = 140_000.0
+INST_MAP_VALUES = 180_000.0
+
+
+def batch_bytes(batch: list[Any]) -> float:
+    """Estimated byte size of a batch (first record × count).
+
+    Records within a batch are homogeneous by construction, so sampling
+    one record keeps the estimate O(1) instead of O(batch).
+    """
+    if not batch:
+        return 0.0
+    return float(estimate_record_bytes(batch[0]) * len(batch))
+
+
+@dataclass
+class Operation:
+    """One narrow transformation as the executor sees it.
+
+    Parameters
+    ----------
+    name:
+        Operation name for stage naming and debugging (``"map"``, …).
+    frames:
+        ``(class, method)`` frames pushed under the task stack while
+        this operation runs; the leaf frame is what JVMTI snapshots see.
+    op_kind:
+        Hardware-model operation kind (also the phase-type ground truth).
+    batch_fn:
+        ``batch -> batch`` transform over a list of records.  May carry
+        per-partition state (see :meth:`new_state`); stateful subclasses
+        receive the state as a second argument.
+    inst_per_record:
+        Simulated instructions per *input* record.
+    inst_fn:
+        Optional override: ``batch -> instructions`` for operations
+        whose cost is not per-record (e.g. per-edge-chunk graph kernels).
+    access_fn:
+        Optional override: ``(batch, state) -> AccessPattern``; default
+        is a streaming scan over the batch bytes.
+    """
+
+    name: str
+    frames: tuple[Frame, ...]
+    op_kind: OpKind
+    batch_fn: Callable[[list[Any]], list[Any]]
+    inst_per_record: float = INST_MAP
+    inst_fn: Callable[[list[Any]], float] | None = None
+    access_fn: Callable[[list[Any], Any], AccessPattern] | None = None
+    stateful: bool = False
+
+    def new_state(self) -> Any:
+        """Fresh per-partition state (None for stateless operations)."""
+        return None
+
+    def apply(self, batch: list[Any], state: Any) -> list[Any]:
+        """Transform one batch of records."""
+        return self.batch_fn(batch)
+
+    def instructions(self, batch: list[Any]) -> float:
+        """Simulated instructions to process ``batch``."""
+        if self.inst_fn is not None:
+            return self.inst_fn(batch)
+        return self.inst_per_record * len(batch)
+
+    def access(self, batch: list[Any], state: Any) -> AccessPattern:
+        """Memory pattern while processing ``batch``."""
+        if self.access_fn is not None:
+            return self.access_fn(batch, state)
+        return AccessPattern.sequential(max(1.0, batch_bytes(batch)))
+
+
+class CustomOp(Operation):
+    """A stateful operation for workload-specific kernels.
+
+    ``batch_fn`` receives ``(batch, state)`` where ``state`` is produced
+    by ``state_fn`` once per partition — the hook GraphX-style kernels
+    (``aggregateUsingIndex`` etc.) use to model structures that grow
+    across batches.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        frames: tuple[Frame, ...],
+        op_kind: OpKind,
+        batch_fn: Callable[[list[Any], Any], list[Any]],
+        *,
+        state_fn: Callable[[], Any] | None = None,
+        inst_per_record: float = INST_MAP,
+        inst_fn: Callable[[list[Any]], float] | None = None,
+        access_fn: Callable[[list[Any], Any], AccessPattern] | None = None,
+    ) -> None:
+        super().__init__(
+            name=name,
+            frames=frames,
+            op_kind=op_kind,
+            batch_fn=batch_fn,  # type: ignore[arg-type]
+            inst_per_record=inst_per_record,
+            inst_fn=inst_fn,
+            access_fn=access_fn,
+            stateful=True,
+        )
+        self._state_fn = state_fn
+
+    def new_state(self) -> Any:
+        return self._state_fn() if self._state_fn else {}
+
+    def apply(self, batch: list[Any], state: Any) -> list[Any]:
+        return self.batch_fn(batch, state)  # type: ignore[call-arg]
+
+
+def _anon_frames(op: str, fn_name: str) -> tuple[Frame, ...]:
+    """Frames Spark shows for a user closure under an RDD operation."""
+    return (
+        (f"org.apache.spark.rdd.RDD$$anonfun${op}", "apply"),
+        ("scala.collection.Iterator$$anon$11", "next"),
+        (fn_name.rsplit(".", 1)[0] or fn_name, fn_name.rsplit(".", 1)[-1]),
+    )
+
+
+def make_map_op(
+    fn: Callable[[Any], Any],
+    fn_name: str = "closure.apply",
+    *,
+    inst_per_record: float = INST_MAP,
+    op_kind: OpKind = OpKind.MAP,
+) -> Operation:
+    """Element-wise ``map`` operation."""
+    return Operation(
+        name="map",
+        frames=_anon_frames("map", fn_name),
+        op_kind=op_kind,
+        batch_fn=lambda batch: [fn(x) for x in batch],
+        inst_per_record=inst_per_record,
+    )
+
+
+def make_flat_map_op(
+    fn: Callable[[Any], Iterable[Any]],
+    fn_name: str = "closure.apply",
+    *,
+    inst_per_record: float = INST_FLAT_MAP,
+) -> Operation:
+    """``flatMap``: one record in, zero or more out."""
+
+    def batch_fn(batch: list[Any]) -> list[Any]:
+        out: list[Any] = []
+        for x in batch:
+            out.extend(fn(x))
+        return out
+
+    return Operation(
+        name="flatMap",
+        frames=_anon_frames("flatMap", fn_name),
+        op_kind=OpKind.MAP,
+        batch_fn=batch_fn,
+        inst_per_record=inst_per_record,
+    )
+
+
+def make_filter_op(
+    pred: Callable[[Any], bool],
+    fn_name: str = "closure.apply",
+    *,
+    inst_per_record: float = INST_FILTER,
+) -> Operation:
+    """``filter``: keep records satisfying ``pred``."""
+    return Operation(
+        name="filter",
+        frames=_anon_frames("filter", fn_name),
+        op_kind=OpKind.MAP,
+        batch_fn=lambda batch: [x for x in batch if pred(x)],
+        inst_per_record=inst_per_record,
+    )
+
+
+def make_map_partitions_op(
+    fn: Callable[[list[Any]], list[Any]],
+    fn_name: str = "closure.apply",
+    *,
+    inst_per_record: float = INST_MAP,
+    inst_fn: Callable[[list[Any]], float] | None = None,
+    op_kind: OpKind = OpKind.MAP,
+    access_fn: Callable[[list[Any], Any], AccessPattern] | None = None,
+    frames: tuple[Frame, ...] | None = None,
+) -> Operation:
+    """``mapPartitions``: transform records in bulk.
+
+    The executor chunks a partition into batches, so ``fn`` may be
+    called several times per partition; this matches Spark's contract
+    only for per-element-decomposable functions, which is all the
+    workloads need.
+    """
+    return Operation(
+        name="mapPartitions",
+        frames=frames or _anon_frames("mapPartitions", fn_name),
+        op_kind=op_kind,
+        batch_fn=fn,
+        inst_per_record=inst_per_record,
+        inst_fn=inst_fn,
+        access_fn=access_fn,
+    )
+
+
+def make_map_values_op(
+    fn: Callable[[Any], Any],
+    fn_name: str = "closure.apply",
+    *,
+    inst_per_record: float = INST_MAP_VALUES,
+) -> Operation:
+    """``mapValues``: transform the value of each key-value pair."""
+    return Operation(
+        name="mapValues",
+        frames=_anon_frames("mapValues", fn_name),
+        op_kind=OpKind.MAP,
+        batch_fn=lambda batch: [(k, fn(v)) for k, v in batch],
+        inst_per_record=inst_per_record,
+    )

@@ -1,0 +1,446 @@
+"""RDDs: lazy, immutable, lineage-carrying datasets.
+
+The transformation surface mirrors the subset of Spark the paper's
+workloads use: ``map`` / ``flatMap`` / ``filter`` / ``mapPartitions`` /
+``mapValues`` / ``union`` as narrow transformations, and
+``reduceByKey`` / ``groupByKey`` / ``sortByKey`` / ``combineByKey`` /
+``join`` as shuffles.  Nothing executes until an action
+(``collect`` / ``count`` / ``reduce`` / ``saveAsTextFile``) hands the
+lineage to the DAG scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from repro.spark.ops import (
+    CustomOp,
+    Operation,
+    make_filter_op,
+    make_flat_map_op,
+    make_map_op,
+    make_map_partitions_op,
+    make_map_values_op,
+)
+from repro.spark.shuffle import Aggregator, HashPartitioner, RangePartitioner
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.spark.context import SparkContext
+
+__all__ = [
+    "RDD",
+    "HadoopRDD",
+    "ParallelCollectionRDD",
+    "NarrowRDD",
+    "UnionRDD",
+    "ShuffledRDD",
+]
+
+
+class RDD:
+    """Base class: lineage node + the lazy transformation API."""
+
+    def __init__(self, ctx: "SparkContext", name: str) -> None:
+        self.ctx = ctx
+        self.name = name
+        self.rdd_id = ctx._next_rdd_id()
+        self.is_cached = False
+
+    # -- persistence -------------------------------------------------------
+
+    def cache(self) -> "RDD":
+        """Mark this RDD for in-memory caching.
+
+        The first job that computes a partition tees it into the block
+        store; later jobs read it back (cheap memory scans) instead of
+        recomputing the lineage — Spark's semantics for iterative
+        workloads.
+        """
+        self.is_cached = True
+        return self
+
+    def persist(self) -> "RDD":
+        """Alias of :meth:`cache` (memory-only storage level)."""
+        return self.cache()
+
+    def unpersist(self) -> "RDD":
+        """Drop the cached blocks and stop caching new ones."""
+        self.is_cached = False
+        self.ctx.block_store.evict_rdd(self.rdd_id)
+        return self
+
+    # -- structure (overridden by concrete nodes) -------------------------
+
+    @property
+    def parents(self) -> tuple["RDD", ...]:
+        """Lineage parents (empty for sources)."""
+        return ()
+
+    def num_partitions(self) -> int:
+        """Number of partitions this RDD materialises as."""
+        raise NotImplementedError
+
+    # -- narrow transformations -------------------------------------------
+
+    def _narrow(self, op: Operation, name: str | None = None) -> "NarrowRDD":
+        return NarrowRDD(self.ctx, self, op, name or op.name)
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        fn_name: str = "closure.apply",
+        **cost: Any,
+    ) -> "NarrowRDD":
+        """Element-wise transformation."""
+        return self._narrow(make_map_op(fn, fn_name, **cost))
+
+    def flat_map(
+        self,
+        fn: Callable[[Any], Iterable[Any]],
+        fn_name: str = "closure.apply",
+        **cost: Any,
+    ) -> "NarrowRDD":
+        """One-to-many transformation."""
+        return self._narrow(make_flat_map_op(fn, fn_name, **cost))
+
+    def filter(
+        self,
+        pred: Callable[[Any], bool],
+        fn_name: str = "closure.apply",
+        **cost: Any,
+    ) -> "NarrowRDD":
+        """Keep records satisfying ``pred``."""
+        return self._narrow(make_filter_op(pred, fn_name, **cost))
+
+    def map_partitions(
+        self,
+        fn: Callable[[list[Any]], list[Any]],
+        fn_name: str = "closure.apply",
+        **cost: Any,
+    ) -> "NarrowRDD":
+        """Bulk transformation of partition chunks."""
+        return self._narrow(make_map_partitions_op(fn, fn_name, **cost))
+
+    def map_values(
+        self,
+        fn: Callable[[Any], Any],
+        fn_name: str = "closure.apply",
+        **cost: Any,
+    ) -> "NarrowRDD":
+        """Transform values of key-value records."""
+        return self._narrow(make_map_values_op(fn, fn_name, **cost))
+
+    def custom_op(self, op: CustomOp) -> "NarrowRDD":
+        """Attach a workload-defined operation (GraphX-style kernels)."""
+        return self._narrow(op, op.name)
+
+    def union(self, other: "RDD") -> "UnionRDD":
+        """Concatenate partitions of two RDDs (narrow)."""
+        return UnionRDD(self.ctx, (self, other))
+
+    def keys(self) -> "NarrowRDD":
+        """Keys of key-value records."""
+        return self.map(lambda kv: kv[0], "org.apache.spark.rdd.RDD.keys",
+                        inst_per_record=20_000.0)
+
+    def values(self) -> "NarrowRDD":
+        """Values of key-value records."""
+        return self.map(lambda kv: kv[1], "org.apache.spark.rdd.RDD.values",
+                        inst_per_record=20_000.0)
+
+    def distinct(self, num_partitions: int | None = None) -> "NarrowRDD":
+        """Deduplicate records (a reduceByKey under the hood, as in
+        Spark)."""
+        return (
+            self.map(lambda x: (x, None),
+                     "org.apache.spark.rdd.RDD$$anonfun$distinct$1.apply",
+                     inst_per_record=60_000.0)
+            .reduce_by_key(lambda a, _b: a, num_partitions)
+            .keys()
+        )
+
+    def sample(self, fraction: float, seed: int = 0) -> "NarrowRDD":
+        """Bernoulli sample of the records.
+
+        Each partition draws from a generator seeded by ``seed`` (the
+        simulator has no task-partition id in the closure, so all
+        partitions share the seed — deterministic, slightly correlated
+        across partitions, fine for workload modelling).
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        import numpy as _np
+
+        from repro.spark.ops import CustomOp
+        from repro.jvm.machine import OpKind
+
+        def batch_fn(batch: list[Any], state: Any) -> list[Any]:
+            keep = state["rng"].random(len(batch)) < fraction
+            return [x for x, k in zip(batch, keep) if k]
+
+        return self.custom_op(
+            CustomOp(
+                name="sample",
+                frames=(
+                    ("org.apache.spark.rdd.PartitionwiseSampledRDD", "compute"),
+                    ("org.apache.spark.util.random.BernoulliSampler", "sample"),
+                ),
+                op_kind=OpKind.MAP,
+                batch_fn=batch_fn,
+                state_fn=lambda: {"rng": _np.random.default_rng(seed)},
+                inst_per_record=30_000.0,
+            )
+        )
+
+    def coalesce(self, num_partitions: int) -> "CoalescedRDD":
+        """Narrow repartition into fewer partitions."""
+        return CoalescedRDD(self.ctx, self, num_partitions)
+
+    # -- shuffles -----------------------------------------------------------
+
+    def combine_by_key(
+        self,
+        aggregator: Aggregator,
+        num_partitions: int | None = None,
+        *,
+        map_side_combine: bool = True,
+        op_name: str = "combineByKey",
+    ) -> "ShuffledRDD":
+        """General shuffle with combine functions."""
+        n = num_partitions or self.ctx.config.default_parallelism
+        return ShuffledRDD(
+            self.ctx,
+            self,
+            partitioner=HashPartitioner(n),
+            aggregator=aggregator,
+            map_side_combine=map_side_combine,
+            key_ordering=False,
+            name=op_name,
+        )
+
+    def reduce_by_key(
+        self,
+        fn: Callable[[Any, Any], Any],
+        num_partitions: int | None = None,
+        *,
+        map_side_combine: bool = True,
+    ) -> "ShuffledRDD":
+        """Merge values per key; combines map-side by default."""
+        return self.combine_by_key(
+            Aggregator.from_reduce(fn),
+            num_partitions,
+            map_side_combine=map_side_combine,
+            op_name="reduceByKey",
+        )
+
+    def group_by_key(self, num_partitions: int | None = None) -> "ShuffledRDD":
+        """Group values per key (no map-side combine, like Spark)."""
+        return self.combine_by_key(
+            Aggregator.group(),
+            num_partitions,
+            map_side_combine=False,
+            op_name="groupByKey",
+        )
+
+    def sort_by_key(self, num_partitions: int | None = None) -> "ShuffledRDD":
+        """Range-partition by key and sort each partition."""
+        n = num_partitions or self.ctx.config.default_parallelism
+        return ShuffledRDD(
+            self.ctx,
+            self,
+            partitioner=None,  # RangePartitioner fitted at submit time
+            aggregator=None,
+            map_side_combine=False,
+            key_ordering=True,
+            name="sortByKey",
+            num_range_partitions=n,
+        )
+
+    def join(
+        self, other: "RDD", num_partitions: int | None = None
+    ) -> "NarrowRDD":
+        """Inner join of two key-value RDDs (via cogroup + flatten)."""
+        n = num_partitions or self.ctx.config.default_parallelism
+        tagged_self = self.map_values(lambda v: (0, v), "join.tagLeft")
+        tagged_other = other.map_values(lambda v: (1, v), "join.tagRight")
+        grouped = tagged_self.union(tagged_other).group_by_key(n)
+
+        def emit_pairs(batch: list[Any]) -> list[Any]:
+            out = []
+            for key, tagged in batch:
+                left = [v for t, v in tagged if t == 0]
+                right = [v for t, v in tagged if t == 1]
+                for lv in left:
+                    for rv in right:
+                        out.append((key, (lv, rv)))
+            return out
+
+        return grouped.map_partitions(
+            emit_pairs, "org.apache.spark.rdd.PairRDDFunctions.join"
+        )
+
+    # -- actions -------------------------------------------------------------
+
+    def collect(self) -> list[Any]:
+        """Materialise every record on the driver."""
+        return self.ctx.scheduler.run_collect(self)
+
+    def count(self) -> int:
+        """Number of records."""
+        return self.ctx.scheduler.run_count(self)
+
+    def reduce(self, fn: Callable[[Any, Any], Any]) -> Any:
+        """Fold all records with ``fn`` (partitions first, then driver)."""
+        return self.ctx.scheduler.run_reduce(self, fn)
+
+    def save_as_text_file(self, path: str) -> None:
+        """Format records as text and write them to simulated HDFS."""
+        self.ctx.scheduler.run_save_text(self, path)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name} id={self.rdd_id}>"
+
+
+class HadoopRDD(RDD):
+    """Source RDD reading a simulated-HDFS file; one partition per block."""
+
+    def __init__(self, ctx: "SparkContext", path: str) -> None:
+        super().__init__(ctx, f"hadoopFile({path})")
+        self.path = path
+        self._n_blocks = ctx.fs.stat(path).n_blocks
+
+    def num_partitions(self) -> int:
+        return self._n_blocks
+
+
+class ParallelCollectionRDD(RDD):
+    """Driver-side collection chopped into ``n`` partitions."""
+
+    def __init__(self, ctx: "SparkContext", data: list[Any], n: int) -> None:
+        super().__init__(ctx, "parallelize")
+        if n <= 0:
+            raise ValueError("need at least one partition")
+        self.slices: list[list[Any]] = [list(data[i::n]) for i in range(n)]
+
+    def num_partitions(self) -> int:
+        return len(self.slices)
+
+
+class NarrowRDD(RDD):
+    """One narrow operation applied over a parent RDD."""
+
+    def __init__(
+        self, ctx: "SparkContext", parent: RDD, op: Operation, name: str
+    ) -> None:
+        super().__init__(ctx, name)
+        self.parent = parent
+        self.op = op
+
+    @property
+    def parents(self) -> tuple[RDD, ...]:
+        return (self.parent,)
+
+    def num_partitions(self) -> int:
+        return self.parent.num_partitions()
+
+
+class UnionRDD(RDD):
+    """Concatenation of the partitions of several parents."""
+
+    def __init__(self, ctx: "SparkContext", rdds: tuple[RDD, ...]) -> None:
+        super().__init__(ctx, "union")
+        self.rdds = rdds
+
+    @property
+    def parents(self) -> tuple[RDD, ...]:
+        return self.rdds
+
+    def num_partitions(self) -> int:
+        return sum(r.num_partitions() for r in self.rdds)
+
+    def resolve_split(self, split: int) -> tuple[RDD, int]:
+        """Map a union partition index to ``(parent, parent_split)``."""
+        for rdd in self.rdds:
+            n = rdd.num_partitions()
+            if split < n:
+                return rdd, split
+            split -= n
+        raise IndexError("union split out of range")
+
+
+class CoalescedRDD(RDD):
+    """Fewer partitions without a shuffle (each new split drains a
+    contiguous group of parent splits)."""
+
+    def __init__(self, ctx: "SparkContext", parent: RDD, n: int) -> None:
+        super().__init__(ctx, f"coalesce({n})")
+        if n <= 0:
+            raise ValueError("need at least one partition")
+        self.parent = parent
+        self._n = min(n, parent.num_partitions())
+
+    @property
+    def parents(self) -> tuple[RDD, ...]:
+        return (self.parent,)
+
+    def num_partitions(self) -> int:
+        return self._n
+
+    def parent_splits(self, split: int) -> list[int]:
+        """Parent partition indices drained by ``split``."""
+        if not 0 <= split < self._n:
+            raise IndexError("coalesce split out of range")
+        total = self.parent.num_partitions()
+        start = split * total // self._n
+        stop = (split + 1) * total // self._n
+        return list(range(start, stop))
+
+
+class ShuffledRDD(RDD):
+    """Wide dependency: the output side of a shuffle.
+
+    ``partitioner`` is fixed for hash shuffles; for ``sortByKey`` it is
+    fitted from a key sample when the job is submitted (Spark runs a
+    sampling job at the same point).
+    """
+
+    def __init__(
+        self,
+        ctx: "SparkContext",
+        parent: RDD,
+        *,
+        partitioner: HashPartitioner | None,
+        aggregator: Aggregator | None,
+        map_side_combine: bool,
+        key_ordering: bool,
+        name: str,
+        num_range_partitions: int | None = None,
+    ) -> None:
+        super().__init__(ctx, name)
+        if map_side_combine and aggregator is None:
+            raise ValueError("map-side combine requires an aggregator")
+        self.parent = parent
+        self.partitioner: HashPartitioner | RangePartitioner | None = partitioner
+        self.aggregator = aggregator
+        self.map_side_combine = map_side_combine
+        self.key_ordering = key_ordering
+        self.num_range_partitions = num_range_partitions
+        self.shuffle_id = ctx._next_shuffle_id()
+
+    @property
+    def parents(self) -> tuple[RDD, ...]:
+        return (self.parent,)
+
+    def num_partitions(self) -> int:
+        if self.partitioner is not None:
+            return self.partitioner.num_partitions
+        assert self.num_range_partitions is not None
+        return self.num_range_partitions
+
+    def fit_range_partitioner(self, sample_keys: list[Any]) -> None:
+        """Fit the range partitioner from a key sample (sortByKey)."""
+        assert self.key_ordering
+        assert self.num_range_partitions is not None
+        self.partitioner = RangePartitioner.from_sample(
+            sample_keys, self.num_range_partitions
+        )

@@ -1,0 +1,149 @@
+"""DAG scheduler: run stages in dependency order, tasks in waves.
+
+Tasks of a stage are dealt to the executor pool in waves of at most
+``n_executors`` tasks.  Every task in a wave shares the LLC with the
+rest of the wave, so the contention passed to the hardware model equals
+the wave size — a full wave squeezes each thread's effective cache, a
+ragged final wave does not, which is one of the organic sources of
+intra-phase CPI variation (the paper's *phase interleaving*).
+"""
+
+from __future__ import annotations
+
+from functools import reduce as _functools_reduce
+from typing import Any, Callable
+
+from repro.jvm.job import StageInfo
+from repro.spark.dag import Stage, build_stages
+from repro.spark.rdd import RDD
+
+__all__ = ["DAGScheduler"]
+
+
+class DAGScheduler:
+    """Drives a job: builds stages, fits partitioners, runs tasks."""
+
+    def __init__(self, ctx: Any) -> None:
+        self.ctx = ctx
+        self._next_task_id = 0
+
+    # -- public actions -----------------------------------------------------
+
+    def run_collect(self, final_rdd: RDD) -> list[Any]:
+        """``collect()``: gather all records on the driver."""
+
+        def action(records: list[Any], _stack: Any, _sid: int, _tid: int) -> list[Any]:
+            return records
+
+        parts = self._run_job(final_rdd, action)
+        out: list[Any] = []
+        for p in parts:
+            out.extend(p)
+        return out
+
+    def run_count(self, final_rdd: RDD) -> int:
+        """``count()``: number of records."""
+
+        def action(records: list[Any], _stack: Any, _sid: int, _tid: int) -> int:
+            return len(records)
+
+        return sum(self._run_job(final_rdd, action))
+
+    def run_reduce(self, final_rdd: RDD, fn: Callable[[Any, Any], Any]) -> Any:
+        """``reduce(fn)``: per-partition folds, then a driver fold."""
+
+        def action(records: list[Any], _stack: Any, _sid: int, _tid: int) -> Any:
+            return _functools_reduce(fn, records) if records else None
+
+        partials = [p for p in self._run_job(final_rdd, action) if p is not None]
+        if not partials:
+            raise ValueError("reduce of an empty RDD")
+        return _functools_reduce(fn, partials)
+
+    def run_save_text(self, final_rdd: RDD, path: str) -> None:
+        """``saveAsTextFile(path)``: write one part-file per task."""
+        self._run_job(final_rdd, None, save_path=path)
+
+    # -- job execution ---------------------------------------------------------
+
+    def _run_job(
+        self,
+        final_rdd: RDD,
+        action: Callable[..., Any] | None,
+        save_path: str | None = None,
+    ) -> list[Any]:
+        stages = build_stages(final_rdd)
+        for stage in stages:
+            self.ctx.record_stage(
+                StageInfo(
+                    stage_id=stage.stage_id, name=stage.name, n_tasks=stage.num_tasks()
+                )
+            )
+            if stage.is_result:
+                return self._run_result_stage(stage, action, save_path)
+            self._run_shuffle_stage(stage)
+        raise AssertionError("job had no result stage")
+
+    def _fit_partitioner_if_needed(self, stage: Stage) -> None:
+        """Fit a RangePartitioner by sampling the stage's map output.
+
+        Spark runs a separate sampling job for ``sortByKey``; we sample
+        partition 0 with a silent executor so the sampling pass does not
+        pollute the profile.
+        """
+        dep = stage.shuffle_dep
+        if dep is None or dep.partitioner is not None:
+            return
+        sampler = self.ctx.make_silent_executor()
+        task_stack = self.ctx.frames.task_stack(shuffle_map=True)
+        sample_keys: list[Any] = []
+        n_parts = stage.rdd.num_partitions()
+        for split in range(min(2, n_parts)):
+            records = sampler.compute(stage.rdd, split, task_stack, -1, -1)
+            sample_keys.extend(k for k, _v in records[:20000])
+        dep.fit_range_partitioner(sample_keys)
+
+    def _waves(self, n_tasks: int) -> list[list[int]]:
+        n_exec = len(self.ctx.executors)
+        return [
+            list(range(start, min(start + n_exec, n_tasks)))
+            for start in range(0, n_tasks, n_exec)
+        ]
+
+    def _run_shuffle_stage(self, stage: Stage) -> None:
+        self._fit_partitioner_if_needed(stage)
+        for wave in self._waves(stage.num_tasks()):
+            contention = len(wave)
+            for slot, split in enumerate(wave):
+                executor = self.ctx.executors[slot]
+                task_id = self._next_task_id
+                self._next_task_id += 1
+                executor.run_shuffle_map_task(stage, split, task_id, contention)
+
+    def _run_result_stage(
+        self,
+        stage: Stage,
+        action: Callable[..., Any] | None,
+        save_path: str | None,
+    ) -> list[Any]:
+        results: list[Any] = []
+        for wave in self._waves(stage.num_tasks()):
+            contention = len(wave)
+            for slot, split in enumerate(wave):
+                executor = self.ctx.executors[slot]
+                task_id = self._next_task_id
+                self._next_task_id += 1
+                if save_path is not None:
+                    results.append(
+                        executor.run_save_task(
+                            stage, split, task_id, contention, save_path
+                        )
+                    )
+                else:
+                    assert action is not None
+                    results.append(
+                        executor.run_result_task(
+                            stage, split, task_id, contention, action
+                        )
+                    )
+        return results

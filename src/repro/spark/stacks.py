@@ -1,0 +1,164 @@
+"""Canonical Spark call-stack frames.
+
+The simulated JVMTI reports stacks that look like real Spark executor
+stacks (Figure 5 of the paper): thread entry frames, then the task
+runner, then the operation-specific frames, then leaf frames such as
+serialisation or disk writes.  This module centralises the frame
+vocabulary so that workloads, the executor and tests all agree on it.
+"""
+
+from __future__ import annotations
+
+from repro.jvm.methods import CallStack, MethodRegistry
+
+__all__ = ["SparkFrames"]
+
+Frame = tuple[str, str]
+
+EXECUTOR_BASE: tuple[Frame, ...] = (
+    ("java.lang.Thread", "run"),
+    ("java.util.concurrent.ThreadPoolExecutor$Worker", "run"),
+    ("org.apache.spark.executor.Executor$TaskRunner", "run"),
+)
+
+SHUFFLE_MAP_TASK: tuple[Frame, ...] = (
+    ("org.apache.spark.scheduler.Task", "run"),
+    ("org.apache.spark.scheduler.ShuffleMapTask", "runTask"),
+)
+
+RESULT_TASK: tuple[Frame, ...] = (
+    ("org.apache.spark.scheduler.Task", "run"),
+    ("org.apache.spark.scheduler.ResultTask", "runTask"),
+)
+
+HDFS_READ: tuple[Frame, ...] = (
+    ("org.apache.spark.rdd.HadoopRDD$$anon$1", "getNext"),
+    ("org.apache.hadoop.hdfs.DFSInputStream", "read"),
+)
+
+HDFS_WRITE: tuple[Frame, ...] = (
+    ("org.apache.spark.rdd.PairRDDFunctions", "saveAsHadoopDataset"),
+    ("org.apache.hadoop.mapred.TextOutputFormat$LineRecordWriter", "write"),
+    ("org.apache.hadoop.hdfs.DFSOutputStream", "write"),
+)
+
+SHUFFLE_WRITE: tuple[Frame, ...] = (
+    ("org.apache.spark.shuffle.sort.SortShuffleWriter", "write"),
+    ("org.apache.spark.storage.DiskBlockObjectWriter", "write"),
+    ("java.io.ObjectOutputStream", "writeObject"),
+)
+
+SHUFFLE_READ: tuple[Frame, ...] = (
+    ("org.apache.spark.storage.ShuffleBlockFetcherIterator", "next"),
+    ("java.io.ObjectInputStream", "readObject"),
+)
+
+MAP_SIDE_COMBINE: tuple[Frame, ...] = (
+    ("org.apache.spark.shuffle.sort.SortShuffleWriter", "write"),
+    ("org.apache.spark.Aggregator", "combineValuesByKey"),
+    ("org.apache.spark.util.collection.ExternalAppendOnlyMap", "insertAll"),
+    ("org.apache.spark.util.collection.AppendOnlyMap", "changeValue"),
+)
+
+REDUCE_SIDE_COMBINE: tuple[Frame, ...] = (
+    ("org.apache.spark.Aggregator", "combineCombinersByKey"),
+    ("org.apache.spark.util.collection.ExternalAppendOnlyMap", "insertAll"),
+    ("org.apache.spark.util.collection.AppendOnlyMap", "changeValue"),
+)
+
+SORT_BY_KEY: tuple[Frame, ...] = (
+    ("org.apache.spark.rdd.ShuffledRDD", "compute"),
+    ("org.apache.spark.util.collection.ExternalSorter", "insertAll"),
+    ("org.apache.spark.util.collection.TimSort", "sort"),
+)
+
+CACHE_READ: tuple[Frame, ...] = (
+    ("org.apache.spark.storage.BlockManager", "getLocalValues"),
+    ("org.apache.spark.storage.memory.MemoryStore", "getValues"),
+)
+
+CACHE_WRITE: tuple[Frame, ...] = (
+    ("org.apache.spark.storage.BlockManager", "doPutIterator"),
+    ("org.apache.spark.storage.memory.MemoryStore", "putIteratorAsValues"),
+)
+
+GC: tuple[Frame, ...] = (
+    ("jvm.internal.SafepointSynchronize", "begin"),
+    ("jvm.gc.G1CollectedHeap", "collect"),
+    ("jvm.gc.G1YoungCollector", "evacuate"),
+)
+
+
+class SparkFrames:
+    """Interns the canonical Spark frames against one registry and
+    assembles full task stacks from them."""
+
+    def __init__(self, registry: MethodRegistry) -> None:
+        self.registry = registry
+        self._executor_base = self._intern(EXECUTOR_BASE)
+        self._shuffle_map = self._intern(SHUFFLE_MAP_TASK)
+        self._result = self._intern(RESULT_TASK)
+
+    def _intern(self, frames: tuple[Frame, ...]) -> tuple[int, ...]:
+        return tuple(self.registry.intern(c, m) for c, m in frames)
+
+    def intern_frames(self, frames: tuple[Frame, ...]) -> tuple[int, ...]:
+        """Intern arbitrary ``(class, method)`` frames."""
+        return self._intern(frames)
+
+    def executor_stack(self) -> CallStack:
+        """Stack of an idle executor thread (levels 1–3 of Figure 5)."""
+        return CallStack(self._executor_base)
+
+    def task_stack(self, *, shuffle_map: bool) -> CallStack:
+        """Executor stack with the task-runner frames pushed."""
+        task = self._shuffle_map if shuffle_map else self._result
+        return CallStack(self._executor_base + task)
+
+    def with_frames(
+        self, base: CallStack, frames: tuple[Frame, ...]
+    ) -> CallStack:
+        """Push named frames (interning them) onto ``base``."""
+        return base.push_all(self._intern(frames))
+
+    # Convenience accessors for the fixed vocabularies --------------------
+
+    def hdfs_read(self, base: CallStack) -> CallStack:
+        """Task stack inside an HDFS block read."""
+        return self.with_frames(base, HDFS_READ)
+
+    def hdfs_write(self, base: CallStack) -> CallStack:
+        """Task stack inside an HDFS output write."""
+        return self.with_frames(base, HDFS_WRITE)
+
+    def shuffle_write(self, base: CallStack) -> CallStack:
+        """Task stack while writing shuffle buckets to disk."""
+        return self.with_frames(base, SHUFFLE_WRITE)
+
+    def shuffle_read(self, base: CallStack) -> CallStack:
+        """Task stack while fetching shuffle blocks."""
+        return self.with_frames(base, SHUFFLE_READ)
+
+    def map_side_combine(self, base: CallStack) -> CallStack:
+        """Task stack inside ``Aggregator.combineValuesByKey``."""
+        return self.with_frames(base, MAP_SIDE_COMBINE)
+
+    def reduce_side_combine(self, base: CallStack) -> CallStack:
+        """Task stack inside ``Aggregator.combineCombinersByKey``."""
+        return self.with_frames(base, REDUCE_SIDE_COMBINE)
+
+    def sort_by_key(self, base: CallStack) -> CallStack:
+        """Task stack inside the reduce-side sort of ``sortByKey``."""
+        return self.with_frames(base, SORT_BY_KEY)
+
+    def cache_read(self, base: CallStack) -> CallStack:
+        """Task stack while reading a cached partition from memory."""
+        return self.with_frames(base, CACHE_READ)
+
+    def cache_write(self, base: CallStack) -> CallStack:
+        """Task stack while tee-ing a partition into the memory store."""
+        return self.with_frames(base, CACHE_WRITE)
+
+    def gc_stack(self) -> CallStack:
+        """Stack reported while a stop-the-world GC runs on the thread."""
+        return CallStack(self._executor_base + self._intern(GC))

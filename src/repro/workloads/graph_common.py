@@ -1,0 +1,89 @@
+"""Shared helpers for the graph workloads (cc, rank).
+
+The Hadoop implementations iterate over *adjacency-list text files*
+(the classic formulation: each line carries a vertex, its state, and
+its neighbor list; every iteration is a full MapReduce job whose output
+feeds the next).  These helpers build and parse that representation
+from a Kronecker edge array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datagen.seeds import GraphInput, TRAINING_INPUT
+from repro.workloads.base import WorkloadInput
+
+__all__ = [
+    "resolve_graph",
+    "symmetrize",
+    "adjacency_lists",
+    "adjacency_lines",
+    "parse_adjacency_line",
+]
+
+# Hadoop runs at a reduced Kronecker scale: its record-at-a-time API
+# costs one Python call per record, so the same unit-count target is
+# reached with a smaller graph and higher per-record instruction cost.
+HADOOP_SCALE_DELTA = -2
+# Spark/GraphX processes edge partitions as arrays, so it affords a 4x
+# larger graph — big enough that vertex indices and message buffers
+# stress the contended LLC (the paper's high-variance aggregate phases).
+SPARK_SCALE_DELTA = 2
+
+
+def resolve_graph(
+    inp: WorkloadInput, *, scale_delta: int = 0
+) -> tuple[GraphInput, np.ndarray, int]:
+    """Materialise the edge list for a workload input.
+
+    Returns ``(graph_input, edges, n_vertices)``; defaults to the
+    Table II training input (Google).
+    """
+    graph = inp.graph or TRAINING_INPUT
+    extra = int(np.round(np.log2(max(inp.scale, 1e-9)))) if inp.scale != 1.0 else 0
+    edges = graph.edges(seed=inp.seed, scale_delta=scale_delta + extra)
+    n_vertices = 1 << max(1, graph.spec.scale + scale_delta + extra)
+    return graph, edges, n_vertices
+
+
+def symmetrize(edges: np.ndarray) -> np.ndarray:
+    """Undirected view: every edge in both directions, deduplicated."""
+    both = np.vstack([edges, edges[:, ::-1]])
+    return np.unique(both, axis=0)
+
+
+def adjacency_lists(edges: np.ndarray, n_vertices: int) -> list[np.ndarray]:
+    """Per-vertex neighbor arrays from an edge list."""
+    order = np.argsort(edges[:, 0], kind="stable")
+    src_sorted = edges[order, 0]
+    dst_sorted = edges[order, 1]
+    starts = np.searchsorted(src_sorted, np.arange(n_vertices), side="left")
+    stops = np.searchsorted(src_sorted, np.arange(n_vertices), side="right")
+    return [dst_sorted[a:b] for a, b in zip(starts, stops)]
+
+
+def adjacency_lines(
+    edges: np.ndarray, n_vertices: int, initial_state: list[str] | str
+) -> list[str]:
+    """Adjacency text lines ``"node<TAB>state<TAB>n1,n2,..."``.
+
+    ``initial_state`` is either one string for all vertices or a list
+    with one string per vertex.
+    """
+    adj = adjacency_lists(edges, n_vertices)
+    if isinstance(initial_state, str):
+        states = [initial_state] * n_vertices
+    else:
+        states = initial_state
+    return [
+        f"{v}\t{states[v]}\t{','.join(map(str, adj[v]))}"
+        for v in range(n_vertices)
+    ]
+
+
+def parse_adjacency_line(line: str) -> tuple[int, str, list[int]]:
+    """Inverse of :func:`adjacency_lines` for one line."""
+    node_s, state, neigh = line.split("\t", 2)
+    neighbors = [int(x) for x in neigh.split(",")] if neigh else []
+    return int(node_s), state, neighbors

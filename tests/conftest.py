@@ -1,0 +1,80 @@
+"""Shared fixtures.
+
+Full workload runs are expensive, so each (workload, framework) trace
+used by integration tests is produced once per session at reduced
+scale.  Profiler settings are scaled down to match so the small runs
+still yield enough sampling units to exercise clustering and sampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import SimProf, SimProfConfig
+from repro.workloads import run_workload
+
+# Small-run profiler: 10 M-instruction units keep the unit count high
+# even at 5 % input scale.
+TEST_SIMPROF_CONFIG = SimProfConfig(
+    unit_size=10_000_000, snapshot_period=500_000, seed=0
+)
+TEST_SCALE = 0.08
+
+
+@pytest.fixture(scope="session")
+def simprof_tool() -> SimProf:
+    """SimProf configured for the reduced-scale test traces."""
+    return SimProf(TEST_SIMPROF_CONFIG)
+
+
+def _trace(workload: str, framework: str, **kwargs):
+    return run_workload(workload, framework, scale=TEST_SCALE, seed=0, **kwargs)
+
+
+@pytest.fixture(scope="session")
+def wc_spark_trace():
+    """WordCount on Spark at test scale."""
+    return _trace("wc", "spark")
+
+
+@pytest.fixture(scope="session")
+def wc_hadoop_trace():
+    """WordCount on Hadoop at test scale."""
+    return _trace("wc", "hadoop")
+
+
+@pytest.fixture(scope="session")
+def grep_spark_trace():
+    """Grep on Spark at test scale."""
+    return _trace("grep", "spark")
+
+
+@pytest.fixture(scope="session")
+def cc_spark_trace():
+    """Connected components on Spark at test scale."""
+    return _trace("cc", "spark")
+
+
+@pytest.fixture(scope="session")
+def wc_spark_profile(wc_spark_trace, simprof_tool):
+    """Profiled WordCount/Spark job."""
+    return simprof_tool.profile(wc_spark_trace)
+
+
+@pytest.fixture(scope="session")
+def wc_hadoop_profile(wc_hadoop_trace, simprof_tool):
+    """Profiled WordCount/Hadoop job."""
+    return simprof_tool.profile(wc_hadoop_trace)
+
+
+@pytest.fixture(scope="session")
+def wc_spark_model(wc_spark_profile, simprof_tool):
+    """Phase model for WordCount/Spark."""
+    return simprof_tool.form_phases(wc_spark_profile)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,97 @@
+"""Unit tests for CoV reporting and phase typing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    cov_report,
+    method_type_of,
+    phase_type_distribution,
+    phase_type_of,
+    phase_types,
+)
+from repro.core.phases import PhaseModel
+from tests.helpers import PhaseSpec, make_synthetic_profile
+
+
+class TestCovReport:
+    def test_weighted_below_population_for_separated_phases(self):
+        rng = np.random.default_rng(0)
+        cpi = np.concatenate([
+            rng.normal(1.0, 0.02, 100), rng.normal(3.0, 0.06, 100)
+        ])
+        assignments = np.array([0] * 100 + [1] * 100)
+        report = cov_report(cpi, assignments)
+        assert report.weighted < report.population
+        assert report.maximum >= report.weighted
+
+    def test_single_phase_weighted_equals_population(self):
+        rng = np.random.default_rng(0)
+        cpi = rng.normal(1.0, 0.2, 100)
+        report = cov_report(cpi, np.zeros(100, dtype=int))
+        assert report.weighted == pytest.approx(report.population)
+        assert report.maximum == pytest.approx(report.population)
+
+    def test_degenerate_single_unit_phase(self):
+        cpi = np.array([1.0, 2.0, 3.0])
+        report = cov_report(cpi, np.array([0, 0, 1]))
+        assert report.maximum >= 0.0  # lone-unit phase contributes 0
+
+
+class TestMethodTypeOf:
+    @pytest.mark.parametrize("fqn,expected", [
+        ("org.apache.hadoop.util.QuickSort.sort", "sort"),
+        ("org.apache.hadoop.hdfs.DFSInputStream.read", "io"),
+        ("org.apache.spark.Aggregator.combineValuesByKey", "reduce"),
+        ("org.apache.spark.graphx.impl.VertexRDDImpl.aggregateUsingIndex", "reduce"),
+        ("org.apache.hadoop.mapreduce.Mapper.run", "map"),
+        ("org.apache.spark.graphx.impl.GraphImpl.aggregateMessages", "map"),
+        ("java.lang.Thread.run", None),
+    ])
+    def test_patterns(self, fqn, expected):
+        assert method_type_of(fqn) == expected
+
+    def test_first_match_wins(self):
+        # Contains both "Merger" (sort) and "reduce" (reduce): the
+        # pattern table orders sort first.
+        assert method_type_of("x.Merger.reduceMerge") == "sort"
+
+
+class TestPhaseTyping:
+    @pytest.fixture()
+    def job_and_model(self):
+        job = make_synthetic_profile(
+            [
+                PhaseSpec(n_units=50, cpi_mean=1.0, cpi_std=0.02, stack_index=0),
+                PhaseSpec(n_units=50, cpi_mean=2.5, cpi_std=0.10, stack_index=1),
+            ],
+            seed=3,
+        )
+        model = PhaseModel.fit(job, seed=0)
+        return job, model
+
+    def test_untyped_stacks_default_to_map(self, job_and_model):
+        job, model = job_and_model
+        # The synthetic stacks (workload.OpN.stepM) match the generic
+        # "map" pattern, so everything types as map.
+        types = phase_types(job, model.assignments)
+        assert set(types.values()) <= {"map", "reduce", "sort", "io"}
+
+    def test_distribution_sums_to_one(self, job_and_model):
+        job, model = job_and_model
+        dist = phase_type_distribution(job, model.assignments)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_phase_type_of_single(self, job_and_model):
+        job, model = job_and_model
+        t = phase_type_of(job, model.assignments, 0)
+        assert t in ("map", "reduce", "sort", "io")
+
+
+class TestPhaseTypingOnRealTrace:
+    def test_wordcount_spark_types(self, wc_spark_profile, wc_spark_model):
+        types = phase_types(wc_spark_profile, wc_spark_model.assignments)
+        # WordCount's dominant phase carries the map-side combine.
+        assert "reduce" in types.values()

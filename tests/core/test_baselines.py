@@ -1,0 +1,125 @@
+"""Unit tests for the compared samplers (Section IV-B)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    CodeSampler,
+    SecondSampler,
+    SimProfSampler,
+    SRSSampler,
+)
+from repro.core.phases import PhaseModel
+from tests.helpers import PhaseSpec, make_synthetic_profile
+
+
+@pytest.fixture(scope="module")
+def job():
+    return make_synthetic_profile(
+        [
+            PhaseSpec(n_units=120, cpi_mean=0.9, cpi_std=0.03, stack_index=0),
+            PhaseSpec(n_units=60, cpi_mean=2.2, cpi_std=0.40, stack_index=1),
+        ],
+        seed=5,
+        shuffle_units=False,  # phase 0 first, then phase 1 (staged run)
+    )
+
+
+@pytest.fixture(scope="module")
+def model(job):
+    return PhaseModel.fit(job, seed=0)
+
+
+class TestSecondSampler:
+    def test_selects_contiguous_window(self, job):
+        result = SecondSampler(seconds=1e-5).sample(job)
+        sel = result.selected
+        assert (np.diff(sel) == 1).all()
+
+    def test_covers_whole_run_when_window_huge(self, job):
+        result = SecondSampler(seconds=1e9).sample(job)
+        assert result.sample_size == job.n_units
+
+    def test_misses_later_stage_with_small_window(self, job):
+        """The paper's criticism: a single early interval misses the
+        reduce stage entirely."""
+        result = SecondSampler(seconds=1e-5, warmup_fraction=0.0).sample(job)
+        assert result.selected.max() < 120  # never reaches phase 1
+        oracle = job.oracle_cpi()
+        assert result.error_vs(oracle) > 0.10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SecondSampler(seconds=0)
+        with pytest.raises(ValueError):
+            SecondSampler(warmup_fraction=1.0)
+
+
+class TestSRSSampler:
+    def test_sample_size(self, job, rng):
+        result = SRSSampler(15).sample(job, rng)
+        assert result.sample_size == 15
+        assert len(np.unique(result.selected)) == 15
+
+    def test_capped_at_population(self, job, rng):
+        result = SRSSampler(10_000).sample(job, rng)
+        assert result.sample_size == job.n_units
+
+    def test_unbiased_over_draws(self, job):
+        oracle = job.oracle_cpi()
+        estimates = [
+            SRSSampler(30).sample(job, np.random.default_rng(i)).estimate
+            for i in range(200)
+        ]
+        assert np.mean(estimates) == pytest.approx(oracle, rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SRSSampler(0)
+
+
+class TestCodeSampler:
+    def test_one_point_per_phase(self, job, model):
+        result = CodeSampler().sample(job, model)
+        assert result.sample_size == model.k
+
+    def test_estimate_weights_by_phase_size(self, job, model):
+        result = CodeSampler().sample(job, model)
+        cpi = job.profile.cpi()
+        # Manually recompute from the selected representatives.
+        expected = 0.0
+        for rep in result.selected:
+            h = model.assignments[rep]
+            weight = (model.assignments == h).sum() / len(cpi)
+            expected += weight * cpi[rep]
+        assert result.estimate == pytest.approx(expected)
+
+
+class TestSimProfSampler:
+    def test_beats_srs_on_average(self, job, model):
+        """The headline Figure 7 property on a controlled population."""
+        oracle = job.oracle_cpi()
+        srs_err = np.mean([
+            SRSSampler(20).sample(job, np.random.default_rng(i)).error_vs(oracle)
+            for i in range(100)
+        ])
+        simprof_err = np.mean([
+            SimProfSampler(20)
+            .sample(job, model, np.random.default_rng(i))
+            .error_vs(oracle)
+            for i in range(100)
+        ])
+        assert simprof_err < srs_err
+
+    def test_sample_at_least_k(self, job, model):
+        result = SimProfSampler(1).sample(job, model)
+        assert result.sample_size >= model.k
+
+    def test_error_vs(self, job, model):
+        result = SimProfSampler(20).sample(job, model)
+        oracle = job.oracle_cpi()
+        assert result.error_vs(oracle) == pytest.approx(
+            abs(result.estimate - oracle) / oracle
+        )

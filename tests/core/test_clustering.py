@@ -1,0 +1,137 @@
+"""Unit and property tests for k-means, silhouette, and k selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.clustering import choose_k, kmeans, silhouette_score
+
+
+def blobs(centers, n_per, spread, seed=0):
+    rng = np.random.default_rng(seed)
+    points = []
+    for c in centers:
+        points.append(rng.normal(c, spread, size=(n_per, len(c))))
+    return np.vstack(points)
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self):
+        X = blobs([[0, 0], [10, 10], [0, 10]], 30, 0.3)
+        result = kmeans(X, 3, seed=0)
+        assert result.k == 3
+        sizes = sorted(result.cluster_sizes())
+        assert sizes == [30, 30, 30]
+
+    def test_k_capped_at_n(self):
+        X = np.array([[0.0], [1.0]])
+        result = kmeans(X, 5, seed=0)
+        assert result.k <= 2
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            kmeans(np.ones((5, 2)), 0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            kmeans(np.empty((0, 2)), 2)
+
+    def test_deterministic_per_seed(self):
+        X = blobs([[0, 0], [5, 5]], 20, 0.5)
+        a = kmeans(X, 2, seed=7)
+        b = kmeans(X, 2, seed=7)
+        np.testing.assert_array_equal(a.assignments, b.assignments)
+
+    def test_identical_points(self):
+        X = np.ones((10, 3))
+        result = kmeans(X, 2, seed=0)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_inertia_decreases_with_k(self):
+        X = blobs([[0, 0], [4, 4], [8, 0]], 25, 0.8)
+        inertias = [kmeans(X, k, seed=0).inertia for k in (1, 2, 3)]
+        assert inertias[0] >= inertias[1] >= inertias[2]
+
+    @given(
+        n=st.integers(min_value=3, max_value=40),
+        k=st.integers(min_value=1, max_value=6),
+        dim=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_assignments_always_valid(self, n, k, dim):
+        rng = np.random.default_rng(n * 100 + k)
+        X = rng.normal(size=(n, dim))
+        result = kmeans(X, k, seed=0)
+        assert len(result.assignments) == n
+        assert result.assignments.min() >= 0
+        assert result.assignments.max() < result.k
+        assert np.isfinite(result.inertia)
+
+
+class TestSilhouette:
+    def test_separated_blobs_score_high(self):
+        X = blobs([[0, 0], [20, 20]], 30, 0.5)
+        labels = kmeans(X, 2, seed=0).assignments
+        assert silhouette_score(X, labels) > 0.9
+
+    def test_random_labels_score_low(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(60, 2))
+        labels = rng.integers(0, 2, 60)
+        assert silhouette_score(X, labels) < 0.3
+
+    def test_single_cluster_scores_zero(self):
+        X = np.random.default_rng(0).normal(size=(10, 2))
+        assert silhouette_score(X, np.zeros(10, dtype=int)) == 0.0
+
+    def test_subsampling_close_to_exact(self):
+        X = blobs([[0, 0], [6, 6]], 120, 1.0)
+        labels = kmeans(X, 2, seed=0).assignments
+        exact = silhouette_score(X, labels, max_points=10_000)
+        sampled = silhouette_score(X, labels, max_points=100, seed=1)
+        assert abs(exact - sampled) < 0.1
+
+    def test_matches_known_value(self):
+        """Tiny handcrafted case cross-checked by hand."""
+        X = np.array([[0.0], [0.5], [10.0], [10.5]])
+        labels = np.array([0, 0, 1, 1])
+        # a = 0.5 for every point; b ≈ 9.75/10.25 average distances.
+        score = silhouette_score(X, labels)
+        assert 0.9 < score < 1.0
+
+
+class TestChooseK:
+    def test_finds_three_blobs(self):
+        X = blobs([[0, 0], [10, 0], [0, 10]], 40, 0.4)
+        k, scores = choose_k(X, seed=0)
+        assert k == 3
+        assert scores[3] == max(scores.values())
+
+    def test_no_structure_returns_one(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(80, 3)) * 0.01
+        k, _ = choose_k(X, seed=0)
+        assert k == 1
+
+    def test_identical_rows_return_one(self):
+        X = np.ones((50, 4))
+        k, _ = choose_k(X, seed=0)
+        assert k == 1
+
+    def test_prefers_smallest_k_within_threshold(self):
+        """With threshold 0, the smallest k (2) always wins."""
+        X = blobs([[0, 0], [10, 0], [0, 10], [10, 10]], 20, 0.3)
+        k, _ = choose_k(X, score_threshold=0.0, seed=0)
+        assert k == 2
+
+    def test_k_max_respected(self):
+        X = blobs([[i * 10, 0] for i in range(6)], 10, 0.2)
+        k, scores = choose_k(X, k_max=4, seed=0)
+        assert k <= 4
+        assert max(scores) <= 4
+
+    def test_tiny_input(self):
+        k, _ = choose_k(np.array([[1.0], [2.0]]), seed=0)
+        assert k == 1

@@ -1,0 +1,71 @@
+"""Tests for the SimPoint-format export."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.export import SimPointFiles, export_simpoints, load_simpoints
+from repro.core.phases import PhaseModel
+from repro.core.sampling import stratified_sample
+from tests.helpers import PhaseSpec, make_synthetic_profile
+
+
+@pytest.fixture()
+def job_model_points():
+    job = make_synthetic_profile(
+        [
+            PhaseSpec(n_units=80, cpi_mean=1.0, cpi_std=0.05, stack_index=0),
+            PhaseSpec(n_units=40, cpi_mean=2.5, cpi_std=0.30, stack_index=1),
+        ],
+        seed=8,
+    )
+    model = PhaseModel.fit(job, seed=0)
+    points = stratified_sample(
+        model.assignments, job.profile.cpi(), 16,
+        rng=np.random.default_rng(0), k=model.k,
+    )
+    return job, model, points
+
+
+class TestExport:
+    def test_files_written(self, job_model_points, tmp_path):
+        _job, model, points = job_model_points
+        files = export_simpoints(points, model, tmp_path, basename="wc")
+        assert files.simpoints.name == "wc.simpoints"
+        assert files.weights.name == "wc.weights"
+        assert len(files.simpoints.read_text().splitlines()) == points.sample_size
+
+    def test_roundtrip(self, job_model_points, tmp_path):
+        _job, model, points = job_model_points
+        files = export_simpoints(points, model, tmp_path)
+        units, weights = load_simpoints(files)
+        assert sorted(units) == sorted(int(u) for u in points.selected)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_weighted_mean_reproduces_estimator(self, job_model_points, tmp_path):
+        job, model, points = job_model_points
+        files = export_simpoints(points, model, tmp_path)
+        units, weights = load_simpoints(files)
+        cpi = job.profile.cpi()
+        assert weights @ cpi[units] == pytest.approx(points.estimate)
+
+    def test_phase_weight_split_evenly(self, job_model_points, tmp_path):
+        _job, model, points = job_model_points
+        files = export_simpoints(points, model, tmp_path)
+        units, weights = load_simpoints(files)
+        # Points of the same phase carry equal weight.
+        by_phase: dict[int, set[float]] = {}
+        for u, w in zip(units, weights):
+            by_phase.setdefault(int(model.assignments[u]), set()).add(round(w, 9))
+        for phase, weight_set in by_phase.items():
+            assert len(weight_set) == 1, phase
+
+    def test_mismatched_files_raise(self, job_model_points, tmp_path):
+        _job, model, points = job_model_points
+        files = export_simpoints(points, model, tmp_path)
+        files.weights.write_text("0.5 99\n")
+        with pytest.raises(ValueError):
+            load_simpoints(
+                SimPointFiles(simpoints=files.simpoints, weights=files.weights)
+            )

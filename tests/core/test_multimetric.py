@@ -1,0 +1,147 @@
+"""Tests for the multi-metric (minimax) allocation and the random
+projection option."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import random_projection
+from repro.core.phases import PhaseModel
+from repro.core.sampling import (
+    multimetric_allocation,
+    optimal_allocation,
+    stratified_standard_error,
+)
+from tests.helpers import PhaseSpec, make_synthetic_profile
+
+
+class TestMultimetricAllocation:
+    def test_reduces_to_neyman_for_one_metric(self):
+        N = np.array([200.0, 100.0])
+        stds = np.array([[1.0, 4.0]])
+        means = np.array([2.0])
+        mm = multimetric_allocation(N, stds, means, 30)
+        ney = optimal_allocation(N, stds[0], 30)
+        # Both concentrate on the high-variance stratum.
+        assert mm[1] > mm[0]
+        assert abs(int(mm[1]) - int(ney[1])) <= 3
+
+    def test_balances_two_conflicting_metrics(self):
+        """Metric A varies in stratum 0, metric B in stratum 1: the
+        minimax allocation must serve both."""
+        N = np.array([100.0, 100.0])
+        stds = np.array([
+            [2.0, 0.0],   # metric A
+            [0.0, 2.0],   # metric B
+        ])
+        means = np.array([1.0, 1.0])
+        alloc = multimetric_allocation(N, stds, means, 20)
+        assert alloc[0] == alloc[1] == 10
+        # Single-metric Neyman on A would starve stratum 1.
+        ney = optimal_allocation(N, stds[0], 20)
+        assert ney[1] < alloc[1]
+
+    def test_worst_metric_error_bounded(self):
+        rng = np.random.default_rng(0)
+        N = np.array([300.0, 200.0, 100.0])
+        stds = rng.uniform(0.1, 2.0, size=(3, 3))
+        means = np.array([1.0, 5.0, 0.5])
+        n = 40
+        mm = multimetric_allocation(N, stds, means, n)
+        ney = optimal_allocation(N, stds[0], n)
+
+        def worst(alloc):
+            return max(
+                stratified_standard_error(N, alloc, stds[m]) / means[m]
+                for m in range(3)
+            )
+
+        assert worst(mm) <= worst(ney) + 1e-12
+
+    def test_invariants(self):
+        N = np.array([50.0, 0.0, 30.0])
+        stds = np.ones((2, 3))
+        means = np.ones(2)
+        alloc = multimetric_allocation(N, stds, means, 10)
+        assert alloc.sum() == 10
+        assert alloc[1] == 0
+        assert (alloc <= N).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multimetric_allocation(
+                np.array([10.0]), np.ones((1, 2)), np.ones(1), 1
+            )
+        with pytest.raises(ValueError):
+            multimetric_allocation(
+                np.array([10.0, 10.0]), np.ones((2, 2)), np.ones(1), 2
+            )
+        with pytest.raises(ValueError):
+            multimetric_allocation(
+                np.array([10.0]), np.ones((1, 1)), np.zeros(1), 1
+            )
+        with pytest.raises(ValueError):
+            multimetric_allocation(
+                np.array([10.0, 10.0]), np.ones((1, 2)), np.ones(1), 1
+            )
+
+
+class TestRandomProjection:
+    def test_reduces_dimensions(self):
+        X = np.random.default_rng(0).normal(size=(50, 40))
+        P = random_projection(X, dims=5, seed=0)
+        assert P.shape == (50, 5)
+
+    def test_identity_when_already_small(self):
+        X = np.random.default_rng(0).normal(size=(10, 3))
+        P = random_projection(X, dims=15, seed=0)
+        np.testing.assert_array_equal(P, X)
+
+    def test_deterministic(self):
+        X = np.random.default_rng(0).normal(size=(20, 30))
+        np.testing.assert_array_equal(
+            random_projection(X, 5, seed=1), random_projection(X, 5, seed=1)
+        )
+
+    def test_distance_preservation_in_expectation(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(30, 100))
+        P = random_projection(X, dims=40, seed=0)
+        d_orig = np.linalg.norm(X[0] - X[1])
+        d_proj = np.linalg.norm(P[0] - P[1])
+        assert d_proj == pytest.approx(d_orig, rel=0.5)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            random_projection(np.ones((3, 3)), dims=0)
+
+
+class TestProjectedPhaseModel:
+    @pytest.fixture()
+    def job(self):
+        return make_synthetic_profile(
+            [
+                PhaseSpec(n_units=40, cpi_mean=1.0, cpi_std=0.02, stack_index=0),
+                PhaseSpec(n_units=40, cpi_mean=3.0, cpi_std=0.10, stack_index=1),
+                PhaseSpec(n_units=40, cpi_mean=5.0, cpi_std=0.20, stack_index=2),
+            ],
+            seed=6,
+        )
+
+    def test_projection_preserves_phase_recovery(self, job):
+        plain = PhaseModel.fit(job, seed=0)
+        projected = PhaseModel.fit(job, seed=0, projection_dims=2)
+        assert projected.k == plain.k
+        assert projected.projection is not None
+
+    def test_classification_roundtrip_with_projection(self, job):
+        model = PhaseModel.fit(job, seed=0, projection_dims=2)
+        reassigned = model.classify_job(job)
+        assert (reassigned == model.assignments).mean() > 0.95
+
+    def test_top_methods_still_named(self, job):
+        model = PhaseModel.fit(job, seed=0, projection_dims=2)
+        for h in range(model.k):
+            for name, _lift in model.top_methods(h, 2):
+                assert "." in name  # real method names, not projected axes

@@ -1,0 +1,144 @@
+"""Unit tests for the phase model (formation + classification)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.phases import PhaseModel
+from tests.helpers import PhaseSpec, make_synthetic_profile
+
+
+@pytest.fixture()
+def three_phase_job():
+    return make_synthetic_profile(
+        [
+            PhaseSpec(n_units=60, cpi_mean=0.8, cpi_std=0.02, stack_index=0),
+            PhaseSpec(n_units=30, cpi_mean=2.0, cpi_std=0.10, stack_index=1),
+            PhaseSpec(n_units=20, cpi_mean=3.5, cpi_std=0.30, stack_index=2),
+        ],
+        seed=4,
+    )
+
+
+class TestFit:
+    def test_recovers_planted_phases(self, three_phase_job):
+        model = PhaseModel.fit(three_phase_job, seed=0)
+        assert model.k == 3
+        sizes = sorted(np.bincount(model.assignments))
+        assert sizes == [20, 30, 60]
+
+    def test_assignments_align_with_cpi_structure(self, three_phase_job):
+        model = PhaseModel.fit(three_phase_job, seed=0)
+        cpi = three_phase_job.profile.cpi()
+        means = sorted(
+            cpi[model.assignments == h].mean() for h in range(model.k)
+        )
+        assert means[0] == pytest.approx(0.8, abs=0.1)
+        assert means[-1] == pytest.approx(3.5, abs=0.4)
+
+    def test_single_phase_when_flat(self):
+        job = make_synthetic_profile(
+            [
+                PhaseSpec(n_units=50, cpi_mean=1.0, cpi_std=0.0, stack_index=0),
+                PhaseSpec(n_units=50, cpi_mean=1.0, cpi_std=0.0, stack_index=1),
+            ],
+            seed=0,
+        )
+        model = PhaseModel.fit(job, seed=0)
+        assert model.k == 1
+        assert (model.assignments == 0).all()
+
+    def test_max_phases_respected(self, three_phase_job):
+        model = PhaseModel.fit(three_phase_job, max_phases=2, seed=0)
+        assert model.k <= 2
+
+    def test_deterministic(self, three_phase_job):
+        a = PhaseModel.fit(three_phase_job, seed=0)
+        b = PhaseModel.fit(three_phase_job, seed=0)
+        np.testing.assert_array_equal(a.assignments, b.assignments)
+
+
+class TestClassify:
+    def test_training_units_classify_to_own_phase(self, three_phase_job):
+        model = PhaseModel.fit(three_phase_job, seed=0)
+        reassigned = model.classify_job(three_phase_job)
+        agreement = (reassigned == model.assignments).mean()
+        assert agreement > 0.98
+
+    def test_reference_profile_classification(self, three_phase_job):
+        model = PhaseModel.fit(three_phase_job, seed=0)
+        # A reference run with the same op structure but different
+        # registry order and phase lengths.
+        ref = make_synthetic_profile(
+            [
+                PhaseSpec(n_units=10, cpi_mean=0.85, cpi_std=0.02, stack_index=0),
+                PhaseSpec(n_units=40, cpi_mean=2.1, cpi_std=0.10, stack_index=1),
+                PhaseSpec(n_units=15, cpi_mean=3.4, cpi_std=0.30, stack_index=2),
+            ],
+            seed=9,
+        )
+        assignments = model.classify_job(ref)
+        assert len(assignments) == 65
+        # Same code => same set of phases (Section III-D.1).
+        assert set(np.unique(assignments)) <= set(range(model.k))
+
+
+class TestPhaseStats:
+    def test_weights_sum_to_one(self, three_phase_job):
+        model = PhaseModel.fit(three_phase_job, seed=0)
+        stats = model.phase_stats(three_phase_job.profile.cpi())
+        assert sum(s.weight for s in stats) == pytest.approx(1.0)
+
+    def test_stats_match_members(self, three_phase_job):
+        model = PhaseModel.fit(three_phase_job, seed=0)
+        cpi = three_phase_job.profile.cpi()
+        stats = model.phase_stats(cpi)
+        for s in stats:
+            members = cpi[model.assignments == s.phase_id]
+            assert s.n_units == len(members)
+            assert s.cpi_mean == pytest.approx(members.mean())
+
+    def test_empty_phase_zero_stats(self, three_phase_job):
+        model = PhaseModel.fit(three_phase_job, seed=0)
+        cpi = three_phase_job.profile.cpi()
+        # Classify against assignments that never use the last phase.
+        fake = np.zeros(len(cpi), dtype=np.int64)
+        stats = model.phase_stats(cpi, fake)
+        assert stats[-1].n_units == 0
+        assert stats[-1].cpi_cov == 0.0
+
+    def test_mismatched_lengths_raise(self, three_phase_job):
+        model = PhaseModel.fit(three_phase_job, seed=0)
+        with pytest.raises(ValueError):
+            model.phase_stats(np.ones(3))
+
+    def test_cov_property(self):
+        from repro.core.phases import PhaseStats
+
+        s = PhaseStats(0, 10, 0.5, 2.0, 0.5)
+        assert s.cpi_cov == 0.25
+        z = PhaseStats(0, 10, 0.5, 0.0, 0.5)
+        assert z.cpi_cov == 0.0
+
+
+class TestTopMethods:
+    def test_names_phase_specific_ops(self, three_phase_job):
+        model = PhaseModel.fit(three_phase_job, seed=0)
+        cpi = three_phase_job.profile.cpi()
+        stats = model.phase_stats(cpi)
+        # The highest-CPI phase is the planted stack_index=2 phase.
+        wild = max(stats, key=lambda s: s.cpi_mean)
+        tops = [name for name, _lift in model.top_methods(wild.phase_id, 3)]
+        assert any("Op2" in n for n in tops)
+
+    def test_common_frames_not_top(self, three_phase_job):
+        model = PhaseModel.fit(three_phase_job, seed=0)
+        for h in range(model.k):
+            tops = [name for name, _ in model.top_methods(h, 2)]
+            assert "java.lang.Thread.run" not in tops
+
+    def test_out_of_range_raises(self, three_phase_job):
+        model = PhaseModel.fit(three_phase_job, seed=0)
+        with pytest.raises(IndexError):
+            model.top_methods(99)

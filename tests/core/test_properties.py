@@ -1,0 +1,104 @@
+"""Property-based tests on the core invariants (hypothesis).
+
+These complement the targeted unit tests with randomised structure:
+arbitrary phase layouts, CPI levels, and unit counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.features import build_feature_matrix
+from repro.core.phases import PhaseModel
+from repro.core.profiler import ProfilerConfig, SimProfProfiler
+from repro.core.sampling import stratified_sample
+from tests.helpers import PhaseSpec, make_registry_with_stacks, make_synthetic_profile, make_trace
+
+phase_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=5, max_value=30),        # n_units
+        st.floats(min_value=0.5, max_value=5.0),       # cpi mean
+        st.floats(min_value=0.0, max_value=0.5),       # cpi std
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+def build_job(spec_rows, seed=0):
+    specs = [
+        PhaseSpec(n_units=n, cpi_mean=m, cpi_std=s, stack_index=i)
+        for i, (n, m, s) in enumerate(spec_rows)
+    ]
+    return make_synthetic_profile(specs, seed=seed)
+
+
+class TestProfileInvariants:
+    @given(spec_rows=phase_specs)
+    @settings(max_examples=25, deadline=None)
+    def test_feature_rows_are_distributions(self, spec_rows):
+        job = build_job(spec_rows)
+        X = build_feature_matrix(job)
+        np.testing.assert_allclose(X.sum(axis=1), 1.0)
+        assert (X >= 0).all()
+
+    @given(spec_rows=phase_specs)
+    @settings(max_examples=20, deadline=None)
+    def test_phase_model_invariants(self, spec_rows):
+        job = build_job(spec_rows)
+        model = PhaseModel.fit(job, seed=0)
+        assert 1 <= model.k <= 20
+        assert len(model.assignments) == job.n_units
+        stats = model.phase_stats(job.profile.cpi())
+        assert sum(s.n_units for s in stats) == job.n_units
+        assert abs(sum(s.weight for s in stats) - 1.0) < 1e-9
+
+    @given(spec_rows=phase_specs, n=st.integers(4, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_stratified_estimate_within_range(self, spec_rows, n):
+        job = build_job(spec_rows)
+        model = PhaseModel.fit(job, seed=0)
+        cpi = job.profile.cpi()
+        est = stratified_sample(
+            model.assignments, cpi, max(n, model.k),
+            rng=np.random.default_rng(0), k=model.k,
+        )
+        # A weighted mean of per-phase sample means stays within the
+        # population's range.
+        assert cpi.min() - 1e-9 <= est.estimate <= cpi.max() + 1e-9
+        assert est.standard_error >= 0
+
+
+class TestProfilerInvariants:
+    @given(
+        seg_cpis=st.lists(
+            st.floats(min_value=0.3, max_value=6.0), min_size=1, max_size=30
+        ),
+        unit_size=st.integers(min_value=50, max_value=500),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_unit_cpis_bounded_by_segment_cpis(self, seg_cpis, unit_size):
+        registry, table, stacks = make_registry_with_stacks(n_stacks=2)
+        trace = make_trace(
+            [(stacks[i % 2], 100, cpi) for i, cpi in enumerate(seg_cpis)],
+            table,
+        )
+        total = trace.total_instructions
+        if total < unit_size:
+            return  # not one full unit
+        profiler = SimProfProfiler(
+            ProfilerConfig(
+                unit_size=unit_size,
+                snapshot_period=max(1, unit_size // 10),
+                snapshot_jitter=0.0,
+            )
+        )
+        profile = profiler.profile_thread(trace)
+        # Integer rounding of segment cycles introduces ±1 cycle per
+        # 100-instruction segment => up to ~1% CPI slack.
+        lo = min(seg_cpis) - 0.02
+        hi = max(seg_cpis) + 0.02
+        for unit in profile.units:
+            assert lo <= unit.cpi <= hi
+        assert profile.n_units == total // unit_size

@@ -1,0 +1,166 @@
+"""Unit tests for the input sensitivity test (Section III-D)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.phases import PhaseModel, PhaseStats
+from repro.core.sensitivity import (
+    classify_units,
+    input_sensitivity_test,
+    phase_sensitivity_test,
+)
+from tests.helpers import PhaseSpec, make_synthetic_profile
+
+
+def _stats(n, mean, std):
+    return PhaseStats(0, n, 0.5, mean, std)
+
+
+class TestPhaseSensitivityTest:
+    def test_mean_shift_triggers(self):
+        assert phase_sensitivity_test(_stats(10, 1.0, 0.1), _stats(10, 1.2, 0.1))
+
+    def test_std_shift_triggers(self):
+        # σ moves by 0.15 CPI on a mean of 1.0 (> the 10% threshold).
+        assert phase_sensitivity_test(_stats(10, 1.0, 0.10), _stats(10, 1.0, 0.25))
+
+    def test_std_shift_relative_to_mean(self):
+        # A large *relative* σ change that is negligible next to the
+        # mean does not trigger (the Eq. 6 refinement).
+        assert not phase_sensitivity_test(
+            _stats(10, 1.0, 0.013), _stats(10, 1.0, 0.015)
+        )
+
+    def test_small_shift_does_not_trigger(self):
+        assert not phase_sensitivity_test(
+            _stats(10, 1.0, 0.10), _stats(10, 1.05, 0.105)
+        )
+
+    def test_just_under_ten_percent_does_not_trigger(self):
+        # Eq. 6 uses a strict inequality at the 10% boundary.
+        assert not phase_sensitivity_test(
+            _stats(10, 1.0, 0.1), _stats(10, 1.0999, 0.1099)
+        )
+
+    def test_empty_reference_phase_insensitive(self):
+        assert not phase_sensitivity_test(_stats(10, 1.0, 0.1), _stats(0, 0, 0))
+
+    def test_empty_training_phase_insensitive(self):
+        assert not phase_sensitivity_test(_stats(0, 0, 0), _stats(10, 1.0, 0.1))
+
+    def test_zero_training_std_with_spread_triggers(self):
+        assert phase_sensitivity_test(_stats(10, 1.0, 0.0), _stats(10, 1.0, 0.3))
+
+    def test_custom_threshold(self):
+        assert phase_sensitivity_test(
+            _stats(10, 1.0, 0.1), _stats(10, 1.06, 0.1), threshold=0.05
+        )
+
+
+class TestInputSensitivityTest:
+    @pytest.fixture()
+    def train_job(self):
+        return make_synthetic_profile(
+            [
+                PhaseSpec(n_units=60, cpi_mean=1.0, cpi_std=0.02, stack_index=0),
+                PhaseSpec(n_units=40, cpi_mean=3.0, cpi_std=0.20, stack_index=1),
+            ],
+            seed=10,
+        )
+
+    @pytest.fixture()
+    def model(self, train_job):
+        model = PhaseModel.fit(train_job, seed=0)
+        assert model.k == 2
+        return model
+
+    def _phase_of_stack(self, model, train_job, stack_index):
+        """Map a planted stack index to the fitted phase id."""
+        cpi = train_job.profile.cpi()
+        stats = model.phase_stats(cpi)
+        # stack 0 planted at CPI 1.0, stack 1 at CPI 3.0
+        by_mean = sorted(stats, key=lambda s: s.cpi_mean)
+        return by_mean[stack_index].phase_id
+
+    def test_shifted_phase_flagged_sensitive(self, train_job, model):
+        # Reference input: phase 1 (stack 1) moved from CPI 3.0 to 4.2.
+        ref = make_synthetic_profile(
+            [
+                PhaseSpec(n_units=50, cpi_mean=1.0, cpi_std=0.02, stack_index=0),
+                PhaseSpec(n_units=50, cpi_mean=4.2, cpi_std=0.20, stack_index=1),
+            ],
+            seed=11,
+        )
+        result = input_sensitivity_test(model, train_job, {"ref": ref})
+        sensitive = set(result.sensitive_phases)
+        wild = self._phase_of_stack(model, train_job, 1)
+        calm = self._phase_of_stack(model, train_job, 0)
+        assert wild in sensitive
+        assert calm not in sensitive
+        assert result.phases[wild].triggered_by == ("ref",)
+
+    def test_identical_reference_all_insensitive(self, train_job, model):
+        ref = make_synthetic_profile(
+            [
+                PhaseSpec(n_units=60, cpi_mean=1.0, cpi_std=0.02, stack_index=0),
+                PhaseSpec(n_units=40, cpi_mean=3.0, cpi_std=0.20, stack_index=1),
+            ],
+            seed=10,  # identical generation
+        )
+        result = input_sensitivity_test(model, train_job, {"ref": ref})
+        assert result.sensitive_phases == []
+        assert len(result.insensitive_phases) == model.k
+
+    def test_any_reference_can_flag(self, train_job, model):
+        same = make_synthetic_profile(
+            [
+                PhaseSpec(n_units=60, cpi_mean=1.0, cpi_std=0.02, stack_index=0),
+                PhaseSpec(n_units=40, cpi_mean=3.0, cpi_std=0.20, stack_index=1),
+            ],
+            seed=10,
+        )
+        shifted = make_synthetic_profile(
+            [
+                PhaseSpec(n_units=60, cpi_mean=1.5, cpi_std=0.02, stack_index=0),
+                PhaseSpec(n_units=40, cpi_mean=3.0, cpi_std=0.20, stack_index=1),
+            ],
+            seed=12,
+        )
+        result = input_sensitivity_test(
+            model, train_job, {"same": same, "shifted": shifted}
+        )
+        calm = self._phase_of_stack(model, train_job, 0)
+        assert calm in result.sensitive_phases
+        assert "shifted" in result.phases[calm].triggered_by
+        assert "same" not in result.phases[calm].triggered_by
+
+    def test_sensitive_point_fraction(self, train_job, model):
+        # Large calm phase: its sample mean/std stay within 10% of the
+        # training values, so only the shifted phase is sensitive.
+        ref = make_synthetic_profile(
+            [
+                PhaseSpec(n_units=400, cpi_mean=1.0, cpi_std=0.02, stack_index=0),
+                PhaseSpec(n_units=40, cpi_mean=4.5, cpi_std=0.20, stack_index=1),
+            ],
+            seed=13,
+        )
+        result = input_sensitivity_test(model, train_job, {"ref": ref})
+        wild = self._phase_of_stack(model, train_job, 1)
+        assert wild in result.sensitive_phases
+        allocation = np.zeros(model.k, dtype=np.int64)
+        allocation[wild] = 15
+        allocation[1 - wild] = 5
+        expected = sum(allocation[h] for h in result.sensitive_phases) / 20
+        got = result.sensitive_point_fraction(allocation)
+        assert got == pytest.approx(expected)
+        assert got >= 0.75
+
+    def test_zero_allocation(self, train_job, model):
+        result = input_sensitivity_test(model, train_job, {})
+        assert result.sensitive_point_fraction(np.zeros(model.k)) == 0.0
+
+    def test_classify_units_exposed(self, train_job, model):
+        assignments = classify_units(model, train_job)
+        assert len(assignments) == train_job.n_units

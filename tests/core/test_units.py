@@ -1,0 +1,69 @@
+"""Unit tests for the sampling-unit datatypes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.units import SamplingUnit
+from tests.helpers import PhaseSpec, make_synthetic_profile
+
+
+def _unit(cpi: float = 2.0, insts: float = 100.0) -> SamplingUnit:
+    return SamplingUnit(
+        index=0,
+        stack_ids=np.array([0, 1]),
+        stack_counts=np.array([3, 7]),
+        instructions=insts,
+        cycles=insts * cpi,
+        l1d_misses=1.0,
+        llc_misses=0.5,
+    )
+
+
+class TestSamplingUnit:
+    def test_cpi_ipc(self):
+        u = _unit(cpi=2.0)
+        assert u.cpi == 2.0
+        assert u.ipc == 0.5
+
+    def test_zero_division_guards(self):
+        u = SamplingUnit(0, np.array([]), np.array([]), 0.0, 0.0, 0.0, 0.0)
+        assert u.cpi == 0.0
+        assert u.ipc == 0.0
+
+    def test_snapshot_count(self):
+        assert _unit().n_snapshots == 10
+
+
+class TestThreadProfile:
+    @pytest.fixture()
+    def job(self):
+        return make_synthetic_profile(
+            [
+                PhaseSpec(n_units=10, cpi_mean=1.0, cpi_std=0.0, stack_index=0),
+                PhaseSpec(n_units=10, cpi_mean=3.0, cpi_std=0.0, stack_index=1),
+            ],
+            seed=0,
+            shuffle_units=False,
+        )
+
+    def test_vectors(self, job):
+        p = job.profile
+        assert p.n_units == 20
+        assert len(p.cpi()) == 20
+        np.testing.assert_allclose(p.ipc(), 1.0 / p.cpi())
+        assert p.cycles().shape == (20,)
+        assert p.llc_mpki().shape == (20,)
+
+    def test_oracle_cpi(self, job):
+        assert job.profile.oracle_cpi() == pytest.approx(2.0)
+        assert job.oracle_cpi() == pytest.approx(2.0)
+
+    def test_oracle_empty_raises(self, job):
+        job.profile.units = []
+        with pytest.raises(ValueError):
+            job.profile.oracle_cpi()
+
+    def test_label(self, job):
+        assert job.label == "synthetic_sp"

@@ -1,0 +1,112 @@
+"""Unit tests for the Kronecker graph generator."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.datagen.kronecker import (
+    KroneckerSpec,
+    degree_statistics,
+    generate_kronecker_edges,
+)
+
+WEB = ((0.9, 0.5), (0.5, 0.2))
+ROAD = ((0.55, 0.45), (0.45, 0.55))
+
+
+class TestKroneckerSpec:
+    def test_n_nodes(self):
+        assert KroneckerSpec(WEB, scale=10).n_nodes == 1024
+
+    def test_n_edges_sampled(self):
+        spec = KroneckerSpec(WEB, scale=8, edge_factor=4)
+        assert spec.n_edges_sampled == 1024
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KroneckerSpec(WEB, scale=0)
+        with pytest.raises(ValueError):
+            KroneckerSpec(WEB, scale=40)
+        with pytest.raises(ValueError):
+            KroneckerSpec(WEB, scale=8, edge_factor=0)
+        with pytest.raises(ValueError):
+            KroneckerSpec(((1.0, -0.1), (0.5, 0.2)), scale=8)
+        with pytest.raises(ValueError):
+            KroneckerSpec(((0.0, 0.0), (0.0, 0.0)), scale=8)
+
+
+class TestGeneration:
+    def test_node_ids_in_range(self):
+        spec = KroneckerSpec(WEB, scale=9, edge_factor=8)
+        edges = generate_kronecker_edges(spec, seed=0)
+        assert edges.min() >= 0
+        assert edges.max() < spec.n_nodes
+
+    def test_deterministic_per_seed(self):
+        spec = KroneckerSpec(WEB, scale=8, edge_factor=8)
+        a = generate_kronecker_edges(spec, seed=3)
+        b = generate_kronecker_edges(spec, seed=3)
+        assert np.array_equal(a, b)
+        c = generate_kronecker_edges(spec, seed=4)
+        assert not np.array_equal(a, c)
+
+    def test_no_self_loops_by_default(self):
+        spec = KroneckerSpec(WEB, scale=8, edge_factor=8)
+        edges = generate_kronecker_edges(spec, seed=0)
+        assert (edges[:, 0] != edges[:, 1]).all()
+
+    def test_deduplicated_by_default(self):
+        spec = KroneckerSpec(WEB, scale=8, edge_factor=16)
+        edges = generate_kronecker_edges(spec, seed=0)
+        assert len(np.unique(edges, axis=0)) == len(edges)
+
+    def test_keep_duplicates_when_asked(self):
+        spec = KroneckerSpec(WEB, scale=6, edge_factor=32, deduplicate=False,
+                             drop_self_loops=False)
+        edges = generate_kronecker_edges(spec, seed=0)
+        assert len(edges) == spec.n_edges_sampled
+
+    def test_skewed_initiator_gives_heavier_tail(self):
+        web = generate_kronecker_edges(
+            KroneckerSpec(WEB, scale=12, edge_factor=8), seed=0
+        )
+        road = generate_kronecker_edges(
+            KroneckerSpec(ROAD, scale=12, edge_factor=8), seed=0
+        )
+        web_stats = degree_statistics(web, 1 << 12)
+        road_stats = degree_statistics(road, 1 << 12)
+        assert web_stats["degree_cov"] > road_stats["degree_cov"]
+        assert web_stats["gini"] > road_stats["gini"]
+
+    def test_graph_is_mostly_connected_for_dense_factor(self):
+        """Kronecker graphs with decent edge factors have one giant
+        weakly-connected component."""
+        spec = KroneckerSpec(WEB, scale=10, edge_factor=16)
+        edges = generate_kronecker_edges(spec, seed=0)
+        g = nx.Graph()
+        g.add_edges_from(map(tuple, edges))
+        giant = max(nx.connected_components(g), key=len)
+        assert len(giant) > 0.5 * g.number_of_nodes()
+
+
+class TestDegreeStatistics:
+    def test_keys_present(self):
+        edges = np.array([[0, 1], [0, 2], [1, 2]])
+        stats = degree_statistics(edges, 4)
+        for key in ("n_edges", "mean_degree", "max_degree", "degree_cov",
+                    "isolated_fraction", "gini"):
+            assert key in stats
+
+    def test_simple_values(self):
+        edges = np.array([[0, 1], [0, 2], [1, 2]])
+        stats = degree_statistics(edges, 4)
+        assert stats["n_edges"] == 3
+        assert stats["max_degree"] == 2
+        assert stats["isolated_fraction"] == pytest.approx(0.5)  # nodes 2,3
+
+    def test_empty_graph(self):
+        stats = degree_statistics(np.empty((0, 2), dtype=np.int64), 4)
+        assert stats["n_edges"] == 0
+        assert stats["gini"] == 0.0

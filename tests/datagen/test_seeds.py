@@ -1,0 +1,72 @@
+"""Unit tests for the Table II input catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.kronecker import degree_statistics
+from repro.datagen.seeds import (
+    GRAPH_INPUTS,
+    REFERENCE_INPUTS,
+    TRAINING_INPUT,
+    get_graph_input,
+)
+
+
+class TestCatalog:
+    def test_eight_inputs(self):
+        assert len(GRAPH_INPUTS) == 8
+
+    def test_exactly_one_training_input(self):
+        training = [g for g in GRAPH_INPUTS.values() if g.role == "training"]
+        assert len(training) == 1
+        assert training[0] is TRAINING_INPUT
+        assert TRAINING_INPUT.name == "Google"
+
+    def test_seven_reference_inputs(self):
+        assert len(REFERENCE_INPUTS) == 7
+        assert all(g.role == "reference" for g in REFERENCE_INPUTS)
+
+    def test_table2_names(self):
+        expected = {
+            "Google", "Facebook", "Flickr", "Wikipedia",
+            "DBLP", "Stanford", "Amazon", "Road",
+        }
+        assert set(GRAPH_INPUTS) == expected
+
+    def test_lookup_case_insensitive(self):
+        assert get_graph_input("google") is GRAPH_INPUTS["Google"]
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_graph_input("Twitter")
+
+
+class TestTopologies:
+    def test_edges_materialise(self):
+        edges = TRAINING_INPUT.edges(seed=0, scale_delta=-4)
+        assert len(edges) > 0
+        assert edges.max() < TRAINING_INPUT.n_nodes
+
+    def test_scale_delta_shrinks(self):
+        big = TRAINING_INPUT.edges(seed=0, scale_delta=-3)
+        small = TRAINING_INPUT.edges(seed=0, scale_delta=-5)
+        assert len(small) < len(big)
+
+    def test_road_flatter_than_social(self):
+        """The catalog's families must differ in topology, or the
+        input-sensitivity experiment has nothing to detect."""
+        road = GRAPH_INPUTS["Road"]
+        facebook = GRAPH_INPUTS["Facebook"]
+        road_stats = degree_statistics(
+            road.edges(seed=0, scale_delta=-4), road.n_nodes >> 4
+        )
+        fb_stats = degree_statistics(
+            facebook.edges(seed=0, scale_delta=-4), facebook.n_nodes >> 4
+        )
+        assert fb_stats["gini"] > road_stats["gini"]
+
+    def test_inputs_have_distinct_edge_sets(self):
+        a = GRAPH_INPUTS["Google"].edges(seed=0, scale_delta=-4)
+        b = GRAPH_INPUTS["Wikipedia"].edges(seed=0, scale_delta=-4)
+        assert len(a) != len(b) or not (a[: len(b)] == b[: len(a)]).all()

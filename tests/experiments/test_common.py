@@ -1,0 +1,84 @@
+"""Unit tests for the experiment cache and helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import SimProfConfig
+from repro.experiments import common
+from repro.experiments.common import (
+    ExperimentConfig,
+    all_label_pairs,
+    format_table,
+    get_model,
+    get_profile,
+)
+
+SMALL = ExperimentConfig(
+    scale=0.05,
+    n_sampling_draws=3,
+    simprof=SimProfConfig(unit_size=10_000_000, snapshot_period=500_000),
+)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("SIMPROF_CACHE_DIR", str(tmp_path))
+    monkeypatch.setattr(common, "_MEMORY_CACHE", {})
+    yield
+
+
+class TestLabels:
+    def test_twelve_pairs(self):
+        pairs = all_label_pairs()
+        assert len(pairs) == 12
+        assert pairs[0][1] == "hadoop"  # Hadoop first, as in Figure 7
+
+
+class TestFormatTable:
+    def test_renders_rows(self):
+        text = format_table(["a", "bb"], [(1, 2), (30, 4)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+
+class TestCaching:
+    def test_profile_cached_on_disk(self, tmp_path):
+        p1 = get_profile("grep", "spark", SMALL)
+        assert len(list(tmp_path.glob("profile-*.pkl"))) == 1
+        # Second call from a cleared memory cache hits the disk.
+        common._MEMORY_CACHE.clear()
+        p2 = get_profile("grep", "spark", SMALL)
+        assert p2.n_units == p1.n_units
+        np.testing.assert_allclose(p2.profile.cpi(), p1.profile.cpi())
+
+    def test_model_cached(self, tmp_path):
+        job, model = get_model("grep", "spark", SMALL)
+        assert len(list(tmp_path.glob("model-*.pkl"))) == 1
+        _job2, model2 = get_model("grep", "spark", SMALL)
+        assert model2.k == model.k
+
+    def test_distinct_keys_for_distinct_params(self, tmp_path):
+        get_profile("grep", "spark", SMALL)
+        other = ExperimentConfig(
+            scale=0.06,
+            n_sampling_draws=3,
+            simprof=SMALL.simprof,
+        )
+        get_profile("grep", "spark", other)
+        assert len(list(tmp_path.glob("profile-*.pkl"))) == 2
+
+    def test_corrupt_cache_entry_recomputed(self, tmp_path):
+        get_profile("grep", "spark", SMALL)
+        entry = next(tmp_path.glob("profile-*.pkl"))
+        entry.write_bytes(b"not a pickle")
+        common._MEMORY_CACHE.clear()
+        p = get_profile("grep", "spark", SMALL)
+        assert p.n_units > 0

@@ -1,0 +1,102 @@
+"""Integration tests: every figure/table driver runs at small scale and
+its output has the paper's qualitative shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import SimProfConfig
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.fig06_cov import run_fig6
+from repro.experiments.fig07_errors import run_fig7
+from repro.experiments.fig08_samplesize import run_fig8
+from repro.experiments.fig09_phasecount import run_fig9
+from repro.experiments.fig10_phasetypes import run_fig10
+from repro.experiments.fig11_allocation import run_fig11
+from repro.experiments.fig12_13_sensitivity import run_fig12_13
+from repro.experiments.fig14_15_wordcount import run_wordcount_series
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+
+# One shared small config: profiles are cached across the session in
+# the user cache dir, so the twelve runs happen once.
+CFG = ExperimentConfig(
+    scale=0.1,
+    n_sampling_draws=5,
+    simprof=SimProfConfig(unit_size=20_000_000, snapshot_period=1_000_000),
+)
+
+
+class TestTables:
+    def test_table1_rows(self):
+        t = run_table1()
+        assert len(t.rows) == 6
+        assert "wordcount" in t.to_text()
+
+    def test_table2_rows(self):
+        t = run_table2()
+        assert len(t.rows) == 8
+        assert "training" in t.to_text()
+
+
+@pytest.mark.slow
+class TestFigureDrivers:
+    def test_fig6_weighted_below_population(self):
+        result = run_fig6(CFG)
+        assert len(result.rows) == 12
+        assert result.weighted_below_population()
+        assert "Figure 6" in result.to_text()
+
+    def test_fig7_simprof_wins(self):
+        # At test scale a 10 s SECOND window covers the entire run and
+        # degenerates into the oracle, so only the SRS/CODE comparisons
+        # are meaningful here; the full-scale benchmark covers SECOND.
+        result = run_fig7(CFG)
+        avg = result.averages()
+        assert avg["SimProf"] < avg["CODE"]
+        assert avg["SimProf"] < avg["SRS"]
+        assert "AVERAGE" in result.to_text()
+
+    def test_fig8_sample_sizes_ordered(self):
+        result = run_fig8(CFG)
+        avg = result.averages()
+        assert avg["SimProf_0.05"] <= avg["SimProf_0.02"]
+        for row in result.rows:
+            assert row.simprof_5pct <= row.simprof_2pct <= row.total_units
+
+    def test_fig9_counts_positive(self):
+        result = run_fig9(CFG)
+        assert len(result.counts) == 12
+        assert all(1 <= k <= 20 for k in result.counts.values())
+        lo, hi = result.range_for("sp")
+        assert lo >= 1
+
+    def test_fig10_shares_normalised(self):
+        result = run_fig10(CFG)
+        for label, shares in result.shares.items():
+            assert sum(shares.values()) == pytest.approx(1.0), label
+
+    def test_fig11_allocation_tracks_variance(self):
+        result = run_fig11(CFG)
+        assert sum(r.sample_ratio for r in result.rows) == pytest.approx(1.0)
+        # Sorted by weight, descending.
+        weights = [r.weight for r in result.rows]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_fig12_13_sensitivity(self):
+        result = run_fig12_13(
+            CFG, reference_names=("Road", "Facebook")
+        )
+        assert len(result.rows) == 4
+        for row in result.rows:
+            assert 0 <= row.sensitive_point_fraction <= 1
+            assert row.n_sensitive + row.n_insensitive == row.n_phases
+        assert 0.0 <= result.average_reduction() <= 1.0
+
+    def test_fig14_15_series(self):
+        for fw in ("spark", "hadoop"):
+            series = run_wordcount_series(fw, CFG)
+            assert len(series.cpi_sorted) == len(series.phase_sorted)
+            # Units sorted by phase id.
+            assert (series.phase_sorted[:-1] <= series.phase_sorted[1:]).all()
+            assert sum(p["weight"] for p in series.phase_summary) == pytest.approx(1.0)

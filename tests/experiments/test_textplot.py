@@ -1,0 +1,60 @@
+"""Tests for the ASCII scatter renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.textplot import ascii_scatter, phase_scatter
+
+
+class TestAsciiScatter:
+    def test_empty(self):
+        assert "empty" in ascii_scatter(np.array([]))
+
+    def test_dimensions(self):
+        text = ascii_scatter(np.linspace(0, 1, 50), width=40, height=8)
+        lines = text.splitlines()
+        # 8 grid rows + axis line.
+        assert len(lines) == 9
+        assert all(len(l) <= 9 + 40 for l in lines)
+
+    def test_extremes_on_first_and_last_rows(self):
+        y = np.array([0.0, 1.0])
+        lines = ascii_scatter(y, width=10, height=5).splitlines()
+        assert "·" in lines[0]      # max on top row
+        assert "·" in lines[4]      # min on bottom row
+
+    def test_axis_labels(self):
+        text = ascii_scatter(np.array([2.0, 4.0]), width=10, height=4)
+        assert "4.00" in text
+        assert "2.00" in text
+
+    def test_constant_series(self):
+        text = ascii_scatter(np.ones(10))
+        assert "·" in text  # no division-by-zero blank plot
+
+    def test_y_label(self):
+        text = ascii_scatter(np.ones(3), y_label="CPI")
+        assert text.splitlines()[0].startswith("CPI")
+
+
+class TestPhaseScatter:
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            phase_scatter(np.ones(3), np.zeros(2))
+
+    def test_boundaries_and_ruler(self):
+        cpi = np.concatenate([np.ones(30), np.full(30, 2.0)])
+        phases = np.array([0] * 30 + [1] * 30)
+        text = phase_scatter(cpi, phases, width=40, height=6)
+        assert "|" in text
+        ruler = text.splitlines()[-1]
+        assert ruler.strip().startswith("phase")
+        assert "0" in ruler and "1" in ruler
+
+    def test_single_phase_has_no_boundary(self):
+        cpi = np.ones(20)
+        text = phase_scatter(cpi, np.zeros(20, dtype=int), width=30, height=4)
+        grid_rows = text.splitlines()[1:-2]
+        assert not any("|" in row[9:] for row in grid_rows)

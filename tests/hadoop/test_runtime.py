@@ -1,0 +1,210 @@
+"""Integration tests for the MapReduce runtime."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+import pytest
+
+from repro.hadoop.api import Context, Mapper, Reducer
+from repro.hadoop.job import HadoopJobConf
+from repro.hadoop.runtime import HadoopCluster, HadoopClusterConfig
+from repro.jvm.machine import OpKind
+from repro.jvm.threads import OP_KIND_CODES
+
+
+class WordMapper(Mapper):
+    inst_per_record = 50_000.0
+
+    def map(self, key: Any, value: str, context: Context) -> None:
+        for w in value.split():
+            context.write(w, 1)
+
+
+class SumReducer(Reducer):
+    inst_per_record = 20_000.0
+
+    def reduce(self, key: Any, values: Any, context: Context) -> None:
+        context.write(key, sum(values))
+
+
+def make_cluster(**kwargs) -> HadoopCluster:
+    defaults = dict(n_slots=2, seed=0)
+    defaults.update(kwargs)
+    return HadoopCluster(HadoopClusterConfig(**defaults))
+
+
+def read_output(cluster: HadoopCluster, path: str) -> list[str]:
+    lines: list[str] = []
+    for part in cluster.fs.ls(f"{path}/*"):
+        lines.extend(cluster.fs.read_all(part))
+    return lines
+
+
+def parse_counts(lines: list[str]) -> dict[str, int]:
+    out: dict[str, int] = {}
+    for line in lines:
+        k, v = line.split("\t")
+        out[k] = int(v)
+    return out
+
+
+class TestWordCountJob:
+    @pytest.fixture()
+    def corpus(self):
+        return [f"w{i % 13} w{i % 7} w{i % 3}" for i in range(300)]
+
+    def expected(self, corpus):
+        return Counter(w for line in corpus for w in line.split())
+
+    def test_correct_counts_with_combiner(self, corpus):
+        cluster = make_cluster()
+        cluster.fs.write("/in", corpus, block_records=75)
+        conf = HadoopJobConf(
+            name="wc",
+            mapper=WordMapper(),
+            combiner=SumReducer(),
+            reducer=SumReducer(),
+            n_reduces=3,
+            sort_buffer_bytes=500.0,  # force several spills per task
+        )
+        cluster.run_job(conf, "/in", "/out")
+        assert parse_counts(read_output(cluster, "/out")) == self.expected(corpus)
+
+    def test_correct_counts_without_combiner(self, corpus):
+        cluster = make_cluster()
+        cluster.fs.write("/in", corpus, block_records=100)
+        conf = HadoopJobConf(
+            name="wc",
+            mapper=WordMapper(),
+            combiner=None,
+            reducer=SumReducer(),
+            n_reduces=2,
+        )
+        cluster.run_job(conf, "/in", "/out")
+        assert parse_counts(read_output(cluster, "/out")) == self.expected(corpus)
+
+    def test_reduce_output_sorted_within_partition(self, corpus):
+        cluster = make_cluster()
+        cluster.fs.write("/in", corpus, block_records=100)
+        conf = HadoopJobConf(
+            name="wc", mapper=WordMapper(), reducer=SumReducer(), n_reduces=2
+        )
+        cluster.run_job(conf, "/in", "/out")
+        for part in cluster.fs.ls("/out/*"):
+            keys = [l.split("\t")[0] for l in cluster.fs.read_all(part)]
+            assert keys == sorted(keys)
+
+    def test_map_only_job(self):
+        cluster = make_cluster()
+        cluster.fs.write("/in", ["a b", "c"], block_records=2)
+        conf = HadoopJobConf(name="ident", mapper=WordMapper(), reducer=None,
+                             n_reduces=0)
+        cluster.run_job(conf, "/in", "/out")
+        lines = read_output(cluster, "/out")
+        assert sorted(l.split("\t")[0] for l in lines) == ["a", "b", "c"]
+
+    def test_trace_merged_per_slot(self, corpus):
+        cluster = make_cluster(n_slots=2)
+        cluster.fs.write("/in", corpus, block_records=50)  # 6 map tasks
+        conf = HadoopJobConf(
+            name="wc", mapper=WordMapper(), reducer=SumReducer(), n_reduces=2
+        )
+        cluster.run_job(conf, "/in", "/out")
+        trace = cluster.job_trace("wc")
+        # Tasks ran on 2 slots -> exactly 2 merged pseudo-threads.
+        assert trace.n_threads == 2
+        # Merged traces are time-ordered.
+        for t in trace.traces:
+            assert t.total_instructions > 0
+
+    def test_stage_metadata(self, corpus):
+        cluster = make_cluster()
+        cluster.fs.write("/in", corpus, block_records=150)
+        conf = HadoopJobConf(
+            name="wc", mapper=WordMapper(), reducer=SumReducer(), n_reduces=2
+        )
+        cluster.run_job(conf, "/in", "/out")
+        names = [s.name for s in cluster.job_trace("wc").stages]
+        assert names == ["wc:map", "wc:reduce"]
+
+    def test_op_kinds_present(self, corpus):
+        cluster = make_cluster()
+        cluster.fs.write("/in", corpus, block_records=100)
+        conf = HadoopJobConf(
+            name="wc",
+            mapper=WordMapper(),
+            combiner=SumReducer(),
+            reducer=SumReducer(),
+            n_reduces=2,
+            sort_buffer_bytes=1000.0,
+        )
+        cluster.run_job(conf, "/in", "/out")
+        kinds = set()
+        for t in cluster.job_trace("wc").traces:
+            kinds.update(int(k) for k in t.to_arrays()["op_kind"])
+        for expected in (OpKind.MAP, OpKind.REDUCE, OpKind.SORT, OpKind.IO,
+                         OpKind.SHUFFLE):
+            assert OP_KIND_CODES[expected] in kinds
+
+    def test_chained_jobs_read_previous_output(self):
+        """Iterative pattern: job 2 consumes job 1's text output."""
+        cluster = make_cluster()
+        cluster.fs.write("/in", ["a a b"], block_records=1)
+        conf = HadoopJobConf(
+            name="wc", mapper=WordMapper(), reducer=SumReducer(), n_reduces=1
+        )
+        cluster.run_job(conf, "/in", "/out1")
+        merged = read_output(cluster, "/out1")
+        cluster.fs.write("/in2", merged, block_records=2)
+
+        class ParseCountMapper(Mapper):
+            def map(self, key: Any, value: str, context: Context) -> None:
+                word, count = value.split("\t")
+                context.write("total", int(count))
+
+        conf2 = HadoopJobConf(
+            name="sum", mapper=ParseCountMapper(), reducer=SumReducer(),
+            n_reduces=1,
+        )
+        cluster.run_job(conf2, "/in2", "/out2")
+        assert parse_counts(read_output(cluster, "/out2")) == {"total": 3}
+
+
+class TestHadoopJobConf:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HadoopJobConf(name="x", mapper=WordMapper(), n_reduces=-1)
+        with pytest.raises(ValueError):
+            HadoopJobConf(name="x", mapper=WordMapper(), sort_buffer_bytes=0)
+        with pytest.raises(ValueError):
+            HadoopJobConf(name="x", mapper=WordMapper(), compression_ratio=0)
+
+    def test_is_map_only(self):
+        assert HadoopJobConf(name="x", mapper=WordMapper(), reducer=None).is_map_only
+        assert HadoopJobConf(
+            name="x", mapper=WordMapper(), reducer=SumReducer(), n_reduces=0
+        ).is_map_only
+
+    def test_cluster_config_validation(self):
+        with pytest.raises(ValueError):
+            HadoopClusterConfig(n_slots=0)
+
+
+class TestDefaultApiClasses:
+    def test_identity_mapper(self):
+        ctx = Context()
+        Mapper().map("k", "v", ctx)
+        assert ctx.drain() == [("k", "v")]
+
+    def test_identity_reducer(self):
+        ctx = Context()
+        Reducer().reduce("k", [1, 2], ctx)
+        assert ctx.drain() == [("k", 1), ("k", 2)]
+
+    def test_context_drain_clears(self):
+        ctx = Context()
+        ctx.write("a", 1)
+        assert ctx.drain() == [("a", 1)]
+        assert ctx.drain() == []

@@ -1,0 +1,141 @@
+"""Unit and property tests for the simulated HDFS."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hdfs.filesystem import SimulatedHDFS, estimate_record_bytes
+
+
+class TestEstimateRecordBytes:
+    def test_string(self):
+        assert estimate_record_bytes("hello") == 6  # +newline
+
+    def test_bytes(self):
+        assert estimate_record_bytes(b"abc") == 4
+
+    def test_numbers(self):
+        assert estimate_record_bytes(7) == 8
+        assert estimate_record_bytes(3.14) == 8
+        assert estimate_record_bytes(np.int64(7)) == 8
+
+    def test_ndarray_uses_nbytes(self):
+        arr = np.zeros(10, dtype=np.int64)
+        assert estimate_record_bytes(arr) == 80
+
+    def test_tuple_sums_fields(self):
+        assert estimate_record_bytes(("ab", 1)) == 3 + 8 + 2
+
+    def test_dict(self):
+        assert estimate_record_bytes({"a": 1}) == 2 + 8
+
+    def test_unknown_object_positive(self):
+        class Thing:
+            pass
+
+        assert estimate_record_bytes(Thing()) > 0
+
+    @given(
+        st.recursive(
+            st.one_of(st.text(max_size=10), st.integers(), st.floats(allow_nan=False)),
+            lambda children: st.lists(children, max_size=4).map(tuple),
+            max_leaves=10,
+        )
+    )
+    @settings(max_examples=50)
+    def test_always_positive(self, record):
+        assert estimate_record_bytes(record) >= 0
+
+
+class TestSimulatedHDFS:
+    def test_write_chops_into_blocks(self):
+        fs = SimulatedHDFS(block_records=10)
+        f = fs.write("/a", [f"line{i}" for i in range(25)])
+        assert f.n_blocks == 3
+        assert [len(b) for b in f.blocks] == [10, 10, 5]
+        assert f.n_records == 25
+
+    def test_write_block_records_override(self):
+        fs = SimulatedHDFS(block_records=10)
+        f = fs.write("/a", range(20), block_records=5)
+        assert f.n_blocks == 4
+
+    def test_read_block_roundtrip(self):
+        fs = SimulatedHDFS(block_records=4)
+        fs.write("/a", list(range(10)))
+        records, nbytes = fs.read_block("/a", 1)
+        assert records == [4, 5, 6, 7]
+        assert nbytes == 32
+
+    def test_read_block_out_of_range(self):
+        fs = SimulatedHDFS()
+        fs.write("/a", [1])
+        with pytest.raises(IndexError):
+            fs.read_block("/a", 5)
+
+    def test_read_all(self):
+        fs = SimulatedHDFS(block_records=3)
+        fs.write("/a", list(range(7)))
+        assert fs.read_all("/a") == list(range(7))
+
+    def test_missing_file_raises(self):
+        fs = SimulatedHDFS()
+        with pytest.raises(FileNotFoundError):
+            fs.stat("/nope")
+        with pytest.raises(FileNotFoundError):
+            fs.read_all("/nope")
+
+    def test_exists_and_delete(self):
+        fs = SimulatedHDFS()
+        fs.write("/a", [1])
+        assert fs.exists("/a")
+        fs.delete("/a")
+        assert not fs.exists("/a")
+        fs.delete("/a")  # idempotent
+
+    def test_ls_glob(self):
+        fs = SimulatedHDFS()
+        fs.write("/out/part-0", [1])
+        fs.write("/out/part-1", [1])
+        fs.write("/in/data", [1])
+        assert fs.ls("/out/*") == ["/out/part-0", "/out/part-1"]
+        assert len(fs.ls()) == 3
+
+    def test_overwrite_replaces(self):
+        fs = SimulatedHDFS()
+        fs.write("/a", [1, 2, 3])
+        fs.write("/a", [9])
+        assert fs.read_all("/a") == [9]
+
+    def test_append_block(self):
+        fs = SimulatedHDFS()
+        fs.append_block("/a", ["x"])
+        fs.append_block("/a", ["y", "z"])
+        assert fs.read_all("/a") == ["x", "y", "z"]
+        assert fs.stat("/a").n_blocks == 2
+
+    def test_write_blocks_preserves_layout(self):
+        fs = SimulatedHDFS()
+        f = fs.write_blocks("/a", [[1, 2], [3]])
+        assert f.n_blocks == 2
+        assert f.blocks[1] == [3]
+
+    def test_io_accounting(self):
+        fs = SimulatedHDFS(block_records=5)
+        f = fs.write("/a", ["hello"] * 10)
+        assert fs.bytes_written == f.total_bytes
+        fs.read_all("/a")
+        assert fs.bytes_read == f.total_bytes
+
+    def test_rejects_bad_block_records(self):
+        with pytest.raises(ValueError):
+            SimulatedHDFS(block_records=0)
+
+    @given(st.lists(st.text(max_size=20), max_size=60), st.integers(1, 10))
+    @settings(max_examples=40)
+    def test_roundtrip_property(self, records, block_records):
+        fs = SimulatedHDFS(block_records=block_records)
+        fs.write("/p", records)
+        assert fs.read_all("/p") == records

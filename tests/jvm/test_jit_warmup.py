@@ -1,0 +1,83 @@
+"""Tests for the optional JIT warm-up model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.jvm.machine import AccessPattern, HardwareModel, MachineConfig, OpKind
+from repro.jvm.methods import CallStack, MethodRegistry, StackTable
+from repro.jvm.threads import TraceBuilder
+
+
+def make_builder(**machine_kwargs):
+    registry = MethodRegistry()
+    table = StackTable(registry)
+    stack = CallStack((registry.intern("a.A", "run"),))
+    hw = HardwareModel(
+        MachineConfig(noise_sigma=0.0, migration_probability=0.0,
+                      **machine_kwargs)
+    )
+    return TraceBuilder(table, hw, np.random.default_rng(0), 0, 0), stack
+
+
+class TestJitMultiplier:
+    def test_off_by_default(self):
+        model = HardwareModel(MachineConfig())
+        assert model.jit_multiplier(0) == 1.0
+        assert model.jit_multiplier(1e12) == 1.0
+
+    def test_decays_with_retirement(self):
+        model = HardwareModel(
+            MachineConfig(jit_warmup_penalty=0.5, jit_warmup_scale=1e8)
+        )
+        start = model.jit_multiplier(0)
+        later = model.jit_multiplier(5e8)
+        assert start == pytest.approx(1.5)
+        assert 1.0 < later < start
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(jit_warmup_penalty=-0.1)
+        with pytest.raises(ValueError):
+            MachineConfig(jit_warmup_scale=0)
+
+
+class TestWarmupInTraces:
+    def test_early_segments_slower(self):
+        builder, stack = make_builder(
+            jit_warmup_penalty=0.6, jit_warmup_scale=5e6
+        )
+        for _ in range(20):
+            builder.emit(
+                stack, OpKind.MAP, AccessPattern.sequential(1e4), 1e6
+            )
+        cpis = [s.cpi for s in builder.trace.segments]
+        assert cpis[0] > cpis[-1]
+        # Monotone decay for identical work.
+        assert all(a >= b - 1e-9 for a, b in zip(cpis, cpis[1:]))
+
+    def test_warmup_off_keeps_cpi_flat(self):
+        builder, stack = make_builder()
+        for _ in range(5):
+            builder.emit(
+                stack, OpKind.MAP, AccessPattern.sequential(1e4), 1e6
+            )
+        cpis = {round(s.cpi, 6) for s in builder.trace.segments}
+        assert len(cpis) == 1
+
+    def test_warmup_visible_to_profiler(self):
+        """A warm-up-enabled run shows a decaying CPI trend over the
+        first sampling units."""
+        from repro.core.profiler import ProfilerConfig, SimProfProfiler
+
+        builder, stack = make_builder(
+            jit_warmup_penalty=1.0, jit_warmup_scale=2e7
+        )
+        for _ in range(100):
+            builder.emit(stack, OpKind.MAP, AccessPattern.sequential(1e4), 1e6)
+        profile = SimProfProfiler(
+            ProfilerConfig(unit_size=10_000_000, snapshot_period=1_000_000)
+        ).profile_thread(builder.trace)
+        cpi = profile.cpi()
+        assert cpi[0] > cpi[-1] * 1.2

@@ -1,0 +1,97 @@
+"""Unit tests for the JVMTI-like stack snapshotter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.jvm.jvmti import StackSnapshotter
+from tests.helpers import make_registry_with_stacks, make_trace
+
+
+@pytest.fixture()
+def simple_trace():
+    registry, table, stacks = make_registry_with_stacks(n_stacks=2)
+    # 3 segments: stack0 for 100, stack1 for 50, stack0 for 50 instrs.
+    trace = make_trace(
+        [(stacks[0], 100, 1.0), (stacks[1], 50, 1.0), (stacks[0], 50, 1.0)],
+        table,
+    )
+    return trace, table, stacks
+
+
+class TestStackAt:
+    def test_maps_offsets_to_segments(self, simple_trace):
+        trace, table, stacks = simple_trace
+        snap = StackSnapshotter(trace)
+        assert snap.stack_at(0) == table.intern(stacks[0])
+        assert snap.stack_at(99) == table.intern(stacks[0])
+        assert snap.stack_at(100) == table.intern(stacks[1])
+        assert snap.stack_at(149) == table.intern(stacks[1])
+        assert snap.stack_at(150) == table.intern(stacks[0])
+
+    def test_out_of_range_raises(self, simple_trace):
+        trace, _table, _stacks = simple_trace
+        snap = StackSnapshotter(trace)
+        with pytest.raises(IndexError):
+            snap.stack_at(200)
+        with pytest.raises(IndexError):
+            snap.stack_at(-1)
+
+    def test_total_instructions(self, simple_trace):
+        trace, _t, _s = simple_trace
+        assert StackSnapshotter(trace).total_instructions == 200
+
+
+class TestSnapshots:
+    def test_periodic_snapshot_count(self, simple_trace):
+        trace, _t, _s = simple_trace
+        snaps = StackSnapshotter(trace).snapshots(period=10)
+        # offsets 10, 20, ..., 190
+        assert len(snaps) == 19
+        assert snaps[0].instruction_offset == 10
+
+    def test_rejects_nonpositive_period(self, simple_trace):
+        trace, _t, _s = simple_trace
+        with pytest.raises(ValueError):
+            StackSnapshotter(trace).snapshots(period=0)
+
+    def test_snapshot_arrays_match_snapshots(self, simple_trace):
+        trace, _t, _s = simple_trace
+        snapper = StackSnapshotter(trace)
+        snaps = snapper.snapshots(period=25)
+        offsets, ids = snapper.snapshot_arrays(period=25)
+        assert [s.instruction_offset for s in snaps] == list(offsets)
+        assert [s.stack_id for s in snaps] == list(ids)
+
+    def test_jitter_requires_valid_range(self, simple_trace):
+        trace, _t, _s = simple_trace
+        with pytest.raises(ValueError):
+            StackSnapshotter(trace).snapshots(
+                period=10, jitter=1.5, rng=np.random.default_rng(0)
+            )
+
+    def test_jitter_preserves_mean_rate(self, simple_trace):
+        trace, _t, _s = simple_trace
+        snapper = StackSnapshotter(trace)
+        rng = np.random.default_rng(0)
+        jittered = snapper.snapshots(period=10, jitter=0.5, rng=rng)
+        # Expected ~19 polls; the jittered count stays close.
+        assert 12 <= len(jittered) <= 28
+
+    def test_jitter_offsets_monotone(self, simple_trace):
+        trace, _t, _s = simple_trace
+        offsets, _ = StackSnapshotter(trace).snapshot_arrays(
+            period=10, jitter=0.9, rng=np.random.default_rng(1)
+        )
+        assert (np.diff(offsets) > 0).all()
+
+    @given(period=st.integers(min_value=1, max_value=250))
+    @settings(max_examples=30)
+    def test_offsets_in_range(self, period):
+        registry, table, stacks = make_registry_with_stacks(n_stacks=2)
+        trace = make_trace([(stacks[0], 100, 1.0), (stacks[1], 100, 1.0)], table)
+        offsets, ids = StackSnapshotter(trace).snapshot_arrays(period)
+        assert all(0 < o < 200 for o in offsets)
+        assert len(offsets) == len(ids)

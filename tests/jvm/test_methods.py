@@ -1,0 +1,141 @@
+"""Unit tests for the method registry, call stacks, and stack table."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.jvm.methods import CallStack, MethodRef, MethodRegistry, StackTable
+
+
+class TestMethodRef:
+    def test_fqn_combines_class_and_method(self):
+        ref = MethodRef("org.apache.spark.rdd.RDD", "map")
+        assert ref.fqn == "org.apache.spark.rdd.RDD.map"
+
+    def test_simple_class_strips_package(self):
+        assert MethodRef("a.b.C", "m").simple_class == "C"
+
+    def test_simple_class_without_package(self):
+        assert MethodRef("C", "m").simple_class == "C"
+
+    def test_value_equality(self):
+        assert MethodRef("a.B", "m") == MethodRef("a.B", "m")
+        assert MethodRef("a.B", "m") != MethodRef("a.B", "n")
+
+
+class TestMethodRegistry:
+    def test_intern_assigns_dense_ids(self):
+        reg = MethodRegistry()
+        ids = [reg.intern("a.B", f"m{i}") for i in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+        assert len(reg) == 5
+
+    def test_intern_is_idempotent(self):
+        reg = MethodRegistry()
+        first = reg.intern("a.B", "m")
+        second = reg.intern("a.B", "m")
+        assert first == second
+        assert len(reg) == 1
+
+    def test_lookup_roundtrip(self):
+        reg = MethodRegistry()
+        mid = reg.intern("a.B", "m")
+        assert reg.lookup(mid) == MethodRef("a.B", "m")
+        assert reg.fqn(mid) == "a.B.m"
+
+    def test_id_of_unknown_raises(self):
+        reg = MethodRegistry()
+        with pytest.raises(KeyError):
+            reg.id_of(MethodRef("a.B", "m"))
+
+    def test_contains(self):
+        reg = MethodRegistry()
+        reg.intern("a.B", "m")
+        assert MethodRef("a.B", "m") in reg
+        assert MethodRef("a.B", "n") not in reg
+
+    def test_find_by_substring(self):
+        reg = MethodRegistry()
+        hit = reg.intern("org.QuickSort", "sort")
+        reg.intern("org.Mapper", "map")
+        assert reg.find("QuickSort") == [hit]
+
+    def test_all_refs_in_id_order(self):
+        reg = MethodRegistry()
+        reg.intern("a.B", "m")
+        reg.intern("a.B", "n")
+        assert [r.method_name for r in reg.all_refs()] == ["m", "n"]
+
+    @given(st.lists(st.tuples(st.text(min_size=1), st.text(min_size=1)), max_size=30))
+    def test_ids_stable_under_reinterning(self, pairs):
+        reg = MethodRegistry()
+        first = [reg.intern(c, m) for c, m in pairs]
+        second = [reg.intern(c, m) for c, m in pairs]
+        assert first == second
+
+
+class TestCallStack:
+    def test_push_and_pop(self):
+        stack = CallStack((0,))
+        grown = stack.push(1).push(2)
+        assert grown.frames == (0, 1, 2)
+        assert grown.leaf == 2
+        assert grown.root == 0
+        assert grown.pop().frames == (0, 1)
+
+    def test_pop_root_raises(self):
+        with pytest.raises(ValueError):
+            CallStack((0,)).pop()
+
+    def test_push_all(self):
+        assert CallStack((0,)).push_all([1, 2, 3]).frames == (0, 1, 2, 3)
+
+    def test_render_uses_registry(self):
+        reg = MethodRegistry()
+        a = reg.intern("a.A", "run")
+        b = reg.intern("b.B", "work")
+        text = CallStack((a, b)).render(reg)
+        assert "a.A.run" in text and "b.B.work" in text
+
+    def test_iteration_and_len(self):
+        stack = CallStack((3, 1, 4))
+        assert list(stack) == [3, 1, 4]
+        assert len(stack) == 3
+
+
+class TestStackTable:
+    def test_intern_dedupes_by_frames(self):
+        reg = MethodRegistry()
+        table = StackTable(reg)
+        s1 = CallStack((reg.intern("a.A", "x"),))
+        assert table.intern(s1) == table.intern(CallStack(s1.frames))
+        assert len(table) == 1
+
+    def test_lookup_roundtrip(self):
+        reg = MethodRegistry()
+        table = StackTable(reg)
+        stack = CallStack((reg.intern("a.A", "x"), reg.intern("a.A", "y")))
+        sid = table.intern(stack)
+        assert table.lookup(sid) == stack
+        assert table.frames_of(sid) == stack.frames
+
+    def test_method_histogram_counts_all_frames(self):
+        reg = MethodRegistry()
+        table = StackTable(reg)
+        a = reg.intern("a.A", "x")
+        b = reg.intern("a.A", "y")
+        sid1 = table.intern(CallStack((a, b)))
+        sid2 = table.intern(CallStack((a,)))
+        hist = table.method_histogram(np.array([sid1, sid2]), np.array([2, 3]))
+        assert hist[a] == 5  # on both stacks
+        assert hist[b] == 2  # only on the deep stack
+
+    def test_method_histogram_default_counts(self):
+        reg = MethodRegistry()
+        table = StackTable(reg)
+        a = reg.intern("a.A", "x")
+        sid = table.intern(CallStack((a,)))
+        hist = table.method_histogram(np.array([sid, sid]))
+        assert hist[a] == 2

@@ -1,0 +1,79 @@
+"""Unit tests for the perf_event-like counter reader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.jvm.perf import PerfCounterReader
+from tests.helpers import make_registry_with_stacks, make_trace
+
+
+@pytest.fixture()
+def two_phase_trace():
+    """100 instructions at CPI 1.0, then 100 at CPI 3.0."""
+    registry, table, stacks = make_registry_with_stacks(n_stacks=2)
+    return make_trace(
+        [(stacks[0], 100, 1.0), (stacks[1], 100, 3.0)], table
+    )
+
+
+class TestRead:
+    def test_full_window_totals(self, two_phase_trace):
+        reader = PerfCounterReader(two_phase_trace)
+        win = reader.read(0, 200)
+        assert win.instructions == 200
+        assert win.cycles == pytest.approx(100 + 300)
+
+    def test_interpolates_within_segment(self, two_phase_trace):
+        reader = PerfCounterReader(two_phase_trace)
+        win = reader.read(0, 50)  # half of the CPI-1.0 segment
+        assert win.cycles == pytest.approx(50)
+
+    def test_straddling_window(self, two_phase_trace):
+        reader = PerfCounterReader(two_phase_trace)
+        win = reader.read(50, 150)  # 50 @ CPI1 + 50 @ CPI3
+        assert win.cycles == pytest.approx(50 + 150)
+        assert win.cpi == pytest.approx(2.0)
+
+    def test_out_of_range_raises(self, two_phase_trace):
+        reader = PerfCounterReader(two_phase_trace)
+        with pytest.raises(ValueError):
+            reader.read(-1, 10)
+        with pytest.raises(ValueError):
+            reader.read(0, 1000)
+
+
+class TestReadWindows:
+    def test_windows_partition_the_trace(self, two_phase_trace):
+        reader = PerfCounterReader(two_phase_trace)
+        wins = reader.read_windows(np.array([0, 50, 100, 200]))
+        assert len(wins) == 3
+        assert sum(w.cycles for w in wins) == pytest.approx(reader.total_cycles)
+
+    def test_rejects_decreasing_boundaries(self, two_phase_trace):
+        reader = PerfCounterReader(two_phase_trace)
+        with pytest.raises(ValueError):
+            reader.read_windows(np.array([0, 100, 50]))
+
+    def test_empty_boundaries(self, two_phase_trace):
+        reader = PerfCounterReader(two_phase_trace)
+        assert reader.read_windows(np.array([0])) == []
+
+
+class TestCounterWindow:
+    def test_ipc_and_mpki(self, two_phase_trace):
+        reader = PerfCounterReader(two_phase_trace)
+        win = reader.read(0, 100)
+        assert win.ipc == pytest.approx(1.0 / win.cpi)
+        assert win.llc_mpki >= 0
+
+
+class TestTimeMapping:
+    def test_time_of_instruction_roundtrip(self, two_phase_trace):
+        reader = PerfCounterReader(two_phase_trace)
+        clock = 1e9
+        t = reader.time_of_instruction(100, clock)
+        assert t == pytest.approx(100 / clock)
+        back = reader.instruction_at_time(t, clock)
+        assert back == pytest.approx(100)

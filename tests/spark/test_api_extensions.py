@@ -1,0 +1,166 @@
+"""Tests for the extended Spark API (distinct/sample/coalesce/keys/values)
+and Hadoop user counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hadoop.api import Context, Mapper, Reducer
+from repro.hadoop.job import HadoopJobConf
+from repro.hadoop.runtime import HadoopCluster, HadoopClusterConfig
+from repro.spark.context import SparkConfig, SparkContext
+
+
+def make_ctx(**kwargs) -> SparkContext:
+    defaults = dict(n_executors=2, default_parallelism=2, seed=0)
+    defaults.update(kwargs)
+    return SparkContext(SparkConfig(**defaults))
+
+
+class TestKeysValues:
+    def test_keys_and_values(self):
+        ctx = make_ctx()
+        pairs = ctx.parallelize([("a", 1), ("b", 2)], 2)
+        assert sorted(pairs.keys().collect()) == ["a", "b"]
+        assert sorted(pairs.values().collect()) == [1, 2]
+
+
+class TestDistinct:
+    def test_deduplicates(self):
+        ctx = make_ctx()
+        data = [1, 2, 2, 3, 3, 3, 1]
+        assert sorted(ctx.parallelize(data, 3).distinct().collect()) == [1, 2, 3]
+
+    def test_distinct_strings(self):
+        ctx = make_ctx()
+        data = ["x", "y", "x"]
+        assert sorted(ctx.parallelize(data, 2).distinct().collect()) == ["x", "y"]
+
+    def test_distinct_adds_shuffle_stage(self):
+        ctx = make_ctx()
+        ctx.parallelize([1, 1], 2).distinct().collect()
+        trace = ctx.job_trace("t")
+        assert any(s.name.startswith("shuffleMap") for s in trace.stages)
+
+
+class TestSample:
+    def test_fraction_zero_and_one(self):
+        ctx = make_ctx()
+        data = list(range(50))
+        assert ctx.parallelize(data, 2).sample(0.0).collect() == []
+        assert sorted(ctx.parallelize(data, 2).sample(1.0).collect()) == data
+
+    def test_fraction_rate(self):
+        ctx = make_ctx()
+        data = list(range(2000))
+        kept = ctx.parallelize(data, 2).sample(0.3, seed=1).collect()
+        assert 0.2 < len(kept) / len(data) < 0.4
+
+    def test_sample_subset(self):
+        ctx = make_ctx()
+        data = list(range(100))
+        kept = ctx.parallelize(data, 2).sample(0.5, seed=2).collect()
+        assert set(kept) <= set(data)
+        assert len(set(kept)) == len(kept)
+
+    def test_deterministic(self):
+        data = list(range(200))
+        a = make_ctx().parallelize(data, 2).sample(0.5, seed=3).collect()
+        b = make_ctx().parallelize(data, 2).sample(0.5, seed=3).collect()
+        assert a == b
+
+    def test_rejects_bad_fraction(self):
+        ctx = make_ctx()
+        with pytest.raises(ValueError):
+            ctx.parallelize([1], 1).sample(1.5)
+
+
+class TestCoalesce:
+    def test_reduces_partitions(self):
+        ctx = make_ctx()
+        rdd = ctx.parallelize(list(range(40)), 8).coalesce(3)
+        assert rdd.num_partitions() == 3
+        assert sorted(rdd.collect()) == list(range(40))
+
+    def test_parent_splits_partition_everything(self):
+        ctx = make_ctx()
+        rdd = ctx.parallelize(list(range(10)), 7).coalesce(3)
+        seen = []
+        for split in range(3):
+            seen.extend(rdd.parent_splits(split))
+        assert seen == list(range(7))
+
+    def test_coalesce_with_downstream_ops(self):
+        ctx = make_ctx()
+        out = (
+            ctx.parallelize(list(range(20)), 6)
+            .map(lambda x: x + 1)
+            .coalesce(2)
+            .map(lambda x: x * 10)
+            .collect()
+        )
+        assert sorted(out) == [(x + 1) * 10 for x in range(20)]
+
+    def test_cannot_increase_partitions(self):
+        ctx = make_ctx()
+        rdd = ctx.parallelize([1, 2], 2).coalesce(10)
+        assert rdd.num_partitions() == 2
+
+    def test_rejects_zero(self):
+        ctx = make_ctx()
+        with pytest.raises(ValueError):
+            ctx.parallelize([1], 1).coalesce(0)
+
+    def test_coalesce_into_shuffle(self):
+        ctx = make_ctx()
+        words = ["a", "b", "a", "c"] * 5
+        counts = dict(
+            ctx.parallelize(words, 8)
+            .coalesce(2)
+            .map(lambda w: (w, 1))
+            .reduce_by_key(lambda a, b: a + b)
+            .collect()
+        )
+        assert counts == {"a": 10, "b": 5, "c": 5}
+
+
+class CountingMapper(Mapper):
+    inst_per_record = 50_000.0
+
+    def map(self, key, value, context: Context) -> None:
+        for w in value.split():
+            context.write(w, 1)
+            context.increment_counter("wc", "tokens")
+        if not value.split():
+            context.increment_counter("wc", "empty_lines")
+
+
+class SumReducer(Reducer):
+    inst_per_record = 20_000.0
+
+    def reduce(self, key, values, context: Context) -> None:
+        total = sum(values)
+        context.write(key, total)
+        context.increment_counter("wc", "unique_words")
+
+
+class TestHadoopCounters:
+    def test_counters_aggregate_across_tasks(self):
+        cluster = HadoopCluster(HadoopClusterConfig(n_slots=2, seed=0))
+        lines = ["a b", "c", "", "a"]
+        cluster.fs.write("/in", lines, block_records=2)
+        conf = HadoopJobConf(
+            name="wc", mapper=CountingMapper(), reducer=SumReducer(),
+            n_reduces=2,
+        )
+        cluster.run_job(conf, "/in", "/out")
+        counters = cluster.counters["wc"]
+        assert counters[("wc", "tokens")] == 4
+        assert counters[("wc", "empty_lines")] == 1
+        assert counters[("wc", "unique_words")] == 3
+
+    def test_context_counter_api(self):
+        ctx = Context()
+        ctx.increment_counter("g", "n")
+        ctx.increment_counter("g", "n", 4)
+        assert ctx.counters[("g", "n")] == 5

@@ -1,0 +1,153 @@
+"""Tests for RDD.cache()/persist() and the block store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.spark.blockstore import BlockStore
+from repro.spark.context import SparkConfig, SparkContext
+
+
+def make_ctx(**kwargs) -> SparkContext:
+    defaults = dict(n_executors=2, default_parallelism=2, seed=0)
+    defaults.update(kwargs)
+    return SparkContext(SparkConfig(**defaults))
+
+
+class TestBlockStore:
+    def test_put_get_roundtrip(self):
+        store = BlockStore()
+        store.put(5, 0, [1, 2, 3])
+        records, nbytes = store.get(5, 0)
+        assert records == [1, 2, 3]
+        assert nbytes == 24
+
+    def test_has_counts_probes(self):
+        store = BlockStore()
+        assert not store.has(1, 0)
+        store.put(1, 0, [1])
+        assert store.has(1, 0)
+        assert store.hits == 1
+        assert store.misses == 1
+
+    def test_overwrite_adjusts_bytes(self):
+        store = BlockStore()
+        store.put(1, 0, [1, 2])
+        store.put(1, 0, [1])
+        assert store.bytes_cached == 8
+        assert store.n_blocks == 1
+
+    def test_evict_rdd(self):
+        store = BlockStore()
+        store.put(1, 0, [1])
+        store.put(1, 1, [2])
+        store.put(2, 0, [3])
+        store.evict_rdd(1)
+        assert store.n_blocks == 1
+        assert store.bytes_cached == 8
+
+
+class TestCachedRDD:
+    def test_results_identical_with_cache(self):
+        words = [f"w{i % 5}" for i in range(40)]
+        plain = make_ctx()
+        expected = sorted(
+            plain.parallelize(words, 2).map(lambda w: (w, 1)).collect()
+        )
+        ctx = make_ctx()
+        cached = ctx.parallelize(words, 2).map(lambda w: (w, 1)).cache()
+        first = sorted(cached.collect())
+        second = sorted(cached.collect())
+        assert first == expected
+        assert second == expected
+
+    def test_second_job_reads_from_store(self):
+        ctx = make_ctx()
+        calls = []
+
+        def traced(x):
+            calls.append(x)
+            return x * 2
+
+        rdd = ctx.parallelize(list(range(20)), 2).map(traced).cache()
+        rdd.collect()
+        n_first = len(calls)
+        rdd.collect()
+        # The map function did not run again.
+        assert len(calls) == n_first
+        assert ctx.block_store.n_blocks == 2
+
+    def test_cache_hit_is_cheaper_than_recompute(self):
+        def run(cache: bool) -> int:
+            ctx = make_ctx(n_executors=1)
+            rdd = ctx.parallelize(list(range(400)), 1).map(
+                lambda x: x + 1
+            )
+            if cache:
+                rdd = rdd.cache()
+            rdd.count()
+            rdd.count()
+            return ctx.job_trace("t").total_instructions
+
+        assert run(cache=True) < run(cache=False)
+
+    def test_cache_read_stack_in_trace(self):
+        ctx = make_ctx()
+        rdd = ctx.parallelize(list(range(50)), 2).map(lambda x: x).cache()
+        rdd.count()
+        rdd.count()
+        fqns = {ref.fqn for ref in ctx.registry.all_refs()}
+        assert any("MemoryStore.getValues" in f for f in fqns)
+        assert any("putIteratorAsValues" in f for f in fqns)
+
+    def test_downstream_ops_still_run_on_hit(self):
+        ctx = make_ctx()
+        base = ctx.parallelize(list(range(10)), 2).map(lambda x: x + 1).cache()
+        base.count()  # fill the cache
+        doubled = base.map(lambda x: x * 2)
+        assert sorted(doubled.collect()) == sorted((x + 1) * 2 for x in range(10))
+
+    def test_unpersist_forces_recompute(self):
+        ctx = make_ctx()
+        calls = []
+
+        def traced(x):
+            calls.append(x)
+            return x
+
+        rdd = ctx.parallelize(list(range(10)), 2).map(traced).cache()
+        rdd.count()
+        rdd.unpersist()
+        assert ctx.block_store.n_blocks == 0
+        n_after_first = len(calls)
+        rdd.count()
+        assert len(calls) > n_after_first  # recomputed
+
+    def test_cached_source_rdd(self):
+        ctx = make_ctx()
+        ctx.fs.write("/in", [f"l{i}" for i in range(30)], block_records=15)
+        src = ctx.text_file("/in")
+        src.is_cached = True
+        assert src.count() == 30
+        assert ctx.block_store.n_blocks == 2
+        bytes_before = ctx.fs.bytes_read
+        assert src.count() == 30
+        assert ctx.fs.bytes_read == bytes_before  # served from memory
+
+    def test_cache_below_union(self):
+        ctx = make_ctx()
+        a = ctx.parallelize([1, 2], 1).map(lambda x: x * 10).cache()
+        b = ctx.parallelize([3], 1)
+        u = a.union(b)
+        assert sorted(u.collect()) == [3, 10, 20]
+        assert sorted(u.collect()) == [3, 10, 20]  # hit path through union
+
+    def test_cache_in_shuffle_map_stage(self):
+        ctx = make_ctx()
+        words = [f"w{i % 3}" for i in range(30)]
+        pairs = ctx.parallelize(words, 2).map(lambda w: (w, 1)).cache()
+        counts = dict(pairs.reduce_by_key(lambda a, b: a + b).collect())
+        assert counts == {"w0": 10, "w1": 10, "w2": 10}
+        # Cache filled during the shuffle-map stage; a second job hits it.
+        total = pairs.count()
+        assert total == 30

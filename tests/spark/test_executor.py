@@ -1,0 +1,217 @@
+"""Integration tests: the pipelined executor computes correct results.
+
+These run tiny dataflows end to end and check both the *answers*
+(records flow correctly through pipelined ops, combiners, shuffles,
+sorts) and the *traces* (segments appear with the right stacks and
+interleave inside tasks).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.jvm.machine import OpKind
+from repro.jvm.threads import OP_KIND_CODES
+from repro.spark.context import SparkConfig, SparkContext
+
+
+def make_ctx(**kwargs) -> SparkContext:
+    defaults = dict(n_executors=2, default_parallelism=2, seed=0)
+    defaults.update(kwargs)
+    return SparkContext(SparkConfig(**defaults))
+
+
+class TestActions:
+    def test_collect(self):
+        ctx = make_ctx()
+        data = list(range(20))
+        assert sorted(ctx.parallelize(data, 3).collect()) == data
+
+    def test_count(self):
+        ctx = make_ctx()
+        assert ctx.parallelize(list(range(17)), 4).count() == 17
+
+    def test_reduce(self):
+        ctx = make_ctx()
+        assert ctx.parallelize(list(range(10)), 3).reduce(lambda a, b: a + b) == 45
+
+    def test_reduce_empty_raises(self):
+        ctx = make_ctx()
+        with pytest.raises(ValueError):
+            ctx.parallelize([], 2).reduce(lambda a, b: a + b)
+
+    def test_save_as_text_file(self):
+        ctx = make_ctx()
+        ctx.parallelize([("a", 1), ("b", 2)], 2).save_as_text_file("/out")
+        lines = []
+        for path in ctx.fs.ls("/out/*"):
+            lines.extend(ctx.fs.read_all(path))
+        assert sorted(lines) == ["a\t1", "b\t2"]
+
+
+class TestNarrowOps:
+    def test_map_filter_pipeline(self):
+        ctx = make_ctx()
+        out = (
+            ctx.parallelize(list(range(10)), 2)
+            .map(lambda x: x * 2)
+            .filter(lambda x: x % 4 == 0)
+            .collect()
+        )
+        assert sorted(out) == [0, 4, 8, 12, 16]
+
+    def test_flat_map(self):
+        ctx = make_ctx()
+        out = ctx.parallelize(["a b", "c"], 2).flat_map(str.split).collect()
+        assert sorted(out) == ["a", "b", "c"]
+
+    def test_map_partitions(self):
+        ctx = make_ctx()
+        out = (
+            ctx.parallelize(list(range(8)), 2)
+            .map_partitions(lambda batch: [sum(batch)])
+            .collect()
+        )
+        assert sum(out) == 28
+
+    def test_union(self):
+        ctx = make_ctx()
+        a = ctx.parallelize([1, 2], 1)
+        b = ctx.parallelize([3], 1)
+        assert sorted(a.union(b).collect()) == [1, 2, 3]
+
+    def test_text_file_reads_blocks(self):
+        ctx = make_ctx()
+        ctx.fs.write("/in", [f"line {i}" for i in range(30)], block_records=10)
+        rdd = ctx.text_file("/in")
+        assert rdd.num_partitions() == 3
+        assert len(rdd.collect()) == 30
+
+
+class TestShuffles:
+    def test_reduce_by_key_counts(self):
+        ctx = make_ctx()
+        words = ["a", "b", "a", "c", "b", "a"]
+        pairs = ctx.parallelize(words, 3).map(lambda w: (w, 1))
+        result = dict(pairs.reduce_by_key(lambda a, b: a + b).collect())
+        assert result == Counter(words)
+
+    def test_reduce_by_key_without_map_side_combine(self):
+        ctx = make_ctx()
+        pairs = ctx.parallelize([("a", 1)] * 5, 2)
+        result = dict(
+            pairs.reduce_by_key(lambda a, b: a + b, map_side_combine=False).collect()
+        )
+        assert result == {"a": 5}
+
+    def test_group_by_key(self):
+        ctx = make_ctx()
+        pairs = ctx.parallelize([("a", 1), ("b", 2), ("a", 3)], 2)
+        grouped = dict(pairs.group_by_key().collect())
+        assert sorted(grouped["a"]) == [1, 3]
+        assert grouped["b"] == [2]
+
+    def test_sort_by_key_global_order(self):
+        ctx = make_ctx(default_parallelism=3)
+        import random
+
+        keys = list(range(100))
+        random.Random(0).shuffle(keys)
+        pairs = ctx.parallelize([(k, None) for k in keys], 4)
+        # Collect per partition, in partition order: must be globally sorted.
+        out = [k for k, _ in pairs.sort_by_key().collect()]
+        assert out == sorted(keys)
+
+    def test_join(self):
+        ctx = make_ctx()
+        left = ctx.parallelize([("a", 1), ("b", 2)], 2)
+        right = ctx.parallelize([("a", "x"), ("a", "y"), ("c", "z")], 2)
+        joined = sorted(left.join(right).collect())
+        assert joined == [("a", (1, "x")), ("a", (1, "y"))]
+
+    def test_two_chained_shuffles(self):
+        ctx = make_ctx()
+        words = ["a", "b", "a", "c", "b", "a"]
+        counts = (
+            ctx.parallelize(words, 2)
+            .map(lambda w: (w, 1))
+            .reduce_by_key(lambda a, b: a + b)
+        )
+        by_count = counts.map(lambda kv: (kv[1], kv[0])).group_by_key()
+        result = dict(by_count.collect())
+        assert sorted(result[1]) == ["c"]
+        assert sorted(result[2]) == ["b"]
+        assert sorted(result[3]) == ["a"]
+
+
+class TestTraces:
+    def test_segments_emitted_for_each_op_kind(self):
+        ctx = make_ctx()
+        ctx.fs.write("/in", [f"w{i} w{i % 3}" for i in range(200)], block_records=50)
+        (
+            ctx.text_file("/in")
+            .flat_map(str.split)
+            .map(lambda w: (w, 1))
+            .reduce_by_key(lambda a, b: a + b)
+            .save_as_text_file("/out")
+        )
+        trace = ctx.job_trace("mini")
+        kinds = set()
+        for t in trace.traces:
+            arr = t.to_arrays()
+            kinds.update(int(code) for code in arr["op_kind"])
+        assert OP_KIND_CODES[OpKind.MAP] in kinds
+        assert OP_KIND_CODES[OpKind.REDUCE] in kinds
+        assert OP_KIND_CODES[OpKind.IO] in kinds
+        assert OP_KIND_CODES[OpKind.SHUFFLE] in kinds
+
+    def test_ops_interleave_within_task(self):
+        """Pipelining: map and combine segments alternate inside a task
+        instead of forming contiguous runs."""
+        ctx = make_ctx(n_executors=1)
+        ctx.fs.write("/in", [f"w{i % 7}" for i in range(400)], block_records=400)
+        (
+            ctx.text_file("/in")
+            .map(lambda w: (w, 1))
+            .reduce_by_key(lambda a, b: a + b)
+            .collect()
+        )
+        trace = ctx.job_trace("mini").traces[0]
+        arr = trace.to_arrays()
+        map_code = OP_KIND_CODES[OpKind.MAP]
+        reduce_code = OP_KIND_CODES[OpKind.REDUCE]
+        sequence = [
+            int(k) for k in arr["op_kind"] if k in (map_code, reduce_code)
+        ]
+        transitions = sum(
+            1 for a, b in zip(sequence, sequence[1:]) if a != b
+        )
+        assert transitions > 2  # interleaved, not two blocks
+
+    def test_stage_metadata_recorded(self):
+        ctx = make_ctx()
+        ctx.parallelize([("a", 1)], 2).reduce_by_key(lambda a, b: a + b).collect()
+        trace = ctx.job_trace("mini")
+        assert len(trace.stages) == 2
+        assert {s.name.split(":")[0] for s in trace.stages} == {
+            "shuffleMap",
+            "result",
+        }
+
+    def test_silent_executor_leaves_no_trace(self):
+        ctx = make_ctx()
+        sampler = ctx.make_silent_executor()
+        stack = ctx.frames.task_stack(shuffle_map=False)
+        records = sampler.compute(
+            ctx.parallelize(list(range(5)), 1).map(lambda x: x), 0, stack, -1, -1
+        )
+        assert records == [0, 1, 2, 3, 4]
+        assert len(sampler.builder.trace) == 0
+
+    def test_job_trace_has_all_executors(self):
+        ctx = make_ctx(n_executors=3)
+        ctx.parallelize(list(range(30)), 6).map(lambda x: x).collect()
+        trace = ctx.job_trace("mini")
+        assert trace.n_threads == 3

@@ -1,0 +1,119 @@
+"""Unit tests for the narrow-operation model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.jvm.machine import AccessPattern, OpKind
+from repro.spark.ops import (
+    CustomOp,
+    batch_bytes,
+    make_filter_op,
+    make_flat_map_op,
+    make_map_op,
+    make_map_partitions_op,
+    make_map_values_op,
+)
+
+
+class TestBatchBytes:
+    def test_empty(self):
+        assert batch_bytes([]) == 0.0
+
+    def test_samples_first_record(self):
+        assert batch_bytes(["abcd"] * 10) == 50.0  # (4+1) * 10
+
+
+class TestFactories:
+    def test_map_op(self):
+        op = make_map_op(lambda x: x * 2)
+        assert op.apply([1, 2, 3], op.new_state()) == [2, 4, 6]
+        assert op.op_kind is OpKind.MAP
+        assert op.name == "map"
+
+    def test_flat_map_op(self):
+        op = make_flat_map_op(str.split)
+        assert op.apply(["a b", "c"], None) == ["a", "b", "c"]
+
+    def test_filter_op(self):
+        op = make_filter_op(lambda x: x > 1)
+        assert op.apply([0, 1, 2, 3], None) == [2, 3]
+
+    def test_map_values_op(self):
+        op = make_map_values_op(len)
+        assert op.apply([("a", "xyz")], None) == [("a", 3)]
+
+    def test_map_partitions_op(self):
+        op = make_map_partitions_op(lambda batch: [sum(batch)])
+        assert op.apply([1, 2, 3], None) == [6]
+
+    def test_custom_frames_in_map_partitions(self):
+        frames = (("x.Y", "z"),)
+        op = make_map_partitions_op(lambda b: b, frames=frames)
+        assert op.frames == frames
+
+    def test_frames_carry_fn_name(self):
+        op = make_map_op(lambda x: x, "my.pkg.Fn.apply")
+        classes = [c for c, _m in op.frames]
+        assert any("my.pkg" in c for c in classes)
+
+
+class TestCosts:
+    def test_instructions_per_record(self):
+        op = make_map_op(lambda x: x, inst_per_record=1000.0)
+        assert op.instructions([1, 2, 3]) == 3000.0
+
+    def test_inst_fn_override(self):
+        op = make_map_partitions_op(
+            lambda b: b, inst_fn=lambda batch: 42.0
+        )
+        assert op.instructions([1, 2, 3]) == 42.0
+
+    def test_default_access_sequential(self):
+        op = make_map_op(lambda x: x)
+        access = op.access(["abc"], None)
+        assert access.kind == "sequential"
+        assert access.working_set_bytes == 4.0
+
+    def test_access_fn_override(self):
+        op = make_map_partitions_op(
+            lambda b: b,
+            access_fn=lambda batch, state: AccessPattern.random(123.0),
+        )
+        access = op.access([1], None)
+        assert access.kind == "random"
+        assert access.working_set_bytes == 123.0
+
+
+class TestCustomOp:
+    def test_stateful_application(self):
+        def fn(batch, state):
+            state["seen"] = state.get("seen", 0) + len(batch)
+            return [state["seen"]]
+
+        op = CustomOp(
+            name="acc",
+            frames=(("x.Acc", "apply"),),
+            op_kind=OpKind.REDUCE,
+            batch_fn=fn,
+        )
+        state = op.new_state()
+        assert op.apply([1, 2], state) == [2]
+        assert op.apply([3], state) == [3]  # state persisted
+
+    def test_state_fn(self):
+        op = CustomOp(
+            name="s",
+            frames=(("x.S", "apply"),),
+            op_kind=OpKind.MAP,
+            batch_fn=lambda b, s: b,
+            state_fn=lambda: {"custom": True},
+        )
+        assert op.new_state() == {"custom": True}
+
+    def test_stateful_flag(self):
+        op = CustomOp(
+            name="s", frames=(("x.S", "a"),), op_kind=OpKind.MAP,
+            batch_fn=lambda b, s: b,
+        )
+        assert op.stateful

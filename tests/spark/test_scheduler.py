@@ -1,0 +1,127 @@
+"""Tests for the DAG scheduler: waves, contention, multi-job contexts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.spark.context import SparkConfig, SparkContext
+
+
+def make_ctx(**kwargs) -> SparkContext:
+    defaults = dict(n_executors=4, default_parallelism=4, seed=0)
+    defaults.update(kwargs)
+    return SparkContext(SparkConfig(**defaults))
+
+
+class TestWaves:
+    def test_tasks_distributed_across_executors(self):
+        ctx = make_ctx(n_executors=4)
+        ctx.parallelize(list(range(100)), 8).map(lambda x: x).collect()
+        trace = ctx.job_trace("t")
+        busy = [t for t in trace.traces if t.total_instructions > 0]
+        assert len(busy) == 4  # 8 tasks over 4 executors: everyone works
+
+    def test_fewer_tasks_than_executors(self):
+        ctx = make_ctx(n_executors=4)
+        ctx.parallelize(list(range(10)), 2).map(lambda x: x).collect()
+        trace = ctx.job_trace("t")
+        busy = [t for t in trace.traces if t.total_instructions > 0]
+        assert len(busy) == 2
+
+    def test_full_wave_has_higher_contention_cost(self):
+        """The same total work costs more cycles when eight tasks share
+        the LLC than when each runs alone (wave size = contention)."""
+        from repro.jvm.machine import AccessPattern, OpKind
+        from repro.spark.ops import CustomOp
+
+        # Working set between LLC/8 and LLC: only contention hurts it.
+        op = CustomOp(
+            name="probe",
+            frames=(("test.Probe", "run"),),
+            op_kind=OpKind.REDUCE,
+            batch_fn=lambda batch, _s: batch,
+            inst_per_record=100_000.0,
+            access_fn=lambda batch, _s: AccessPattern.random(6e6),
+        )
+
+        def run(n_executors: int) -> float:
+            ctx = make_ctx(n_executors=n_executors)
+            # 8 partitions: one full wave (contention 8) or 8 sequential
+            # waves of one task (contention 1).
+            ctx.parallelize(list(range(800)), 8).custom_op(op).count()
+            trace = ctx.job_trace("t")
+            return trace.total_cycles / trace.total_instructions
+
+        alone = run(1)
+        contended = run(8)
+        assert contended > alone * 1.05
+
+    def test_multiple_jobs_accumulate_in_one_trace(self):
+        ctx = make_ctx()
+        rdd = ctx.parallelize(list(range(20)), 4)
+        rdd.count()
+        rdd.count()
+        trace = ctx.job_trace("t")
+        # Two result stages recorded.
+        result_stages = [s for s in trace.stages if s.name.startswith("result")]
+        assert len(result_stages) == 2
+
+    def test_task_ids_unique_across_jobs(self):
+        ctx = make_ctx()
+        rdd = ctx.parallelize([("a", 1)], 2).reduce_by_key(lambda a, b: a + b)
+        rdd.collect()
+        ctx.parallelize([1], 1).count()
+        ids = set()
+        for t in ctx.job_trace("t").traces:
+            arr = t.to_arrays()
+            ids.update(int(i) for i in arr["task_id"] if i >= 0)
+        # No task id is reused between stages/jobs.
+        stage_of = {}
+        for t in ctx.job_trace("t").traces:
+            arr = t.to_arrays()
+            for tid, sid in zip(arr["task_id"], arr["stage_id"]):
+                if tid < 0:
+                    continue
+                stage_of.setdefault(int(tid), set()).add(int(sid))
+        assert all(len(stages) == 1 for stages in stage_of.values())
+
+
+class TestContextBookkeeping:
+    def test_job_trace_meta(self):
+        ctx = make_ctx()
+        ctx.fs.write("/in", ["a"] * 10, block_records=5)
+        ctx.text_file("/in").map(lambda x: (x, 1)).reduce_by_key(
+            lambda a, b: a + b
+        ).save_as_text_file("/out")
+        trace = ctx.job_trace("wc", input_name="tiny")
+        assert trace.meta["hdfs_bytes_read"] > 0
+        assert trace.meta["hdfs_bytes_written"] > 0
+        assert trace.meta["shuffle_bytes"] > 0
+        assert trace.input_name == "tiny"
+        assert trace.label == "wc_spark"
+
+    def test_silent_executors_not_in_trace(self):
+        ctx = make_ctx()
+        ctx.make_silent_executor()
+        trace = ctx.job_trace("t")
+        assert trace.n_threads == ctx.config.n_executors
+
+    def test_sort_by_key_sampling_does_not_pollute_profile(self):
+        """The range-partitioner sampling job must leave no segments."""
+        ctx = make_ctx()
+        pairs = [(f"k{i:04d}", i) for i in range(500)]
+        before = sum(len(t) for t in ctx.job_trace("t").traces)
+        assert before == 0
+        ctx.parallelize(pairs, 4).sort_by_key().collect()
+        trace = ctx.job_trace("t")
+        # All emitted segments belong to the two real stages.
+        for t in trace.traces:
+            arr = t.to_arrays()
+            assert (arr["stage_id"] >= 0).all()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SparkConfig(n_executors=0)
+        with pytest.raises(ValueError):
+            SparkConfig(default_parallelism=0)

@@ -1,0 +1,140 @@
+"""Unit tests for partitioners, the aggregator, and shuffle storage."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spark.shuffle import (
+    Aggregator,
+    HashPartitioner,
+    RangePartitioner,
+    ShuffleManager,
+    stable_hash,
+)
+
+
+class TestStableHash:
+    def test_deterministic_for_strings(self):
+        assert stable_hash("word") == stable_hash("word")
+
+    def test_int_passthrough(self):
+        assert stable_hash(42) == 42
+
+    def test_bool(self):
+        assert stable_hash(True) == 1
+
+    def test_tuple_support(self):
+        assert stable_hash(("a", 1)) == stable_hash(("a", 1))
+        assert stable_hash(("a", 1)) != stable_hash(("a", 2))
+
+    @given(st.one_of(st.text(), st.integers(), st.binary()))
+    @settings(max_examples=80)
+    def test_non_negative(self, key):
+        assert stable_hash(key) >= 0
+
+
+class TestHashPartitioner:
+    def test_partition_in_range(self):
+        p = HashPartitioner(8)
+        for key in ["a", "b", 42, ("x", 1)]:
+            assert 0 <= p.partition(key) < 8
+
+    def test_rejects_zero_partitions(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+    @given(st.lists(st.text(min_size=1), min_size=50, max_size=200, unique=True))
+    @settings(max_examples=20)
+    def test_roughly_balanced(self, keys):
+        p = HashPartitioner(4)
+        counts = [0] * 4
+        for key in keys:
+            counts[p.partition(key)] += 1
+        assert max(counts) <= len(keys)  # every bucket valid
+        assert sum(counts) == len(keys)
+
+
+class TestRangePartitioner:
+    def test_partition_by_bounds(self):
+        p = RangePartitioner(bounds=("g", "p"))
+        assert p.num_partitions == 3
+        assert p.partition("a") == 0
+        assert p.partition("g") == 0  # <= bound goes left
+        assert p.partition("h") == 1
+        assert p.partition("z") == 2
+
+    def test_from_sample(self):
+        keys = [f"k{i:03d}" for i in range(100)]
+        p = RangePartitioner.from_sample(keys, 4)
+        parts = [p.partition(k) for k in keys]
+        # Order-preserving: partition ids are non-decreasing over sorted keys.
+        assert parts == sorted(parts)
+        assert max(parts) == 3
+
+    def test_from_sample_single_partition(self):
+        p = RangePartitioner.from_sample(["a", "b"], 1)
+        assert p.num_partitions == 1
+        assert p.partition("zzz") == 0
+
+    def test_from_empty_sample(self):
+        p = RangePartitioner.from_sample([], 4)
+        assert p.num_partitions == 1
+
+    def test_skewed_sample_dedupes_bounds(self):
+        p = RangePartitioner.from_sample(["a"] * 100 + ["b"], 8)
+        # Bounds must be strictly increasing.
+        assert list(p.bounds) == sorted(set(p.bounds))
+
+    def test_sorted_keys_property(self):
+        keys = sorted(["pear", "apple", "fig", "grape", "kiwi"] * 10)
+        p = RangePartitioner.from_sample(keys, 3)
+        parts = [p.partition(k) for k in keys]
+        assert parts == sorted(parts)
+
+
+class TestAggregator:
+    def test_from_reduce(self):
+        agg = Aggregator.from_reduce(lambda a, b: a + b)
+        c = agg.create_combiner(5)
+        c = agg.merge_value(c, 3)
+        assert c == 8
+        assert agg.merge_combiners(8, 2) == 10
+
+    def test_group(self):
+        agg = Aggregator.group()
+        c = agg.create_combiner("x")
+        c = agg.merge_value(c, "y")
+        assert c == ["x", "y"]
+        assert agg.merge_combiners(["a"], ["b"]) == ["a", "b"]
+
+
+class TestShuffleManager:
+    def test_write_and_fetch(self):
+        sm = ShuffleManager()
+        sm.write_block(1, map_task=0, reduce_part=2, records=[("a", 1)])
+        sm.write_block(1, map_task=1, reduce_part=2, records=[("b", 2)])
+        sm.write_block(1, map_task=0, reduce_part=0, records=[("c", 3)])
+        blocks = sm.fetch(1, reduce_part=2)
+        assert [recs for recs, _ in blocks] == [[("a", 1)], [("b", 2)]]
+
+    def test_fetch_isolates_shuffles(self):
+        sm = ShuffleManager()
+        sm.write_block(1, 0, 0, [("a", 1)])
+        sm.write_block(2, 0, 0, [("b", 2)])
+        assert sm.fetch(1, 0)[0][0] == [("a", 1)]
+        assert sm.fetch(2, 0)[0][0] == [("b", 2)]
+
+    def test_byte_accounting(self):
+        sm = ShuffleManager()
+        nbytes = sm.write_block(1, 0, 0, [("abc", 1)])
+        assert nbytes > 0
+        sm.fetch(1, 0)
+        assert sm.bytes_fetched == nbytes
+        assert sm.bytes_written == nbytes
+
+    def test_map_tasks_for(self):
+        sm = ShuffleManager()
+        sm.write_block(5, 3, 0, [])
+        sm.write_block(5, 7, 1, [])
+        assert sm.map_tasks_for(5) == {3, 7}

@@ -1,0 +1,99 @@
+"""Unit tests for the canonical Spark/Hadoop stack factories."""
+
+from __future__ import annotations
+
+from repro.hadoop.stacks import HadoopFrames
+from repro.jvm.methods import MethodRegistry
+from repro.spark.stacks import SparkFrames
+
+
+class TestSparkFrames:
+    def setup_method(self):
+        self.registry = MethodRegistry()
+        self.frames = SparkFrames(self.registry)
+
+    def test_executor_stack_shape(self):
+        stack = self.frames.executor_stack()
+        assert self.registry.fqn(stack.root) == "java.lang.Thread.run"
+        assert "Executor$TaskRunner" in self.registry.fqn(stack.leaf)
+
+    def test_task_stack_kinds_differ(self):
+        smap = self.frames.task_stack(shuffle_map=True)
+        result = self.frames.task_stack(shuffle_map=False)
+        assert "ShuffleMapTask" in self.registry.fqn(smap.leaf)
+        assert "ResultTask" in self.registry.fqn(result.leaf)
+
+    def test_io_stacks_extend_task_stack(self):
+        base = self.frames.task_stack(shuffle_map=False)
+        read = self.frames.hdfs_read(base)
+        assert len(read) > len(base)
+        assert read.frames[: len(base)] == base.frames
+        assert "DFSInputStream" in self.registry.fqn(read.frames[-1])
+
+    def test_combine_stacks(self):
+        base = self.frames.task_stack(shuffle_map=True)
+        map_side = self.frames.map_side_combine(base)
+        reduce_side = self.frames.reduce_side_combine(base)
+        map_names = [self.registry.fqn(m) for m in map_side]
+        reduce_names = [self.registry.fqn(m) for m in reduce_side]
+        assert any("combineValuesByKey" in n for n in map_names)
+        assert any("combineCombinersByKey" in n for n in reduce_names)
+
+    def test_gc_stack_is_jvm_internal(self):
+        gc = self.frames.gc_stack()
+        assert any(
+            "jvm.gc" in self.registry.fqn(m) for m in gc
+        )
+
+    def test_interning_is_stable(self):
+        a = self.frames.task_stack(shuffle_map=True)
+        b = self.frames.task_stack(shuffle_map=True)
+        assert a == b
+        assert len(self.registry) > 0
+
+    def test_with_frames_interns_new_methods(self):
+        before = len(self.registry)
+        base = self.frames.executor_stack()
+        self.frames.with_frames(base, (("new.Class", "method"),))
+        assert len(self.registry) == before + 1
+
+
+class TestHadoopFrames:
+    def setup_method(self):
+        self.registry = MethodRegistry()
+        self.frames = HadoopFrames(self.registry)
+
+    def test_task_base_stacks(self):
+        m = self.frames.map_task_stack()
+        r = self.frames.reduce_task_stack()
+        assert "YarnChild" in self.registry.fqn(m.root)
+        assert "MapTask" in self.registry.fqn(m.leaf)
+        assert "ReduceTask" in self.registry.fqn(r.leaf)
+
+    def test_mapper_appends_user_frames_and_collect(self):
+        base = self.frames.map_task_stack()
+        stack = self.frames.mapper(
+            base, (("my.WordCount$TokenizerMapper", "map"),)
+        )
+        names = [self.registry.fqn(m) for m in stack]
+        assert any("TokenizerMapper" in n for n in names)
+        assert "collect" in names[-1]
+
+    def test_sort_spill_contains_quicksort(self):
+        base = self.frames.map_task_stack()
+        names = [self.registry.fqn(m) for m in self.frames.sort_spill(base)]
+        assert any("QuickSort" in n for n in names)
+
+    def test_combiner_stack(self):
+        base = self.frames.map_task_stack()
+        stack = self.frames.combiner(base, (("my.Combiner", "reduce"),))
+        names = [self.registry.fqn(m) for m in stack]
+        assert any("NewCombinerRunner" in n for n in names)
+        assert any("my.Combiner" in n for n in names)
+
+    def test_fetch_and_merge_stacks(self):
+        base = self.frames.reduce_task_stack()
+        fetch = [self.registry.fqn(m) for m in self.frames.fetch(base)]
+        merge = [self.registry.fqn(m) for m in self.frames.reduce_merge(base)]
+        assert any("Fetcher" in n for n in fetch)
+        assert any("Merger" in n for n in merge)

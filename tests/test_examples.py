@@ -1,0 +1,58 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example is executed in-process (imported as a module and ``main()``
+called) with stdout captured — so a broken API surface in any example
+fails the suite.  Marked slow: each runs a real workload.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "Simulation points" in out
+        assert "confidence interval" in out
+
+    def test_simulation_budget_planning(self, capsys):
+        out = run_example("simulation_budget_planning", capsys)
+        assert "SimProf @ 5% CPI error" in out
+        assert "Empirical error" in out
+
+    def test_graph_input_sensitivity(self, capsys):
+        out = run_example("graph_input_sensitivity", capsys)
+        assert "Per-phase verdicts" in out
+        assert "can be skipped" in out
+
+    def test_custom_workload(self, capsys):
+        out = run_example("custom_workload", capsys)
+        assert "Phases found" in out
+        assert "simulation points" in out
+
+    def test_combined_systematic(self, capsys):
+        out = run_example("combined_systematic", capsys)
+        assert "speedup" in out
+        assert "cold-start bias" in out

@@ -1,0 +1,115 @@
+"""Unit and property tests for the instrumented quicksort."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algos.quicksort import instrumented_quicksort
+
+
+def _sort(keys, leaf_size=4):
+    passes = []
+
+    def emit(n, ws, is_leaf):
+        passes.append((n, ws, is_leaf))
+
+    order = instrumented_quicksort(
+        np.asarray(keys), emit, leaf_size=leaf_size
+    )
+    return order, passes
+
+
+class TestCorrectness:
+    def test_sorts_integers(self):
+        keys = np.array([5, 3, 8, 1, 9, 2, 7])
+        order, _ = _sort(keys, leaf_size=2)
+        assert list(keys[order]) == sorted(keys)
+
+    def test_sorts_strings(self):
+        keys = np.array(["pear", "apple", "fig", "date", "cherry"])
+        order, _ = _sort(keys, leaf_size=2)
+        assert list(keys[order]) == sorted(keys)
+
+    def test_empty(self):
+        order, passes = _sort(np.array([], dtype=np.int64))
+        assert len(order) == 0
+        assert passes == []
+
+    def test_single_element(self):
+        order, _ = _sort(np.array([42]))
+        assert list(order) == [0]
+
+    def test_all_equal_keys(self):
+        keys = np.array([7] * 100)
+        order, _ = _sort(keys, leaf_size=4)
+        assert sorted(order) == list(range(100))
+
+    def test_already_sorted(self):
+        keys = np.arange(1000)
+        order, _ = _sort(keys, leaf_size=16)
+        assert (keys[order] == keys).all()
+
+    def test_reverse_sorted(self):
+        keys = np.arange(1000)[::-1].copy()
+        order, _ = _sort(keys, leaf_size=16)
+        assert (keys[order] == np.sort(keys)).all()
+
+    def test_order_is_permutation(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 50, size=500)
+        order, _ = _sort(keys, leaf_size=8)
+        assert sorted(order) == list(range(500))
+
+    @given(
+        st.lists(st.integers(min_value=-1000, max_value=1000), max_size=300)
+    )
+    @settings(max_examples=60)
+    def test_matches_numpy_sort(self, values):
+        keys = np.array(values, dtype=np.int64)
+        order, _ = _sort(keys, leaf_size=8)
+        assert (keys[order] == np.sort(keys)).all()
+
+    # NUL bytes excluded: NumPy's fixed-width unicode dtype truncates
+    # trailing NULs, so '\x00' cannot round-trip through np.array.
+    @given(
+        st.lists(
+            st.text(
+                alphabet=st.characters(min_codepoint=1), max_size=6
+            ),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=40)
+    def test_string_keys_property(self, values):
+        keys = np.array(values)
+        order, _ = _sort(keys, leaf_size=4)
+        assert list(keys[order]) == sorted(values)
+
+
+class TestInstrumentation:
+    def test_first_pass_covers_whole_array(self):
+        keys = np.random.default_rng(0).permutation(1000)
+        _, passes = _sort(keys, leaf_size=16)
+        assert passes[0] == (1000, 1000, False)
+
+    def test_leaf_passes_marked(self):
+        keys = np.random.default_rng(0).permutation(100)
+        _, passes = _sort(keys, leaf_size=50)
+        assert any(is_leaf for _n, _ws, is_leaf in passes)
+
+    def test_partition_sizes_shrink_overall(self):
+        keys = np.random.default_rng(1).permutation(4096)
+        _, passes = _sort(keys, leaf_size=64)
+        sizes = [n for n, _ws, _leaf in passes]
+        # Total emitted work is ~n log(n / leaf): well below n^2 but
+        # above a single pass.
+        assert sum(sizes) > 4096
+        assert sum(sizes) < 4096 * 15
+
+    def test_small_input_single_leaf_pass(self):
+        keys = np.array([3, 1, 2])
+        _, passes = _sort(keys, leaf_size=10)
+        assert passes == [(3, 3, True)]
