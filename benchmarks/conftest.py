@@ -5,9 +5,12 @@ scale, prints the rows/series the paper reports (run with ``-s`` to see
 them; the printed output is the reproduction artifact), and times a
 representative computational kernel with pytest-benchmark.
 
-Workload profiles are produced through the experiment cache, so the
-first benchmark session pays the simulation cost once and subsequent
-sessions reuse the cached profiles.
+Workload profiles flow through the :mod:`repro.runtime` engine: the
+first benchmark session pays the simulation cost once and every later
+session (or later figure in the same session) reuses the cached
+artifacts.  Set ``SIMPROF_JOBS`` to fan the cache misses out over a
+process pool.  The session summary prints the store's hit/miss
+counters so cross-figure reuse is visible.
 """
 
 from __future__ import annotations
@@ -15,12 +18,28 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments.common import ExperimentConfig
+from repro.runtime.store import default_store
 
 
 @pytest.fixture(scope="session")
 def full_cfg() -> ExperimentConfig:
     """Full-scale configuration (the paper's setup)."""
     return ExperimentConfig()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def cache_session_report():
+    """Print artifact-store traffic for the session (visible under -s)."""
+    store = default_store()
+    yield
+    stats = store.stats
+    manifest_hits = sum(m.hits for m in store.entries())
+    emit(
+        "Artifact store",
+        f"session: {stats.memory_hits} memory hits, {stats.disk_hits} disk "
+        f"hits, {stats.misses} misses, {stats.puts} writes\n"
+        f"lifetime manifest hits: {manifest_hits} ({store.root})",
+    )
 
 
 def emit(title: str, text: str) -> None:

@@ -1,11 +1,14 @@
 """Command-line interface.
 
-Four subcommands cover the library's everyday entry points::
+The everyday entry points::
 
     simprof list                         # workloads and graph inputs
     simprof run wc_sp --points 20        # run + analyze one benchmark
-    simprof figure fig7                  # regenerate a paper figure
+    simprof figure fig7 --jobs 4         # regenerate a paper figure
     simprof sensitivity cc_sp            # input-sensitivity analysis
+    simprof cache ls                     # inspect the artifact store
+    simprof cache gc --stale             # evict outdated artifacts
+    simprof stats                        # per-stage timing breakdown
 
 ``simprof`` is installed as a console script; ``python -m repro.cli``
 works identically.
@@ -14,6 +17,7 @@ works identically.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -84,6 +88,9 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--snapshot-period", type=int, default=2_000_000)
     fig.add_argument("--draws", type=int, default=20,
                      help="sampling draws averaged for SRS/SimProf")
+    fig.add_argument("--jobs", type=int, default=None,
+                     help="parallel workload runs (default: $SIMPROF_JOBS "
+                     "or serial)")
 
     report = sub.add_parser(
         "report", help="run every experiment and write a markdown report"
@@ -95,6 +102,9 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--snapshot-period", type=int, default=2_000_000)
     report.add_argument("--draws", type=int, default=20)
     report.add_argument("--no-extensions", action="store_true")
+    report.add_argument("--jobs", type=int, default=None,
+                        help="parallel workload runs (default: $SIMPROF_JOBS "
+                        "or serial)")
 
     sens = sub.add_parser(
         "sensitivity", help="input-sensitivity analysis for a graph workload"
@@ -104,6 +114,29 @@ def build_parser() -> argparse.ArgumentParser:
                       help="reference input names (default: all seven)")
     sens.add_argument("--scale", type=float, default=1.0)
     sens.add_argument("--points", type=int, default=20)
+
+    cache = sub.add_parser("cache", help="inspect or clean the artifact store")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_ls = cache_sub.add_parser("ls", help="list cached artifacts")
+    cache_ls.add_argument("--kind", default=None,
+                          help="filter by artifact kind (profile, model)")
+    cache_info = cache_sub.add_parser("info", help="show one entry's manifest")
+    cache_info.add_argument("key", help="artifact key (see `simprof cache ls`)")
+    cache_gc = cache_sub.add_parser("gc", help="evict artifacts")
+    cache_gc.add_argument("--stale", action="store_true",
+                          help="remove entries from other store versions")
+    cache_gc.add_argument("--older-than", type=float, default=None,
+                          metavar="DAYS", help="remove entries older than DAYS")
+    cache_gc.add_argument("--kind", default=None,
+                          help="restrict to one artifact kind")
+    cache_gc.add_argument("--all", action="store_true", dest="everything",
+                          help="remove every entry")
+    cache_gc.add_argument("--dry-run", action="store_true",
+                          help="report what would be removed, delete nothing")
+
+    sub.add_parser(
+        "stats", help="per-stage timing breakdown aggregated from manifests"
+    )
     return parser
 
 
@@ -211,6 +244,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.core.pipeline import SimProfConfig
     from repro.experiments.common import ExperimentConfig
 
+    if args.jobs is not None:
+        os.environ["SIMPROF_JOBS"] = str(args.jobs)
     spec = FIGURES[args.name]
     module_name, _, fn_name = spec.partition(":")
     fn = getattr(importlib.import_module(module_name), fn_name)
@@ -237,6 +272,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.common import ExperimentConfig
     from repro.experiments.report import generate_report
 
+    if args.jobs is not None:
+        os.environ["SIMPROF_JOBS"] = str(args.jobs)
     cfg = ExperimentConfig(
         scale=args.scale,
         seed=args.seed,
@@ -282,6 +319,116 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_age(seconds: float) -> str:
+    """Compact age rendering for cache listings."""
+    if seconds < 120:
+        return f"{seconds:.0f}s"
+    if seconds < 7200:
+        return f"{seconds / 60:.0f}m"
+    if seconds < 172800:
+        return f"{seconds / 3600:.1f}h"
+    return f"{seconds / 86400:.1f}d"
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.experiments.common import format_table
+    from repro.runtime.store import default_store
+
+    store = default_store()
+    if args.cache_command == "ls":
+        entries = [
+            m for m in store.entries()
+            if args.kind is None or m.kind == args.kind
+        ]
+        now = time.time()
+        print(
+            format_table(
+                ["key", "kind", "ver", "size", "hits", "compute", "age"],
+                [
+                    (
+                        m.key,
+                        m.kind,
+                        m.version,
+                        f"{m.size_bytes / 1024:.0f}K",
+                        m.hits,
+                        f"{m.compute_seconds:.2f}s",
+                        _format_age(now - m.created) if m.created else "?",
+                    )
+                    for m in entries
+                ],
+                title=f"Artifact store: {store.root} ({len(entries)} entries)",
+            )
+        )
+        return 0
+    if args.cache_command == "info":
+        manifest = store.manifest(args.key)
+        if manifest is None:
+            print(f"error: no manifest for {args.key!r} in {store.root}",
+                  file=sys.stderr)
+            return 1
+        print(manifest.to_json())
+        return 0
+    if args.cache_command == "gc":
+        if not (args.stale or args.older_than is not None or args.everything):
+            print("error: pass --stale, --older-than DAYS and/or --all",
+                  file=sys.stderr)
+            return 2
+        removed, reclaimed = store.gc(
+            max_age_days=args.older_than,
+            kind=args.kind,
+            stale_only=args.stale,
+            everything=args.everything,
+            dry_run=args.dry_run,
+        )
+        verb = "would remove" if args.dry_run else "removed"
+        print(f"{verb} {removed} entries ({reclaimed / 1024:.0f}K)")
+        return 0
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _cmd_stats() -> int:
+    from repro.experiments.common import format_table
+    from repro.runtime.store import default_store
+
+    store = default_store()
+    entries = list(store.entries())
+    stages: dict[str, tuple[int, float]] = {}
+    total_hits = 0
+    total_compute = 0.0
+    for manifest in entries:
+        total_hits += manifest.hits
+        total_compute += manifest.compute_seconds
+        for name, seconds in manifest.stages.items():
+            calls, secs = stages.get(name, (0, 0.0))
+            stages[name] = (calls + 1, secs + seconds)
+    print(
+        format_table(
+            ["stage", "artifacts", "total s", "share %"],
+            [
+                (
+                    name,
+                    calls,
+                    f"{secs:.2f}",
+                    f"{100 * secs / total_compute:.1f}"
+                    if total_compute > 0 else "-",
+                )
+                for name, (calls, secs) in sorted(
+                    stages.items(), key=lambda kv: -kv[1][1]
+                )
+            ],
+            title=f"Pipeline stages across {len(entries)} cached artifacts",
+        )
+    )
+    print(
+        f"\ncompute invested: {total_compute:.2f}s; "
+        f"manifest hits since creation: {total_hits} "
+        f"(cache dir {store.root})"
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for the ``simprof`` console script."""
     args = build_parser().parse_args(argv)
@@ -295,6 +442,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_report(args)
     if args.command == "sensitivity":
         return _cmd_sensitivity(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
+    if args.command == "stats":
+        return _cmd_stats()
     raise AssertionError("unreachable")  # pragma: no cover
 
 

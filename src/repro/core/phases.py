@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.clustering import KMeansResult, choose_k, kmeans
 from repro.core.features import FeatureSpace
 from repro.core.units import JobProfile
+from repro.runtime.instrument import stage_timer
 
 __all__ = ["PhaseStats", "PhaseModel"]
 
@@ -82,7 +83,9 @@ class PhaseModel:
         ``projection_dims`` enables the SimPoint-style random projection
         before clustering (an ablation variant; None = off).
         """
-        space, X = FeatureSpace.fit(job, top_k=top_k)
+        with stage_timer("feature-selection") as rec:
+            space, X = FeatureSpace.fit(job, top_k=top_k)
+            rec.add(features=space.n_features)
         if space.n_features == 0:
             # No method correlates with performance: the whole run is
             # one phase (the grep case).
@@ -101,17 +104,19 @@ class PhaseModel:
                 -1.0, 1.0, size=(space.n_features, projection_dims)
             ) / np.sqrt(projection_dims)
             X_cluster = X @ projection
-        k, scores = choose_k(
-            X_cluster, k_max=max_phases, score_threshold=score_threshold,
-            seed=seed,
-        )
-        if k == 1:
-            centers = X_cluster.mean(axis=0, keepdims=True)
-            assignments = np.zeros(len(X_cluster), dtype=np.int64)
-        else:
-            result: KMeansResult = kmeans(X_cluster, k, seed=seed)
-            centers = result.centers
-            assignments = result.assignments
+        with stage_timer("k-means") as rec:
+            k, scores = choose_k(
+                X_cluster, k_max=max_phases, score_threshold=score_threshold,
+                seed=seed,
+            )
+            if k == 1:
+                centers = X_cluster.mean(axis=0, keepdims=True)
+                assignments = np.zeros(len(X_cluster), dtype=np.int64)
+            else:
+                result: KMeansResult = kmeans(X_cluster, k, seed=seed)
+                centers = result.centers
+                assignments = result.assignments
+            rec.add(phases=k)
         feature_centers = np.vstack(
             [
                 X[assignments == h].mean(axis=0)

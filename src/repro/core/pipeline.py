@@ -28,6 +28,7 @@ from repro.core.sampling import (
 from repro.core.sensitivity import InputSensitivityResult, input_sensitivity_test
 from repro.core.units import JobProfile
 from repro.jvm.job import JobTrace
+from repro.runtime.instrument import stage_timer
 
 __all__ = ["SimProfConfig", "SimProfResult", "SimProf"]
 
@@ -103,7 +104,10 @@ class SimProf:
     def profile(self, trace: JobTrace, thread_id: int | None = None) -> JobProfile:
         """Stage 1: thread profiling."""
         profiler = SimProfProfiler(self.config.profiler_config(thread_id))
-        return profiler.profile(trace)
+        with stage_timer("profiling") as rec:
+            job = profiler.profile(trace)
+            rec.add(units=job.n_units)
+        return job
 
     def form_phases(self, job: JobProfile) -> PhaseModel:
         """Stage 2: phase formation."""
@@ -127,7 +131,12 @@ class SimProf:
         rng = rng or np.random.default_rng(self.config.seed)
         cpi = job.profile.cpi()
         n = max(min(n_points, len(cpi)), model.k)
-        return stratified_sample(model.assignments, cpi, n, rng=rng, k=model.k)
+        with stage_timer("sampling") as rec:
+            est = stratified_sample(
+                model.assignments, cpi, n, rng=rng, k=model.k
+            )
+            rec.add(points=len(est.selected))
+        return est
 
     def input_sensitivity(
         self,

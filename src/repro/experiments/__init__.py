@@ -13,6 +13,9 @@ from repro.experiments.common import (
     format_table,
     get_model,
     get_profile,
+    make_spec,
+    prefetch_models,
+    prefetch_profiles,
 )
 
 __all__ = [
@@ -21,4 +24,7 @@ __all__ = [
     "format_table",
     "get_model",
     "get_profile",
+    "make_spec",
+    "prefetch_models",
+    "prefetch_profiles",
 ]

@@ -20,7 +20,13 @@ from repro.core.phases import PhaseModel
 from repro.core.pipeline import SimProfConfig
 from repro.core.sampling import stratified_standard_error
 from repro.core.units import JobProfile
-from repro.experiments.common import ExperimentConfig, format_table, get_model, get_profile
+from repro.experiments.common import (
+    ExperimentConfig,
+    format_table,
+    get_model,
+    get_profile,
+    prefetch_models,
+)
 
 __all__ = [
     "AblationResult",
@@ -88,6 +94,7 @@ def run_allocation_ablation(
     from repro.core.sampling import optimal_allocation
 
     cfg = cfg or ExperimentConfig()
+    prefetch_models(workloads, cfg)
     rows = []
     for workload, framework in workloads:
         job, model = get_model(workload, framework, cfg)

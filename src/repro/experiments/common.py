@@ -1,26 +1,29 @@
 """Shared infrastructure for the experiment drivers.
 
 Workload runs cost seconds each, and several figures need the same
-profiles, so profiles and phase models are cached — in memory for the
-process and on disk (pickle) across processes.  Cache entries are keyed
-by every parameter that affects the result plus a calibration version
-string, so stale entries die when the simulator is re-tuned.
+profiles, so profiles and phase models flow through the
+:mod:`repro.runtime` execution engine: a content-addressed artifact
+store (keys derived from the *full* configuration — no hand-listed
+knobs to go stale) plus a batch runner that fans cache misses out over a
+process pool when ``SIMPROF_JOBS`` asks for it.
+
+``get_profile``/``get_model`` keep their historical signatures as thin
+wrappers over the engine so examples and benchmarks keep working;
+drivers that need many (workload, framework) pairs call
+``prefetch_models``/``prefetch_profiles`` first so the batch executes as
+one runner pass instead of a serial loop.
 """
 
 from __future__ import annotations
 
-import hashlib
-import os
-import pickle
 from dataclasses import dataclass
-from pathlib import Path
 from typing import Any, Iterable, Sequence
 
 from repro.core.phases import PhaseModel
 from repro.core.pipeline import SimProf, SimProfConfig
 from repro.core.units import JobProfile
-from repro.datagen.seeds import GRAPH_INPUTS
-from repro.workloads import WORKLOADS, run_workload
+from repro.runtime.runner import ExperimentRunner, RunSpec
+from repro.runtime.store import STORE_VERSION
 
 __all__ = [
     "CACHE_VERSION",
@@ -29,48 +32,14 @@ __all__ = [
     "format_table",
     "get_model",
     "get_profile",
+    "make_spec",
+    "prefetch_models",
+    "prefetch_profiles",
 ]
 
-# Bump when simulator calibration changes so cached profiles refresh.
-CACHE_VERSION = "v6"
-
-_MEMORY_CACHE: dict[str, Any] = {}
-
-
-def _cache_dir() -> Path:
-    root = os.environ.get("SIMPROF_CACHE_DIR")
-    if root:
-        path = Path(root)
-    else:
-        path = Path.home() / ".cache" / "simprof-repro"
-    path.mkdir(parents=True, exist_ok=True)
-    return path
-
-
-def _cache_key(kind: str, **params: Any) -> str:
-    blob = repr(sorted(params.items())).encode()
-    return f"{kind}-{CACHE_VERSION}-{hashlib.sha256(blob).hexdigest()[:20]}"
-
-
-def _cached(key: str, compute: Any) -> Any:
-    if key in _MEMORY_CACHE:
-        return _MEMORY_CACHE[key]
-    path = _cache_dir() / f"{key}.pkl"
-    if path.exists():
-        try:
-            with path.open("rb") as fh:
-                value = pickle.load(fh)
-            _MEMORY_CACHE[key] = value
-            return value
-        except Exception:
-            path.unlink(missing_ok=True)  # corrupt entry: recompute
-    value = compute()
-    _MEMORY_CACHE[key] = value
-    tmp = path.with_suffix(".tmp")
-    with tmp.open("wb") as fh:
-        pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
-    tmp.replace(path)
-    return value
+# Kept as an alias for the store version: bump STORE_VERSION (in
+# repro.runtime.store) when simulator calibration changes.
+CACHE_VERSION = STORE_VERSION
 
 
 @dataclass(frozen=True)
@@ -94,9 +63,55 @@ class ExperimentConfig:
 
 def all_label_pairs() -> list[tuple[str, str]]:
     """(workload, framework) pairs in the paper's Figure 7 order."""
+    from repro.workloads import WORKLOADS
+
     return [
         (abbrev, fw) for fw in ("hadoop", "spark") for abbrev in WORKLOADS
     ]
+
+
+def make_spec(
+    workload: str,
+    framework: str,
+    cfg: ExperimentConfig,
+    *,
+    graph_name: str | None = None,
+    input_name: str | None = None,
+    params: dict[str, Any] | None = None,
+) -> RunSpec:
+    """The :class:`RunSpec` for one experiment request."""
+    return RunSpec(
+        workload=workload,
+        framework=framework,
+        scale=cfg.scale,
+        seed=cfg.seed,
+        graph_name=graph_name,
+        input_name=input_name,
+        params=params,
+        simprof=cfg.simprof,
+    )
+
+
+def prefetch_models(
+    pairs: Iterable[tuple[str, str]],
+    cfg: ExperimentConfig,
+    *,
+    graph_name: str | None = None,
+) -> None:
+    """Materialise profile + model artifacts for many pairs in one batch.
+
+    With ``SIMPROF_JOBS`` > 1 the cache misses run in parallel; the
+    subsequent ``get_model`` calls then hit the store.
+    """
+    specs = [
+        make_spec(w, f, cfg, graph_name=graph_name) for w, f in pairs
+    ]
+    ExperimentRunner().run(specs, want="model")
+
+
+def prefetch_profiles(specs: Iterable[RunSpec]) -> None:
+    """Materialise profile artifacts for pre-built specs in one batch."""
+    ExperimentRunner().run(list(specs), want="profile")
 
 
 def get_profile(
@@ -109,33 +124,16 @@ def get_profile(
     params: dict[str, Any] | None = None,
 ) -> JobProfile:
     """Run (or load) a workload and profile its busiest thread."""
-    graph = GRAPH_INPUTS[graph_name] if graph_name else None
-    key = _cache_key(
-        "profile",
-        workload=workload,
-        framework=framework,
-        scale=cfg.scale,
-        seed=cfg.seed,
-        graph=graph_name or "",
-        params=params or {},
-        unit=cfg.simprof.unit_size,
-        period=cfg.simprof.snapshot_period,
-        jitter=cfg.simprof.snapshot_jitter,
+    spec = make_spec(
+        workload,
+        framework,
+        cfg,
+        graph_name=graph_name,
+        input_name=input_name,
+        params=params,
     )
-
-    def compute() -> JobProfile:
-        trace = run_workload(
-            workload,
-            framework,
-            scale=cfg.scale,
-            seed=cfg.seed,
-            graph=graph,
-            input_name=input_name or graph_name or "default",
-            params=params,
-        )
-        return cfg.simprof_tool().profile(trace)
-
-    return _cached(key, compute)
+    [result] = ExperimentRunner().run([spec], want="profile")
+    return result.job
 
 
 def get_model(
@@ -147,26 +145,12 @@ def get_model(
     params: dict[str, Any] | None = None,
 ) -> tuple[JobProfile, PhaseModel]:
     """Profile + fitted phase model (both cached)."""
-    job = get_profile(
+    spec = make_spec(
         workload, framework, cfg, graph_name=graph_name, params=params
     )
-    key = _cache_key(
-        "model",
-        workload=workload,
-        framework=framework,
-        scale=cfg.scale,
-        seed=cfg.seed,
-        graph=graph_name or "",
-        params=params or {},
-        unit=cfg.simprof.unit_size,
-        period=cfg.simprof.snapshot_period,
-        jitter=cfg.simprof.snapshot_jitter,
-        top_k=cfg.simprof.top_k_methods,
-        max_phases=cfg.simprof.max_phases,
-        threshold=cfg.simprof.silhouette_threshold,
-    )
-    model = _cached(key, lambda: cfg.simprof_tool().form_phases(job))
-    return job, model
+    [result] = ExperimentRunner().run([spec], want="model")
+    assert result.model is not None
+    return result.job, result.model
 
 
 def format_table(

@@ -22,6 +22,7 @@ from repro.experiments.common import (
     all_label_pairs,
     format_table,
     get_model,
+    prefetch_models,
 )
 from repro.workloads import label_of
 
@@ -142,6 +143,7 @@ def run_multimetric(
     worst metric.
     """
     cfg = cfg or ExperimentConfig()
+    prefetch_models(all_label_pairs(), cfg)
     rows = []
     for workload, framework in all_label_pairs():
         job, model = get_model(workload, framework, cfg)

@@ -29,6 +29,9 @@ from repro.experiments.common import (
     format_table,
     get_model,
     get_profile,
+    make_spec,
+    prefetch_models,
+    prefetch_profiles,
 )
 
 __all__ = ["TextSensitivityResult", "run_text_sensitivity"]
@@ -82,6 +85,12 @@ def run_text_sensitivity(
 ) -> TextSensitivityResult:
     """Run the input-sensitivity procedure on wc and sort."""
     cfg = cfg or ExperimentConfig()
+    prefetch_models(TEXT_REFERENCE_INPUTS.keys(), cfg)
+    prefetch_profiles(
+        make_spec(w, f, cfg, params=params)
+        for (w, f), refs in TEXT_REFERENCE_INPUTS.items()
+        for params in refs.values()
+    )
     rows = []
     details: dict[str, Any] = {}
     for (workload, framework), refs in TEXT_REFERENCE_INPUTS.items():

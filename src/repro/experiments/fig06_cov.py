@@ -17,6 +17,7 @@ from repro.experiments.common import (
     all_label_pairs,
     format_table,
     get_model,
+    prefetch_models,
 )
 from repro.workloads import label_of
 
@@ -58,6 +59,7 @@ class Fig6Result:
 def run_fig6(cfg: ExperimentConfig | None = None) -> Fig6Result:
     """Compute Figure 6 for all twelve benchmark configurations."""
     cfg = cfg or ExperimentConfig()
+    prefetch_models(all_label_pairs(), cfg)
     rows: list[Fig6Row] = []
     for workload, framework in all_label_pairs():
         job, model = get_model(workload, framework, cfg)

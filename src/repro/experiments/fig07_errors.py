@@ -23,6 +23,7 @@ from repro.experiments.common import (
     all_label_pairs,
     format_table,
     get_model,
+    prefetch_models,
 )
 from repro.workloads import label_of
 
@@ -106,6 +107,7 @@ def run_fig7(
 ) -> Fig7Result:
     """Compute Figure 7 for all twelve benchmark configurations."""
     cfg = cfg or ExperimentConfig()
+    prefetch_models(all_label_pairs(), cfg)
     rows: list[Fig7Row] = []
     for workload, framework in all_label_pairs():
         job, model = get_model(workload, framework, cfg)

@@ -20,6 +20,7 @@ from repro.experiments.common import (
     all_label_pairs,
     format_table,
     get_model,
+    prefetch_models,
 )
 from repro.workloads import label_of
 
@@ -86,6 +87,7 @@ def run_fig8(
 ) -> Fig8Result:
     """Compute Figure 8 for all twelve benchmark configurations."""
     cfg = cfg or ExperimentConfig()
+    prefetch_models(all_label_pairs(), cfg)
     tool = cfg.simprof_tool()
     rows: list[Fig8Row] = []
     for workload, framework in all_label_pairs():

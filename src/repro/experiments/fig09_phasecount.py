@@ -15,6 +15,7 @@ from repro.experiments.common import (
     all_label_pairs,
     format_table,
     get_model,
+    prefetch_models,
 )
 from repro.workloads import label_of
 
@@ -51,6 +52,7 @@ class Fig9Result:
 def run_fig9(cfg: ExperimentConfig | None = None) -> Fig9Result:
     """Compute Figure 9 for all twelve benchmark configurations."""
     cfg = cfg or ExperimentConfig()
+    prefetch_models(all_label_pairs(), cfg)
     counts: dict[str, int] = {}
     for workload, framework in all_label_pairs():
         _job, model = get_model(workload, framework, cfg)

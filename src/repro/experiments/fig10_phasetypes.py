@@ -18,6 +18,7 @@ from repro.experiments.common import (
     all_label_pairs,
     format_table,
     get_model,
+    prefetch_models,
 )
 from repro.workloads import label_of
 
@@ -58,6 +59,7 @@ class Fig10Result:
 def run_fig10(cfg: ExperimentConfig | None = None) -> Fig10Result:
     """Compute Figure 10 for all twelve benchmark configurations."""
     cfg = cfg or ExperimentConfig()
+    prefetch_models(all_label_pairs(), cfg)
     shares: dict[str, dict[str, float]] = {}
     for workload, framework in all_label_pairs():
         job, model = get_model(workload, framework, cfg)

@@ -18,7 +18,15 @@ import numpy as np
 from repro.core.sampling import stratified_sample
 from repro.core.sensitivity import InputSensitivityResult, input_sensitivity_test
 from repro.datagen.seeds import REFERENCE_INPUTS, TRAINING_INPUT
-from repro.experiments.common import ExperimentConfig, format_table, get_model, get_profile
+from repro.experiments.common import (
+    ExperimentConfig,
+    format_table,
+    get_model,
+    get_profile,
+    make_spec,
+    prefetch_models,
+    prefetch_profiles,
+)
 
 __all__ = [
     "SensitivityRow",
@@ -110,6 +118,16 @@ def run_fig12_13(
     """Compute Figures 12 and 13 over the Table II inputs."""
     cfg = cfg or ExperimentConfig()
     ref_names = reference_names or tuple(g.name for g in REFERENCE_INPUTS)
+
+    # One batch materialises the 4 training models and the 4 x 7
+    # reference profiles (parallel under SIMPROF_JOBS); the loop below
+    # then reads everything from the artifact store.
+    prefetch_models(GRAPH_LABEL_PAIRS, cfg, graph_name=TRAINING_INPUT.name)
+    prefetch_profiles(
+        make_spec(w, f, cfg, graph_name=name)
+        for w, f in GRAPH_LABEL_PAIRS
+        for name in ref_names
+    )
 
     rows: list[SensitivityRow] = []
     details: dict[str, InputSensitivityResult] = {}

@@ -27,7 +27,7 @@ from typing import Any
 import numpy as np
 
 from repro.algos.quicksort import instrumented_quicksort
-from repro.hadoop.api import Context, Mapper, Reducer
+from repro.hadoop.api import Context, Reducer
 from repro.hadoop.job import HadoopJobConf
 from repro.hadoop.stacks import HadoopFrames
 from repro.hdfs.filesystem import SimulatedHDFS, estimate_record_bytes

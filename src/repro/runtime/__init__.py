@@ -1,0 +1,73 @@
+"""The execution engine: artifact store, batch runner, instrumentation.
+
+Three layers every experiment driver builds on:
+
+* :mod:`repro.runtime.store` — content-addressed artifact store with
+  stable parameter hashing, atomic writes, versioned manifests and hit
+  counters (``SIMPROF_CACHE_DIR`` sets the location);
+* :mod:`repro.runtime.runner` — batch execution of
+  :class:`~repro.runtime.runner.RunSpec` lists across a process pool
+  (``SIMPROF_JOBS``), cache-aware and deterministic;
+* :mod:`repro.runtime.instrument` — per-stage timing/counter hooks
+  threaded through the core pipeline and surfaced in manifests and
+  ``simprof stats``.
+
+The runner symbols are re-exported lazily (PEP 562): ``repro.core``
+imports the instrumentation hooks from here, and the runner imports
+``repro.core`` back, so loading it eagerly at package-init time would
+create a cycle.
+"""
+
+from repro.runtime.instrument import (
+    Instrumentation,
+    StageRecord,
+    StageStats,
+    get_instrumentation,
+    record_stage,
+    stage_timer,
+)
+from repro.runtime.store import (
+    STORE_VERSION,
+    ArtifactManifest,
+    ArtifactStore,
+    CacheStats,
+    canonical_repr,
+    default_store,
+    reset_default_stores,
+    stable_hash,
+)
+
+_RUNNER_EXPORTS = (
+    "ExperimentRunner",
+    "RunResult",
+    "RunSpec",
+    "RunnerError",
+    "resolve_jobs",
+    "run_specs",
+)
+
+__all__ = [
+    "STORE_VERSION",
+    "ArtifactManifest",
+    "ArtifactStore",
+    "CacheStats",
+    "Instrumentation",
+    "StageRecord",
+    "StageStats",
+    "canonical_repr",
+    "default_store",
+    "get_instrumentation",
+    "record_stage",
+    "reset_default_stores",
+    "stable_hash",
+    "stage_timer",
+    *_RUNNER_EXPORTS,
+]
+
+
+def __getattr__(name: str):
+    if name in _RUNNER_EXPORTS:
+        from repro.runtime import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

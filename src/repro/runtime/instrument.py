@@ -1,0 +1,157 @@
+"""Per-stage instrumentation for the SimProf pipeline.
+
+A process-wide registry of named stages (``trace-gen``, ``profiling``,
+``feature-selection``, ``k-means``, ``sampling``) that accumulates wall
+time, call counts and arbitrary numeric counters.  The core pipeline
+wraps each stage in :func:`stage_timer`; the runtime store captures the
+per-computation deltas into artifact manifests; ``simprof stats``
+aggregates them back for the user.
+
+The registry deliberately lives here — at the bottom of the runtime
+package — so ``repro.core`` can import it without a cycle.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "StageStats",
+    "StageRecord",
+    "Instrumentation",
+    "get_instrumentation",
+    "stage_timer",
+    "record_stage",
+]
+
+
+@dataclass
+class StageStats:
+    """Accumulated totals for one pipeline stage."""
+
+    calls: int = 0
+    seconds: float = 0.0
+    counters: dict[str, float] = field(default_factory=dict)
+
+    def add(self, seconds: float, counters: dict[str, float] | None = None) -> None:
+        """Fold one stage execution into the totals."""
+        self.calls += 1
+        self.seconds += seconds
+        for name, value in (counters or {}).items():
+            self.counters[name] = self.counters.get(name, 0.0) + float(value)
+
+    def copy(self) -> "StageStats":
+        """An independent snapshot of the totals."""
+        return StageStats(
+            calls=self.calls, seconds=self.seconds, counters=dict(self.counters)
+        )
+
+
+class StageRecord:
+    """Mutable handle yielded by :meth:`Instrumentation.stage`.
+
+    Lets the instrumented code attach counters discovered mid-stage
+    (``rec.add(units=n)``) before the elapsed time is recorded.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+
+    def add(self, **counters: float) -> None:
+        """Attach (or accumulate) named counters to this execution."""
+        for name, value in counters.items():
+            self.counters[name] = self.counters.get(name, 0.0) + float(value)
+
+
+class Instrumentation:
+    """Thread-safe accumulator of per-stage timings and counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stages: dict[str, StageStats] = {}
+
+    def record(
+        self,
+        stage: str,
+        seconds: float,
+        counters: dict[str, float] | None = None,
+    ) -> None:
+        """Record one execution of ``stage``."""
+        with self._lock:
+            self._stages.setdefault(stage, StageStats()).add(seconds, counters)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[StageRecord]:
+        """Time a block as one execution of stage ``name``."""
+        rec = StageRecord()
+        start = time.perf_counter()
+        try:
+            yield rec
+        finally:
+            self.record(name, time.perf_counter() - start, rec.counters)
+
+    def snapshot(self) -> dict[str, StageStats]:
+        """Independent copy of all stage totals."""
+        with self._lock:
+            return {name: stats.copy() for name, stats in self._stages.items()}
+
+    def reset(self) -> None:
+        """Drop all accumulated stats."""
+        with self._lock:
+            self._stages.clear()
+
+    @contextmanager
+    def capture(self) -> Iterator[dict[str, StageStats]]:
+        """Yield a dict that, on exit, holds the stage deltas of the block.
+
+        Used by the artifact store to attribute stage time to one cached
+        computation::
+
+            with instrumentation.capture() as stages:
+                value = compute()
+            manifest.stages = {k: v.seconds for k, v in stages.items()}
+        """
+        before = self.snapshot()
+        delta: dict[str, StageStats] = {}
+        try:
+            yield delta
+        finally:
+            after = self.snapshot()
+            for name, stats in after.items():
+                prev = before.get(name, StageStats())
+                if stats.calls == prev.calls and stats.seconds == prev.seconds:
+                    continue
+                counters = {
+                    k: v - prev.counters.get(k, 0.0)
+                    for k, v in stats.counters.items()
+                    if v != prev.counters.get(k, 0.0)
+                }
+                delta[name] = StageStats(
+                    calls=stats.calls - prev.calls,
+                    seconds=stats.seconds - prev.seconds,
+                    counters=counters,
+                )
+
+
+_GLOBAL = Instrumentation()
+
+
+def get_instrumentation() -> Instrumentation:
+    """The process-wide instrumentation registry."""
+    return _GLOBAL
+
+
+def stage_timer(name: str):
+    """Shorthand: time a block against the global registry."""
+    return _GLOBAL.stage(name)
+
+
+def record_stage(
+    stage: str, seconds: float, counters: dict[str, float] | None = None
+) -> None:
+    """Shorthand: record one execution against the global registry."""
+    _GLOBAL.record(stage, seconds, counters)

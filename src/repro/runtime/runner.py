@@ -1,0 +1,370 @@
+"""Batch experiment runner.
+
+Turns a list of :class:`RunSpec`s (workload, framework, scale, seed,
+graph, params, SimProf knobs) into profiles and phase models through the
+artifact store, fanning the cache misses out across a
+``ProcessPoolExecutor`` when parallelism is enabled.
+
+Guarantees:
+
+* **cache-aware de-duplication** — structurally equal specs collapse to
+  one computation, and anything already in the store is never
+  recomputed;
+* **bounded retries** — a worker failure is retried up to ``retries``
+  times before surfacing as :class:`RunnerError`; a broken pool (OOM-
+  killed worker, fork failure) degrades to in-process execution;
+* **deterministic results** — workers only *materialise* artifacts into
+  the content-addressed store and return keys; the parent loads every
+  result from the store in input order, so serial and parallel runs
+  produce identical values.
+
+Parallelism defaults to serial; set ``SIMPROF_JOBS`` (or pass ``jobs=``)
+to fan out.  Workers inherit ``SIMPROF_CACHE_DIR``, and the store's
+atomic unique-tempfile writes make concurrent materialisation safe.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.phases import PhaseModel
+from repro.core.pipeline import SimProf, SimProfConfig
+from repro.core.units import JobProfile
+from repro.runtime.instrument import stage_timer
+from repro.runtime.store import ArtifactStore, default_store
+
+__all__ = [
+    "RunSpec",
+    "RunResult",
+    "RunnerError",
+    "ExperimentRunner",
+    "resolve_jobs",
+    "run_specs",
+]
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker count: explicit argument, else ``SIMPROF_JOBS``, else 1."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    env = os.environ.get("SIMPROF_JOBS", "")
+    try:
+        return max(1, int(env))
+    except ValueError:
+        return 1
+
+
+class RunnerError(RuntimeError):
+    """A spec kept failing after the configured retries."""
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One (workload, framework) execution request.
+
+    ``params`` are workload input knobs (e.g. ``zipf_s``); ``simprof``
+    is the full pipeline configuration.  Cache keys are derived from
+    *every* field, so no knob can go stale silently.
+    """
+
+    workload: str
+    framework: str
+    scale: float = 1.0
+    seed: int = 0
+    graph_name: str | None = None
+    input_name: str | None = None
+    params: Mapping[str, Any] | None = None
+    simprof: SimProfConfig = field(default_factory=SimProfConfig)
+
+    @property
+    def label(self) -> str:
+        """Short display label, e.g. ``wc_sp``."""
+        suffix = {"spark": "sp", "hadoop": "hp"}.get(self.framework, self.framework)
+        return f"{self.workload}_{suffix}"
+
+    def profile_params(self) -> dict[str, Any]:
+        """Key material for the profile artifact.
+
+        The profiler subset is derived automatically from
+        :meth:`SimProfConfig.profiler_config` (a dataclass), so every
+        profiling-relevant knob — including ``simprof.seed``, which the
+        old hand-listed keys dropped — is part of the key.
+        """
+        return {
+            "workload": self.workload,
+            "framework": self.framework,
+            "scale": self.scale,
+            "seed": self.seed,
+            "graph": self.graph_name or "",
+            "input_name": self.input_name or self.graph_name or "default",
+            "params": dict(self.params or {}),
+            "profiler": self.simprof.profiler_config(),
+        }
+
+    def model_params(self) -> dict[str, Any]:
+        """Key material for the phase-model artifact: the *full* config."""
+        return {
+            "profile": self.profile_params(),
+            "simprof": self.simprof,
+        }
+
+    def to_payload(self) -> dict[str, Any]:
+        """Plain-dict form safe to ship to a pool worker."""
+        return {
+            "workload": self.workload,
+            "framework": self.framework,
+            "scale": self.scale,
+            "seed": self.seed,
+            "graph_name": self.graph_name,
+            "input_name": self.input_name,
+            "params": dict(self.params or {}),
+            "simprof": asdict(self.simprof),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "RunSpec":
+        return cls(
+            workload=payload["workload"],
+            framework=payload["framework"],
+            scale=payload["scale"],
+            seed=payload["seed"],
+            graph_name=payload.get("graph_name"),
+            input_name=payload.get("input_name"),
+            params=payload.get("params") or None,
+            simprof=SimProfConfig(**payload["simprof"]),
+        )
+
+
+@dataclass
+class RunResult:
+    """One spec's artifacts, in input order."""
+
+    spec: RunSpec
+    job: JobProfile
+    model: PhaseModel | None
+    profile_key: str
+    model_key: str | None
+    cached: bool
+
+    @property
+    def label(self) -> str:
+        return self.spec.label
+
+
+# -- computation (runs in the parent or in pool workers) ----------------------
+
+
+def _compute_profile(spec: RunSpec) -> JobProfile:
+    """Run the workload and profile its busiest thread (stages timed)."""
+    from repro.datagen.seeds import GRAPH_INPUTS
+    from repro.workloads import run_workload
+
+    graph = GRAPH_INPUTS[spec.graph_name] if spec.graph_name else None
+    with stage_timer("trace-gen"):
+        trace = run_workload(
+            spec.workload,
+            spec.framework,
+            scale=spec.scale,
+            seed=spec.seed,
+            graph=graph,
+            input_name=spec.input_name or spec.graph_name or "default",
+            params=dict(spec.params) if spec.params else None,
+        )
+    return SimProf(spec.simprof).profile(trace)
+
+
+def _materialise(
+    spec: RunSpec, want: str, store: ArtifactStore
+) -> tuple[str, str | None]:
+    """Ensure the spec's artifacts exist in the store; return their keys."""
+    profile_params = spec.profile_params()
+    job = store.get_or_compute(
+        "profile", profile_params, lambda: _compute_profile(spec)
+    )
+    profile_key = store.key_for("profile", profile_params)
+    model_key: str | None = None
+    if want == "model":
+        model_params = spec.model_params()
+        store.get_or_compute(
+            "model", model_params, lambda: SimProf(spec.simprof).form_phases(job)
+        )
+        model_key = store.key_for("model", model_params)
+    return profile_key, model_key
+
+
+def _pool_worker(payload: dict[str, Any]) -> tuple[str, str | None]:
+    """Pool entry point: materialise into the (env-configured) store.
+
+    Returns only the store keys — values stay on disk, so the parent
+    reads identical bytes whether the work ran here or in-process.
+    """
+    spec = RunSpec.from_payload(payload)
+    return _materialise(spec, payload["want"], default_store())
+
+
+# -- the runner ---------------------------------------------------------------
+
+
+class ExperimentRunner:
+    """Executes batches of :class:`RunSpec` against one artifact store."""
+
+    def __init__(
+        self,
+        store: ArtifactStore | None = None,
+        *,
+        jobs: int | None = None,
+        retries: int = 2,
+    ) -> None:
+        self.store = store or default_store()
+        self.jobs = resolve_jobs(jobs)
+        self.retries = max(0, int(retries))
+
+    # The dedupe identity of a spec is its (deepest) artifact key.
+    def _dedupe_key(self, spec: RunSpec, want: str) -> str:
+        if want == "model":
+            return self.store.key_for("model", spec.model_params())
+        return self.store.key_for("profile", spec.profile_params())
+
+    def _is_materialised(self, spec: RunSpec, want: str) -> bool:
+        profile_key = self.store.key_for("profile", spec.profile_params())
+        if not self.store.contains(profile_key):
+            return False
+        if want == "model":
+            return self.store.contains(
+                self.store.key_for("model", spec.model_params())
+            )
+        return True
+
+    def _run_inline(self, spec: RunSpec, want: str) -> None:
+        last: Exception | None = None
+        for _attempt in range(self.retries + 1):
+            try:
+                _materialise(spec, want, self.store)
+                return
+            except Exception as exc:  # noqa: BLE001 - rewrapped below
+                last = exc
+        raise RunnerError(
+            f"spec {spec.label} failed after {self.retries + 1} attempts: {last}"
+        ) from last
+
+    def _run_pool(self, missing: dict[str, RunSpec], want: str) -> None:
+        attempts: dict[str, int] = {key: 0 for key in missing}
+        workers = min(self.jobs, len(missing))
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    key: pool.submit(
+                        _pool_worker, {**spec.to_payload(), "want": want}
+                    )
+                    for key, spec in missing.items()
+                }
+                while futures:
+                    done, _pending = wait(
+                        futures.values(), return_when=FIRST_COMPLETED
+                    )
+                    for key in [k for k, f in futures.items() if f in done]:
+                        future = futures.pop(key)
+                        exc = future.exception()
+                        if exc is None:
+                            continue
+                        if isinstance(exc, BrokenProcessPool):
+                            raise exc
+                        attempts[key] += 1
+                        if attempts[key] > self.retries:
+                            spec = missing[key]
+                            raise RunnerError(
+                                f"spec {spec.label} failed after "
+                                f"{self.retries + 1} attempts: {exc}"
+                            ) from exc
+                        futures[key] = pool.submit(
+                            _pool_worker,
+                            {**missing[key].to_payload(), "want": want},
+                        )
+        except BrokenProcessPool:
+            # A worker died hard (OOM, signal).  Finish what is left
+            # in-process rather than losing the batch.
+            for spec in missing.values():
+                if not self._is_materialised(spec, want):
+                    self._run_inline(spec, want)
+
+    def _load(self, key: str, spec: RunSpec, want: str) -> Any:
+        """Load an artifact, rematerialising if the entry turned out corrupt.
+
+        ``contains`` only checks existence; a torn or stale-format entry
+        surfaces as ``KeyError`` at load time (the store drops it), so
+        one inline recompute heals the cache.
+        """
+        try:
+            return self.store.get(key)
+        except KeyError:
+            self._run_inline(spec, want)
+            return self.store.get(key)
+
+    def run(
+        self, specs: Iterable[RunSpec], *, want: str = "model"
+    ) -> list[RunResult]:
+        """Materialise every spec and return results in input order.
+
+        ``want`` is ``"model"`` (profile + fitted phase model) or
+        ``"profile"``.
+        """
+        if want not in ("profile", "model"):
+            raise ValueError(f"want must be 'profile' or 'model', got {want!r}")
+        ordered: Sequence[RunSpec] = list(specs)
+
+        unique: dict[str, RunSpec] = {}
+        cached: dict[str, bool] = {}
+        for spec in ordered:
+            key = self._dedupe_key(spec, want)
+            if key not in unique:
+                unique[key] = spec
+                cached[key] = self._is_materialised(spec, want)
+
+        missing = {k: s for k, s in unique.items() if not cached[k]}
+        if missing:
+            if self.jobs > 1 and len(missing) > 1:
+                self._run_pool(missing, want)
+                # Workers wrote to disk; anything a broken pool left
+                # behind was finished inline by _run_pool.
+                for spec in missing.values():
+                    if not self._is_materialised(spec, want):
+                        self._run_inline(spec, want)
+            else:
+                for spec in missing.values():
+                    self._run_inline(spec, want)
+
+        results: list[RunResult] = []
+        for spec in ordered:
+            profile_key = self.store.key_for("profile", spec.profile_params())
+            job = self._load(profile_key, spec, want)
+            model = None
+            model_key = None
+            if want == "model":
+                model_key = self.store.key_for("model", spec.model_params())
+                model = self._load(model_key, spec, want)
+            results.append(
+                RunResult(
+                    spec=spec,
+                    job=job,
+                    model=model,
+                    profile_key=profile_key,
+                    model_key=model_key,
+                    cached=cached[self._dedupe_key(spec, want)],
+                )
+            )
+        return results
+
+
+def run_specs(
+    specs: Iterable[RunSpec],
+    *,
+    want: str = "model",
+    jobs: int | None = None,
+    store: ArtifactStore | None = None,
+) -> list[RunResult]:
+    """Convenience wrapper: run a batch against the default store."""
+    return ExperimentRunner(store, jobs=jobs).run(specs, want=want)

@@ -1,4 +1,11 @@
-"""Unit tests for the experiment cache and helpers."""
+"""Unit tests for the experiment-facing cache wrappers.
+
+The heavy lifting (hashing, atomicity, parallelism) is covered by
+``tests/runtime``; these tests pin the behaviour of the thin
+``get_profile``/``get_model`` wrappers, including regression tests for
+the historical cache-key bugs (missing ``simprof.seed``, nested-dict
+order sensitivity).
+"""
 
 from __future__ import annotations
 
@@ -6,14 +13,15 @@ import numpy as np
 import pytest
 
 from repro.core.pipeline import SimProfConfig
-from repro.experiments import common
 from repro.experiments.common import (
     ExperimentConfig,
     all_label_pairs,
     format_table,
     get_model,
     get_profile,
+    make_spec,
 )
+from repro.runtime.store import default_store, reset_default_stores
 
 SMALL = ExperimentConfig(
     scale=0.05,
@@ -25,8 +33,9 @@ SMALL = ExperimentConfig(
 @pytest.fixture(autouse=True)
 def isolated_cache(tmp_path, monkeypatch):
     monkeypatch.setenv("SIMPROF_CACHE_DIR", str(tmp_path))
-    monkeypatch.setattr(common, "_MEMORY_CACHE", {})
+    reset_default_stores()
     yield
+    reset_default_stores()
 
 
 class TestLabels:
@@ -53,11 +62,12 @@ class TestCaching:
     def test_profile_cached_on_disk(self, tmp_path):
         p1 = get_profile("grep", "spark", SMALL)
         assert len(list(tmp_path.glob("profile-*.pkl"))) == 1
-        # Second call from a cleared memory cache hits the disk.
-        common._MEMORY_CACHE.clear()
+        # Second call from a cleared memory tier hits the disk.
+        default_store().clear_memory()
         p2 = get_profile("grep", "spark", SMALL)
         assert p2.n_units == p1.n_units
         np.testing.assert_allclose(p2.profile.cpi(), p1.profile.cpi())
+        assert default_store().stats.disk_hits >= 1
 
     def test_model_cached(self, tmp_path):
         job, model = get_model("grep", "spark", SMALL)
@@ -79,6 +89,48 @@ class TestCaching:
         get_profile("grep", "spark", SMALL)
         entry = next(tmp_path.glob("profile-*.pkl"))
         entry.write_bytes(b"not a pickle")
-        common._MEMORY_CACHE.clear()
+        default_store().clear_memory()
         p = get_profile("grep", "spark", SMALL)
         assert p.n_units > 0
+
+    def test_simprof_seed_in_profile_key(self, tmp_path):
+        """Regression: changing only ``simprof.seed`` must miss the cache.
+
+        The old hand-listed keys omitted it, so re-seeding the snapshot
+        jitter (and k-means init) silently returned stale artifacts.
+        """
+        get_profile("grep", "spark", SMALL)
+        reseeded = ExperimentConfig(
+            scale=SMALL.scale,
+            n_sampling_draws=SMALL.n_sampling_draws,
+            simprof=SimProfConfig(
+                unit_size=10_000_000, snapshot_period=500_000, seed=1
+            ),
+        )
+        get_profile("grep", "spark", reseeded)
+        assert len(list(tmp_path.glob("profile-*.pkl"))) == 2
+
+    def test_simprof_seed_in_model_key(self):
+        spec0 = make_spec("grep", "spark", SMALL)
+        reseeded = ExperimentConfig(
+            scale=SMALL.scale,
+            n_sampling_draws=SMALL.n_sampling_draws,
+            simprof=SimProfConfig(
+                unit_size=10_000_000, snapshot_period=500_000, seed=1
+            ),
+        )
+        spec1 = make_spec("grep", "spark", reseeded)
+        store = default_store()
+        assert store.key_for("model", spec0.model_params()) != store.key_for(
+            "model", spec1.model_params()
+        )
+
+    def test_nested_params_order_insensitive(self, tmp_path):
+        """Regression: nested dict key order must not fragment the cache."""
+        get_profile(
+            "wc", "spark", SMALL, params={"a": {"x": 1, "y": 2}, "b": 3}
+        )
+        get_profile(
+            "wc", "spark", SMALL, params={"b": 3, "a": {"y": 2, "x": 1}}
+        )
+        assert len(list(tmp_path.glob("profile-*.pkl"))) == 1

@@ -1,0 +1,81 @@
+"""Tests for the ``simprof cache``/``simprof stats`` subcommands."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core.pipeline import SimProfConfig
+from repro.experiments.common import ExperimentConfig, get_profile
+from repro.runtime.store import reset_default_stores
+
+SMALL = ExperimentConfig(
+    scale=0.05,
+    n_sampling_draws=3,
+    simprof=SimProfConfig(unit_size=10_000_000, snapshot_period=500_000),
+)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("SIMPROF_CACHE_DIR", str(tmp_path))
+    reset_default_stores()
+    yield
+    reset_default_stores()
+
+
+@pytest.fixture()
+def populated(tmp_path):
+    get_profile("grep", "spark", SMALL)
+    return tmp_path
+
+
+class TestCacheLs:
+    def test_lists_entries(self, populated, capsys):
+        assert main(["cache", "ls"]) == 0
+        out = capsys.readouterr().out
+        assert "profile-" in out
+        assert str(populated) in out
+
+    def test_kind_filter(self, populated, capsys):
+        assert main(["cache", "ls", "--kind", "model"]) == 0
+        out = capsys.readouterr().out
+        assert "0 entries" in out
+
+
+class TestCacheInfo:
+    def test_shows_manifest(self, populated, capsys):
+        key = next(populated.glob("profile-*.pkl")).stem
+        assert main(["cache", "info", key]) == 0
+        out = capsys.readouterr().out
+        assert '"kind": "profile"' in out
+        assert '"workload": "grep"' in out
+
+    def test_unknown_key_fails(self, capsys):
+        assert main(["cache", "info", "profile-v0-nope"]) == 1
+        assert "no manifest" in capsys.readouterr().err
+
+
+class TestCacheGC:
+    def test_requires_a_selector(self, capsys):
+        assert main(["cache", "gc"]) == 2
+        assert "--stale" in capsys.readouterr().err
+
+    def test_dry_run_keeps_entries(self, populated, capsys):
+        assert main(["cache", "gc", "--all", "--dry-run"]) == 0
+        assert "would remove 1" in capsys.readouterr().out
+        assert len(list(populated.glob("*.pkl"))) == 1
+
+    def test_gc_all_removes(self, populated, capsys):
+        assert main(["cache", "gc", "--all"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert not list(populated.glob("*.pkl"))
+
+
+class TestStats:
+    def test_aggregates_stage_timings(self, populated, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "trace-gen" in out
+        assert "profiling" in out
+        assert "compute invested" in out

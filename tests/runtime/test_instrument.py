@@ -1,0 +1,88 @@
+"""Tests for the per-stage instrumentation registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime.instrument import (
+    Instrumentation,
+    StageStats,
+    get_instrumentation,
+)
+
+
+class TestStageStats:
+    def test_add_accumulates(self):
+        stats = StageStats()
+        stats.add(0.5, {"units": 10})
+        stats.add(0.25, {"units": 5, "other": 1})
+        assert stats.calls == 2
+        assert stats.seconds == pytest.approx(0.75)
+        assert stats.counters == {"units": 15.0, "other": 1.0}
+
+    def test_copy_is_independent(self):
+        stats = StageStats(calls=1, seconds=1.0, counters={"x": 1.0})
+        clone = stats.copy()
+        clone.add(1.0, {"x": 1.0})
+        assert stats.calls == 1
+        assert stats.counters == {"x": 1.0}
+
+
+class TestInstrumentation:
+    def test_stage_context_records_time_and_counters(self):
+        inst = Instrumentation()
+        with inst.stage("profiling") as rec:
+            rec.add(units=7)
+        snap = inst.snapshot()
+        assert snap["profiling"].calls == 1
+        assert snap["profiling"].seconds >= 0.0
+        assert snap["profiling"].counters == {"units": 7.0}
+
+    def test_stage_records_on_exception(self):
+        inst = Instrumentation()
+        with pytest.raises(ValueError):
+            with inst.stage("k-means"):
+                raise ValueError("boom")
+        assert inst.snapshot()["k-means"].calls == 1
+
+    def test_reset(self):
+        inst = Instrumentation()
+        inst.record("sampling", 0.1)
+        inst.reset()
+        assert inst.snapshot() == {}
+
+    def test_capture_yields_delta_only(self):
+        inst = Instrumentation()
+        inst.record("profiling", 1.0, {"units": 5})
+        with inst.capture() as delta:
+            inst.record("profiling", 0.5, {"units": 2})
+            inst.record("k-means", 0.25)
+        assert set(delta) == {"profiling", "k-means"}
+        assert delta["profiling"].calls == 1
+        assert delta["profiling"].seconds == pytest.approx(0.5)
+        assert delta["profiling"].counters == {"units": 2.0}
+        assert delta["k-means"].seconds == pytest.approx(0.25)
+        # The block did not disturb the running totals.
+        assert inst.snapshot()["profiling"].seconds == pytest.approx(1.5)
+
+    def test_global_singleton(self):
+        assert get_instrumentation() is get_instrumentation()
+
+
+class TestPipelineHooks:
+    """The core pipeline must fire the documented stage hooks."""
+
+    def test_analyze_fires_all_stages(self, wc_spark_trace, simprof_tool):
+        inst = get_instrumentation()
+        inst.reset()
+        result = simprof_tool.analyze(wc_spark_trace, n_points=10)
+        snap = inst.snapshot()
+        for stage in ("profiling", "feature-selection", "k-means", "sampling"):
+            assert stage in snap, f"stage {stage!r} never fired"
+            assert snap[stage].calls >= 1
+        assert snap["profiling"].counters["units"] == result.job.n_units
+        assert snap["k-means"].counters["phases"] == result.model.k
+        assert snap["sampling"].counters["points"] == len(
+            np.asarray(result.points.selected)
+        )

@@ -1,0 +1,192 @@
+"""Tests for the batch experiment runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import SimProfConfig
+from repro.runtime import runner as runner_module
+from repro.runtime.runner import (
+    ExperimentRunner,
+    RunnerError,
+    RunSpec,
+    resolve_jobs,
+)
+from repro.runtime.store import ArtifactStore
+
+# Small, fast settings: grep finishes in about a second at this scale.
+SMALL_SIMPROF = SimProfConfig(unit_size=10_000_000, snapshot_period=500_000)
+
+
+def _spec(workload: str = "grep", framework: str = "spark", **kw) -> RunSpec:
+    kw.setdefault("scale", 0.05)
+    kw.setdefault("simprof", SMALL_SIMPROF)
+    return RunSpec(workload=workload, framework=framework, **kw)
+
+
+class TestResolveJobs:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("SIMPROF_JOBS", "8")
+        assert resolve_jobs(2) == 2
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("SIMPROF_JOBS", "3")
+        assert resolve_jobs(None) == 3
+
+    def test_default_serial(self, monkeypatch):
+        monkeypatch.delenv("SIMPROF_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_garbage_env_is_serial(self, monkeypatch):
+        monkeypatch.setenv("SIMPROF_JOBS", "many")
+        assert resolve_jobs(None) == 1
+
+    def test_floor_at_one(self):
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(-4) == 1
+
+
+class TestKeys:
+    def test_simprof_seed_changes_both_keys(self, tmp_path):
+        """Regression: ``simprof.seed`` was missing from the old keys."""
+        store = ArtifactStore(tmp_path)
+        s0 = _spec()
+        s1 = _spec(
+            simprof=SimProfConfig(
+                unit_size=10_000_000, snapshot_period=500_000, seed=1
+            )
+        )
+        assert store.key_for("profile", s0.profile_params()) != store.key_for(
+            "profile", s1.profile_params()
+        )
+        assert store.key_for("model", s0.model_params()) != store.key_for(
+            "model", s1.model_params()
+        )
+
+    def test_phase_knobs_not_in_profile_key(self, tmp_path):
+        """Clustering-only knobs must not fragment the profile cache."""
+        store = ArtifactStore(tmp_path)
+        s0 = _spec()
+        s1 = _spec(
+            simprof=SimProfConfig(
+                unit_size=10_000_000, snapshot_period=500_000, top_k_methods=5
+            )
+        )
+        assert store.key_for("profile", s0.profile_params()) == store.key_for(
+            "profile", s1.profile_params()
+        )
+        assert store.key_for("model", s0.model_params()) != store.key_for(
+            "model", s1.model_params()
+        )
+
+    def test_payload_roundtrip(self):
+        spec = _spec(graph_name=None, params={"zipf_s": 1.2}, seed=3)
+        clone = RunSpec.from_payload(spec.to_payload())
+        assert clone == spec
+
+
+class TestRunnerSerial:
+    def test_run_returns_input_order_and_dedupes(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        specs = [_spec(), _spec("wc"), _spec()]  # first == third
+        results = ExperimentRunner(store, jobs=1).run(specs, want="profile")
+        assert [r.spec.workload for r in results] == ["grep", "wc", "grep"]
+        assert results[0].profile_key == results[2].profile_key
+        # Two unique computations, not three.
+        assert store.stats.misses == 2
+        assert len(list(tmp_path.glob("profile-*.pkl"))) == 2
+
+    def test_want_model_produces_both_artifacts(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        [result] = ExperimentRunner(store, jobs=1).run([_spec()], want="model")
+        assert result.model is not None
+        assert result.model.k >= 1
+        assert result.job.n_units > 0
+        assert len(list(tmp_path.glob("profile-*.pkl"))) == 1
+        assert len(list(tmp_path.glob("model-*.pkl"))) == 1
+
+    def test_cached_flag(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        runner = ExperimentRunner(store, jobs=1)
+        [first] = runner.run([_spec()], want="profile")
+        [second] = runner.run([_spec()], want="profile")
+        assert not first.cached
+        assert second.cached
+
+    def test_invalid_want_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ExperimentRunner(ArtifactStore(tmp_path)).run([], want="banana")
+
+    def test_bounded_retries_then_success(self, tmp_path, monkeypatch):
+        real = runner_module._materialise
+        failures = {"left": 2}
+
+        def flaky(spec, want, store):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise OSError("transient worker failure")
+            return real(spec, want, store)
+
+        monkeypatch.setattr(runner_module, "_materialise", flaky)
+        store = ArtifactStore(tmp_path)
+        [result] = ExperimentRunner(store, jobs=1, retries=2).run(
+            [_spec()], want="profile"
+        )
+        assert result.job.n_units > 0
+        assert failures["left"] == 0
+
+    def test_retries_exhausted_raise_runner_error(self, tmp_path, monkeypatch):
+        calls = []
+
+        def always_fails(spec, want, store):
+            calls.append(1)
+            raise OSError("persistent failure")
+
+        monkeypatch.setattr(runner_module, "_materialise", always_fails)
+        with pytest.raises(RunnerError, match="after 2 attempts"):
+            ExperimentRunner(ArtifactStore(tmp_path), jobs=1, retries=1).run(
+                [_spec()], want="profile"
+            )
+        assert len(calls) == 2
+
+
+@pytest.mark.slow
+class TestRunnerParallel:
+    def test_parallel_matches_serial_bytes(self, tmp_path, monkeypatch):
+        """SIMPROF_JOBS fan-out must be invisible in the artifacts."""
+        specs = [_spec("grep", "spark"), _spec("grep", "hadoop")]
+
+        serial_root = tmp_path / "serial"
+        monkeypatch.setenv("SIMPROF_CACHE_DIR", str(serial_root))
+        serial = ExperimentRunner(ArtifactStore(serial_root), jobs=1).run(
+            specs, want="model"
+        )
+
+        parallel_root = tmp_path / "parallel"
+        monkeypatch.setenv("SIMPROF_CACHE_DIR", str(parallel_root))
+        parallel = ExperimentRunner(ArtifactStore(parallel_root), jobs=2).run(
+            specs, want="model"
+        )
+
+        for s_res, p_res in zip(serial, parallel):
+            assert s_res.profile_key == p_res.profile_key
+            assert s_res.model_key == p_res.model_key
+            np.testing.assert_array_equal(
+                s_res.job.profile.cpi(), p_res.job.profile.cpi()
+            )
+            np.testing.assert_array_equal(
+                s_res.model.assignments, p_res.model.assignments
+            )
+        for pkl in sorted(serial_root.glob("*.pkl")):
+            assert (
+                pkl.read_bytes() == (parallel_root / pkl.name).read_bytes()
+            ), f"artifact {pkl.name} differs between serial and parallel runs"
+
+    def test_parallel_failure_surfaces_as_runner_error(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("SIMPROF_CACHE_DIR", str(tmp_path))
+        bad = [_spec("no-such-workload"), _spec("also-missing")]
+        with pytest.raises(RunnerError):
+            ExperimentRunner(
+                ArtifactStore(tmp_path), jobs=2, retries=0
+            ).run(bad, want="profile")

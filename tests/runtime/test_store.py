@@ -1,0 +1,229 @@
+"""Tests for the content-addressed artifact store."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.runtime.instrument import stage_timer
+from repro.runtime.store import (
+    STORE_VERSION,
+    ArtifactStore,
+    canonical_repr,
+    default_store,
+    reset_default_stores,
+    stable_hash,
+)
+
+
+@dataclass(frozen=True)
+class _Knobs:
+    a: int = 1
+    b: float = 0.5
+
+
+class TestStableHash:
+    def test_nested_dict_order_insensitive(self):
+        """Regression: ``repr(sorted(...))`` only sorted the top level."""
+        left = {"outer": {"b": 1, "a": 2}, "x": [1, 2]}
+        right = {"x": [1, 2], "outer": {"a": 2, "b": 1}}
+        assert stable_hash(left) == stable_hash(right)
+
+    def test_deep_nesting(self):
+        left = {"p": {"q": {"z": 1, "y": {"n": 2, "m": 3}}}}
+        right = {"p": {"q": {"y": {"m": 3, "n": 2}, "z": 1}}}
+        assert stable_hash(left) == stable_hash(right)
+
+    def test_values_distinguish(self):
+        assert stable_hash({"a": {"b": 1}}) != stable_hash({"a": {"b": 2}})
+
+    def test_type_distinctions(self):
+        # 1 vs 1.0 vs "1" must not collide; bool is not int 1.
+        hashes = {stable_hash(v) for v in (1, 1.0, "1", True)}
+        assert len(hashes) == 4
+
+    def test_dataclass_and_numpy(self):
+        assert stable_hash(_Knobs()) == stable_hash(_Knobs(a=1, b=0.5))
+        assert stable_hash(_Knobs()) != stable_hash(_Knobs(a=2))
+        assert stable_hash(np.int64(3)) == stable_hash(3)
+        assert stable_hash(np.array([1, 2])) == stable_hash(np.array([1, 2]))
+
+    def test_list_vs_tuple_equivalent_but_sets_sorted(self):
+        assert canonical_repr([1, 2]) == canonical_repr((1, 2))
+        assert stable_hash({2, 1}) == stable_hash({1, 2})
+
+    def test_unhashable_type_rejected(self):
+        with pytest.raises(TypeError):
+            stable_hash(object())
+
+
+class TestStoreRoundtrip:
+    def test_put_get(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = store.key_for("profile", {"w": "wc"})
+        store.put(key, {"value": 42}, kind="profile", params={"w": "wc"})
+        assert store.get(key) == {"value": 42}
+        # Fresh store instance: comes back from disk, not memory.
+        other = ArtifactStore(tmp_path)
+        assert other.get(key) == {"value": 42}
+        assert other.stats.disk_hits == 1
+
+    def test_key_carries_kind_and_version(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = store.key_for("model", {"x": 1})
+        assert key.startswith(f"model-{STORE_VERSION}-")
+
+    def test_missing_key_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            ArtifactStore(tmp_path).get("profile-v0-deadbeef")
+
+    def test_manifest_contents(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        value = store.get_or_compute("profile", {"w": "wc", "n": 3}, lambda: [1, 2])
+        assert value == [1, 2]
+        key = store.key_for("profile", {"w": "wc", "n": 3})
+        manifest = store.manifest(key)
+        assert manifest is not None
+        assert manifest.kind == "profile"
+        assert manifest.version == STORE_VERSION
+        assert manifest.params == {"w": "wc", "n": 3}
+        assert manifest.size_bytes == len(
+            pickle.dumps([1, 2], protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        assert manifest.hits == 0
+
+    def test_disk_hit_bumps_manifest_counter(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.get_or_compute("profile", {"w": "wc"}, lambda: "v")
+        key = store.key_for("profile", {"w": "wc"})
+        for expected_hits in (1, 2):
+            reader = ArtifactStore(tmp_path)
+            assert reader.get(key) == "v"
+            assert reader.manifest(key).hits == expected_hits
+
+    def test_stage_timings_captured_in_manifest(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+
+        def compute():
+            with stage_timer("trace-gen"):
+                time.sleep(0.01)
+            return "x"
+
+        store.get_or_compute("profile", {"w": "wc"}, compute)
+        manifest = store.manifest(store.key_for("profile", {"w": "wc"}))
+        assert manifest.stages.get("trace-gen", 0.0) > 0.0
+        assert manifest.compute_seconds >= manifest.stages["trace-gen"]
+
+
+class TestCorruptionRecovery:
+    def test_corrupt_value_recomputed(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "fresh"
+
+        store.get_or_compute("profile", {"w": "wc"}, compute)
+        key = store.key_for("profile", {"w": "wc"})
+        (tmp_path / f"{key}.pkl").write_bytes(b"garbage")
+        store.clear_memory()
+        assert store.get_or_compute("profile", {"w": "wc"}, compute) == "fresh"
+        assert len(calls) == 2
+
+    def test_corrupt_manifest_tolerated(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("profile-v7-abc", "v", kind="profile")
+        (tmp_path / "profile-v7-abc.json").write_text("{not json")
+        store.clear_memory()
+        assert store.get("profile-v7-abc") == "v"
+        # entries() synthesises a manifest rather than crashing.
+        assert any(m.key == "profile-v7-abc" for m in store.entries())
+
+
+class TestConcurrency:
+    def test_concurrent_writers_same_key(self, tmp_path):
+        """Many writers racing on one key leave a valid entry behind.
+
+        Regression for the old shared ``.tmp`` path: two processes used
+        the same temporary file and could tear each other's writes.
+        """
+        store = ArtifactStore(tmp_path)
+        key = store.key_for("profile", {"w": "race"})
+        errors = []
+        payload = list(range(2000))
+
+        def writer(i: int) -> None:
+            try:
+                local = ArtifactStore(tmp_path)
+                local.put(key, payload, kind="profile")
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(i,)) for i in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert ArtifactStore(tmp_path).get(key) == payload
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestGC:
+    def _populate(self, store: ArtifactStore) -> None:
+        store.put(store.key_for("profile", {"i": 1}), "a", kind="profile")
+        store.put(store.key_for("model", {"i": 1}), "b", kind="model")
+        # An entry from an older store version.
+        old = ArtifactStore(store.root)
+        old.put("profile-v6-0123456789abcdef0123", "stale", kind="profile")
+        manifest = old.manifest("profile-v6-0123456789abcdef0123")
+        manifest.version = "v6"
+        (store.root / "profile-v6-0123456789abcdef0123.json").write_text(
+            manifest.to_json()
+        )
+
+    def test_gc_stale_only(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        self._populate(store)
+        removed, _ = store.gc(stale_only=True)
+        assert removed == 1
+        assert len(list(tmp_path.glob("*.pkl"))) == 2
+
+    def test_gc_by_age(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        self._populate(store)
+        removed, _ = store.gc(max_age_days=1.0)
+        assert removed == 0
+        removed, reclaimed = store.gc(max_age_days=-1.0)  # everything is "old"
+        assert removed == 3
+        assert reclaimed > 0
+        assert not list(tmp_path.glob("*.pkl"))
+
+    def test_gc_kind_filter_and_dry_run(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        self._populate(store)
+        removed, _ = store.gc(everything=True, kind="model", dry_run=True)
+        assert removed == 1
+        assert len(list(tmp_path.glob("*.pkl"))) == 3  # dry run deleted nothing
+        removed, _ = store.gc(everything=True, kind="model")
+        assert removed == 1
+        assert len(list(tmp_path.glob("*.pkl"))) == 2
+
+
+class TestDefaultStore:
+    def test_per_root_instances(self, tmp_path, monkeypatch):
+        reset_default_stores()
+        monkeypatch.setenv("SIMPROF_CACHE_DIR", str(tmp_path / "a"))
+        store_a = default_store()
+        assert default_store() is store_a
+        monkeypatch.setenv("SIMPROF_CACHE_DIR", str(tmp_path / "b"))
+        store_b = default_store()
+        assert store_b is not store_a
+        assert store_b.root != store_a.root
+        reset_default_stores()

@@ -92,8 +92,8 @@ class TestCommands:
 class TestFigureSmallScale:
     def test_fig9_small_scale(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("SIMPROF_CACHE_DIR", str(tmp_path))
-        from repro.experiments import common
-        monkeypatch.setattr(common, "_MEMORY_CACHE", {})
+        from repro.runtime.store import reset_default_stores
+        reset_default_stores()
         rc = main([
             "figure", "fig9",
             "--scale", "0.05",

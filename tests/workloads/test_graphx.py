@@ -8,7 +8,6 @@ import pytest
 from repro.spark.context import SparkConfig, SparkContext
 from repro.workloads.graphx import (
     CHUNK_EDGES,
-    EdgeChunk,
     GraphXGraph,
     _chunk_edges,
     pregel_step,
