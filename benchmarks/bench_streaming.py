@@ -1,0 +1,214 @@
+"""Streaming profiler benchmark: flat memory across trace lengths.
+
+The tentpole claim of the streaming refactor, measured: the batch
+profiler's peak memory grows linearly with trace length (it holds the
+whole :class:`JobTrace`), while the streaming profiler's peak stays
+flat (it holds one in-flight sampling unit per thread).  The sweep
+drives both paths from the *same* lazy synthetic stream so neither side
+pays for pre-built inputs, asserts bit-identical units at the smallest
+length, and writes the evidence to ``BENCH_streaming.json`` for the CI
+artifact.
+
+``SIMPROF_BENCH_SMOKE=1`` shrinks the sweep for the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import tracemalloc
+from typing import Iterator
+
+import numpy as np
+from conftest import emit
+
+from repro.core.profiler import ProfilerConfig, SimProfProfiler, StreamingProfiler
+from repro.jvm.job import JobTrace
+from repro.jvm.machine import MachineConfig, OpKind
+from repro.jvm.methods import CallStack, MethodRegistry, StackTable
+from repro.jvm.stream import JobEnd, SegmentBatch, ThreadStart, TraceStream
+from repro.jvm.threads import TraceSegment
+from repro.runtime.store import default_store
+
+SMOKE = os.environ.get("SIMPROF_BENCH_SMOKE") == "1"
+UNIT_SIZE = 1_000_000
+SNAPSHOT_PERIOD = 50_000
+SEGMENT_INSTRUCTIONS = 10_000  # 100 segments per sampling unit
+BASE_UNITS = 8 if SMOKE else 40
+SWEEP = (1, 3, 10)
+
+CONFIG = ProfilerConfig(
+    unit_size=UNIT_SIZE, snapshot_period=SNAPSHOT_PERIOD, seed=0
+)
+
+
+def _shared_context() -> tuple[MethodRegistry, StackTable, list[int]]:
+    """One registry/stack table reused by every stream of the sweep."""
+    registry = MethodRegistry()
+    table = StackTable(registry)
+    root = registry.intern("bench.Worker", "run")
+    stacks = []
+    for name in ("scan", "hash", "merge", "spill", "emit", "flush"):
+        mid = registry.intern("bench.Worker", name)
+        stacks.append(table.intern(CallStack((root, mid))))
+    return registry, table, stacks
+
+
+def make_stream(
+    n_units: int,
+    registry: MethodRegistry,
+    table: StackTable,
+    stacks: list[int],
+) -> TraceStream:
+    """A lazy synthetic stream: segments materialise only when consumed.
+
+    Deterministic CPI/stack patterns (no RNG) so every invocation with
+    the same length produces the identical event sequence.
+    """
+    n_segments = n_units * (UNIT_SIZE // SEGMENT_INSTRUCTIONS)
+
+    def events() -> Iterator:
+        yield ThreadStart(1, 0, 0)
+        for i in range(n_segments):
+            sid = stacks[(i // 40) % len(stacks)]
+            cycles = SEGMENT_INSTRUCTIONS * (55 + (i % 7) * 9) // 100
+            yield SegmentBatch(
+                1,
+                (
+                    TraceSegment(
+                        sid, OpKind.MAP, SEGMENT_INSTRUCTIONS, cycles, 64, 8
+                    ),
+                ),
+            )
+        yield JobEnd({})
+
+    return TraceStream(
+        framework="synthetic",
+        workload="synth",
+        input_name="default",
+        registry=registry,
+        stack_table=table,
+        machine=MachineConfig(),
+        events=events(),
+    )
+
+
+def _stream_run(n_units: int, ctx) -> tuple[float, int, float]:
+    """(peak KiB, units emitted, units/s) for the pure streaming path.
+
+    Consumes ``StreamingProfiler.units`` with aggregation only — the
+    O(active-unit) mode a live monitor would use — so the peak reflects
+    in-flight state, not a retained profile.
+    """
+    profiler = StreamingProfiler(CONFIG)
+    tracemalloc.start()
+    count = 0
+    instructions = 0.0
+    start = time.perf_counter()
+    for _tid, unit in profiler.units(make_stream(n_units, *ctx)):
+        count += 1
+        instructions += unit.instructions
+    elapsed = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert instructions == float(n_units * UNIT_SIZE)
+    return peak / 1024.0, count, count / elapsed if elapsed > 0 else 0.0
+
+
+def _batch_run(n_units: int, ctx) -> tuple[float, int]:
+    """(peak KiB, units) for the batch path on the same stream."""
+    tracemalloc.start()
+    trace = JobTrace.from_stream(make_stream(n_units, *ctx))
+    job = SimProfProfiler(CONFIG).profile(trace)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak / 1024.0, job.n_units
+
+
+def test_stream_profile_matches_batch():
+    """Bit-exact parity on the synthetic stream at the base length."""
+    ctx = _shared_context()
+    trace = JobTrace.from_stream(make_stream(BASE_UNITS, *ctx))
+    batch = SimProfProfiler(CONFIG).profile(trace)
+    streamed = StreamingProfiler(CONFIG).consume(make_stream(BASE_UNITS, *ctx))
+    assert streamed.profile.thread_id == batch.profile.thread_id
+    assert len(streamed.profile.units) == len(batch.profile.units)
+    for b, s in zip(batch.profile.units, streamed.profile.units):
+        assert b.index == s.index
+        assert b.instructions == s.instructions
+        assert b.cycles == s.cycles
+        assert b.l1d_misses == s.l1d_misses
+        assert b.llc_misses == s.llc_misses
+        assert np.array_equal(b.stack_ids, s.stack_ids)
+        assert np.array_equal(b.stack_counts, s.stack_counts)
+
+
+def test_streaming_memory_stays_flat(benchmark):
+    """The headline sweep: batch peak grows ~linearly, stream peak flat."""
+    ctx = _shared_context()
+    rows = []
+    for factor in SWEEP:
+        n = BASE_UNITS * factor
+        stream_peak, stream_units, units_per_sec = _stream_run(n, ctx)
+        batch_peak, batch_units = _batch_run(n, ctx)
+        assert stream_units == batch_units == n
+        rows.append(
+            {
+                "factor": factor,
+                "units": n,
+                "segments": n * (UNIT_SIZE // SEGMENT_INSTRUCTIONS),
+                "stream_peak_kib": round(stream_peak, 1),
+                "batch_peak_kib": round(batch_peak, 1),
+                "units_per_sec": round(units_per_sec, 1),
+                "us_per_unit": round(1e6 / units_per_sec, 1)
+                if units_per_sec > 0 else None,
+            }
+        )
+
+    base, top = rows[0], rows[-1]
+    # Streaming holds one in-flight unit: a 10x longer trace must not
+    # meaningfully move the peak.  Batch holds the whole trace: the
+    # peak must scale with length.
+    assert top["stream_peak_kib"] < 2.0 * base["stream_peak_kib"]
+    assert top["batch_peak_kib"] > 5.0 * base["batch_peak_kib"]
+
+    # Time the streaming kernel itself on a fresh base-length stream
+    # (streams are single-shot, so each round gets its own).
+    benchmark.pedantic(
+        lambda s: sum(1 for _ in StreamingProfiler(CONFIG).units(s)),
+        setup=lambda: ((make_stream(BASE_UNITS, *ctx),), {}),
+        rounds=3,
+        iterations=1,
+    )
+
+    store_stats = default_store().stats
+    payload = {
+        "benchmark": "streaming-profiler",
+        "smoke": SMOKE,
+        "unit_size": UNIT_SIZE,
+        "snapshot_period": SNAPSHOT_PERIOD,
+        "sweep": rows,
+        "store": {
+            "memory_hits": store_stats.memory_hits,
+            "disk_hits": store_stats.disk_hits,
+            "misses": store_stats.misses,
+            "puts": store_stats.puts,
+        },
+    }
+    with open("BENCH_streaming.json", "w") as fh:
+        json.dump(payload, fh, indent=2)
+
+    emit(
+        "Streaming profiler: peak memory vs trace length",
+        "\n".join(
+            f"  {r['factor']:>3}x ({r['units']:>4} units): "
+            f"stream {r['stream_peak_kib']:>9,.1f} KiB | "
+            f"batch {r['batch_peak_kib']:>10,.1f} KiB | "
+            f"{r['units_per_sec']:>8,.1f} units/s"
+            for r in rows
+        )
+        + f"\n  batch grows {top['batch_peak_kib'] / base['batch_peak_kib']:.1f}x, "
+        f"stream {top['stream_peak_kib'] / base['stream_peak_kib']:.2f}x "
+        "across a 10x length sweep (wrote BENCH_streaming.json)",
+    )

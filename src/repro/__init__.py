@@ -23,11 +23,20 @@ Quickstart::
     trace = run_workload("wc", "spark")
     result = SimProf().analyze(trace, n_points=20)
     print(result.simulation_points, result.sampling_error())
+
+Or streaming — the trace is profiled while the workload runs and is
+never materialised (bit-identical result under the same seed)::
+
+    from repro.workloads import run_workload_stream
+
+    stream = run_workload_stream("wc", "spark")
+    result = SimProf().analyze_stream(stream, n_points=20)
 """
 
 from repro.core.pipeline import SimProf, SimProfConfig, SimProfResult
-from repro.core.profiler import ProfilerConfig, SimProfProfiler
+from repro.core.profiler import ProfilerConfig, SimProfProfiler, StreamingProfiler
 from repro.core.units import JobProfile, SamplingUnit, ThreadProfile
+from repro.jvm.stream import TraceStream
 
 __version__ = "1.0.0"
 
@@ -39,6 +48,8 @@ __all__ = [
     "SimProfConfig",
     "SimProfProfiler",
     "SimProfResult",
+    "StreamingProfiler",
     "ThreadProfile",
+    "TraceStream",
     "__version__",
 ]

@@ -4,6 +4,7 @@ The everyday entry points::
 
     simprof list                         # workloads and graph inputs
     simprof run wc_sp --points 20        # run + analyze one benchmark
+    simprof profile wc_sp --stream       # streaming profiling pipeline
     simprof figure fig7 --jobs 4         # regenerate a paper figure
     simprof sensitivity cc_sp            # input-sensitivity analysis
     simprof cache ls                     # inspect the artifact store
@@ -78,6 +79,25 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--export-dir", default=None,
                      help="write <label>.simpoints/.weights (SimPoint "
                      "format) into this directory")
+
+    prof = sub.add_parser(
+        "profile",
+        help="profile a benchmark (batch, or --stream for the live pipeline)",
+    )
+    prof.add_argument("label", help="benchmark label, e.g. wc_sp or cc_hp")
+    prof.add_argument("--stream", action="store_true",
+                      help="consume the trace as a live stream: the trace "
+                      "is never materialised and units are cut while the "
+                      "workload runs (bit-identical result)")
+    prof.add_argument("--points", type=int, default=20,
+                      help="simulation points to select (default 20)")
+    prof.add_argument("--scale", type=float, default=1.0,
+                      help="input-volume multiplier (default 1.0)")
+    prof.add_argument("--seed", type=int, default=0)
+    prof.add_argument("--graph", default=None,
+                      help="Table II input name for graph workloads")
+    prof.add_argument("--unit-size", type=int, default=100_000_000)
+    prof.add_argument("--snapshot-period", type=int, default=2_000_000)
 
     fig = sub.add_parser("figure", help="regenerate a paper table/figure")
     fig.add_argument("name", choices=sorted(FIGURES),
@@ -238,6 +258,77 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro import SimProf, SimProfConfig
+    from repro.datagen.seeds import get_graph_input
+    from repro.experiments.common import format_table
+    from repro.runtime.instrument import get_instrumentation
+    from repro.workloads import run_workload, run_workload_stream
+
+    workload, framework = _parse_label(args.label)
+    graph = get_graph_input(args.graph) if args.graph else None
+    mode = "streaming" if args.stream else "batch"
+    print(f"Profiling {args.label} ({mode}, scale {args.scale}, "
+          f"seed {args.seed}) ...")
+    simprof = SimProf(
+        SimProfConfig(
+            unit_size=args.unit_size,
+            snapshot_period=args.snapshot_period,
+            seed=args.seed,
+        )
+    )
+    run_kwargs = dict(
+        scale=args.scale,
+        seed=args.seed,
+        graph=graph,
+        input_name=args.graph or "default",
+    )
+    if args.stream:
+        stream = run_workload_stream(workload, framework, **run_kwargs)
+        result = simprof.analyze_stream(stream, n_points=args.points)
+    else:
+        trace = run_workload(workload, framework, **run_kwargs)
+        result = simprof.analyze(trace, n_points=args.points)
+
+    print(
+        format_table(
+            ["phase", "weight", "CPI", "CoV", "units"],
+            [
+                (
+                    s.phase_id,
+                    f"{s.weight:.1%}",
+                    f"{s.cpi_mean:.3f}",
+                    f"{s.cpi_cov:.3f}",
+                    s.n_units,
+                )
+                for s in result.phase_stats
+            ],
+            title=(
+                f"{args.label}: {result.job.n_units} units, "
+                f"{result.n_phases} phases ({mode})"
+            ),
+        )
+    )
+    print(f"\nsimulation points: {[int(p) for p in result.simulation_points]}")
+    print(
+        f"estimate {result.points.estimate:.4f} vs oracle "
+        f"{result.oracle_cpi():.4f} (error {result.sampling_error():.2%})"
+    )
+    if args.stream:
+        snap = get_instrumentation().snapshot().get("stream-profiling")
+        if snap is not None and snap.counters.get("units"):
+            units = snap.counters["units"]
+            secs = snap.counters.get("unit_seconds", 0.0)
+            if secs > 0:
+                print(
+                    f"streaming throughput: {units / secs:,.0f} units/s; "
+                    f"mean emission latency "
+                    f"{1e6 * secs / units:,.1f} us/unit "
+                    f"({units:.0f} units across all threads)"
+                )
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     import importlib
 
@@ -395,6 +486,7 @@ def _cmd_stats() -> int:
     store = default_store()
     entries = list(store.entries())
     stages: dict[str, tuple[int, float]] = {}
+    counters: dict[str, dict[str, float]] = {}
     total_hits = 0
     total_compute = 0.0
     for manifest in entries:
@@ -403,6 +495,10 @@ def _cmd_stats() -> int:
         for name, seconds in manifest.stages.items():
             calls, secs = stages.get(name, (0, 0.0))
             stages[name] = (calls + 1, secs + seconds)
+        for name, stage_counters in manifest.counters.items():
+            acc = counters.setdefault(name, {})
+            for key, value in stage_counters.items():
+                acc[key] = acc.get(key, 0.0) + value
     print(
         format_table(
             ["stage", "artifacts", "total s", "share %"],
@@ -421,6 +517,28 @@ def _cmd_stats() -> int:
             title=f"Pipeline stages across {len(entries)} cached artifacts",
         )
     )
+    throughput = [
+        (name, c["units"], c.get("unit_seconds", 0.0))
+        for name, c in sorted(counters.items())
+        if c.get("units")
+    ]
+    if throughput:
+        print()
+        print(
+            format_table(
+                ["stage", "units", "units/s", "us/unit"],
+                [
+                    (
+                        name,
+                        f"{units:.0f}",
+                        f"{units / secs:,.0f}" if secs > 0 else "-",
+                        f"{1e6 * secs / units:,.1f}" if secs > 0 else "-",
+                    )
+                    for name, units, secs in throughput
+                ],
+                title="Streaming throughput",
+            )
+        )
     print(
         f"\ncompute invested: {total_compute:.2f}s; "
         f"manifest hits since creation: {total_hits} "
@@ -436,6 +554,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "figure":
         return _cmd_figure(args)
     if args.command == "report":

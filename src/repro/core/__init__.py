@@ -2,9 +2,20 @@
 sensitivity (Sections III-A through III-D of the paper)."""
 
 from repro.core.units import JobProfile, SamplingUnit, ThreadProfile
-from repro.core.profiler import ProfilerConfig, SimProfProfiler
-from repro.core.features import FeatureSpace, build_feature_matrix, select_features
-from repro.core.clustering import KMeansResult, choose_k, kmeans, silhouette_score
+from repro.core.profiler import ProfilerConfig, SimProfProfiler, StreamingProfiler
+from repro.core.features import (
+    FeatureSpace,
+    UnitFeaturizer,
+    build_feature_matrix,
+    select_features,
+)
+from repro.core.clustering import (
+    KMeansResult,
+    OnlineKMeans,
+    choose_k,
+    kmeans,
+    silhouette_score,
+)
 from repro.core.phases import PhaseModel, PhaseStats
 from repro.core.sampling import (
     StratifiedEstimate,
@@ -34,6 +45,7 @@ __all__ = [
     "InputSensitivityResult",
     "JobProfile",
     "KMeansResult",
+    "OnlineKMeans",
     "PhaseModel",
     "PhaseSensitivity",
     "PhaseStats",
@@ -47,7 +59,9 @@ __all__ = [
     "SimProfResult",
     "SimProfSampler",
     "StratifiedEstimate",
+    "StreamingProfiler",
     "ThreadProfile",
+    "UnitFeaturizer",
     "build_feature_matrix",
     "choose_k",
     "classify_units",

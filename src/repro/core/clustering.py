@@ -19,6 +19,7 @@ import numpy as np
 __all__ = [
     "KMeansResult",
     "kmeans",
+    "OnlineKMeans",
     "silhouette_score",
     "choose_k",
     "random_projection",
@@ -143,6 +144,109 @@ def kmeans(
             best = KMeansResult(centers.copy(), assignments, inertia)
     assert best is not None
     return best
+
+
+class OnlineKMeans:
+    """Incremental (mini-batch-style) k-means for streaming unit rows.
+
+    Follows the web-scale mini-batch scheme: the first ``init_size``
+    rows are buffered and seeded with k-means++, after which every row
+    updates its nearest centre with a per-centre learning rate of
+    ``1/count`` — the running mean of the rows assigned to it.  Unlike
+    the batch :func:`kmeans` it never revisits old rows, so memory is
+    O(k · features) regardless of stream length.  This powers the live
+    (Pac-Sim-style) classification mode; the batch path remains the
+    reference for bit-exact reproduction.
+    """
+
+    def __init__(self, k: int, *, seed: int = 0, init_size: int | None = None) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+        self._rng = np.random.default_rng(seed)
+        self._init_size = init_size if init_size is not None else max(3 * k, 32)
+        if self._init_size < 1:
+            raise ValueError("init_size must be positive")
+        self._buffer: list[np.ndarray] = []
+        self._centers: np.ndarray | None = None
+        self._counts: np.ndarray | None = None
+        self._init_labels: np.ndarray | None = None
+        self.n_seen = 0
+
+    @property
+    def ready(self) -> bool:
+        """Whether centres exist (the warm-up buffer has been seeded)."""
+        return self._centers is not None
+
+    @property
+    def centers(self) -> np.ndarray:
+        """Current centres; seeds from the buffer if still warming up."""
+        self._ensure_centers()
+        assert self._centers is not None
+        return self._centers
+
+    def _initialize(self) -> None:
+        X = np.vstack(self._buffer)
+        k = min(self.k, len(X))
+        self._centers = _kmeanspp_init(X, k, self._rng)
+        self._counts = np.zeros(k, dtype=np.int64)
+        labels = np.empty(len(X), dtype=np.int64)
+        for i, x in enumerate(X):
+            labels[i] = self._update(x)
+        self._init_labels = labels
+        self._buffer = []
+
+    def _ensure_centers(self) -> None:
+        if self._centers is not None:
+            return
+        if not self._buffer:
+            raise ValueError("no data: the stream produced no rows")
+        self._initialize()
+
+    def _update(self, x: np.ndarray) -> int:
+        assert self._centers is not None and self._counts is not None
+        d = ((self._centers - x) ** 2).sum(axis=1)
+        j = int(d.argmin())
+        self._counts[j] += 1
+        self._centers[j] += (x - self._centers[j]) / self._counts[j]
+        self.n_seen += 1
+        return j
+
+    def learn_one(self, x: np.ndarray) -> int | None:
+        """Fold one row in; returns its label, or ``None`` while warming up.
+
+        The call that fills the warm-up buffer triggers seeding and
+        still returns ``None`` — the labels of every buffered row
+        (including that one) are then available once from
+        :meth:`take_init_labels`, preserving stream order.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if self._centers is None:
+            self._buffer.append(x)
+            if len(self._buffer) >= self._init_size:
+                self._initialize()
+            return None
+        return self._update(x)
+
+    def take_init_labels(self) -> np.ndarray | None:
+        """Labels of the warm-up rows, once, right after seeding."""
+        labels = self._init_labels
+        self._init_labels = None
+        return labels
+
+    def partial_fit(self, X: np.ndarray) -> "OnlineKMeans":
+        """Fold a batch of rows in (scikit-learn-style convenience)."""
+        for x in np.asarray(X, dtype=np.float64):
+            self.learn_one(x)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Nearest-centre labels for ``X`` (does not move the centres)."""
+        self._ensure_centers()
+        assert self._centers is not None
+        return _pairwise_sq_dists(
+            np.asarray(X, dtype=np.float64), self._centers
+        ).argmin(axis=1)
 
 
 def silhouette_score(

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.units import JobProfile
+from repro.core.units import JobProfile, SamplingUnit
 from repro.jvm.methods import MethodRegistry, StackTable
 
 __all__ = [
@@ -30,6 +30,7 @@ __all__ = [
     "univariate_regression_scores",
     "select_features",
     "FeatureSpace",
+    "UnitFeaturizer",
 ]
 
 
@@ -190,22 +191,72 @@ class FeatureSpace:
 
         table: StackTable = job.stack_table
         units = job.profile.units
+        featurizer = UnitFeaturizer(self, job.registry, table)
         X = np.zeros((len(units), self.n_features), dtype=np.float64)
-        frames_cache: dict[int, tuple[np.ndarray, int]] = {}
         for i, unit in enumerate(units):
-            row = X[i]
-            total = 0.0
-            for sid, count in zip(unit.stack_ids, unit.stack_counts):
-                cached = frames_cache.get(int(sid))
-                if cached is None:
-                    frames = np.fromiter(table.frames_of(int(sid)), dtype=np.intp)
-                    cols = col_of_mid[frames]
-                    cols = cols[cols >= 0]
-                    cached = (cols, len(frames))
-                    frames_cache[int(sid)] = cached
-                cols, n_frames = cached
-                np.add.at(row, cols, float(count))
-                total += float(count) * n_frames
-            if total > 0:
-                row /= total
+            featurizer.row_into(unit, X[i])
         return X
+
+
+class UnitFeaturizer:
+    """Projects sampling units into a :class:`FeatureSpace` one at a time.
+
+    The streaming twin of :meth:`FeatureSpace.project_job`: same
+    FQN-keyed column mapping, same per-stack frame cache, same
+    total-frame-count normalisation — applied row by row so live
+    classification never needs the whole profile.  A full matrix built
+    from successive :meth:`row` calls equals ``project_job`` exactly.
+    """
+
+    def __init__(
+        self,
+        space: FeatureSpace,
+        registry: MethodRegistry,
+        stack_table: StackTable,
+    ) -> None:
+        self.space = space
+        self._registry = registry
+        self._col_of_fqn = {fqn: j for j, fqn in enumerate(space.method_fqns)}
+        self._col_of_mid = np.full(0, -1, dtype=np.intp)
+        self._extend_mapping()
+        self._table = stack_table
+        self._frames_cache: dict[int, tuple[np.ndarray, int]] = {}
+
+    def _extend_mapping(self) -> None:
+        # In live mode the registry keeps interning methods while the
+        # job runs, so the id → column mapping is grown on demand; ids
+        # are append-only, which keeps existing entries valid.
+        old = len(self._col_of_mid)
+        new = np.full(len(self._registry), -1, dtype=np.intp)
+        new[:old] = self._col_of_mid
+        for mid in range(old, len(self._registry)):
+            j = self._col_of_fqn.get(self._registry.fqn(mid))
+            if j is not None:
+                new[mid] = j
+        self._col_of_mid = new
+
+    def row_into(self, unit: SamplingUnit, row: np.ndarray) -> np.ndarray:
+        """Fill ``row`` (zeroed, length ``n_features``) with one unit."""
+        total = 0.0
+        for sid, count in zip(unit.stack_ids, unit.stack_counts):
+            cached = self._frames_cache.get(int(sid))
+            if cached is None:
+                frames = np.fromiter(
+                    self._table.frames_of(int(sid)), dtype=np.intp
+                )
+                if len(frames) and int(frames.max()) >= len(self._col_of_mid):
+                    self._extend_mapping()
+                cols = self._col_of_mid[frames]
+                cols = cols[cols >= 0]
+                cached = (cols, len(frames))
+                self._frames_cache[int(sid)] = cached
+            cols, n_frames = cached
+            np.add.at(row, cols, float(count))
+            total += float(count) * n_frames
+        if total > 0:
+            row /= total
+        return row
+
+    def row(self, unit: SamplingUnit) -> np.ndarray:
+        """The unit's feature row in the space."""
+        return self.row_into(unit, np.zeros(self.space.n_features))

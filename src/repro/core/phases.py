@@ -11,12 +11,14 @@ test.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Iterator
 
 import numpy as np
 
-from repro.core.clustering import KMeansResult, choose_k, kmeans
-from repro.core.features import FeatureSpace
-from repro.core.units import JobProfile
+from repro.core.clustering import KMeansResult, OnlineKMeans, choose_k, kmeans
+from repro.core.features import FeatureSpace, UnitFeaturizer
+from repro.core.units import JobProfile, SamplingUnit
+from repro.jvm.methods import MethodRegistry, StackTable
 from repro.runtime.instrument import stage_timer
 
 __all__ = ["PhaseStats", "PhaseModel"]
@@ -135,6 +137,70 @@ class PhaseModel:
             feature_centers=feature_centers,
         )
 
+    @staticmethod
+    def fit_stream(
+        space: FeatureSpace,
+        rows: Iterable[np.ndarray],
+        *,
+        k: int,
+        seed: int = 0,
+        init_size: int | None = None,
+    ) -> "PhaseModel":
+        """Online phase formation over a stream of feature rows.
+
+        The live-mode counterpart of :meth:`fit`: rows arrive one at a
+        time and update an :class:`~repro.core.clustering.OnlineKMeans`
+        instead of being clustered in batch, so memory stays
+        O(k · features) however long the job runs.  ``k`` must be given
+        (silhouette-based selection needs all rows, which an online pass
+        does not keep); warm-up rows are labelled right after seeding.
+        Approximate by construction — assignments reflect the centres
+        as each row arrived — so unlike ``analyze_stream`` this mode is
+        *not* bit-identical to the batch path.
+        """
+        if space.n_features == 0:
+            n = sum(1 for _ in rows)
+            return PhaseModel(
+                space=space,
+                centers=np.zeros((1, 0)),
+                assignments=np.zeros(n, dtype=np.int64),
+                silhouette_by_k={1: 0.0},
+                global_mean=np.zeros(0),
+            )
+        okm = OnlineKMeans(k, seed=seed, init_size=init_size)
+        labels: list[int] = []
+        total = np.zeros(space.n_features)
+        n = 0
+        for row in rows:
+            row = np.asarray(row, dtype=np.float64)
+            n += 1
+            total += row
+            lab = okm.learn_one(row)
+            init_labels = okm.take_init_labels()
+            if init_labels is not None:
+                labels.extend(int(v) for v in init_labels)
+            elif lab is not None:
+                labels.append(lab)
+        if not okm.ready:
+            # Short stream: seed from whatever was buffered (raises the
+            # usual "no data" error on an empty stream).
+            okm.centers
+            init_labels = okm.take_init_labels()
+            if init_labels is not None:
+                labels.extend(int(v) for v in init_labels)
+        centers = okm.centers.copy()
+        return PhaseModel(
+            space=space,
+            centers=centers,
+            assignments=np.array(labels, dtype=np.int64),
+            silhouette_by_k={len(centers): 0.0},
+            global_mean=total / n,
+            # Online centres are running means in the original feature
+            # space (no projection in live mode), so they double as the
+            # interpretable per-phase rows.
+            feature_centers=centers,
+        )
+
     # -- classification -----------------------------------------------------
 
     def classify(self, X: np.ndarray) -> np.ndarray:
@@ -155,6 +221,25 @@ class PhaseModel:
     def classify_job(self, job: JobProfile) -> np.ndarray:
         """Classify another profile's units into this model's phases."""
         return self.classify(self.space.project_job(job))
+
+    def classify_stream(
+        self,
+        units: Iterable[SamplingUnit],
+        *,
+        registry: MethodRegistry,
+        stack_table: StackTable,
+    ) -> Iterator[int]:
+        """Classify units one at a time as they stream in (live mode).
+
+        Yields the phase id of each unit the moment it arrives —
+        vectorisation and normalisation match :meth:`classify_job`
+        row for row, so the label sequence equals the batch result.
+        ``registry``/``stack_table`` interpret the units' stack ids
+        (take them from the :class:`~repro.jvm.stream.TraceStream`).
+        """
+        featurizer = UnitFeaturizer(self.space, registry, stack_table)
+        for unit in units:
+            yield int(self.classify(featurizer.row(unit)[None, :])[0])
 
     # -- statistics -----------------------------------------------------------
 

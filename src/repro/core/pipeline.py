@@ -14,21 +14,24 @@ The one-stop entry point a user of the library needs (Figure 2):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
 from repro.core.analysis import CoVReport, cov_report, phase_types
+from repro.core.features import UnitFeaturizer
 from repro.core.phases import PhaseModel, PhaseStats
-from repro.core.profiler import ProfilerConfig, SimProfProfiler
+from repro.core.profiler import ProfilerConfig, SimProfProfiler, StreamingProfiler
 from repro.core.sampling import (
     StratifiedEstimate,
     required_sample_size,
     stratified_sample,
 )
 from repro.core.sensitivity import InputSensitivityResult, input_sensitivity_test
-from repro.core.units import JobProfile
+from repro.core.units import JobProfile, SamplingUnit
 from repro.jvm.job import JobTrace
-from repro.runtime.instrument import stage_timer
+from repro.jvm.stream import TraceStream
+from repro.runtime.instrument import ThroughputMeter, stage_timer
 
 __all__ = ["SimProfConfig", "SimProfResult", "SimProf"]
 
@@ -109,6 +112,22 @@ class SimProf:
             rec.add(units=job.n_units)
         return job
 
+    def profile_stream(
+        self, stream: TraceStream, thread_id: int | None = None
+    ) -> JobProfile:
+        """Stage 1, streaming: profile a live trace stream incrementally.
+
+        Consuming the stream drives the underlying run; sampling units
+        are cut as segment events arrive, so the full trace is never
+        materialised.  Bit-identical to :meth:`profile` on the same run
+        and seed.  Per-unit emission latency and unit throughput land
+        in the ``stream-profiling`` instrumentation stage.
+        """
+        profiler = StreamingProfiler(self.config.profiler_config(thread_id))
+        with stage_timer("stream-profiling") as rec:
+            job = profiler.consume(stream, meter=ThroughputMeter(rec))
+        return job
+
     def form_phases(self, job: JobProfile) -> PhaseModel:
         """Stage 2: phase formation."""
         return PhaseModel.fit(
@@ -162,6 +181,52 @@ class SimProf:
             points=points,
             phase_stats=model.phase_stats(job.profile.cpi()),
         )
+
+    def analyze_stream(
+        self,
+        stream: TraceStream,
+        n_points: int = 20,
+        thread_id: int | None = None,
+    ) -> SimProfResult:
+        """Run stages 1–3 over a live trace stream.
+
+        Profiling is incremental (:meth:`profile_stream`); phase
+        formation and point selection then run on the emitted units.
+        With the same configuration and seed the result — unit vectors,
+        phase model, selected simulation points — is bit-identical to
+        :meth:`analyze` on the materialised trace of the same run.
+        """
+        job = self.profile_stream(stream, thread_id)
+        model = self.form_phases(job)
+        points = self.select_points(job, model, n_points)
+        return SimProfResult(
+            job=job,
+            model=model,
+            points=points,
+            phase_stats=model.phase_stats(job.profile.cpi()),
+        )
+
+    def classify_stream(
+        self,
+        model: PhaseModel,
+        stream: TraceStream,
+        thread_id: int | None = None,
+    ) -> Iterator[tuple[int, SamplingUnit, int]]:
+        """Live unit classification (Pac-Sim-style online mode).
+
+        Yields ``(thread_id, unit, phase)`` the moment each sampling
+        unit completes, classifying against an existing ``model`` while
+        the job is still running.  Restrict to one thread with
+        ``thread_id`` (recommended: the trained profile's thread);
+        otherwise units of every thread are classified.
+        """
+        profiler = StreamingProfiler(self.config.profiler_config(thread_id))
+        featurizer = UnitFeaturizer(
+            model.space, stream.registry, stream.stack_table
+        )
+        for tid, unit in profiler.units(stream):
+            phase = int(model.classify(featurizer.row(unit)[None, :])[0])
+            yield tid, unit, phase
 
     def sample_size_for(
         self,

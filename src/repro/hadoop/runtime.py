@@ -22,7 +22,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 from itertools import groupby
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
@@ -34,6 +34,15 @@ from repro.hdfs.filesystem import SimulatedHDFS, estimate_record_bytes
 from repro.jvm.job import JobTrace, StageInfo
 from repro.jvm.machine import AccessPattern, HardwareModel, MachineConfig, OpKind
 from repro.jvm.methods import CallStack, MethodRegistry, StackTable
+from repro.jvm.stream import (
+    JobEnd,
+    SegmentBatch,
+    StageEvent,
+    ThreadStart,
+    TraceEvent,
+    TraceStream,
+    pump_events,
+)
 from repro.jvm.threads import ThreadTrace, TraceBuilder
 from repro.spark.shuffle import ShuffleManager, stable_hash
 
@@ -138,8 +147,23 @@ class _TaskRun:
     def finish(self) -> ThreadTrace:
         """Close the task: advance the slot clock, return the trace."""
         trace = self.builder.trace
-        self.cluster._slot_clock[self.slot] = trace.end_cycle
-        self.cluster._task_traces[self.slot].append(trace)
+        cluster = self.cluster
+        cluster._slot_clock[self.slot] = trace.end_cycle
+        emit = cluster._stream_emit
+        if emit is None:
+            cluster._task_traces[self.slot].append(trace)
+            return trace
+        # Streaming mode: the slot's merged pseudo-thread is delivered
+        # event by event instead of being retained.  The ThreadStart of
+        # a slot goes out when its first task finishes; slot clocks are
+        # monotonic and waves fill slots in ascending order, so this
+        # matches job_trace()'s ThreadTrace.merged ordering exactly.
+        if self.slot not in cluster._streamed_slots:
+            cluster._streamed_slots.add(self.slot)
+            emit(ThreadStart(self.slot, self.slot, trace.start_cycle))
+        if trace.segments:
+            emit(SegmentBatch(self.slot, tuple(trace.segments)))
+            trace.clear_segments()
         return trace
 
 
@@ -169,6 +193,10 @@ class HadoopCluster:
         self._task_traces: list[list[ThreadTrace]] = [
             [] for _ in range(self.config.n_slots)
         ]
+        # Streaming mode: event sink plus the set of slots whose
+        # ThreadStart has been emitted.
+        self._stream_emit: Callable[[TraceEvent], None] | None = None
+        self._streamed_slots: set[int] = set()
         seeds = np.random.SeedSequence(self.config.seed).spawn(self.config.n_slots)
         self._slot_rngs = [np.random.default_rng(s) for s in seeds]
 
@@ -198,6 +226,12 @@ class HadoopCluster:
             job[key] = job.get(key, 0) + value
         ctx.counters = {}
 
+    def _record_stage(self, info: StageInfo) -> None:
+        """Log stage metadata (and emit it when streaming)."""
+        self._stages.append(info)
+        if self._stream_emit is not None:
+            self._stream_emit(StageEvent(info))
+
     @staticmethod
     def _as_kv(record: Any, offset: int) -> tuple[Any, Any]:
         """Input record convention: pairs pass through; anything else
@@ -218,9 +252,7 @@ class HadoopCluster:
 
         map_stage = self._stage_counter
         self._stage_counter += 1
-        self._stages.append(
-            StageInfo(map_stage, f"{conf.name}:map", n_maps)
-        )
+        self._record_stage(StageInfo(map_stage, f"{conf.name}:map", n_maps))
         for wave in self._waves(n_maps):
             contention = len(wave)
             for slot, map_idx in zip(range(len(wave)), wave):
@@ -240,7 +272,7 @@ class HadoopCluster:
 
         reduce_stage = self._stage_counter
         self._stage_counter += 1
-        self._stages.append(
+        self._record_stage(
             StageInfo(reduce_stage, f"{conf.name}:reduce", conf.n_reduces)
         )
         for wave in self._waves(conf.n_reduces):
@@ -628,6 +660,16 @@ class HadoopCluster:
 
     # -- trace export -----------------------------------------------------------
 
+    def _trace_meta(self) -> dict[str, Any]:
+        """Job-level metadata shared by the batch and streaming exports."""
+        return {
+            "n_slots": self.config.n_slots,
+            "n_tasks": self._task_counter,
+            "hdfs_bytes_read": self.fs.bytes_read,
+            "hdfs_bytes_written": self.fs.bytes_written,
+            "shuffle_bytes": self.shuffle.bytes_written,
+        }
+
     def job_trace(self, workload: str, input_name: str = "default") -> JobTrace:
         """Merge per-slot task traces into pseudo-threads and package.
 
@@ -649,13 +691,45 @@ class HadoopCluster:
             machine=self.config.machine,
             traces=merged,
             stages=list(self._stages),
-            meta={
-                "n_slots": self.config.n_slots,
-                "n_tasks": self._task_counter,
-                "hdfs_bytes_read": self.fs.bytes_read,
-                "hdfs_bytes_written": self.fs.bytes_written,
-                "shuffle_bytes": self.shuffle.bytes_written,
-            },
+            meta=self._trace_meta(),
+        )
+
+    def stream_trace(
+        self,
+        run: Callable[[], None],
+        workload: str,
+        input_name: str = "default",
+        *,
+        max_queue: int = 256,
+    ) -> TraceStream:
+        """Run ``run()`` while streaming its trace as events.
+
+        Per-slot pseudo-threads (the batch path's ``ThreadTrace.merged``)
+        are assembled incrementally: each finished task's segments go
+        out as one batch under its slot's thread id, and the segments
+        are dropped instead of retained, so a later :meth:`job_trace`
+        sees no threads.
+        """
+        if self._stream_emit is not None:
+            raise RuntimeError("a trace stream is already active on this cluster")
+
+        def produce(emit: Callable[[TraceEvent], None]) -> None:
+            self._stream_emit = emit
+            self._streamed_slots = set()
+            try:
+                run()
+                emit(JobEnd(self._trace_meta()))
+            finally:
+                self._stream_emit = None
+
+        return TraceStream(
+            framework="hadoop",
+            workload=workload,
+            input_name=input_name,
+            registry=self.registry,
+            stack_table=self.stack_table,
+            machine=self.config.machine,
+            events=pump_events(produce, max_queue=max_queue),
         )
 
 

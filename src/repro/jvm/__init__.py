@@ -29,21 +29,42 @@ from repro.jvm.machine import (
 from repro.jvm.threads import ThreadTrace, TraceBuilder, TraceSegment
 from repro.jvm.jvmti import StackSnapshot, StackSnapshotter
 from repro.jvm.perf import CounterWindow, PerfCounterReader
+from repro.jvm.job import JobTrace, StageInfo
+from repro.jvm.stream import (
+    JobEnd,
+    SegmentBatch,
+    StageEvent,
+    StreamClosed,
+    ThreadStart,
+    TraceStream,
+    pump_events,
+    trace_to_stream,
+)
 
 __all__ = [
     "AccessPattern",
     "CallStack",
     "CounterWindow",
     "HardwareModel",
+    "JobEnd",
+    "JobTrace",
     "MachineConfig",
     "MethodRef",
     "MethodRegistry",
     "OpKind",
     "PerfCounterReader",
+    "SegmentBatch",
     "StackSnapshot",
     "StackSnapshotter",
     "StackTable",
+    "StageEvent",
+    "StageInfo",
+    "StreamClosed",
+    "ThreadStart",
     "ThreadTrace",
     "TraceBuilder",
     "TraceSegment",
+    "TraceStream",
+    "pump_events",
+    "trace_to_stream",
 ]

@@ -42,6 +42,56 @@ class JobTrace:
     traces: list[ThreadTrace] = field(default_factory=list)
     stages: list[StageInfo] = field(default_factory=list)
     meta: dict[str, Any] = field(default_factory=dict)
+    # id → trace index, keyed by the trace-list length so appends
+    # invalidate it.  thread() sits in per-unit profiler loops, where a
+    # linear scan per lookup multiplies out to O(units · threads).
+    _thread_index: tuple[int, dict[int, ThreadTrace]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    @classmethod
+    def from_stream(cls, stream: Any) -> "JobTrace":
+        """Materialise a :class:`~repro.jvm.stream.TraceStream`.
+
+        The adapter that keeps every batch caller working: consume the
+        whole stream (driving the underlying run if it is live) and
+        assemble the classic in-memory trace.  Thread order follows
+        ``ThreadStart`` order, which each substrate emits to match its
+        batch ``job_trace()``.
+        """
+        from repro.jvm.stream import JobEnd, SegmentBatch, StageEvent, ThreadStart
+
+        job = cls(
+            framework=stream.framework,
+            workload=stream.workload,
+            input_name=stream.input_name,
+            registry=stream.registry,
+            stack_table=stream.stack_table,
+            machine=stream.machine,
+        )
+        by_id: dict[int, ThreadTrace] = {}
+        for event in stream:
+            if isinstance(event, SegmentBatch):
+                trace = by_id.get(event.thread_id)
+                if trace is None:
+                    raise ValueError(
+                        f"segment batch for unknown thread {event.thread_id} "
+                        "(no ThreadStart seen)"
+                    )
+                trace.segments.extend(event.segments)
+            elif isinstance(event, ThreadStart):
+                trace = ThreadTrace(
+                    thread_id=event.thread_id,
+                    core_id=event.core_id,
+                    start_cycle=event.start_cycle,
+                )
+                by_id[event.thread_id] = trace
+                job.traces.append(trace)
+            elif isinstance(event, StageEvent):
+                job.stages.append(event.info)
+            elif isinstance(event, JobEnd):
+                job.meta.update(event.meta)
+        return job
 
     @property
     def label(self) -> str:
@@ -55,20 +105,27 @@ class JobTrace:
 
     @property
     def total_instructions(self) -> int:
-        """Instructions across all threads."""
+        """Instructions across all threads (per-thread totals cached)."""
         return sum(t.total_instructions for t in self.traces)
 
     @property
     def total_cycles(self) -> int:
-        """Cycles across all threads."""
+        """Cycles across all threads (per-thread totals cached)."""
         return sum(t.total_cycles for t in self.traces)
 
     def thread(self, thread_id: int = 0) -> ThreadTrace:
         """The trace of one executor thread (SimProf profiles one)."""
-        for t in self.traces:
-            if t.thread_id == thread_id:
-                return t
-        raise KeyError(f"no thread {thread_id} in job trace")
+        index = self._thread_index
+        if index is None or index[0] != len(self.traces):
+            by_id: dict[int, ThreadTrace] = {}
+            for t in self.traces:
+                by_id.setdefault(t.thread_id, t)  # first wins, like the scan
+            index = (len(self.traces), by_id)
+            self._thread_index = index
+        try:
+            return index[1][thread_id]
+        except KeyError:
+            raise KeyError(f"no thread {thread_id} in job trace") from None
 
     def longest_thread(self) -> ThreadTrace:
         """The thread that retired the most instructions.

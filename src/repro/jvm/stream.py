@@ -1,0 +1,232 @@
+"""The TraceStream protocol: incremental trace events.
+
+A :class:`TraceStream` is the streaming counterpart of
+:class:`~repro.jvm.job.JobTrace`: the same run record, delivered as an
+ordered iterator of small events instead of one fully-materialised
+object.  Substrates produce it while they execute; consumers (the
+streaming profiler, or :meth:`JobTrace.from_stream`) see segments the
+moment a task flushes them, long before the run finishes, so peak
+memory is bounded by the in-flight window rather than the whole trace.
+
+Event vocabulary:
+
+* :class:`ThreadStart` — a (merged pseudo-)thread exists; carries the
+  identity the profiler needs (thread id, core, start cycle).
+* :class:`SegmentBatch` — a run of consecutive
+  :class:`~repro.jvm.threads.TraceSegment` objects for one thread.
+  Batches of one thread arrive in trace order; batches of different
+  threads may interleave.
+* :class:`StageEvent` — stage metadata, emitted when the framework
+  records the stage.
+* :class:`JobEnd` — the run finished; carries the job-level meta dict.
+
+The substrates execute eagerly (an action *runs* the job), so turning
+them into generators requires inversion of control:
+:func:`pump_events` runs the workload on a worker thread and hands its
+events to the consumer through a bounded queue — backpressure keeps the
+producer from racing ahead of the consumer by more than the queue
+depth, which is what makes the memory bound real.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Union
+
+from repro.jvm.job import JobTrace, StageInfo
+from repro.jvm.machine import MachineConfig
+from repro.jvm.methods import MethodRegistry, StackTable
+from repro.jvm.threads import TraceSegment
+
+__all__ = [
+    "ThreadStart",
+    "SegmentBatch",
+    "StageEvent",
+    "JobEnd",
+    "TraceEvent",
+    "TraceStream",
+    "StreamClosed",
+    "pump_events",
+    "trace_to_stream",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ThreadStart:
+    """A profiled (pseudo-)thread came into existence."""
+
+    thread_id: int
+    core_id: int
+    start_cycle: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class SegmentBatch:
+    """Consecutive trace segments of one thread, in emission order."""
+
+    thread_id: int
+    segments: tuple[TraceSegment, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class StageEvent:
+    """Stage metadata, emitted when the framework records the stage."""
+
+    info: StageInfo
+
+
+@dataclass(frozen=True, slots=True)
+class JobEnd:
+    """The run completed; carries the job-level metadata dict."""
+
+    meta: dict[str, Any]
+
+
+TraceEvent = Union[ThreadStart, SegmentBatch, StageEvent, JobEnd]
+
+
+@dataclass
+class TraceStream:
+    """A job trace delivered as an event iterator.
+
+    Carries the same shared context a :class:`JobTrace` does (registry,
+    stack table, machine config) up front, because consumers need it
+    before the first segment arrives.  Iterate the stream (or its
+    ``events``) to drive the underlying run; a stream is single-shot.
+    """
+
+    framework: str
+    workload: str
+    input_name: str
+    registry: MethodRegistry
+    stack_table: StackTable
+    machine: MachineConfig
+    events: Iterator[TraceEvent]
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    @property
+    def label(self) -> str:
+        """Short label, mirroring :attr:`JobTrace.label`."""
+        return f"{self.workload}_{self.framework}"
+
+
+class StreamClosed(RuntimeError):
+    """Raised inside a producer whose consumer stopped iterating."""
+
+
+class _ProducerError:
+    """Queue wrapper carrying an exception from the worker thread."""
+
+    __slots__ = ("exc",)
+
+    def __init__(self, exc: BaseException) -> None:
+        self.exc = exc
+
+
+_DONE = object()
+
+
+def pump_events(
+    producer: Callable[[Callable[[TraceEvent], None]], None],
+    *,
+    max_queue: int = 256,
+) -> Iterator[TraceEvent]:
+    """Run an eager producer on a worker thread, yield its events.
+
+    ``producer`` is called with an ``emit(event)`` callable on a
+    daemon thread; every emitted event is handed to the consuming
+    iterator through a queue bounded at ``max_queue`` entries, so the
+    producer blocks (backpressure) once the consumer falls behind.
+
+    Exceptions in the producer propagate out of the iterator.  If the
+    consumer abandons the iterator early (``break`` / ``close()``),
+    the next ``emit`` in the producer raises :class:`StreamClosed`,
+    unwinding the worker thread.
+    """
+    q: queue.Queue = queue.Queue(maxsize=max_queue)
+    closed = threading.Event()
+
+    def offer(item: Any) -> None:
+        # Bounded put that re-checks the closed flag so an abandoned
+        # producer never blocks forever on a full queue.
+        while not closed.is_set():
+            try:
+                q.put(item, timeout=0.1)
+                return
+            except queue.Full:
+                continue
+
+    def emit(event: TraceEvent) -> None:
+        if closed.is_set():
+            raise StreamClosed("trace stream consumer stopped iterating")
+        offer(event)
+        if closed.is_set():
+            raise StreamClosed("trace stream consumer stopped iterating")
+
+    def work() -> None:
+        try:
+            producer(emit)
+        except StreamClosed:
+            return
+        except BaseException as exc:
+            offer(_ProducerError(exc))
+            return
+        offer(_DONE)
+
+    worker = threading.Thread(target=work, name="trace-stream", daemon=True)
+    worker.start()
+    try:
+        while True:
+            item = q.get()
+            if item is _DONE:
+                return
+            if isinstance(item, _ProducerError):
+                raise item.exc
+            yield item
+    finally:
+        closed.set()
+        # Drain so a producer blocked on a full queue can observe the
+        # closed flag and unwind.
+        while worker.is_alive():
+            try:
+                q.get_nowait()
+            except queue.Empty:
+                worker.join(timeout=0.05)
+
+
+def trace_to_stream(job: JobTrace, *, batch_size: int = 256) -> TraceStream:
+    """Replay a materialised :class:`JobTrace` as a :class:`TraceStream`.
+
+    The synthetic-substrate adapter: any trace built directly against
+    :mod:`repro.jvm` (tests, synthetic generators) becomes a stream
+    without a worker thread.  ``from_stream(trace_to_stream(job))``
+    round-trips exactly.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+
+    def events() -> Iterator[TraceEvent]:
+        for t in job.traces:
+            yield ThreadStart(t.thread_id, t.core_id, t.start_cycle)
+        for info in job.stages:
+            yield StageEvent(info)
+        for t in job.traces:
+            for i in range(0, len(t.segments), batch_size):
+                yield SegmentBatch(
+                    t.thread_id, tuple(t.segments[i : i + batch_size])
+                )
+        yield JobEnd(dict(job.meta))
+
+    return TraceStream(
+        framework=job.framework,
+        workload=job.workload,
+        input_name=job.input_name,
+        registry=job.registry,
+        stack_table=job.stack_table,
+        machine=job.machine,
+        events=events(),
+    )

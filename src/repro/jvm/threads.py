@@ -66,19 +66,56 @@ class ThreadTrace:
     core_id: int
     segments: list[TraceSegment] = field(default_factory=list)
     start_cycle: int = 0
+    # Totals cache: (epoch, n_segments, instructions, cycles).  Hot
+    # profiler loops read the totals per unit, so re-summing the whole
+    # segment list per access is O(trace) where O(1) suffices.  The key
+    # includes an epoch bumped by clear_segments() because a streaming
+    # flush can clear and repopulate to the same length.
+    _totals_cache: tuple[int, int, int, int] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _epoch: int = field(default=0, init=False, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.segments)
 
+    def _totals(self) -> tuple[int, int]:
+        cache = self._totals_cache
+        if (
+            cache is not None
+            and cache[0] == self._epoch
+            and cache[1] == len(self.segments)
+        ):
+            return cache[2], cache[3]
+        instructions = 0
+        cycles = 0
+        for s in self.segments:
+            instructions += s.instructions
+            cycles += s.cycles
+        self._totals_cache = (
+            self._epoch, len(self.segments), instructions, cycles
+        )
+        return instructions, cycles
+
     @property
     def total_instructions(self) -> int:
-        """Instructions executed by the thread."""
-        return sum(s.instructions for s in self.segments)
+        """Instructions executed by the thread (cached)."""
+        return self._totals()[0]
 
     @property
     def total_cycles(self) -> int:
-        """Cycles consumed by the thread."""
-        return sum(s.cycles for s in self.segments)
+        """Cycles consumed by the thread (cached)."""
+        return self._totals()[1]
+
+    def clear_segments(self) -> None:
+        """Drop the segment list (streaming flush) and invalidate caches.
+
+        Appending never needs invalidation (the cache key includes the
+        length); clearing does, because a later refill could reach the
+        same length with different segments.
+        """
+        self.segments.clear()
+        self._epoch += 1
 
     @property
     def end_cycle(self) -> int:

@@ -23,6 +23,7 @@ __all__ = [
     "StageStats",
     "StageRecord",
     "Instrumentation",
+    "ThroughputMeter",
     "get_instrumentation",
     "stage_timer",
     "record_stage",
@@ -65,6 +66,50 @@ class StageRecord:
         """Attach (or accumulate) named counters to this execution."""
         for name, value in counters.items():
             self.counters[name] = self.counters.get(name, 0.0) + float(value)
+
+
+class ThroughputMeter:
+    """Per-item emission metering for streaming stages.
+
+    Wraps a :class:`StageRecord` and turns ``tick()`` calls into two
+    counters: the item count (``item_key``) and the cumulative
+    wall-clock spent between ticks (``latency_key``).  ``simprof
+    stats`` divides them back into items/s and mean per-item latency.
+    """
+
+    def __init__(
+        self,
+        record: StageRecord | None,
+        *,
+        item_key: str = "units",
+        latency_key: str = "unit_seconds",
+    ) -> None:
+        self._record = record
+        self._item_key = item_key
+        self._latency_key = latency_key
+        self._last = time.perf_counter()
+        self._items = 0
+        self._seconds = 0.0
+
+    def tick(self, n: int = 1) -> None:
+        """Record ``n`` items emitted since the previous tick."""
+        now = time.perf_counter()
+        elapsed = now - self._last
+        self._last = now
+        self._items += n
+        self._seconds += elapsed
+        if self._record is not None:
+            self._record.add(**{self._item_key: n, self._latency_key: elapsed})
+
+    @property
+    def items(self) -> int:
+        """Items metered so far."""
+        return self._items
+
+    @property
+    def items_per_second(self) -> float:
+        """Throughput over the metered intervals (0 before any tick)."""
+        return self._items / self._seconds if self._seconds > 0 else 0.0
 
 
 class Instrumentation:

@@ -132,6 +132,9 @@ class ArtifactManifest:
     size_bytes: int = 0
     hits: int = 0
     stages: dict[str, float] = field(default_factory=dict)
+    # Per-stage numeric counters captured during the compute (e.g. the
+    # streaming profiler's units / unit_seconds), keyed stage → counter.
+    counters: dict[str, dict[str, float]] = field(default_factory=dict)
 
     def to_json(self) -> str:
         return json.dumps(
@@ -145,6 +148,7 @@ class ArtifactManifest:
                 "size_bytes": self.size_bytes,
                 "hits": self.hits,
                 "stages": self.stages,
+                "counters": self.counters,
             },
             indent=2,
             sort_keys=True,
@@ -163,6 +167,7 @@ class ArtifactManifest:
             size_bytes=data.get("size_bytes", 0),
             hits=data.get("hits", 0),
             stages=data.get("stages", {}),
+            counters=data.get("counters", {}),
         )
 
 
@@ -279,6 +284,7 @@ class ArtifactStore:
         params: dict[str, Any] | None = None,
         compute_seconds: float = 0.0,
         stages: dict[str, float] | None = None,
+        counters: dict[str, dict[str, float]] | None = None,
     ) -> ArtifactManifest:
         """Store a value and its manifest atomically."""
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
@@ -290,6 +296,7 @@ class ArtifactStore:
             compute_seconds=compute_seconds,
             size_bytes=len(payload),
             stages=stages or {},
+            counters=counters or {},
         )
         _atomic_write_bytes(self._value_path(key), payload)
         _atomic_write_bytes(
@@ -328,6 +335,11 @@ class ArtifactStore:
             params=params,
             compute_seconds=elapsed,
             stages={name: s.seconds for name, s in stage_delta.items()},
+            counters={
+                name: dict(s.counters)
+                for name, s in stage_delta.items()
+                if s.counters
+            },
         )
         return value
 

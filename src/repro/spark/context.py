@@ -10,12 +10,21 @@ accumulated executor traces are packaged into a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
 from repro.hdfs.filesystem import SimulatedHDFS
 from repro.jvm.job import JobTrace, StageInfo
+from repro.jvm.stream import (
+    JobEnd,
+    SegmentBatch,
+    StageEvent,
+    ThreadStart,
+    TraceEvent,
+    TraceStream,
+    pump_events,
+)
 from repro.jvm.machine import HardwareModel, MachineConfig
 from repro.jvm.methods import MethodRegistry, StackTable
 from repro.spark.blockstore import BlockStore
@@ -82,6 +91,9 @@ class SparkContext:
         self._rdd_counter = 0
         self._shuffle_counter = 0
         self._silent_counter = 0
+        # Streaming mode: when set, the scheduler flushes executor
+        # segments through this callback instead of accumulating them.
+        self._stream_emit: Callable[[TraceEvent], None] | None = None
 
         seeds = np.random.SeedSequence(self.config.seed).spawn(
             self.config.n_executors
@@ -110,6 +122,8 @@ class SparkContext:
     def record_stage(self, info: StageInfo) -> None:
         """Log stage metadata for the job trace."""
         self._stages.append(info)
+        if self._stream_emit is not None:
+            self._stream_emit(StageEvent(info))
 
     def make_silent_executor(self) -> Executor:
         """An executor that computes without tracing (sampling passes)."""
@@ -140,6 +154,15 @@ class SparkContext:
 
     # -- trace export -----------------------------------------------------------
 
+    def _trace_meta(self) -> dict[str, Any]:
+        """Job-level metadata shared by the batch and streaming exports."""
+        return {
+            "n_executors": self.config.n_executors,
+            "hdfs_bytes_read": self.fs.bytes_read,
+            "hdfs_bytes_written": self.fs.bytes_written,
+            "shuffle_bytes": self.shuffle.bytes_written,
+        }
+
     def job_trace(self, workload: str, input_name: str = "default") -> JobTrace:
         """Package everything the executors recorded into a JobTrace."""
         return JobTrace(
@@ -151,10 +174,63 @@ class SparkContext:
             machine=self.config.machine,
             traces=[ex.builder.trace for ex in self.executors],
             stages=list(self._stages),
-            meta={
-                "n_executors": self.config.n_executors,
-                "hdfs_bytes_read": self.fs.bytes_read,
-                "hdfs_bytes_written": self.fs.bytes_written,
-                "shuffle_bytes": self.shuffle.bytes_written,
-            },
+            meta=self._trace_meta(),
+        )
+
+    def flush_trace_events(self) -> None:
+        """Ship segments accumulated since the last flush (streaming).
+
+        No-op outside streaming mode.  The scheduler calls this after
+        every task, so executor builders never hold more than one task's
+        segments — the substrate-side half of the O(active-unit) memory
+        bound.
+        """
+        emit = self._stream_emit
+        if emit is None:
+            return
+        for ex in self.executors:
+            trace = ex.builder.trace
+            if trace.segments:
+                emit(SegmentBatch(trace.thread_id, tuple(trace.segments)))
+                trace.clear_segments()
+
+    def stream_trace(
+        self,
+        run: Callable[[], None],
+        workload: str,
+        input_name: str = "default",
+        *,
+        max_queue: int = 256,
+    ) -> TraceStream:
+        """Run ``run()`` while streaming its trace as events.
+
+        The workload executes on a worker thread as the returned stream
+        is consumed; segments are dropped after emission, so a
+        subsequent :meth:`job_trace` sees empty traces.  Thread and
+        stage event order matches the batch export, so
+        ``JobTrace.from_stream`` reproduces :meth:`job_trace` exactly.
+        """
+        if self._stream_emit is not None:
+            raise RuntimeError("a trace stream is already active on this context")
+
+        def produce(emit: Callable[[TraceEvent], None]) -> None:
+            self._stream_emit = emit
+            try:
+                for ex in self.executors:
+                    t = ex.builder.trace
+                    emit(ThreadStart(t.thread_id, t.core_id, t.start_cycle))
+                run()
+                self.flush_trace_events()
+                emit(JobEnd(self._trace_meta()))
+            finally:
+                self._stream_emit = None
+
+        return TraceStream(
+            framework="spark",
+            workload=workload,
+            input_name=input_name,
+            registry=self.registry,
+            stack_table=self.stack_table,
+            machine=self.config.machine,
+            events=pump_events(produce, max_queue=max_queue),
         )

@@ -119,6 +119,9 @@ class DAGScheduler:
                 task_id = self._next_task_id
                 self._next_task_id += 1
                 executor.run_shuffle_map_task(stage, split, task_id, contention)
+                # Streaming mode ships the finished task's segments
+                # immediately (no-op otherwise).
+                self.ctx.flush_trace_events()
 
     def _run_result_stage(
         self,
@@ -146,4 +149,5 @@ class DAGScheduler:
                             stage, split, task_id, contention, action
                         )
                     )
+                self.ctx.flush_trace_events()
         return results

@@ -7,6 +7,7 @@ from repro.workloads.registry import (
     get_workload,
     label_of,
     run_workload,
+    run_workload_stream,
 )
 
 __all__ = [
@@ -17,4 +18,5 @@ __all__ = [
     "get_workload",
     "label_of",
     "run_workload",
+    "run_workload_stream",
 ]

@@ -82,6 +82,34 @@ class Workload(abc.ABC):
 
     # -- common entry point -------------------------------------------------
 
+    def _spark_config(self, inp: WorkloadInput, spark_config: Any) -> Any:
+        """The Spark config for a run (default: calibrated per workload)."""
+        if spark_config is not None:
+            return spark_config
+        from dataclasses import replace
+
+        from repro.jvm.machine import MachineConfig
+        from repro.spark.context import SparkConfig
+
+        machine = replace(MachineConfig(), instruction_scale=self.spark_inst_scale)
+        return SparkConfig(
+            seed=inp.seed, machine=machine, **self.spark_config_overrides
+        )
+
+    def _hadoop_config(self, inp: WorkloadInput, hadoop_config: Any) -> Any:
+        """The Hadoop config for a run (default: calibrated per workload)."""
+        if hadoop_config is not None:
+            return hadoop_config
+        from dataclasses import replace
+
+        from repro.hadoop.runtime import HadoopClusterConfig
+        from repro.jvm.machine import MachineConfig
+
+        machine = replace(MachineConfig(), instruction_scale=self.hadoop_inst_scale)
+        return HadoopClusterConfig(
+            seed=inp.seed, machine=machine, **self.hadoop_config_overrides
+        )
+
     def execute(
         self,
         framework: str,
@@ -91,36 +119,48 @@ class Workload(abc.ABC):
         hadoop_config: Any = None,
     ) -> JobTrace:
         """Run on the chosen framework and return the job trace."""
-        from dataclasses import replace
-
-        from repro.jvm.machine import MachineConfig
-
         if framework == "spark":
-            from repro.spark.context import SparkConfig
-
-            if spark_config is None:
-                machine = replace(
-                    MachineConfig(), instruction_scale=self.spark_inst_scale
-                )
-                spark_config = SparkConfig(
-                    seed=inp.seed, machine=machine, **self.spark_config_overrides
-                )
-            ctx = SparkContext(spark_config)
+            ctx = SparkContext(self._spark_config(inp, spark_config))
             meta = self.prepare_input(ctx.fs, inp)
             self.run_spark(ctx, meta)
             return ctx.job_trace(self.name, input_name=inp.name)
         if framework == "hadoop":
-            from repro.hadoop.runtime import HadoopClusterConfig
-
-            if hadoop_config is None:
-                machine = replace(
-                    MachineConfig(), instruction_scale=self.hadoop_inst_scale
-                )
-                hadoop_config = HadoopClusterConfig(
-                    seed=inp.seed, machine=machine, **self.hadoop_config_overrides
-                )
-            cluster = HadoopCluster(hadoop_config)
+            cluster = HadoopCluster(self._hadoop_config(inp, hadoop_config))
             meta = self.prepare_input(cluster.fs, inp)
             self.run_hadoop(cluster, meta)
             return cluster.job_trace(self.name, input_name=inp.name)
+        raise ValueError(f"unknown framework {framework!r} (spark|hadoop)")
+
+    def execute_stream(
+        self,
+        framework: str,
+        inp: WorkloadInput,
+        *,
+        spark_config: Any = None,
+        hadoop_config: Any = None,
+    ) -> Any:
+        """Run on the chosen framework, streaming the trace live.
+
+        Returns a :class:`~repro.jvm.stream.TraceStream` whose events
+        are produced while the workload executes on a worker thread —
+        consuming the stream drives the run.  Segments are dropped
+        after emission, so the substrate's ``job_trace()`` is empty
+        afterwards; materialise with
+        :meth:`~repro.jvm.job.JobTrace.from_stream` when the full trace
+        is needed.
+        """
+        if framework == "spark":
+            ctx = SparkContext(self._spark_config(inp, spark_config))
+            meta = self.prepare_input(ctx.fs, inp)
+            return ctx.stream_trace(
+                lambda: self.run_spark(ctx, meta), self.name, input_name=inp.name
+            )
+        if framework == "hadoop":
+            cluster = HadoopCluster(self._hadoop_config(inp, hadoop_config))
+            meta = self.prepare_input(cluster.fs, inp)
+            return cluster.stream_trace(
+                lambda: self.run_hadoop(cluster, meta),
+                self.name,
+                input_name=inp.name,
+            )
         raise ValueError(f"unknown framework {framework!r} (spark|hadoop)")

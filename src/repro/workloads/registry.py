@@ -13,7 +13,14 @@ from repro.workloads.pagerank import PageRank
 from repro.workloads.sort import Sort
 from repro.workloads.wordcount import WordCount
 
-__all__ = ["WORKLOADS", "get_workload", "label_of", "all_labels", "run_workload"]
+__all__ = [
+    "WORKLOADS",
+    "get_workload",
+    "label_of",
+    "all_labels",
+    "run_workload",
+    "run_workload_stream",
+]
 
 #: Table I, keyed by abbreviation.
 WORKLOADS: dict[str, type[Workload]] = {
@@ -89,5 +96,39 @@ def run_workload(
         params=params or {},
     )
     return workload.execute(
+        framework, inp, spark_config=spark_config, hadoop_config=hadoop_config
+    )
+
+
+def run_workload_stream(
+    name: str,
+    framework: str,
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    input_name: str = "default",
+    graph: Any = None,
+    params: dict[str, Any] | None = None,
+    spark_config: Any = None,
+    hadoop_config: Any = None,
+) -> Any:
+    """Streaming twin of :func:`run_workload`.
+
+    Same parameters, but the run executes lazily: the returned
+    :class:`~repro.jvm.stream.TraceStream` produces trace events while
+    the workload runs on a worker thread, and segments are not retained
+    after emission.  Feed it to ``SimProf.analyze_stream`` (bit-identical
+    to the batch path under the same seed) or materialise it with
+    ``JobTrace.from_stream``.
+    """
+    workload = get_workload(name)
+    inp = WorkloadInput(
+        name=input_name,
+        scale=scale,
+        seed=seed,
+        graph=graph,
+        params=params or {},
+    )
+    return workload.execute_stream(
         framework, inp, spark_config=spark_config, hadoop_config=hadoop_config
     )
