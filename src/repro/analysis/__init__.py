@@ -1,0 +1,57 @@
+"""Static invariant checks for the SimProf codebase (``simprof check``).
+
+SimProf's value proposition is that a sampled profile is a *faithful,
+reproducible* estimator of the full run.  The stratified error bounds
+of the paper hold only if replay is bit-identical under a fixed seed —
+a stray ``random.random()``, a wall-clock read inside the simulated
+pipeline, or an unordered ``set`` iteration feeding an artifact hash
+silently breaks that contract without failing any unit test.
+
+``repro.analysis`` machine-checks those invariants: a small AST-walking
+lint framework (rule registry, per-rule findings with ``file:line`` and
+fix hints, text/JSON reporters, inline ``# simprof: ignore[RULE]``
+suppressions, and a checked-in baseline for grandfathered findings)
+exposed as ``simprof check [--strict] [--format json] [paths...]``.
+
+The shipped rules target this repo's real failure modes:
+
+========  ====================================================
+SPA001    global RNG state (``random.*`` / legacy ``np.random.*``)
+SPA002    wall-clock reads inside deterministic packages
+SPA003    seed discipline for public randomness-drawing functions
+SPA004    unordered set/dict iteration feeding artifacts
+SPA005    docstring numeric constants drifting from code
+========  ====================================================
+
+See ``docs/analysis.md`` for the full rule catalogue and workflow.
+"""
+
+from repro.analysis.base import (
+    ModuleContext,
+    Rule,
+    all_rules,
+    get_rule,
+    register_rule,
+)
+from repro.analysis.baseline import Baseline
+from repro.analysis.checker import CheckResult, check_source, run_check
+from repro.analysis.findings import Finding
+from repro.analysis.reporters import render_json, render_text
+
+# Importing the package registers every built-in rule.
+from repro.analysis import rules as _rules  # noqa: F401  (registration side effect)
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "Baseline",
+    "CheckResult",
+    "all_rules",
+    "get_rule",
+    "register_rule",
+    "run_check",
+    "check_source",
+    "render_text",
+    "render_json",
+]

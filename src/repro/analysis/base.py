@@ -1,0 +1,229 @@
+"""Rule framework: module context, name resolution, rule registry.
+
+A :class:`Rule` receives a fully parsed :class:`ModuleContext` and
+yields :class:`~repro.analysis.findings.Finding` objects.  The context
+carries everything the shipped rules need:
+
+* the ``ast`` tree plus a parent map (``parent(node)``),
+* the raw source lines (for fingerprints and suppression comments),
+* the dotted module name (``repro.core.profiler``) so rules can be
+  package-scoped,
+* import-alias resolution: :meth:`ModuleContext.resolve` maps an
+  expression like ``np.random.default_rng`` back to its canonical
+  dotted path ``numpy.random.default_rng`` regardless of how the
+  module was imported or aliased.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+
+__all__ = ["ModuleContext", "Rule", "register_rule", "all_rules", "get_rule"]
+
+
+class ModuleContext:
+    """One parsed source file plus the lookups rules share."""
+
+    def __init__(
+        self,
+        source: str,
+        *,
+        path: str | Path = "<string>",
+        module: str | None = None,
+    ) -> None:
+        self.path = Path(path).as_posix()
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=self.path)
+        self.module = module if module is not None else _module_from_path(self.path)
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                self._parents[child] = node
+        self._aliases = _collect_aliases(self.tree)
+
+    # -- navigation -----------------------------------------------------------
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The syntactic parent of ``node`` (None for the module)."""
+        return self._parents.get(node)
+
+    def line_text(self, lineno: int) -> str:
+        """1-based source line (empty string when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    # -- name resolution ------------------------------------------------------
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Canonical dotted name of a Name/Attribute chain, or None.
+
+        ``np.random.seed`` -> ``numpy.random.seed`` (given ``import
+        numpy as np``); ``default_rng`` -> ``numpy.random.default_rng``
+        (given ``from numpy.random import default_rng``).  Locals that
+        shadow no import resolve to their bare chain, so rules can
+        still match stdlib modules referenced without an import in
+        fixture snippets.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        head = self._aliases.get(parts[0], parts[0])
+        return ".".join([head, *parts[1:]])
+
+    def resolve_call(self, node: ast.Call) -> str | None:
+        """Canonical dotted name of a call's callee, or None."""
+        return self.resolve(node.func)
+
+    # -- common iterations ----------------------------------------------------
+
+    def walk(self) -> Iterator[ast.AST]:
+        return ast.walk(self.tree)
+
+    def docstring_nodes(self) -> Iterator[tuple[ast.AST, ast.Constant]]:
+        """(owner, string-constant) pairs for every docstring."""
+        for node in ast.walk(self.tree):
+            if not isinstance(
+                node,
+                (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef),
+            ):
+                continue
+            body = node.body
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                yield node, body[0].value
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        """Nearest enclosing function definition, if any."""
+        cur = self.parent(node)
+        while cur is not None:
+            if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return cur
+            cur = self.parent(cur)
+        return None
+
+    def enclosing_names(self, node: ast.AST) -> list[str]:
+        """Names of enclosing functions/classes, innermost first."""
+        names: list[str] = []
+        cur = self.parent(node)
+        while cur is not None:
+            if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.append(cur.name)
+            cur = self.parent(cur)
+        return names
+
+
+def _module_from_path(path: str) -> str:
+    """Best-effort dotted module name from a file path.
+
+    Strips a leading ``src/`` layout component and the ``.py`` suffix;
+    ``__init__`` maps to its package.  Unrecognisable paths fall back
+    to the bare stem so package-scoped rules simply never match.
+    """
+    parts = list(Path(path).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    for anchor in ("src", "site-packages"):
+        if anchor in parts[:-1]:
+            parts = parts[parts.index(anchor) + 1 :]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(p for p in parts if p not in ("", ".", "..", "/"))
+
+
+def _collect_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> canonical dotted prefix, from every import statement."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.partition(".")[0]
+                aliases[local] = alias.name if alias.asname else alias.name.partition(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+class Rule:
+    """Base class: subclass, set the class attributes, implement check().
+
+    ``id`` is the stable code (``SPA001``) used in reports, suppression
+    comments and the baseline; ``name`` is a short slug; ``rationale``
+    one sentence on why the invariant matters; ``hint`` the generic fix
+    suggestion attached to findings that do not override it.
+    """
+
+    id: str = ""
+    name: str = ""
+    rationale: str = ""
+    hint: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def finding(
+        self,
+        ctx: ModuleContext,
+        node: ast.AST,
+        message: str,
+        *,
+        hint: str | None = None,
+    ) -> Finding:
+        """Build a Finding anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            path=ctx.path,
+            line=line,
+            col=col,
+            rule=self.id,
+            message=message,
+            hint=self.hint if hint is None else hint,
+            line_text=ctx.line_text(line),
+        )
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in _REGISTRY and _REGISTRY[cls.id] is not cls:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, sorted by id."""
+    return [cls() for _, cls in sorted(_REGISTRY.items())]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Instantiate one registered rule by id."""
+    try:
+        return _REGISTRY[rule_id]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown rule {rule_id!r} (known: {known})") from None

@@ -1,0 +1,109 @@
+"""Baseline file: grandfathered findings tolerated by ``simprof check``.
+
+The baseline is a checked-in JSON document mapping finding fingerprints
+(rule + path + offending line *text* — not line numbers, so edits above
+a grandfathered line do not resurrect it) to occurrence counts.  The
+default (non ``--strict``) check subtracts baselined findings from the
+failure set; ``--strict`` tolerates nothing.  ``--write-baseline``
+rewrites the file from the current tree, which is how a finding leaves
+the baseline: fix it, regenerate, commit the shrunken file.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+__all__ = ["Baseline", "BASELINE_VERSION", "DEFAULT_BASELINE_NAME"]
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = ".simprof-baseline.json"
+
+
+class Baseline:
+    """Fingerprint multiset with load/save/partition operations."""
+
+    def __init__(self, counts: dict[str, int] | None = None) -> None:
+        self.counts: Counter[str] = Counter(counts or {})
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.counts.get(fingerprint, 0) > 0
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls(Counter(f.fingerprint() for f in findings))
+
+    def partition(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Split ``findings`` into (new, grandfathered).
+
+        Each baseline entry absorbs at most its recorded count, so a
+        *second* occurrence of a grandfathered pattern on a new line of
+        the same file still fails the check.
+        """
+        budget = Counter(self.counts)
+        fresh: list[Finding] = []
+        known: list[Finding] = []
+        for finding in sorted(findings):
+            fp = finding.fingerprint()
+            if budget.get(fp, 0) > 0:
+                budget[fp] -= 1
+                known.append(finding)
+            else:
+                fresh.append(finding)
+        return fresh, known
+
+    # -- persistence ----------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        try:
+            text = Path(path).read_text()
+        except FileNotFoundError:
+            return cls()
+        data = json.loads(text)
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        counts: Counter[str] = Counter()
+        for entry in data.get("findings", []):
+            counts[entry["fingerprint"]] += int(entry.get("count", 1))
+        return cls(counts)
+
+    def save(self, path: str | Path, findings: list[Finding]) -> None:
+        """Write the baseline for ``findings`` (sorted, annotated).
+
+        Entries carry the rule/path/message of one representative
+        occurrence purely for human review; only the fingerprint and
+        count participate in matching.
+        """
+        entries: dict[str, dict] = {}
+        for finding in sorted(findings):
+            fp = finding.fingerprint()
+            if fp in entries:
+                entries[fp]["count"] += 1
+            else:
+                entries[fp] = {
+                    "fingerprint": fp,
+                    "count": 1,
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "message": finding.message,
+                }
+        doc = {
+            "version": BASELINE_VERSION,
+            "findings": sorted(
+                entries.values(),
+                key=lambda e: (e["path"], e["rule"], e["fingerprint"]),
+            ),
+        }
+        Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,108 @@
+"""Orchestration: collect files, run rules, apply suppressions + baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.base import ModuleContext, Rule, all_rules, get_rule
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding
+from repro.analysis.suppressions import parse_suppressions
+
+__all__ = ["CheckResult", "run_check", "check_source", "collect_files"]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".pytest_cache", ".venv", "node_modules"}
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one checker invocation."""
+
+    findings: list[Finding] = field(default_factory=list)  # new (not baselined)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    n_files: int = 0
+    parse_errors: list[tuple[str, str]] = field(default_factory=list)
+
+    def exit_code(self, *, strict: bool = False) -> int:
+        """0 when clean; 1 on new findings (plus baselined ones under
+        ``--strict``); 2 when a target file failed to parse."""
+        if self.parse_errors:
+            return 2
+        offending = len(self.findings) + (len(self.baselined) if strict else 0)
+        return 1 if offending else 0
+
+
+def collect_files(paths: list[str | Path]) -> list[Path]:
+    """Python files under ``paths`` (dirs recursed), sorted for determinism."""
+    out: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    out.add(candidate)
+        elif path.suffix == ".py":
+            out.add(path)
+    return sorted(out)
+
+
+def check_source(
+    source: str,
+    *,
+    path: str = "<string>",
+    module: str | None = None,
+    rules: list[Rule] | None = None,
+) -> list[Finding]:
+    """Run rules over one in-memory source blob (the test/fixture path).
+
+    Suppression comments are honoured; baselines are not applied.
+    """
+    ctx = ModuleContext(source, path=path, module=module)
+    suppressions = parse_suppressions(ctx.lines)
+    found: list[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        for finding in rule.check(ctx):
+            if not suppressions.is_suppressed(finding.rule, finding.line):
+                found.append(finding)
+    return sorted(found)
+
+
+def run_check(
+    paths: list[str | Path],
+    *,
+    rules: list[Rule] | None = None,
+    rule_ids: list[str] | None = None,
+    baseline: Baseline | None = None,
+) -> CheckResult:
+    """Check every Python file under ``paths``.
+
+    ``rule_ids`` selects a subset of registered rules; ``baseline``
+    partitions the surviving findings into new vs grandfathered.
+    """
+    if rules is None:
+        rules = [get_rule(r) for r in rule_ids] if rule_ids else all_rules()
+    result = CheckResult()
+    suppressed = 0
+    found: list[Finding] = []
+    for file_path in collect_files(paths):
+        result.n_files += 1
+        source = file_path.read_text(encoding="utf-8")
+        try:
+            ctx = ModuleContext(source, path=file_path)
+        except SyntaxError as exc:
+            result.parse_errors.append((file_path.as_posix(), str(exc)))
+            continue
+        suppressions = parse_suppressions(ctx.lines)
+        for rule in rules:
+            for finding in rule.check(ctx):
+                if suppressions.is_suppressed(finding.rule, finding.line):
+                    suppressed += 1
+                else:
+                    found.append(finding)
+    result.suppressed = suppressed
+    if baseline is None:
+        baseline = Baseline()
+    result.findings, result.baselined = baseline.partition(found)
+    return result

@@ -1,0 +1,50 @@
+"""The unit of lint output: a :class:`Finding` with a stable fingerprint."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Ordering is (path, line, col, rule) so reports and baselines are
+    deterministic regardless of rule execution order.
+    """
+
+    path: str  # repo-relative posix path
+    line: int  # 1-based
+    col: int  # 0-based (ast convention)
+    rule: str  # e.g. "SPA001"
+    message: str
+    hint: str = ""
+    line_text: str = field(default="", compare=False)
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def fingerprint(self) -> str:
+        """Content-based identity used by the baseline file.
+
+        Hashes the rule, path and the *text* of the offending line (not
+        its number), so unrelated edits above a grandfathered finding do
+        not resurrect it.  Two identical lines in one file share a
+        fingerprint; the baseline therefore stores a count per
+        fingerprint rather than a set.
+        """
+        payload = f"{self.rule}\x1f{self.path}\x1f{self.line_text.strip()}"
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "fingerprint": self.fingerprint(),
+        }

@@ -1,0 +1,57 @@
+"""Render a :class:`~repro.analysis.checker.CheckResult` as text or JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.base import all_rules
+from repro.analysis.checker import CheckResult
+
+__all__ = ["render_text", "render_json", "render_rule_catalogue"]
+
+
+def render_text(result: CheckResult, *, strict: bool = False) -> str:
+    """Human-oriented report: one line per finding plus its hint."""
+    out: list[str] = []
+    for path, error in result.parse_errors:
+        out.append(f"{path}: PARSE ERROR: {error}")
+    shown = list(result.findings)
+    if strict:
+        shown += result.baselined
+    for finding in sorted(shown):
+        tag = " (baselined)" if finding in result.baselined else ""
+        out.append(f"{finding.location}: {finding.rule}{tag} {finding.message}")
+        if finding.hint:
+            out.append(f"    hint: {finding.hint}")
+    summary = (
+        f"{result.n_files} files checked: "
+        f"{len(result.findings)} new finding(s), "
+        f"{len(result.baselined)} baselined, "
+        f"{result.suppressed} suppressed inline"
+    )
+    out.append(summary)
+    return "\n".join(out)
+
+
+def render_json(result: CheckResult, *, strict: bool = False) -> str:
+    """Machine-oriented report (stable key order)."""
+    doc = {
+        "files": result.n_files,
+        "new": [f.to_dict() for f in sorted(result.findings)],
+        "baselined": [f.to_dict() for f in sorted(result.baselined)],
+        "suppressed": result.suppressed,
+        "parse_errors": [
+            {"path": p, "error": e} for p, e in result.parse_errors
+        ],
+        "exit_code": result.exit_code(strict=strict),
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def render_rule_catalogue() -> str:
+    """``simprof check --list-rules`` output."""
+    out = []
+    for rule in all_rules():
+        out.append(f"{rule.id}  {rule.name}")
+        out.append(f"    {rule.rationale}")
+    return "\n".join(out)

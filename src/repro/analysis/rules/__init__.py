@@ -1,0 +1,15 @@
+"""Built-in rules; importing this package registers all of them."""
+
+from repro.analysis.rules.spa001_global_rng import GlobalRngRule
+from repro.analysis.rules.spa002_wallclock import WallClockRule
+from repro.analysis.rules.spa003_seed_discipline import SeedDisciplineRule
+from repro.analysis.rules.spa004_unordered_iteration import UnorderedIterationRule
+from repro.analysis.rules.spa005_docstring_drift import DocstringDriftRule
+
+__all__ = [
+    "GlobalRngRule",
+    "WallClockRule",
+    "SeedDisciplineRule",
+    "UnorderedIterationRule",
+    "DocstringDriftRule",
+]

@@ -1,0 +1,79 @@
+"""SPA001: no global RNG state.
+
+Every draw in this codebase flows through an explicitly seeded
+``numpy.random.Generator`` (see ``repro.jvm.machine``).  The stdlib
+``random`` module functions and the legacy ``numpy.random.*`` free
+functions (``np.random.seed``, ``np.random.rand``, …) mutate hidden
+module-level state shared across threads, so a single call anywhere
+makes replay order-dependent and breaks bit-identical reproduction —
+the property every parity test (serial vs parallel, batch vs stream)
+relies on.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import ModuleContext, Rule, register_rule
+from repro.analysis.findings import Finding
+
+# numpy.random names that do NOT touch the legacy global RandomState:
+# explicit generators, bit generators and seed plumbing.
+_NUMPY_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+# stdlib random names that construct *instances* instead of driving the
+# module-level singleton.  (SystemRandom is still non-reproducible, but
+# that is SPA003's seed-discipline problem, not global state.)
+_STDLIB_ALLOWED = frozenset({"Random", "SystemRandom"})
+
+
+@register_rule
+class GlobalRngRule(Rule):
+    id = "SPA001"
+    name = "global-rng"
+    rationale = (
+        "Module-level RNG state makes results depend on call order "
+        "across the whole process; sampled profiles stop being "
+        "reproducible estimators."
+    )
+    hint = (
+        "thread an explicit numpy.random.Generator "
+        "(np.random.default_rng(seed)) through the call instead"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.resolve_call(node)
+            if dotted is None:
+                continue
+            if dotted.startswith("numpy.random."):
+                tail = dotted.removeprefix("numpy.random.").partition(".")[0]
+                if tail not in _NUMPY_ALLOWED:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"call to legacy global-state API {dotted}()",
+                    )
+            elif dotted.startswith("random."):
+                tail = dotted.removeprefix("random.").partition(".")[0]
+                if tail not in _STDLIB_ALLOWED:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"call to stdlib global-RNG function {dotted}()",
+                    )

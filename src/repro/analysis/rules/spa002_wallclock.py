@@ -1,0 +1,89 @@
+"""SPA002: no wall-clock reads inside the deterministic packages.
+
+``repro.core``, ``repro.jvm``, ``repro.spark`` and ``repro.hadoop``
+simulate time — every timestamp they handle is derived from instruction
+counts and the seeded machine model.  A real clock read
+(``time.time()``, ``datetime.now()``, ``perf_counter()``) in those
+packages leaks host timing into simulated state, which is exactly the
+nondeterminism the replay-parity tests cannot detect (it varies run to
+run, not seed to seed).  Instrumentation modules are exempt: measuring
+how long a *stage of this tool* took is their job (``repro.runtime``
+is outside the scope entirely for the same reason).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import ModuleContext, Rule, register_rule
+from repro.analysis.findings import Finding
+
+DETERMINISTIC_PACKAGES = (
+    "repro.core",
+    "repro.jvm",
+    "repro.spark",
+    "repro.hadoop",
+)
+
+# Module basename substrings exempt from the rule (self-measurement).
+_EXEMPT_MODULE_MARKERS = ("instrument",)
+
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock_gettime",
+        "time.clock_gettime_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register_rule
+class WallClockRule(Rule):
+    id = "SPA002"
+    name = "wall-clock-in-deterministic-path"
+    rationale = (
+        "Host clock reads inside the simulated pipeline leak real time "
+        "into simulated state; replay stops being bit-identical run to "
+        "run."
+    )
+    hint = (
+        "derive timestamps from instruction counts / the machine model, "
+        "or move the measurement into repro.runtime.instrument"
+    )
+
+    def _in_scope(self, ctx: ModuleContext) -> bool:
+        module = ctx.module
+        if not any(
+            module == pkg or module.startswith(pkg + ".")
+            for pkg in DETERMINISTIC_PACKAGES
+        ):
+            return False
+        basename = module.rpartition(".")[2]
+        return not any(marker in basename for marker in _EXEMPT_MODULE_MARKERS)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not self._in_scope(ctx):
+            return
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.resolve_call(node)
+            if dotted in _CLOCK_CALLS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock read {dotted}() inside deterministic "
+                    f"package {ctx.module}",
+                )

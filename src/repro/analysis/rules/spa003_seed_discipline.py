@@ -1,0 +1,141 @@
+"""SPA003: public randomness must be seedable by the caller.
+
+Two violations of seed discipline:
+
+* **Entropy seeding** — ``np.random.default_rng()`` (or
+  ``SeedSequence()`` / ``random.Random()``) called with *no* arguments
+  draws a seed from OS entropy.  Nothing downstream of such a call can
+  ever be replayed, so this is flagged everywhere, even in private
+  helpers and tests.
+* **Hard-coded seeds in public APIs** — a public function that
+  constructs its RNG from a literal (``default_rng(0)``) without
+  accepting a ``seed``/``rng`` parameter and without deriving the seed
+  from configuration is deterministic but *unsteerable*: callers
+  cannot vary draws, and every experiment silently shares one stream.
+  (The established repo idiom — ``rng: Generator | None = None`` with
+  a ``default_rng(0)`` fallback — passes, because the parameter exists.)
+
+Test modules (``test_*``/``conftest``), ``pytest.fixture`` functions
+and private helpers are exempt from the hard-coded-seed clause: pinning
+a seed there is the point.  The entropy clause applies everywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import ModuleContext, Rule, register_rule
+from repro.analysis.findings import Finding
+
+_RNG_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.SeedSequence",
+        "random.Random",
+    }
+)
+
+# Parameter names that count as "the caller can steer the randomness".
+_SEED_PARAMS = frozenset(
+    {"seed", "seeds", "rng", "seed_sequence", "seed_seq", "random_state", "generator"}
+)
+
+# Identifier substrings in constructor arguments that count as deriving
+# the seed from threaded state (cfg.seed, self._rng, base_seed, ...).
+_SEEDISH_MARKERS = ("seed", "rng", "random_state", "entropy")
+
+
+def _is_test_module(module: str) -> bool:
+    basename = module.rpartition(".")[2]
+    return basename.startswith("test_") or basename == "conftest"
+
+
+def _is_fixture(ctx: ModuleContext, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for dec in fn.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        dotted = ctx.resolve(target) or ""
+        if dotted.rpartition(".")[2] == "fixture":
+            return True
+    return False
+
+
+def _params_of(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    args = fn.args
+    names = [a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return set(names)
+
+
+def _mentions_seedish(nodes: list[ast.AST]) -> bool:
+    for root in nodes:
+        for node in ast.walk(root):
+            ident = None
+            if isinstance(node, ast.Name):
+                ident = node.id
+            elif isinstance(node, ast.Attribute):
+                ident = node.attr
+            elif isinstance(node, ast.arg):
+                ident = node.arg
+            if ident and any(m in ident.lower() for m in _SEEDISH_MARKERS):
+                return True
+    return False
+
+
+@register_rule
+class SeedDisciplineRule(Rule):
+    id = "SPA003"
+    name = "seed-discipline"
+    rationale = (
+        "Randomness a caller cannot seed cannot be replayed or varied; "
+        "entropy-seeded generators are unreproducible by construction."
+    )
+    hint = (
+        "accept a seed or numpy.random.Generator parameter and derive "
+        "the generator from it (rng or np.random.default_rng(seed))"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.resolve_call(node)
+            if dotted not in _RNG_CONSTRUCTORS:
+                continue
+            args: list[ast.AST] = [*node.args, *[kw.value for kw in node.keywords]]
+            if not args:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{dotted}() with no seed draws OS entropy; the "
+                    "result can never be replayed",
+                )
+                continue
+            if _mentions_seedish(args):
+                continue  # seed threaded from a parameter/config
+            fn = ctx.enclosing_function(node)
+            if fn is None:
+                # Module-level literal-seeded generator: module-global
+                # RNG state in disguise.
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"module-level {dotted}(...) with a hard-coded seed "
+                    "is shared global state",
+                )
+                continue
+            if fn.name.startswith("_") or fn.name.startswith("test"):
+                continue  # private helpers and tests may pin seeds
+            if _is_test_module(ctx.module) or _is_fixture(ctx, fn):
+                continue  # test fixtures/helpers pin seeds on purpose
+            if _params_of(fn) & _SEED_PARAMS:
+                continue  # caller can steer via the parameter
+            yield self.finding(
+                ctx,
+                node,
+                f"public function {fn.name}() hard-codes its seed in "
+                f"{dotted}(...) and exposes no seed/rng parameter",
+            )

@@ -1,0 +1,127 @@
+"""SPA004: no unordered iteration feeding artifacts.
+
+Python ``set`` iteration order depends on insertion history and hash
+randomisation; ``dict`` order on insertion order.  When such an
+iteration flows into an artifact — a cache-key hash, a serialized
+manifest, a feature vector — two semantically identical runs produce
+different bytes and the content-addressed store fragments (or worse,
+parity tests compare arrays built in different orders).
+
+Full data-flow tracking is out of scope for an AST lint, so the rule is
+scoped by *context*: inside functions, classes or modules whose names
+mark them as artifact-producing (``hash``, ``canonical``, ``manifest``,
+``serial``, ``export``, ``feature``, ``fingerprint``, ``key_for``,
+``json``, ``vector``), it flags ``for`` loops and comprehensions that
+iterate directly over a set expression or a ``dict`` view
+(``.keys()`` / ``.values()`` / ``.items()``) without an ordering
+wrapper.  Comprehensions consumed by an order-insensitive reducer
+(``sorted``, ``set``, ``sum``, ``min``, ``max``, ``any``, ``all``,
+``Counter``) are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import ModuleContext, Rule, register_rule
+from repro.analysis.findings import Finding
+
+_SENSITIVE_MARKERS = (
+    "hash",
+    "canonical",
+    "manifest",
+    "serial",
+    "export",
+    "feature",
+    "fingerprint",
+    "key_for",
+    "json",
+    "vector",
+)
+
+_DICT_VIEWS = frozenset({"keys", "values", "items"})
+
+_ORDER_INSENSITIVE_CONSUMERS = frozenset(
+    {"sorted", "set", "frozenset", "sum", "min", "max", "any", "all", "len", "Counter"}
+)
+
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+def _unordered_kind(node: ast.AST) -> str | None:
+    """Describe ``node`` if it is a syntactically unordered iterable."""
+    if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+        return "set literal"
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+            return f"{node.func.id}(...)"
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _DICT_VIEWS
+            and not node.args
+        ):
+            return f".{node.func.attr}() view"
+    return None
+
+
+@register_rule
+class UnorderedIterationRule(Rule):
+    id = "SPA004"
+    name = "unordered-iteration-into-artifacts"
+    rationale = (
+        "Set/dict iteration order is an accident of insertion and "
+        "hashing; artifacts built from it are not byte-stable across "
+        "runs."
+    )
+    hint = "wrap the iterable in sorted(...) with an explicit key"
+
+    def _sensitive(self, ctx: ModuleContext, node: ast.AST) -> bool:
+        basename = ctx.module.rpartition(".")[2].lower()
+        # Test names (test_export, TestExportSimpoints, conftest) say
+        # what they *test*, not that their own loops build artifacts.
+        names = [
+            n.lower()
+            for n in ctx.enclosing_names(node)
+            if not n.lower().startswith("test")
+        ]
+        if not (basename.startswith("test_") or basename == "conftest"):
+            names.append(basename)
+        return any(marker in name for marker in _SENSITIVE_MARKERS for name in names)
+
+    def _consumed_unordered(self, ctx: ModuleContext, comp: ast.AST) -> bool:
+        """True when a comprehension's result order is irrelevant."""
+        if isinstance(comp, ast.SetComp):
+            return True  # produces a set: order was never meaningful
+        parent = ctx.parent(comp)
+        if isinstance(parent, ast.Call) and comp in parent.args:
+            dotted = ctx.resolve_call(parent) or ""
+            name = dotted.rpartition(".")[2]
+            if name in _ORDER_INSENSITIVE_CONSUMERS:
+                return True
+        return False
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ctx.walk():
+            iterables: list[tuple[ast.AST, ast.AST]] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterables.append((node, node.iter))
+            elif isinstance(node, _COMPREHENSIONS):
+                if self._consumed_unordered(ctx, node):
+                    continue
+                for gen in node.generators:
+                    iterables.append((node, gen.iter))
+            for owner, it in iterables:
+                kind = _unordered_kind(it)
+                if kind is None:
+                    continue
+                if not self._sensitive(ctx, owner):
+                    continue
+                where = ctx.enclosing_names(owner)
+                scope = where[0] if where else ctx.module
+                yield self.finding(
+                    ctx,
+                    it,
+                    f"iteration over {kind} in artifact-sensitive scope "
+                    f"{scope!r} has no stable order",
+                )

@@ -1,0 +1,129 @@
+"""SPA005: docstring numeric constants must match the code.
+
+Docstrings here routinely quote the defaults they document — "``100 M``
+instruction units", "``snapshot_period`` … default 2 M" — and those
+prose copies silently rot when a constant changes (PR 2 fixed exactly
+this: docstrings still advertising the paper's 10 M snapshot period
+after the default moved to 2 M).  The rule extracts named constants
+from the module's AST (module-level assignments, class-field defaults,
+keyword-argument defaults) and cross-checks every "``name`` …
+default(s to) N [K/M/G]" claim found in a docstring against them.
+
+Only claims naming a constant *defined in the same module* are
+checked: prose about other modules' defaults is a documentation
+problem this rule cannot adjudicate locally.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.base import ModuleContext, Rule, register_rule
+from repro.analysis.findings import Finding
+
+# "``snapshot_period``, default 2 M" / "`unit_size` (defaults to 100_000_000)"
+# / "unit_size ... default: 100M".  The gap between the name and the word
+# "default" is bounded and may not cross a sentence.
+_CLAIM = re.compile(
+    r"``?(?P<name>[A-Za-z_][\w.]*)``?"
+    r"[^.;`]{0,60}?"
+    r"\bdefaults?(?:\s+(?:to|of|is|at)|:)?\s+"
+    r"(?P<num>\d[\d_,]*(?:\.\d+)?)\s?(?P<suffix>[KMG]\b)?"
+)
+
+_SUFFIX = {"K": 1e3, "M": 1e6, "G": 1e9}
+
+
+def _literal_number(node: ast.AST) -> float | None:
+    """The numeric value of a (possibly negated) literal, else None."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _literal_number(node.operand)
+        return None if inner is None else -inner
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return float(node.value)
+    return None
+
+
+def _collect_constants(tree: ast.Module) -> dict[str, set[float]]:
+    """Every name -> numeric literal binding visible in the module.
+
+    Covers module/class-level ``NAME = 42`` and ``name: int = 42``
+    (dataclass fields) plus keyword-argument defaults in function
+    signatures.  A name bound to several values (same field name in two
+    classes) accumulates all of them; a docstring claim matching *any*
+    binding passes — the rule prefers false negatives to noise.
+    """
+    constants: dict[str, set[float]] = {}
+
+    def record(name: str, value: float | None) -> None:
+        if value is not None:
+            constants.setdefault(name, set()).add(value)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    record(target.id, _literal_number(node.value))
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                record(node.target.id, _literal_number(node.value))
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            positional = [*args.posonlyargs, *args.args]
+            for arg, default in zip(positional[len(positional) - len(args.defaults):],
+                                    args.defaults):
+                record(arg.arg, _literal_number(default))
+            for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+                if default is not None:
+                    record(arg.arg, _literal_number(default))
+    return constants
+
+
+def _fmt(value: float) -> str:
+    return f"{value:g}"
+
+
+@register_rule
+class DocstringDriftRule(Rule):
+    id = "SPA005"
+    name = "docstring-constant-drift"
+    rationale = (
+        "Docstrings quoting defaults rot silently when the constant "
+        "changes; readers then reason from wrong sampling parameters."
+    )
+    hint = "update the docstring (or the constant) so both agree"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        constants = _collect_constants(ctx.tree)
+        if not constants:
+            return
+        for _owner, doc_node in ctx.docstring_nodes():
+            text = doc_node.value
+            for match in _CLAIM.finditer(text):
+                name = match.group("name").rpartition(".")[2]
+                known = constants.get(name)
+                if not known:
+                    continue
+                quoted = float(match.group("num").replace("_", "").replace(",", ""))
+                if match.group("suffix"):
+                    quoted *= _SUFFIX[match.group("suffix")]
+                if any(abs(quoted - actual) <= 1e-9 * max(1.0, abs(actual))
+                       for actual in known):
+                    continue
+                # Anchor the finding at the docstring line containing
+                # the stale claim so the fix is one keystroke away.
+                offset = text[: match.start()].count("\n")
+                anchor = ast.Constant(value=None)
+                anchor.lineno = doc_node.lineno + offset
+                anchor.col_offset = 0
+                expected = " or ".join(sorted(_fmt(v) for v in known))
+                yield self.finding(
+                    ctx,
+                    anchor,
+                    f"docstring says {name} defaults to "
+                    f"{_fmt(quoted)} but the code binds {expected}",
+                )

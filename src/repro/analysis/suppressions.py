@@ -1,0 +1,67 @@
+"""Inline suppression comments: ``# simprof: ignore[RULE, ...]``.
+
+A finding is suppressed when its line — or the immediately preceding
+line, if that line is a comment — carries a marker naming its rule (or
+naming no rule, which suppresses everything on that line).  Anything
+after ``--`` is a free-form justification and is encouraged::
+
+    t0 = time.perf_counter()  # simprof: ignore[SPA002] -- benchmark harness
+
+Suppressions are deliberately line-scoped: there is no file- or
+block-level escape hatch, so every grandfathered violation stays
+visible next to the code it excuses (use the baseline file for bulk
+grandfathering instead).
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["SuppressionIndex", "parse_suppressions"]
+
+_MARKER = re.compile(r"#\s*simprof:\s*ignore(?:\[([A-Za-z0-9_,\s]*)\])?")
+
+
+class SuppressionIndex:
+    """Per-line suppression lookup for one source file."""
+
+    def __init__(self, by_line: dict[int, frozenset[str]]) -> None:
+        self._by_line = by_line
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """True if ``rule_id`` is ignored at 1-based ``line``."""
+        for candidate in (line, line - 1):
+            rules = self._by_line.get(candidate)
+            if rules is None:
+                continue
+            # A bare ``ignore`` (empty set) silences every rule, but a
+            # marker on the *previous* line only applies when that line
+            # is a standalone comment (tracked at parse time via the
+            # sentinel below).
+            if candidate == line - 1 and "\x00standalone" not in rules:
+                continue
+            if not (rules - {"\x00standalone"}) or rule_id in rules:
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+
+def parse_suppressions(lines: list[str]) -> SuppressionIndex:
+    """Scan raw source lines for suppression markers."""
+    by_line: dict[int, frozenset[str]] = {}
+    for i, text in enumerate(lines, start=1):
+        match = _MARKER.search(text)
+        if not match:
+            continue
+        spec = match.group(1)
+        rules = (
+            frozenset(r.strip().upper() for r in spec.split(",") if r.strip())
+            if spec
+            else frozenset()
+        )
+        if text.lstrip().startswith("#"):
+            rules |= {"\x00standalone"}
+        by_line[i] = rules
+    return SuppressionIndex(by_line)

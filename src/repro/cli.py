@@ -10,6 +10,7 @@ The everyday entry points::
     simprof cache ls                     # inspect the artifact store
     simprof cache gc --stale             # evict outdated artifacts
     simprof stats                        # per-stage timing breakdown
+    simprof check --strict src           # static determinism lints
 
 ``simprof`` is installed as a console script; ``python -m repro.cli``
 works identically.
@@ -157,6 +158,28 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "stats", help="per-stage timing breakdown aggregated from manifests"
     )
+
+    check = sub.add_parser(
+        "check",
+        help="static invariant checks (determinism, seed discipline, "
+        "stream contracts)",
+    )
+    check.add_argument("paths", nargs="*", default=["src"],
+                       help="files or directories to check (default: src)")
+    check.add_argument("--strict", action="store_true",
+                       help="fail on baselined findings too (CI mode)")
+    check.add_argument("--format", choices=["text", "json"], default="text",
+                       dest="output_format")
+    check.add_argument("--baseline", default=None, metavar="FILE",
+                       help="baseline file (default: .simprof-baseline.json "
+                       "next to the first path, if present)")
+    check.add_argument("--write-baseline", action="store_true",
+                       help="rewrite the baseline from the current findings "
+                       "and exit 0")
+    check.add_argument("--rules", default=None, metavar="IDS",
+                       help="comma-separated rule ids (default: all)")
+    check.add_argument("--list-rules", action="store_true",
+                       help="print the rule catalogue and exit")
     return parser
 
 
@@ -547,6 +570,41 @@ def _cmd_stats() -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.analysis import Baseline, render_json, render_text, run_check
+    from repro.analysis.baseline import DEFAULT_BASELINE_NAME
+    from repro.analysis.reporters import render_rule_catalogue
+
+    if args.list_rules:
+        print(render_rule_catalogue())
+        return 0
+    baseline_path = args.baseline or DEFAULT_BASELINE_NAME
+    rule_ids = None
+    if args.rules:
+        rule_ids = [r.strip().upper() for r in args.rules.split(",") if r.strip()]
+    try:
+        baseline = Baseline.load(baseline_path)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        result = run_check(list(args.paths), rule_ids=rule_ids, baseline=baseline)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        everything = sorted(result.findings + result.baselined)
+        Baseline().save(baseline_path, everything)
+        print(f"wrote {baseline_path} ({len(everything)} grandfathered "
+              "finding(s))")
+        return 0
+    if args.output_format == "json":
+        print(render_json(result, strict=args.strict))
+    else:
+        print(render_text(result, strict=args.strict))
+    return result.exit_code(strict=args.strict)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for the ``simprof`` console script."""
     args = build_parser().parse_args(argv)
@@ -566,6 +624,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_cache(args)
     if args.command == "stats":
         return _cmd_stats()
+    if args.command == "check":
+        return _cmd_check(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -68,7 +68,11 @@ def run_code_overfit(
         code_err = CodeSampler().sample(job, forced).error_vs(oracle)
         simprof_errs = [
             SimProfSampler(k)
-            .sample(job, base_model, np.random.default_rng(i))
+            .sample(
+                job,
+                base_model,
+                np.random.default_rng(np.random.SeedSequence([cfg.seed, i])),
+            )
             .error_vs(oracle)
             for i in range(cfg.n_sampling_draws)
         ]

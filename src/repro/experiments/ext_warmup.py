@@ -95,7 +95,9 @@ def run_warmup_experiment(
         second = SecondSampler(seconds=10.0, warmup_fraction=0.0).sample(job)
         simprof_results = [
             SimProfSampler(n_points).sample(
-                job, model, np.random.default_rng(i)
+                job,
+                model,
+                np.random.default_rng(np.random.SeedSequence([cfg.seed, i])),
             )
             for i in range(cfg.n_sampling_draws)
         ]

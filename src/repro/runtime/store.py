@@ -104,8 +104,17 @@ def _jsonable(obj: Any) -> Any:
     if obj is None or isinstance(obj, (bool, int, float, str)):
         return obj
     if isinstance(obj, dict):
-        return {str(k): _jsonable(v) for k, v in obj.items()}
-    if isinstance(obj, (list, tuple, set, frozenset)):
+        # Key-sorted so the manifest bytes do not depend on insertion
+        # order (json.dumps sort_keys only helps once keys are strings).
+        return {
+            str(k): _jsonable(v)
+            for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))
+        }
+    if isinstance(obj, (set, frozenset)):
+        # Sets have no stable iteration order; sort the rendered items
+        # so two runs produce byte-identical manifests.
+        return sorted((_jsonable(v) for v in obj), key=repr)
+    if isinstance(obj, (list, tuple)):
         return [_jsonable(v) for v in obj]
     if is_dataclass(obj) and not isinstance(obj, type):
         return {f.name: _jsonable(getattr(obj, f.name)) for f in fields(obj)}

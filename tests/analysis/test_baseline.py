@@ -1,0 +1,99 @@
+"""Baseline round-trip, partitioning, and fingerprint stability."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import Baseline, check_source
+from repro.analysis.findings import Finding
+
+
+def _findings(source, **kwargs):
+    kwargs.setdefault("module", "repro.core.example")
+    kwargs.setdefault("path", "src/repro/core/example.py")
+    return check_source(textwrap.dedent(source), **kwargs)
+
+
+SOURCE = """
+    import random
+
+    def jitter():
+        return random.random()
+
+    def wobble():
+        return random.random()
+    """
+
+
+class TestFingerprint:
+    def test_line_number_independent(self):
+        shifted = "\n# a new leading comment\n" + textwrap.dedent(SOURCE)
+        a = _findings(SOURCE)
+        b = check_source(
+            shifted, module="repro.core.example", path="src/repro/core/example.py"
+        )
+        assert [f.fingerprint() for f in a] == [f.fingerprint() for f in b]
+        assert [f.line for f in a] != [f.line for f in b]
+
+    def test_path_and_rule_dependent(self):
+        f = Finding(path="a.py", line=1, col=0, rule="SPA001",
+                    message="m", line_text="x = 1")
+        g = Finding(path="b.py", line=1, col=0, rule="SPA001",
+                    message="m", line_text="x = 1")
+        assert f.fingerprint() != g.fingerprint()
+
+
+class TestBaselineRoundTrip:
+    def test_save_load_partition(self, tmp_path):
+        findings = _findings(SOURCE)
+        assert len(findings) == 2
+        path = tmp_path / "baseline.json"
+        Baseline().save(path, findings)
+
+        loaded = Baseline.load(path)
+        assert len(loaded) == 2
+        fresh, known = loaded.partition(findings)
+        assert fresh == []
+        assert len(known) == 2
+
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "nope.json")
+        assert len(baseline) == 0
+        fresh, known = baseline.partition(_findings(SOURCE))
+        assert len(fresh) == 2
+        assert known == []
+
+    def test_new_finding_not_absorbed(self, tmp_path):
+        findings = _findings(SOURCE)
+        path = tmp_path / "baseline.json"
+        Baseline().save(path, findings[:1])
+
+        fresh, known = Baseline.load(path).partition(findings)
+        assert len(known) == 1
+        assert len(fresh) == 1
+
+    def test_identical_lines_counted_not_collapsed(self, tmp_path):
+        # jitter() and wobble() contain byte-identical offending lines:
+        # one fingerprint, count 2.  Baselining one occurrence must not
+        # absolve a second.
+        findings = _findings(SOURCE)
+        assert findings[0].fingerprint() == findings[1].fingerprint()
+        path = tmp_path / "baseline.json"
+        Baseline().save(path, findings)
+        doc = json.loads(path.read_text())
+        assert len(doc["findings"]) == 1
+        assert doc["findings"][0]["count"] == 2
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(path)
+
+    def test_file_is_deterministic(self, tmp_path):
+        findings = _findings(SOURCE)
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        Baseline().save(a, findings)
+        Baseline().save(b, list(reversed(findings)))
+        assert a.read_text() == b.read_text()

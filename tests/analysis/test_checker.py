@@ -1,0 +1,148 @@
+"""Checker orchestration + ``simprof check`` CLI integration."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, run_check
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+DIRTY = """\
+import random
+
+
+def jitter():
+    return random.random()
+"""
+
+CLEAN = """\
+import numpy as np
+
+
+def draw(seed):
+    return np.random.default_rng(seed).normal()
+"""
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "dirty.py").write_text(DIRTY)
+    (pkg / "clean.py").write_text(CLEAN)
+    pycache = pkg / "__pycache__"
+    pycache.mkdir()
+    (pycache / "stale.py").write_text(DIRTY)  # must be skipped
+    return tmp_path
+
+
+class TestRunCheck:
+    def test_findings_and_skip_dirs(self, tree):
+        result = run_check([tree])
+        assert result.n_files == 2  # __pycache__ skipped
+        assert [f.rule for f in result.findings] == ["SPA001"]
+        assert result.exit_code() == 1
+        assert result.exit_code(strict=True) == 1
+
+    def test_rule_subset(self, tree):
+        result = run_check([tree], rule_ids=["SPA002"])
+        assert result.findings == []
+        assert result.exit_code() == 0
+
+    def test_baseline_partition(self, tree):
+        found = run_check([tree]).findings
+        baseline = Baseline.from_findings(found)
+        result = run_check([tree], baseline=baseline)
+        assert result.findings == []
+        assert len(result.baselined) == 1
+        assert result.exit_code() == 0
+        assert result.exit_code(strict=True) == 1
+
+    def test_parse_error_reported(self, tree):
+        (tree / "src" / "repro" / "core" / "broken.py").write_text("def (:\n")
+        result = run_check([tree])
+        assert result.exit_code() == 2
+        assert "broken.py" in result.parse_errors[0][0]
+
+
+class TestCheckCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "clean.py").write_text(CLEAN)
+        assert main(["check", "clean.py"]) == 0
+        out = capsys.readouterr().out
+        assert "0 new finding(s)" in out
+
+    def test_findings_exit_one_with_hint(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "dirty.py").write_text(DIRTY)
+        assert main(["check", "dirty.py"]) == 1
+        out = capsys.readouterr().out
+        assert "dirty.py:5" in out
+        assert "SPA001" in out
+        assert "hint:" in out
+
+    def test_json_format(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "dirty.py").write_text(DIRTY)
+        assert main(["check", "--format", "json", "dirty.py"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["exit_code"] == 1
+        assert doc["new"][0]["rule"] == "SPA001"
+        assert doc["new"][0]["fingerprint"]
+
+    def test_write_baseline_then_tolerate_then_strict(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "dirty.py").write_text(DIRTY)
+        assert main(["check", "--write-baseline", "dirty.py"]) == 0
+        assert (tmp_path / ".simprof-baseline.json").exists()
+        # Default run tolerates the grandfathered finding ...
+        assert main(["check", "dirty.py"]) == 0
+        # ... --strict does not ...
+        assert main(["check", "--strict", "dirty.py"]) == 1
+        # ... and a *new* finding still fails the default run.
+        (tmp_path / "dirty.py").write_text(DIRTY + "\nrandom.shuffle([])\n")
+        assert main(["check", "dirty.py"]) == 1
+
+    def test_list_rules(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("SPA001", "SPA002", "SPA003", "SPA004", "SPA005"):
+            assert rule_id in out
+
+    def test_rules_option(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "dirty.py").write_text(DIRTY)
+        assert main(["check", "--rules", "spa002,spa005", "dirty.py"]) == 0
+
+    def test_unknown_rule_id_is_clean_error(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "dirty.py").write_text(DIRTY)
+        assert main(["check", "--rules", "SPA999", "dirty.py"]) == 2
+        assert "unknown rule 'SPA999'" in capsys.readouterr().err
+
+
+class TestSelfCheck:
+    """The repo must stay clean under its own checker (CI runs this too)."""
+
+    def test_repo_tree_is_clean_strict(self):
+        targets = [
+            REPO_ROOT / "src",
+            REPO_ROOT / "tests",
+            REPO_ROOT / "benchmarks",
+            REPO_ROOT / "examples",
+        ]
+        result = run_check([t for t in targets if t.exists()])
+        assert result.parse_errors == []
+        locations = [f"{f.location} {f.rule} {f.message}" for f in result.findings]
+        assert locations == [], "\n".join(locations)
+
+    def test_checked_in_baseline_is_empty(self):
+        baseline = Baseline.load(REPO_ROOT / ".simprof-baseline.json")
+        assert len(baseline) == 0

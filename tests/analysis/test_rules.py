@@ -1,0 +1,329 @@
+"""Positive/negative fixture snippets for every SPA rule."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import check_source, get_rule
+
+
+def check(source, *, module="repro.core.example", rule=None, path=None):
+    rules = [get_rule(rule)] if rule else None
+    return check_source(
+        textwrap.dedent(source),
+        path=path or f"src/{module.replace('.', '/')}.py",
+        module=module,
+        rules=rules,
+    )
+
+
+class TestSPA001GlobalRng:
+    def test_stdlib_module_functions_flagged(self):
+        findings = check(
+            """
+            import random
+
+            def jitter():
+                random.seed(42)
+                return random.random() + random.randint(0, 3)
+            """,
+            rule="SPA001",
+        )
+        assert len(findings) == 3
+        assert all(f.rule == "SPA001" for f in findings)
+
+    def test_numpy_legacy_api_flagged_through_aliases(self):
+        findings = check(
+            """
+            import numpy as np
+            import numpy.random as npr
+            from numpy.random import rand
+
+            def draw():
+                np.random.seed(7)
+                a = npr.random(3)
+                return a + rand(3)
+            """,
+            rule="SPA001",
+        )
+        assert len(findings) == 3
+
+    def test_explicit_generator_passes(self):
+        findings = check(
+            """
+            import numpy as np
+
+            def draw(seed):
+                rng = np.random.default_rng(np.random.SeedSequence([seed, 1]))
+                return rng.normal(size=4)
+            """,
+            rule="SPA001",
+        )
+        assert findings == []
+
+    def test_seeded_stdlib_instance_passes(self):
+        findings = check(
+            """
+            import random
+
+            def draw(seed):
+                return random.Random(seed).random()
+            """,
+            rule="SPA001",
+        )
+        assert findings == []
+
+
+class TestSPA002WallClock:
+    def test_clock_in_deterministic_package_flagged(self):
+        findings = check(
+            """
+            import time
+            from datetime import datetime
+
+            def simulate():
+                start = time.perf_counter()
+                stamp = datetime.now()
+                return start, stamp
+            """,
+            module="repro.jvm.machine",
+            rule="SPA002",
+        )
+        assert len(findings) == 2
+        assert "repro.jvm.machine" in findings[0].message
+
+    def test_clock_outside_scope_passes(self):
+        source = """
+            import time
+
+            def measure():
+                return time.perf_counter()
+            """
+        assert check(source, module="repro.cli", rule="SPA002") == []
+        assert check(source, module="repro.runtime.store", rule="SPA002") == []
+
+    def test_instrumentation_modules_exempt(self):
+        findings = check(
+            """
+            import time
+
+            def tick():
+                return time.monotonic()
+            """,
+            module="repro.core.instrumentation",
+            rule="SPA002",
+        )
+        assert findings == []
+
+
+class TestSPA003SeedDiscipline:
+    def test_entropy_seeding_flagged_everywhere(self):
+        findings = check(
+            """
+            import numpy as np
+
+            def _helper():
+                return np.random.default_rng()
+            """,
+            rule="SPA003",
+        )
+        assert len(findings) == 1
+        assert "OS entropy" in findings[0].message
+
+    def test_public_function_without_seed_param_flagged(self):
+        findings = check(
+            """
+            import numpy as np
+
+            def select_points(job, n):
+                rng = np.random.default_rng(0)
+                return rng.choice(n)
+            """,
+            rule="SPA003",
+        )
+        assert len(findings) == 1
+        assert "select_points" in findings[0].message
+
+    def test_rng_parameter_fallback_idiom_passes(self):
+        findings = check(
+            """
+            import numpy as np
+
+            def select_points(job, n, rng=None):
+                rng = rng or np.random.default_rng(0)
+                return rng.choice(n)
+            """,
+            rule="SPA003",
+        )
+        assert findings == []
+
+    def test_seed_threaded_from_config_passes(self):
+        findings = check(
+            """
+            import numpy as np
+
+            def run(cfg, draw):
+                rng = np.random.default_rng(
+                    np.random.SeedSequence([cfg.seed, draw])
+                )
+                return rng.normal()
+            """,
+            rule="SPA003",
+        )
+        assert findings == []
+
+    def test_module_level_hardcoded_rng_flagged(self):
+        findings = check(
+            """
+            import numpy as np
+
+            RNG = np.random.default_rng(0)
+            """,
+            rule="SPA003",
+        )
+        assert len(findings) == 1
+        assert "module-level" in findings[0].message
+
+    def test_pytest_fixture_exempt(self):
+        findings = check(
+            """
+            import numpy as np
+            import pytest
+
+            @pytest.fixture()
+            def rng():
+                return np.random.default_rng(12345)
+            """,
+            module="tests.conftest",
+            rule="SPA003",
+        )
+        assert findings == []
+
+
+class TestSPA004UnorderedIteration:
+    def test_dict_view_in_hashing_function_flagged(self):
+        findings = check(
+            """
+            def stable_hash(params):
+                parts = [f"{k}={v}" for k, v in params.items()]
+                return "|".join(parts)
+            """,
+            rule="SPA004",
+        )
+        assert len(findings) == 1
+        assert "stable_hash" in findings[0].message
+
+    def test_set_literal_for_loop_in_manifest_flagged(self):
+        findings = check(
+            """
+            def write_manifest(out):
+                for name in {"b", "a"}:
+                    out.append(name)
+            """,
+            rule="SPA004",
+        )
+        assert len(findings) == 1
+
+    def test_sorted_wrapper_passes(self):
+        findings = check(
+            """
+            def stable_hash(params):
+                parts = sorted(f"{k}={v}" for k, v in params.items())
+                return "|".join(parts)
+            """,
+            rule="SPA004",
+        )
+        assert findings == []
+
+    def test_non_sensitive_scope_passes(self):
+        findings = check(
+            """
+            def tally(counts):
+                return [k for k in counts.keys()]
+            """,
+            rule="SPA004",
+        )
+        assert findings == []
+
+    def test_order_insensitive_consumer_passes(self):
+        findings = check(
+            """
+            def feature_total(row):
+                return sum(v for v in row.values())
+            """,
+            rule="SPA004",
+        )
+        assert findings == []
+
+
+class TestSPA005DocstringDrift:
+    def test_stale_default_flagged(self):
+        findings = check(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class ProfilerConfig:
+                '''Knobs.
+
+                ``snapshot_period`` defaults to 10 M instructions.
+                '''
+
+                snapshot_period: int = 2_000_000
+            """,
+            rule="SPA005",
+        )
+        assert len(findings) == 1
+        assert "1e+07" in findings[0].message or "10000000" in findings[0].message
+        # Anchored at the docstring line carrying the stale claim.
+        assert "10 M" in findings[0].line_text
+
+    def test_matching_default_passes(self):
+        findings = check(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class ProfilerConfig:
+                '''``snapshot_period``, default 2 M (see paper).'''
+
+                snapshot_period: int = 2_000_000
+            """,
+            rule="SPA005",
+        )
+        assert findings == []
+
+    def test_keyword_default_checked(self):
+        findings = check(
+            """
+            def select(X, top_k=100):
+                '''Keep the ``top_k`` (default 250) best methods.'''
+                return X[:top_k]
+            """,
+            rule="SPA005",
+        )
+        assert len(findings) == 1
+
+    def test_unknown_names_ignored(self):
+        findings = check(
+            """
+            UNIT = 100
+
+            def run():
+                '''The paper's ``other_knob`` default 7 does not exist here.'''
+            """,
+            rule="SPA005",
+        )
+        assert findings == []
+
+
+class TestRegistry:
+    def test_all_five_rules_registered(self):
+        from repro.analysis import all_rules
+
+        ids = [r.id for r in all_rules()]
+        assert ids == ["SPA001", "SPA002", "SPA003", "SPA004", "SPA005"]
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(KeyError, match="SPA999"):
+            get_rule("SPA999")

@@ -1,0 +1,103 @@
+"""Inline ``# simprof: ignore[...]`` handling."""
+
+import textwrap
+
+from repro.analysis import check_source
+from repro.analysis.suppressions import parse_suppressions
+
+
+def check(source, **kwargs):
+    kwargs.setdefault("module", "repro.core.example")
+    kwargs.setdefault("path", "src/repro/core/example.py")
+    return check_source(textwrap.dedent(source), **kwargs)
+
+
+class TestInlineSuppression:
+    SOURCE = """
+        import random
+
+        def jitter():
+            return random.random(){comment}
+        """
+
+    def test_unsuppressed_finding_reported(self):
+        assert len(check(self.SOURCE.format(comment=""))) == 1
+
+    def test_same_line_rule_suppression(self):
+        findings = check(
+            self.SOURCE.format(comment="  # simprof: ignore[SPA001]")
+        )
+        assert findings == []
+
+    def test_justification_text_allowed(self):
+        findings = check(
+            self.SOURCE.format(
+                comment="  # simprof: ignore[SPA001] -- fuzzing helper"
+            )
+        )
+        assert findings == []
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        findings = check(
+            self.SOURCE.format(comment="  # simprof: ignore[SPA002]")
+        )
+        assert len(findings) == 1
+
+    def test_bare_ignore_suppresses_all_rules(self):
+        findings = check(self.SOURCE.format(comment="  # simprof: ignore"))
+        assert findings == []
+
+    def test_multiple_rules_in_one_marker(self):
+        findings = check(
+            self.SOURCE.format(comment="  # simprof: ignore[SPA004, SPA001]")
+        )
+        assert findings == []
+
+    def test_preceding_comment_line_suppresses(self):
+        findings = check(
+            """
+            import random
+
+            def jitter():
+                # simprof: ignore[SPA001] -- jitter need not replay
+                return random.random()
+            """
+        )
+        assert findings == []
+
+    def test_preceding_code_line_marker_does_not_leak_downward(self):
+        # The marker suppresses its own line, but it is not a
+        # standalone comment, so the *next* line stays flagged.
+        findings = check(
+            """
+            import random
+
+            def jitter():
+                a = random.random()  # simprof: ignore[SPA001]
+                b = random.random()
+                return a + b
+            """
+        )
+        assert len(findings) == 1
+        assert findings[0].line == 6
+
+
+class TestParseSuppressions:
+    def test_index_lookup(self):
+        idx = parse_suppressions(
+            [
+                "x = 1",
+                "y = f()  # simprof: ignore[SPA003]",
+                "# simprof: ignore",
+                "z = g()",
+            ]
+        )
+        assert idx.is_suppressed("SPA003", 2)
+        assert not idx.is_suppressed("SPA001", 2)
+        assert idx.is_suppressed("SPA001", 3)
+        assert idx.is_suppressed("SPA005", 4)  # standalone comment above
+        assert not idx.is_suppressed("SPA001", 1)
+
+    def test_case_insensitive_rule_ids(self):
+        idx = parse_suppressions(["f()  # simprof: ignore[spa001]"])
+        assert idx.is_suppressed("SPA001", 1)
