@@ -1,0 +1,57 @@
+"""Extension: stratified sampling accuracy under fault injection.
+
+Runs the :mod:`repro.experiments.ext_faults` sweep — recoveries must be
+semantically transparent (workload output unchanged), SimProf's CPI
+estimate must stay inside its 99.7 % confidence interval at every fault
+rate, and the whole thing must replay bit-identically — and writes the
+evidence to ``BENCH_faults.json`` for the CI chaos-smoke artifact.
+
+``SIMPROF_BENCH_SMOKE=1`` shrinks the workload scale and the rate sweep
+(still including a nonzero rate, so the smoke job genuinely injects).
+"""
+
+import dataclasses
+import json
+import os
+
+from conftest import emit
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.ext_faults import run_fault_sweep
+
+SMOKE = os.environ.get("SIMPROF_BENCH_SMOKE") == "1"
+RATES = (0.0, 0.02, 0.05) if SMOKE else (0.0, 0.01, 0.02, 0.05)
+
+
+def test_fault_sweep(benchmark, full_cfg):
+    cfg = (
+        dataclasses.replace(full_cfg, scale=0.1, n_sampling_draws=5)
+        if SMOKE
+        else full_cfg
+    )
+    result = benchmark.pedantic(
+        run_fault_sweep,
+        args=(cfg,),
+        kwargs={"rates": RATES},
+        rounds=1,
+        iterations=1,
+    )
+    emit("Extension: fault injection", result.to_text())
+
+    payload = {
+        "benchmark": "fault-injection",
+        "smoke": SMOKE,
+        "rates": list(RATES),
+        "rows": [dataclasses.asdict(r) for r in result.rows],
+    }
+    with open("BENCH_faults.json", "w") as fh:
+        json.dump(payload, fh, indent=2)
+
+    # Recovery semantics: the workload's output is untouched by faults.
+    assert result.all_results_match
+    # Determinism: each plan replayed to the identical fault report.
+    assert result.all_replays_identical
+    # The sweep must actually inject at its top rate.
+    assert result.rows[-1].n_faults > 0
+    # Accuracy: the stratified estimate stays inside its own 99.7% CI.
+    assert result.all_within_ci

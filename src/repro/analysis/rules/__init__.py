@@ -5,6 +5,7 @@ from repro.analysis.rules.spa002_wallclock import WallClockRule
 from repro.analysis.rules.spa003_seed_discipline import SeedDisciplineRule
 from repro.analysis.rules.spa004_unordered_iteration import UnorderedIterationRule
 from repro.analysis.rules.spa005_docstring_drift import DocstringDriftRule
+from repro.analysis.rules.spa006_silent_swallow import SilentSwallowRule
 
 __all__ = [
     "GlobalRngRule",
@@ -12,4 +13,5 @@ __all__ = [
     "SeedDisciplineRule",
     "UnorderedIterationRule",
     "DocstringDriftRule",
+    "SilentSwallowRule",
 ]

@@ -1,0 +1,94 @@
+"""SPA006: no silently swallowed broad exceptions.
+
+A robustness substrate lives or dies by its error discipline: every
+degradation must be *explicit* — recorded in a
+:class:`~repro.faults.report.FaultReport`, surfaced as a warning, or at
+minimum narrowed to the exception it actually expects.  A bare
+``except:``/``except Exception:`` whose body is just ``pass`` destroys
+evidence: a fault fires, nothing records it, and the replay-parity
+tests see a clean run that silently computed something else.
+
+Narrow handlers (``except OSError: pass`` around a best-effort unlink)
+are fine — the swallowed class documents the expectation.  A broad
+swallow that really is intentional must say so with an inline
+``# simprof: ignore[SPA006] -- reason`` annotation, which makes the
+degradation site auditable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import ModuleContext, Rule, register_rule
+from repro.analysis.findings import Finding
+
+#: Exception names broad enough that swallowing them hides real faults.
+_BROAD_NAMES = frozenset(
+    {"Exception", "BaseException", "builtins.Exception", "builtins.BaseException"}
+)
+
+
+def _is_broad(ctx: ModuleContext, handler: ast.ExceptHandler) -> bool:
+    """True when the handler catches Exception/BaseException/everything."""
+    if handler.type is None:  # bare ``except:``
+        return True
+    types: list[ast.expr]
+    if isinstance(handler.type, ast.Tuple):
+        types = list(handler.type.elts)
+    else:
+        types = [handler.type]
+    return any((ctx.resolve(t) or "") in _BROAD_NAMES for t in types)
+
+
+def _is_silent(handler: ast.ExceptHandler) -> bool:
+    """True when the body does nothing (only ``pass``/``...``)."""
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        ):
+            continue
+        return False
+    return True
+
+
+@register_rule
+class SilentSwallowRule(Rule):
+    id = "SPA006"
+    name = "silent-broad-exception-swallow"
+    rationale = (
+        "A broad except clause with an empty body discards faults "
+        "without recording them; degradation must be explicit "
+        "(FaultReport entry, warning, or a narrowed exception type)."
+    )
+    hint = (
+        "narrow the exception type, record the failure (FaultReport / "
+        "warning / counter), or annotate the intentional degradation "
+        "with `# simprof: ignore[SPA006] -- reason`"
+    )
+
+    def _in_scope(self, ctx: ModuleContext) -> bool:
+        return ctx.module == "repro" or ctx.module.startswith("repro.")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not self._in_scope(ctx):
+            return
+        for node in ctx.walk():
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _is_broad(ctx, node) and _is_silent(node):
+                caught = (
+                    "bare except"
+                    if node.type is None
+                    else f"except {ast.unparse(node.type)}"
+                )
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{caught} silently swallowed (body is only pass) in "
+                    f"{ctx.module}",
+                )

@@ -99,6 +99,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="Table II input name for graph workloads")
     prof.add_argument("--unit-size", type=int, default=100_000_000)
     prof.add_argument("--snapshot-period", type=int, default=2_000_000)
+    prof.add_argument("--faults", default=None, metavar="PLAN",
+                      help="JSON fault plan (repro.faults.FaultPlan): "
+                      "inject deterministic cluster faults — and stream "
+                      "faults with --stream — then report the recoveries")
 
     fig = sub.add_parser("figure", help="regenerate a paper table/figure")
     fig.add_argument("name", choices=sorted(FIGURES),
@@ -143,6 +147,13 @@ def build_parser() -> argparse.ArgumentParser:
                           help="filter by artifact kind (profile, model)")
     cache_info = cache_sub.add_parser("info", help="show one entry's manifest")
     cache_info.add_argument("key", help="artifact key (see `simprof cache ls`)")
+    cache_verify = cache_sub.add_parser(
+        "verify", help="integrity-check payloads against manifest digests"
+    )
+    cache_verify.add_argument("--repair", action="store_true",
+                              help="move corrupt entries to "
+                              "<store>/quarantine/ instead of just "
+                              "reporting them")
     cache_gc = cache_sub.add_parser("gc", help="evict artifacts")
     cache_gc.add_argument("--stale", action="store_true",
                           help="remove entries from other store versions")
@@ -290,6 +301,14 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     workload, framework = _parse_label(args.label)
     graph = get_graph_input(args.graph) if args.graph else None
+    faults = None
+    if args.faults:
+        from repro.faults import FaultPlan
+
+        try:
+            faults = FaultPlan.load(args.faults)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"error: cannot load fault plan: {exc}") from exc
     mode = "streaming" if args.stream else "batch"
     print(f"Profiling {args.label} ({mode}, scale {args.scale}, "
           f"seed {args.seed}) ...")
@@ -305,6 +324,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         seed=args.seed,
         graph=graph,
         input_name=args.graph or "default",
+        faults=faults,
     )
     if args.stream:
         stream = run_workload_stream(workload, framework, **run_kwargs)
@@ -349,6 +369,17 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                     f"{1e6 * secs / units:,.1f} us/unit "
                     f"({units:.0f} units across all threads)"
                 )
+    if faults is not None:
+        from repro.faults import FaultReport
+
+        report_dict = (getattr(result.job, "meta", None) or {}).get(
+            "fault_report"
+        )
+        if report_dict:
+            print("\n" + FaultReport.from_dict(report_dict).summary())
+        else:
+            print("\nfault plan active, no faults fired "
+                  "(rates too low for this run)")
     return 0
 
 
@@ -456,6 +487,17 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             m for m in store.entries()
             if args.kind is None or m.kind == args.kind
         ]
+        corrupt = [
+            m.key for m in entries
+            if store.manifest_status(m.key) == "corrupt"
+        ]
+        if corrupt:
+            print(
+                f"warning: {len(corrupt)} corrupt manifest(s), "
+                "showing synthesised metadata "
+                "(run `simprof cache verify` to inspect)",
+                file=sys.stderr,
+            )
         now = time.time()
         print(
             format_table(
@@ -479,11 +521,23 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     if args.cache_command == "info":
         manifest = store.manifest(args.key)
         if manifest is None:
-            print(f"error: no manifest for {args.key!r} in {store.root}",
+            status = store.manifest_status(args.key)
+            detail = "no" if status == "missing" else status
+            print(f"error: {detail} manifest for {args.key!r} in {store.root}",
                   file=sys.stderr)
             return 1
         print(manifest.to_json())
         return 0
+    if args.cache_command == "verify":
+        outcome = store.verify(repair=args.repair)
+        for key in outcome["corrupt"]:
+            label = "quarantined" if args.repair else "CORRUPT"
+            print(f"  {label}: {key}")
+        print(
+            f"{len(outcome['ok'])} ok, {len(outcome['corrupt'])} corrupt, "
+            f"{len(outcome['unverified'])} unverified in {store.root}"
+        )
+        return 1 if outcome["corrupt"] and not args.repair else 0
     if args.cache_command == "gc":
         if not (args.stale or args.older_than is not None or args.everything):
             print("error: pass --stale, --older-than DAYS and/or --all",
@@ -508,6 +562,15 @@ def _cmd_stats() -> int:
 
     store = default_store()
     entries = list(store.entries())
+    corrupt = sum(
+        1 for m in entries if store.manifest_status(m.key) == "corrupt"
+    )
+    if corrupt:
+        print(
+            f"warning: {corrupt} corrupt manifest(s) counted with no "
+            "stage data (run `simprof cache verify`)",
+            file=sys.stderr,
+        )
     stages: dict[str, tuple[int, float]] = {}
     counters: dict[str, dict[str, float]] = {}
     total_hits = 0

@@ -361,12 +361,24 @@ class StreamingProfiler:
         every thread is cut and the caller filters.  Pass a ``sink`` to
         additionally collect stage/meta/total bookkeeping (used by
         :meth:`consume`; plain callers can ignore it).
+
+        Events are routed through the
+        :class:`~repro.faults.stream.EventGuard`, which restores
+        per-thread batch order, dedupes duplicates, and repairs or
+        degrades on gaps/corruption; anomalies are appended to the
+        sink's ``meta["fault_report"]``.  Clean streams pass through
+        with identical output.
         """
+        # Local import: repro.faults.stream depends on repro.jvm.stream.
+        from repro.faults.report import FaultReport
+        from repro.faults.stream import EventGuard
+
         cfg = self.config
         only = cfg.thread_id
+        guard = EventGuard(stream)
         cutters: dict[int, _UnitCutter] = {}
         seen: set[int] = set()
-        for event in stream:
+        for event in guard.events():
             if isinstance(event, SegmentBatch):
                 cutter = cutters.get(event.thread_id)
                 if cutter is None:
@@ -397,6 +409,7 @@ class StreamingProfiler:
                 sink.totals[tid] = cutter.total
         if sink is not None:
             sink.seen = seen
+            FaultReport.merged_meta(sink.meta, guard.report)
 
     # -- batch-compatible consumption ---------------------------------------
 

@@ -81,6 +81,7 @@ def generate_report(
     )
 
     if include_extensions:
+        from repro.experiments.ext_faults import run_fault_sweep
         from repro.experiments.ext_streaming import run_streaming_comparison
         from repro.experiments.ext_systematic import run_systematic_sweep
         from repro.experiments.ext_text_sensitivity import run_text_sensitivity
@@ -100,6 +101,11 @@ def generate_report(
             buf,
             "Extension — streaming pipeline",
             run_streaming_comparison(cfg).to_text(),
+        )
+        _section(
+            buf,
+            "Extension — fault injection",
+            run_fault_sweep(cfg).to_text(),
         )
 
     headline = fig7.averages()

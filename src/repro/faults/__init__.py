@@ -1,0 +1,47 @@
+"""Deterministic fault injection with recovery semantics.
+
+The fault model mirrors what SimProf would face on a real cluster:
+executors straggle, tasks fail and are re-executed, GC pauses land in
+the middle of a phase, hardware counters glitch, and the profiling
+stream itself drops, duplicates, or reorders events.  Every fault is
+drawn from a :class:`~repro.faults.plan.FaultPlan` seeded via
+``SeedSequence([plan.seed, FAULTS_KEY, site, *coords])`` so an
+identical plan replays bit-identically, and a null plan (all rates
+zero) is a complete no-op — it consumes no randomness and leaves the
+fault-free output byte-for-byte unchanged.
+
+Layers:
+
+``plan``
+    :class:`FaultPlan` (the serialisable knob set) and ``site_rng``
+    (the per-decision RNG derivation).
+``report``
+    :class:`FaultEvent` / :class:`FaultReport` — the audit trail every
+    recovery path must leave behind.
+``stream``
+    Producer-side :func:`inject_stream_faults` and the consumer-side
+    :class:`EventGuard` that sequences, dedupes, repairs, or degrades.
+``inject``
+    :class:`ClusterFaultInjector` (task failures / stragglers / GC
+    pauses inside the simulated Spark + Hadoop clusters) and
+    :func:`perturb_trace` (batch-trace counter glitches).
+"""
+
+from repro.faults.inject import ClusterFaultInjector, TaskFaults, perturb_trace
+from repro.faults.plan import FAULTS_KEY, FaultPlan, site_rng
+from repro.faults.report import FaultEvent, FaultReport
+from repro.faults.stream import EventGuard, ReplayBuffer, inject_stream_faults
+
+__all__ = [
+    "FAULTS_KEY",
+    "ClusterFaultInjector",
+    "EventGuard",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultReport",
+    "ReplayBuffer",
+    "TaskFaults",
+    "inject_stream_faults",
+    "perturb_trace",
+    "site_rng",
+]

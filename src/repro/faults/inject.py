@@ -1,0 +1,135 @@
+"""Cluster-level fault injection: task failures, stragglers, GC pauses.
+
+The simulated Spark scheduler and Hadoop runtime consult a
+:class:`ClusterFaultInjector` at their task-launch hook points.  Per
+task attempt the injector draws one decision vector from a site RNG
+keyed by ``(framework, stage, split)`` — independent of execution
+order, so the same plan injects the same faults no matter how waves
+are scheduled.
+
+Recovery semantics (what keeps workload *results* unchanged):
+
+* **task failure** — the substrate runs a *doomed attempt* first: it
+  re-derives the partition (Spark recomputes lineage, Hadoop re-reads
+  the input split) and burns real trace work, but commits nothing — no
+  shuffle blocks, no output files, no counter merges.  The real
+  attempt then runs exactly as it would have, so outputs are
+  byte-identical to a fault-free run.
+* **straggler** — extra stall instructions proportional to the task's
+  own retired work are appended to the task's trace (slow node, not a
+  wrong answer).
+* **GC pause** — one long stop-the-world collection is appended to the
+  task (perturbs the profile, never the data).
+
+:func:`perturb_trace` is the batch-path counterpart for counter
+glitches: it rewrites a materialised :class:`~repro.jvm.job.JobTrace`
+through :func:`repro.jvm.perf.apply_counter_glitches`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.plan import FaultPlan, site_rng
+from repro.faults.report import FaultReport
+from repro.jvm.job import JobTrace
+from repro.jvm.perf import apply_counter_glitches
+
+__all__ = ["ClusterFaultInjector", "TaskFaults", "perturb_trace"]
+
+
+@dataclass(frozen=True, slots=True)
+class TaskFaults:
+    """The fault decision vector for one task attempt.
+
+    ``n_failures`` doomed attempts precede the real one;
+    ``straggler_factor`` > 1 means the task takes that multiple of its
+    own work in stall time; ``wasted_fraction`` is how far a doomed
+    attempt got before dying (fraction of the task's compute cost).
+    """
+
+    n_failures: int = 0
+    straggler_factor: float = 0.0
+    gc_pause: bool = False
+    wasted_fraction: float = 0.5
+
+    @property
+    def any(self) -> bool:
+        return bool(self.n_failures or self.straggler_factor or self.gc_pause)
+
+
+class ClusterFaultInjector:
+    """Per-run fault oracle for one simulated cluster.
+
+    Holds the plan, the framework tag (site-key prefix, so Spark and
+    Hadoop decisions never alias), and the run's
+    :class:`~repro.faults.report.FaultReport`.
+    """
+
+    def __init__(self, plan: FaultPlan, framework: str) -> None:
+        self.plan = plan
+        self.framework = framework
+        self.report = FaultReport()
+
+    def task_faults(self, stage_id: int, split: int) -> TaskFaults:
+        """Decide the faults for task ``split`` of stage ``stage_id``."""
+        plan = self.plan
+        if not plan.cluster_active:
+            return TaskFaults()
+        rng = site_rng(plan.seed, f"{self.framework}.task", stage_id, split)
+        u = rng.random(4)
+        return TaskFaults(
+            n_failures=1 if u[0] < plan.task_failure_rate else 0,
+            straggler_factor=(
+                plan.straggler_slowdown if u[1] < plan.straggler_rate else 0.0
+            ),
+            gc_pause=u[2] < plan.gc_pause_rate,
+            wasted_fraction=0.25 + 0.5 * u[3],
+        )
+
+
+def perturb_trace(
+    job: JobTrace, plan: FaultPlan
+) -> tuple[JobTrace, FaultReport]:
+    """Apply counter-glitch perturbations to a materialised trace.
+
+    Returns a new :class:`JobTrace` (shared registry/tables, glitched
+    thread traces) plus the report of what was perturbed;
+    ``meta["fault_report"]`` on the copy carries the same report.  With
+    glitching inactive the original job is returned untouched.
+    """
+    report = FaultReport()
+    if not plan.perf_active:
+        return job, report
+    traces = []
+    for t in job.traces:
+        rng = site_rng(plan.seed, "perf.glitch", t.thread_id)
+        glitched, n = apply_counter_glitches(
+            t,
+            rate=plan.counter_glitch_rate,
+            scale=plan.counter_glitch_scale,
+            rng=rng,
+        )
+        if n:
+            report.record(
+                "perf",
+                "glitch",
+                "absorbed",
+                thread_id=t.thread_id,
+                index=n,
+                detail=f"{n} segments rescaled",
+            )
+        traces.append(glitched)
+    out = JobTrace(
+        framework=job.framework,
+        workload=job.workload,
+        input_name=job.input_name,
+        registry=job.registry,
+        stack_table=job.stack_table,
+        machine=job.machine,
+        traces=traces,
+        stages=list(job.stages),
+        meta=dict(job.meta),
+    )
+    FaultReport.merged_meta(out.meta, report)
+    return out, report

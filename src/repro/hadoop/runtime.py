@@ -27,6 +27,9 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.algos.quicksort import instrumented_quicksort
+from repro.faults.inject import ClusterFaultInjector, TaskFaults
+from repro.faults.plan import FaultPlan
+from repro.faults.report import FaultReport
 from repro.hadoop.api import Context, Reducer
 from repro.hadoop.job import HadoopJobConf
 from repro.hadoop.stacks import HadoopFrames
@@ -36,12 +39,12 @@ from repro.jvm.machine import AccessPattern, HardwareModel, MachineConfig, OpKin
 from repro.jvm.methods import CallStack, MethodRegistry, StackTable
 from repro.jvm.stream import (
     JobEnd,
-    SegmentBatch,
     StageEvent,
     ThreadStart,
     TraceEvent,
     TraceStream,
     pump_events,
+    sequenced_batch,
 )
 from repro.jvm.threads import ThreadTrace, TraceBuilder
 from repro.spark.shuffle import ShuffleManager, stable_hash
@@ -162,7 +165,9 @@ class _TaskRun:
             cluster._streamed_slots.add(self.slot)
             emit(ThreadStart(self.slot, self.slot, trace.start_cycle))
         if trace.segments:
-            emit(SegmentBatch(self.slot, tuple(trace.segments)))
+            seq = cluster._stream_seq.get(self.slot, 0)
+            cluster._stream_seq[self.slot] = seq + 1
+            emit(sequenced_batch(self.slot, tuple(trace.segments), seq))
             trace.clear_segments()
         return trace
 
@@ -174,9 +179,14 @@ class HadoopCluster:
         self,
         config: HadoopClusterConfig | None = None,
         fs: SimulatedHDFS | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.config = config or HadoopClusterConfig()
         self.fs = fs or SimulatedHDFS()
+        # Null plans stay None so the fault-free path is untouched.
+        self.faults: ClusterFaultInjector | None = None
+        if faults is not None and faults.cluster_active:
+            self.faults = ClusterFaultInjector(faults, "hadoop")
         self.registry = MethodRegistry()
         self.stack_table = StackTable(self.registry)
         self.frames = HadoopFrames(self.registry)
@@ -194,9 +204,11 @@ class HadoopCluster:
             [] for _ in range(self.config.n_slots)
         ]
         # Streaming mode: event sink plus the set of slots whose
-        # ThreadStart has been emitted.
+        # ThreadStart has been emitted, and per-slot batch sequence
+        # numbers.
         self._stream_emit: Callable[[TraceEvent], None] | None = None
         self._streamed_slots: set[int] = set()
+        self._stream_seq: dict[int, int] = {}
         seeds = np.random.SeedSequence(self.config.seed).spawn(self.config.n_slots)
         self._slot_rngs = [np.random.default_rng(s) for s in seeds]
 
@@ -256,6 +268,12 @@ class HadoopCluster:
         for wave in self._waves(n_maps):
             contention = len(wave)
             for slot, map_idx in zip(range(len(wave)), wave):
+                tf = self._task_faults(map_stage, map_idx)
+                for _ in range(tf.n_failures if tf else 0):
+                    self._run_doomed_map_attempt(
+                        conf, input_path, map_idx, slot, contention,
+                        map_stage, tf,
+                    )
                 self._run_map_task(
                     conf,
                     input_path,
@@ -265,6 +283,7 @@ class HadoopCluster:
                     slot,
                     contention,
                     map_stage,
+                    faults=tf,
                 )
 
         if conf.is_map_only:
@@ -278,6 +297,12 @@ class HadoopCluster:
         for wave in self._waves(conf.n_reduces):
             contention = len(wave)
             for slot, reduce_idx in zip(range(len(wave)), wave):
+                tf = self._task_faults(reduce_stage, reduce_idx)
+                for _ in range(tf.n_failures if tf else 0):
+                    self._run_doomed_reduce_attempt(
+                        conf, reduce_idx, shuffle_id, slot, contention,
+                        reduce_stage, tf,
+                    )
                 self._run_reduce_task(
                     conf,
                     output_path,
@@ -286,7 +311,159 @@ class HadoopCluster:
                     slot,
                     contention,
                     reduce_stage,
+                    faults=tf,
                 )
+
+    # -- fault injection ----------------------------------------------------
+
+    def _task_faults(self, stage_id: int, split: int) -> TaskFaults | None:
+        if self.faults is None:
+            return None
+        return self.faults.task_faults(stage_id, split)
+
+    def _run_doomed_map_attempt(
+        self,
+        conf: HadoopJobConf,
+        input_path: str,
+        map_idx: int,
+        slot: int,
+        contention: int,
+        stage_id: int,
+        tf: TaskFaults,
+    ) -> None:
+        """A failed map attempt: read the split, burn map work, die.
+
+        The attempt re-reads its input split and gets through
+        ``tf.wasted_fraction`` of the map cost before the (simulated)
+        JVM dies.  Nothing is spilled, shuffled, or counted — the real
+        attempt that follows redoes everything, so job outputs match a
+        fault-free run exactly.
+        """
+        task_id = self._task_counter  # the real attempt reuses this id
+        base = self.frames.map_task_stack()
+        run = _TaskRun(self, conf, slot, base, contention)
+        records, nbytes = self.fs.read_block(input_path, map_idx)
+        run.account_alloc(nbytes, stage_id, task_id)
+        run.emit(
+            self.frames.hdfs_read(base),
+            OpKind.IO,
+            AccessPattern.sequential(max(1.0, float(nbytes))),
+            nbytes * conf.io_read_inst_per_byte,
+            stage_id,
+            task_id,
+        )
+        run.emit(
+            self.frames.mapper(base, conf.mapper.frames),
+            OpKind.MAP,
+            AccessPattern.sequential(max(1.0, _list_bytes(records))),
+            conf.mapper.inst_per_record * len(records) * tf.wasted_fraction,
+            stage_id,
+            task_id,
+        )
+        run.finish()
+        assert self.faults is not None
+        self.faults.report.record(
+            "hadoop.map",
+            "task_failure",
+            "reexecuted",
+            thread_id=slot,
+            stage_id=stage_id,
+            index=map_idx,
+            detail=f"wasted {tf.wasted_fraction:.2f} of map cost",
+        )
+
+    def _run_doomed_reduce_attempt(
+        self,
+        conf: HadoopJobConf,
+        reduce_idx: int,
+        shuffle_id: int,
+        slot: int,
+        contention: int,
+        stage_id: int,
+        tf: TaskFaults,
+    ) -> None:
+        """A failed reduce attempt: re-fetch map output partway, die."""
+        task_id = self._task_counter  # the real attempt reuses this id
+        base = self.frames.reduce_task_stack()
+        run = _TaskRun(self, conf, slot, base, contention)
+        fetch_stack = self.frames.fetch(base)
+        for _recs, nbytes in self.shuffle.fetch(shuffle_id, reduce_idx):
+            fetched = (
+                nbytes * conf.compression_ratio
+                if conf.compress_map_output
+                else nbytes
+            )
+            run.emit(
+                fetch_stack,
+                OpKind.SHUFFLE,
+                AccessPattern.sequential(max(1.0, float(fetched))),
+                fetched * conf.shuffle_inst_per_byte * tf.wasted_fraction,
+                stage_id,
+                task_id,
+            )
+        run.finish()
+        assert self.faults is not None
+        self.faults.report.record(
+            "hadoop.reduce",
+            "task_failure",
+            "reexecuted",
+            thread_id=slot,
+            stage_id=stage_id,
+            index=reduce_idx,
+            detail=f"wasted {tf.wasted_fraction:.2f} of fetch cost",
+        )
+
+    def _apply_task_faults(
+        self,
+        run: _TaskRun,
+        tf: TaskFaults | None,
+        stage_id: int,
+        task_id: int,
+    ) -> None:
+        """Append straggler stall / GC pause to a finishing task."""
+        if tf is None or self.faults is None:
+            return
+        plan = self.faults.plan
+        if tf.straggler_factor:
+            scale = self.config.machine.instruction_scale
+            extra = (tf.straggler_factor - 1.0) * run.builder.retired
+            run.emit(
+                self.frames.with_frames(
+                    run.base_stack,
+                    (("org.apache.hadoop.mapred.Task", "reportProgress"),),
+                ),
+                OpKind.FRAMEWORK,
+                AccessPattern.pointer(48e6),
+                extra / scale,
+                stage_id,
+                task_id,
+            )
+            self.faults.report.record(
+                "hadoop.task",
+                "straggler",
+                "absorbed",
+                thread_id=run.slot,
+                stage_id=stage_id,
+                index=task_id,
+                detail=f"slowdown x{tf.straggler_factor}",
+            )
+        if tf.gc_pause:
+            run.emit(
+                self.frames.gc_stack(run.base_stack),
+                OpKind.GC,
+                AccessPattern.pointer(0.75 * self.config.gc_threshold_bytes),
+                plan.gc_pause_inst,
+                stage_id,
+                task_id,
+            )
+            self.faults.report.record(
+                "hadoop.task",
+                "gc_pause",
+                "absorbed",
+                thread_id=run.slot,
+                stage_id=stage_id,
+                index=task_id,
+            )
 
     # -- map side ---------------------------------------------------------------
 
@@ -300,6 +477,7 @@ class HadoopCluster:
         slot: int,
         contention: int,
         stage_id: int,
+        faults: TaskFaults | None = None,
     ) -> None:
         task_id = self._task_counter
         self._task_counter += 1
@@ -367,6 +545,7 @@ class HadoopCluster:
         self._merge_counters(conf.name, ctx)
         if conf.is_map_only:
             self._write_output(run, conf, buffer, output_path, task_id, stage_id, "m")
+            self._apply_task_faults(run, faults, stage_id, task_id)
             run.finish()
             return
 
@@ -376,6 +555,7 @@ class HadoopCluster:
         merged = self._merge_spills(run, conf, spills, stage_id, task_id)
         for part, recs in merged.items():
             self.shuffle.write_block(shuffle_id, map_idx, part, recs)
+        self._apply_task_faults(run, faults, stage_id, task_id)
         run.finish()
 
     def _sort_and_spill(
@@ -525,6 +705,7 @@ class HadoopCluster:
         slot: int,
         contention: int,
         stage_id: int,
+        faults: TaskFaults | None = None,
     ) -> None:
         task_id = self._task_counter
         self._task_counter += 1
@@ -628,6 +809,7 @@ class HadoopCluster:
             )
         self._merge_counters(conf.name, ctx)
         self.fs.append_block(f"{output_path}/part-r-{reduce_idx:05d}", lines)
+        self._apply_task_faults(run, faults, stage_id, task_id)
         run.finish()
 
     def _write_output(
@@ -662,13 +844,16 @@ class HadoopCluster:
 
     def _trace_meta(self) -> dict[str, Any]:
         """Job-level metadata shared by the batch and streaming exports."""
-        return {
+        meta = {
             "n_slots": self.config.n_slots,
             "n_tasks": self._task_counter,
             "hdfs_bytes_read": self.fs.bytes_read,
             "hdfs_bytes_written": self.fs.bytes_written,
             "shuffle_bytes": self.shuffle.bytes_written,
         }
+        if self.faults is not None:
+            FaultReport.merged_meta(meta, self.faults.report)
+        return meta
 
     def job_trace(self, workload: str, input_name: str = "default") -> JobTrace:
         """Merge per-slot task traces into pseudo-threads and package.
@@ -716,6 +901,7 @@ class HadoopCluster:
         def produce(emit: Callable[[TraceEvent], None]) -> None:
             self._stream_emit = emit
             self._streamed_slots = set()
+            self._stream_seq = {}
             try:
                 run()
                 emit(JobEnd(self._trace_meta()))

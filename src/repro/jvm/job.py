@@ -58,7 +58,16 @@ class JobTrace:
         assemble the classic in-memory trace.  Thread order follows
         ``ThreadStart`` order, which each substrate emits to match its
         batch ``job_trace()``.
+
+        Events pass through the :class:`~repro.faults.stream.EventGuard`
+        first, so duplicated/reordered/corrupt segment batches are
+        deduped, resequenced, or repaired; any anomaly lands in
+        ``meta["fault_report"]``.  On a clean stream the guard is a
+        pass-through and the result is byte-identical to before.
         """
+        # Local import: repro.faults.stream depends on repro.jvm.stream.
+        from repro.faults.report import FaultReport
+        from repro.faults.stream import EventGuard
         from repro.jvm.stream import JobEnd, SegmentBatch, StageEvent, ThreadStart
 
         job = cls(
@@ -69,8 +78,9 @@ class JobTrace:
             stack_table=stream.stack_table,
             machine=stream.machine,
         )
+        guard = EventGuard(stream)
         by_id: dict[int, ThreadTrace] = {}
-        for event in stream:
+        for event in guard.events():
             if isinstance(event, SegmentBatch):
                 trace = by_id.get(event.thread_id)
                 if trace is None:
@@ -91,6 +101,7 @@ class JobTrace:
                 job.stages.append(event.info)
             elif isinstance(event, JobEnd):
                 job.meta.update(event.meta)
+        FaultReport.merged_meta(job.meta, guard.report)
         return job
 
     @property

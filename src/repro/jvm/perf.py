@@ -14,13 +14,14 @@ than rounded to segments.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import NamedTuple
 
 import numpy as np
 
 from repro.jvm.threads import ThreadTrace
 
-__all__ = ["CounterWindow", "PerfCounterReader"]
+__all__ = ["CounterWindow", "PerfCounterReader", "apply_counter_glitches"]
 
 
 class CounterWindow(NamedTuple):
@@ -47,6 +48,55 @@ class CounterWindow(NamedTuple):
         if not self.instructions:
             return 0.0
         return 1000.0 * self.llc_misses / self.instructions
+
+
+def apply_counter_glitches(
+    trace: ThreadTrace,
+    *,
+    rate: float,
+    scale: float,
+    rng: np.random.Generator,
+) -> tuple[ThreadTrace, int]:
+    """Perturb a thread's counter readings, modelling perf multiplexing.
+
+    Real ``perf_event`` sessions occasionally deliver windows whose
+    cycle/miss counts are off (counter multiplexing, PMI skid).  Each
+    segment is independently glitched with probability ``rate``: its
+    ``cycles``, ``l1d_misses`` and ``llc_misses`` are rescaled by a
+    factor drawn uniformly from ``[1 - scale, 1 + scale]`` (clamped to
+    stay non-negative).  Instruction counts are never touched — the
+    instruction clock is ground truth, only derived counters glitch.
+
+    Returns a new :class:`ThreadTrace` plus the number of glitched
+    segments; the input trace is left untouched.  With ``rate == 0``
+    the original trace object is returned unchanged.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"rate must be in [0, 1], got {rate!r}")
+    if rate == 0.0 or not trace.segments:
+        return trace, 0
+    n = len(trace.segments)
+    hits = rng.random(n) < rate
+    factors = 1.0 + scale * (2.0 * rng.random(n) - 1.0)
+    segments = list(trace.segments)
+    glitched = 0
+    for i in np.nonzero(hits)[0]:
+        s = segments[i]
+        f = max(0.0, float(factors[i]))
+        segments[i] = dataclasses.replace(
+            s,
+            cycles=max(0, int(round(s.cycles * f))),
+            l1d_misses=max(0, int(round(s.l1d_misses * f))),
+            llc_misses=max(0, int(round(s.llc_misses * f))),
+        )
+        glitched += 1
+    out = ThreadTrace(
+        thread_id=trace.thread_id,
+        core_id=trace.core_id,
+        segments=segments,
+        start_cycle=trace.start_cycle,
+    )
+    return out, glitched
 
 
 class PerfCounterReader:

@@ -31,14 +31,16 @@ depth, which is what makes the memory bound real.
 from __future__ import annotations
 
 import queue
+import struct
 import threading
+import zlib
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Union
 
 from repro.jvm.job import JobTrace, StageInfo
 from repro.jvm.machine import MachineConfig
 from repro.jvm.methods import MethodRegistry, StackTable
-from repro.jvm.threads import TraceSegment
+from repro.jvm.threads import OP_KIND_CODES, TraceSegment
 
 __all__ = [
     "ThreadStart",
@@ -49,8 +51,39 @@ __all__ = [
     "TraceStream",
     "StreamClosed",
     "pump_events",
+    "segment_checksum",
+    "sequenced_batch",
     "trace_to_stream",
 ]
+
+_SEGMENT_PACK = struct.Struct("<qqqqqqqq")
+
+
+def segment_checksum(segments: tuple[TraceSegment, ...]) -> int:
+    """CRC-32 over the integer fields of a segment batch payload.
+
+    Deterministic across processes (unlike salted ``hash()``): packs
+    each segment's identifying integers little-endian and folds them
+    through :func:`zlib.crc32`.  Cheap enough to compute at emission
+    and again at consumption, which is what lets the stream guard in
+    :mod:`repro.faults.stream` detect corrupted payloads.
+    """
+    crc = 0
+    for s in segments:
+        crc = zlib.crc32(
+            _SEGMENT_PACK.pack(
+                s.stack_id,
+                OP_KIND_CODES[s.op_kind],
+                s.instructions,
+                s.cycles,
+                s.l1d_misses,
+                s.llc_misses,
+                s.stage_id,
+                s.task_id,
+            ),
+            crc,
+        )
+    return crc
 
 
 @dataclass(frozen=True, slots=True)
@@ -64,10 +97,28 @@ class ThreadStart:
 
 @dataclass(frozen=True, slots=True)
 class SegmentBatch:
-    """Consecutive trace segments of one thread, in emission order."""
+    """Consecutive trace segments of one thread, in emission order.
+
+    ``seq`` is a per-thread sequence number (0, 1, 2, ... in emission
+    order) and ``checksum`` the :func:`segment_checksum` of the
+    payload; together they let consumers detect gaps, duplicates,
+    reordering, and corruption.  ``seq == -1`` marks a legacy/unsequenced
+    batch, which consumers pass through untouched.
+    """
 
     thread_id: int
     segments: tuple[TraceSegment, ...]
+    seq: int = -1
+    checksum: int = 0
+
+
+def sequenced_batch(
+    thread_id: int, segments: tuple[TraceSegment, ...], seq: int
+) -> SegmentBatch:
+    """Build a :class:`SegmentBatch` with its checksum filled in."""
+    return SegmentBatch(
+        thread_id, segments, seq=seq, checksum=segment_checksum(segments)
+    )
 
 
 @dataclass(frozen=True, slots=True)
@@ -215,9 +266,9 @@ def trace_to_stream(job: JobTrace, *, batch_size: int = 256) -> TraceStream:
         for info in job.stages:
             yield StageEvent(info)
         for t in job.traces:
-            for i in range(0, len(t.segments), batch_size):
-                yield SegmentBatch(
-                    t.thread_id, tuple(t.segments[i : i + batch_size])
+            for seq, i in enumerate(range(0, len(t.segments), batch_size)):
+                yield sequenced_batch(
+                    t.thread_id, tuple(t.segments[i : i + batch_size]), seq
                 )
         yield JobEnd(dict(job.meta))
 

@@ -210,6 +210,16 @@ class TraceBuilder:
         """Number of OS migrations the thread has suffered."""
         return self._migrations
 
+    @property
+    def retired(self) -> int:
+        """Instructions retired so far (final, post-scale).
+
+        Monotone across the thread's lifetime; the delta across a task
+        is the task's own work, which is what fault injection sizes
+        straggler stalls against.
+        """
+        return self._retired
+
     def set_contention(self, n_threads: int) -> None:
         """Set how many threads currently share the LLC."""
         self.contention = max(1, int(n_threads))

@@ -10,9 +10,19 @@ Guarantees:
 * **cache-aware de-duplication** — structurally equal specs collapse to
   one computation, and anything already in the store is never
   recomputed;
-* **bounded retries** — a worker failure is retried up to ``retries``
-  times before surfacing as :class:`RunnerError`; a broken pool (OOM-
-  killed worker, fork failure) degrades to in-process execution;
+* **bounded retries with backoff** — a worker failure is retried up to
+  ``retries`` times (sleeping ``backoff * 2**attempt`` seconds between
+  attempts) before surfacing as :class:`RunnerError`; a broken pool
+  (OOM-killed worker, fork failure) degrades to in-process execution;
+* **timeouts with speculative re-execution** — a pool task that
+  exceeds ``timeout`` seconds is re-submitted to another worker
+  (running futures cannot be cancelled, but the store's atomic
+  content-addressed writes make duplicate materialisation harmless —
+  first writer wins, byte-identical either way);
+* **checkpoint/resume** — with ``checkpoint=<path>``, the runner
+  journals each completed dedupe key; a killed batch restarted with
+  the same checkpoint file skips straight past finished specs even if
+  the store was swept in between;
 * **deterministic results** — workers only *materialise* artifacts into
   the content-addressed store and return keys; the parent loads every
   result from the store in input order, so serial and parallel runs
@@ -25,10 +35,13 @@ atomic unique-tempfile writes make concurrent materialisation safe.
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field
+from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.core.phases import PhaseModel
@@ -209,6 +222,35 @@ def _pool_worker(payload: dict[str, Any]) -> tuple[str, str | None]:
 # -- the runner ---------------------------------------------------------------
 
 
+class _Checkpoint:
+    """Journal of completed dedupe keys, atomically rewritten on mark.
+
+    A corrupt or unreadable journal is treated as empty (the batch
+    restarts from the store's contents) rather than crashing a resume.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.done: set[str] = set()
+        if self.path.exists():
+            try:
+                data = json.loads(self.path.read_text(encoding="utf-8"))
+                self.done = {str(k) for k in data.get("done", ())}
+            except (OSError, json.JSONDecodeError, AttributeError):
+                self.done = set()
+
+    def mark(self, key: str) -> None:
+        if key in self.done:
+            return
+        self.done.add(key)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(
+            json.dumps({"done": sorted(self.done)}, indent=2) + "\n",
+            encoding="utf-8",
+        )
+        tmp.replace(self.path)
+
+
 class ExperimentRunner:
     """Executes batches of :class:`RunSpec` against one artifact store."""
 
@@ -218,10 +260,27 @@ class ExperimentRunner:
         *,
         jobs: int | None = None,
         retries: int = 2,
+        backoff: float = 0.0,
+        timeout: float | None = None,
+        checkpoint: str | Path | None = None,
     ) -> None:
         self.store = store or default_store()
         self.jobs = resolve_jobs(jobs)
         self.retries = max(0, int(retries))
+        self.backoff = max(0.0, float(backoff))
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        self.timeout = timeout
+        self.checkpoint = _Checkpoint(checkpoint) if checkpoint else None
+
+    def _sleep_before_retry(self, attempt: int) -> None:
+        """Exponential backoff between attempts (attempt is 0-based)."""
+        if self.backoff > 0:
+            time.sleep(self.backoff * (2.0**attempt))
+
+    def _mark_done(self, key: str) -> None:
+        if self.checkpoint is not None:
+            self.checkpoint.mark(key)
 
     # The dedupe identity of a spec is its (deepest) artifact key.
     def _dedupe_key(self, spec: RunSpec, want: str) -> str:
@@ -241,7 +300,9 @@ class ExperimentRunner:
 
     def _run_inline(self, spec: RunSpec, want: str) -> None:
         last: Exception | None = None
-        for _attempt in range(self.retries + 1):
+        for attempt in range(self.retries + 1):
+            if attempt > 0:
+                self._sleep_before_retry(attempt - 1)
             try:
                 _materialise(spec, want, self.store)
                 return
@@ -254,36 +315,64 @@ class ExperimentRunner:
     def _run_pool(self, missing: dict[str, RunSpec], want: str) -> None:
         attempts: dict[str, int] = {key: 0 for key in missing}
         workers = min(self.jobs, len(missing))
+
+        def payload(key: str) -> dict[str, Any]:
+            return {**missing[key].to_payload(), "want": want}
+
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    key: pool.submit(
-                        _pool_worker, {**spec.to_payload(), "want": want}
-                    )
-                    for key, spec in missing.items()
+                # One key may have several in-flight futures: a running
+                # future cannot be cancelled, so a timed-out spec gets a
+                # speculative twin instead — first completion wins, and
+                # the store's atomic content-addressed writes make the
+                # loser's materialisation a harmless duplicate.
+                futures: dict[str, list[Any]] = {
+                    key: [pool.submit(_pool_worker, payload(key))]
+                    for key in missing
                 }
+                started = {key: time.monotonic() for key in futures}
                 while futures:
                     done, _pending = wait(
-                        futures.values(), return_when=FIRST_COMPLETED
+                        [f for fs in futures.values() for f in fs],
+                        timeout=self.timeout,
+                        return_when=FIRST_COMPLETED,
                     )
-                    for key in [k for k, f in futures.items() if f in done]:
-                        future = futures.pop(key)
-                        exc = future.exception()
-                        if exc is None:
-                            continue
-                        if isinstance(exc, BrokenProcessPool):
-                            raise exc
-                        attempts[key] += 1
-                        if attempts[key] > self.retries:
-                            spec = missing[key]
-                            raise RunnerError(
-                                f"spec {spec.label} failed after "
-                                f"{self.retries + 1} attempts: {exc}"
-                            ) from exc
-                        futures[key] = pool.submit(
-                            _pool_worker,
-                            {**missing[key].to_payload(), "want": want},
-                        )
+                    now = time.monotonic()
+                    for key in list(futures):
+                        finished = [f for f in futures[key] if f in done]
+                        if finished:
+                            if any(f.exception() is None for f in finished):
+                                del futures[key]
+                                self._mark_done(key)
+                                continue
+                            for future in finished:
+                                futures[key].remove(future)
+                            exc = finished[-1].exception()
+                            if isinstance(exc, BrokenProcessPool):
+                                raise exc
+                            attempts[key] += len(finished)
+                            if attempts[key] > self.retries:
+                                spec = missing[key]
+                                raise RunnerError(
+                                    f"spec {spec.label} failed after "
+                                    f"{self.retries + 1} attempts: {exc}"
+                                ) from exc
+                            if not futures[key]:
+                                self._sleep_before_retry(attempts[key] - 1)
+                                futures[key] = [
+                                    pool.submit(_pool_worker, payload(key))
+                                ]
+                                started[key] = time.monotonic()
+                        elif (
+                            self.timeout is not None
+                            and now - started[key] > self.timeout
+                            and len(futures[key]) == 1
+                        ):
+                            # Straggler: speculatively re-execute on
+                            # another worker (at most one twin per key).
+                            futures[key].append(
+                                pool.submit(_pool_worker, payload(key))
+                            )
         except BrokenProcessPool:
             # A worker died hard (OOM, signal).  Finish what is left
             # in-process rather than losing the batch.
@@ -324,18 +413,29 @@ class ExperimentRunner:
                 unique[key] = spec
                 cached[key] = self._is_materialised(spec, want)
 
-        missing = {k: s for k, s in unique.items() if not cached[k]}
+        # A checkpoint journal lets a killed batch resume: keys it lists
+        # are skipped here, and any that the store lost since are healed
+        # lazily by ``_load``'s recompute path.
+        done_keys = self.checkpoint.done if self.checkpoint is not None else set()
+        missing = {
+            k: s for k, s in unique.items() if not cached[k] and k not in done_keys
+        }
         if missing:
             if self.jobs > 1 and len(missing) > 1:
                 self._run_pool(missing, want)
                 # Workers wrote to disk; anything a broken pool left
                 # behind was finished inline by _run_pool.
-                for spec in missing.values():
+                for key, spec in missing.items():
                     if not self._is_materialised(spec, want):
                         self._run_inline(spec, want)
+                    self._mark_done(key)
             else:
-                for spec in missing.values():
+                for key, spec in missing.items():
                     self._run_inline(spec, want)
+                    self._mark_done(key)
+        if self.checkpoint is not None:
+            for key in unique:
+                self._mark_done(key)
 
         results: list[RunResult] = []
         for spec in ordered:
@@ -365,6 +465,18 @@ def run_specs(
     want: str = "model",
     jobs: int | None = None,
     store: ArtifactStore | None = None,
+    retries: int = 2,
+    backoff: float = 0.0,
+    timeout: float | None = None,
+    checkpoint: str | Path | None = None,
 ) -> list[RunResult]:
     """Convenience wrapper: run a batch against the default store."""
-    return ExperimentRunner(store, jobs=jobs).run(specs, want=want)
+    runner = ExperimentRunner(
+        store,
+        jobs=jobs,
+        retries=retries,
+        backoff=backoff,
+        timeout=timeout,
+        checkpoint=checkpoint,
+    )
+    return runner.run(specs, want=want)

@@ -144,6 +144,9 @@ class ArtifactManifest:
     # Per-stage numeric counters captured during the compute (e.g. the
     # streaming profiler's units / unit_seconds), keyed stage → counter.
     counters: dict[str, dict[str, float]] = field(default_factory=dict)
+    # SHA-256 of the pickled payload; empty on entries written before
+    # integrity checking existed (those read as "unverified").
+    payload_sha256: str = ""
 
     def to_json(self) -> str:
         return json.dumps(
@@ -158,6 +161,7 @@ class ArtifactManifest:
                 "hits": self.hits,
                 "stages": self.stages,
                 "counters": self.counters,
+                "payload_sha256": self.payload_sha256,
             },
             indent=2,
             sort_keys=True,
@@ -177,6 +181,7 @@ class ArtifactManifest:
             hits=data.get("hits", 0),
             stages=data.get("stages", {}),
             counters=data.get("counters", {}),
+            payload_sha256=data.get("payload_sha256", ""),
         )
 
 
@@ -270,10 +275,22 @@ class ArtifactStore:
             return self._memory[key]
         path = self._value_path(key)
         try:
-            with path.open("rb") as fh:
-                value = pickle.load(fh)
-        except FileNotFoundError:
+            payload = path.read_bytes()
+        except OSError:
             raise KeyError(key) from None
+        manifest = self.manifest(key)
+        if (
+            manifest is not None
+            and manifest.payload_sha256
+            and hashlib.sha256(payload).hexdigest() != manifest.payload_sha256
+        ):
+            # Bit-rot or truncation: never unpickle bytes that fail the
+            # manifest digest — park the evidence and let the caller
+            # recompute.
+            self.quarantine(key)
+            raise KeyError(key)
+        try:
+            value = pickle.loads(payload)
         except Exception:
             # Corrupt entry (torn write from a killed process, version
             # drift): drop it so the caller recomputes.
@@ -306,6 +323,7 @@ class ArtifactStore:
             size_bytes=len(payload),
             stages=stages or {},
             counters=counters or {},
+            payload_sha256=hashlib.sha256(payload).hexdigest(),
         )
         _atomic_write_bytes(self._value_path(key), payload)
         _atomic_write_bytes(
@@ -358,6 +376,51 @@ class ArtifactStore:
         self._value_path(key).unlink(missing_ok=True)
         self._manifest_path(key).unlink(missing_ok=True)
 
+    def quarantine(self, key: str) -> None:
+        """Move an entry's files into ``<root>/quarantine/`` for autopsy.
+
+        Unlike :meth:`delete` the bytes survive (same filenames, new
+        directory), but the entry stops being served: the next ``get``
+        misses and the caller recomputes.
+        """
+        qdir = self.root / "quarantine"
+        qdir.mkdir(exist_ok=True)
+        self._memory.pop(key, None)
+        for path in (self._value_path(key), self._manifest_path(key)):
+            if path.exists():
+                with _suppress_oserror():
+                    os.replace(path, qdir / path.name)
+
+    def verify(self, *, repair: bool = False) -> dict[str, list[str]]:
+        """Integrity-check every on-disk payload against its manifest.
+
+        Returns ``{"ok": [...], "corrupt": [...], "unverified": [...]}``
+        (entry keys, sorted).  ``corrupt`` means the payload bytes no
+        longer match the manifest's recorded SHA-256; ``unverified``
+        means no digest was recorded (entry predates integrity
+        checking, or its manifest is missing/corrupt).  With
+        ``repair=True`` corrupt entries are quarantined.
+        """
+        out: dict[str, list[str]] = {"ok": [], "corrupt": [], "unverified": []}
+        for path in sorted(self.root.glob("*.pkl")):
+            key = path.stem
+            manifest = self.manifest(key)
+            if manifest is None or not manifest.payload_sha256:
+                out["unverified"].append(key)
+                continue
+            try:
+                digest = hashlib.sha256(path.read_bytes()).hexdigest()
+            except OSError:
+                # Deleted between glob and read — nothing left to check.
+                continue
+            if digest == manifest.payload_sha256:
+                out["ok"].append(key)
+            else:
+                out["corrupt"].append(key)
+                if repair:
+                    self.quarantine(key)
+        return out
+
     def clear_memory(self) -> None:
         """Drop the in-process tier (disk entries survive)."""
         self._memory.clear()
@@ -366,13 +429,26 @@ class ArtifactStore:
 
     def manifest(self, key: str) -> ArtifactManifest | None:
         """The manifest for ``key``, or None if absent/corrupt."""
-        path = self._manifest_path(key)
         try:
-            return ArtifactManifest.from_json(path.read_text())
-        except FileNotFoundError:
-            return None
+            return ArtifactManifest.from_json(self._manifest_path(key).read_text())
         except Exception:
             return None
+
+    def manifest_status(self, key: str) -> str:
+        """``"ok"``, ``"missing"``, or ``"corrupt"`` for the manifest file.
+
+        Lets callers (``simprof stats``, ``simprof cache ls``) count a
+        half-written manifest separately from an absent one instead of
+        crashing on it.
+        """
+        path = self._manifest_path(key)
+        try:
+            ArtifactManifest.from_json(path.read_text())
+        except FileNotFoundError:
+            return "missing"
+        except Exception:
+            return "corrupt"
+        return "ok"
 
     def _record_hit(self, key: str) -> None:
         """Bump the on-disk hit counter (best-effort)."""
@@ -394,14 +470,24 @@ class ArtifactStore:
             manifest = self.manifest(key)
             if manifest is None:
                 parts = key.split("-")
+                try:
+                    stat = path.stat()
+                except OSError:
+                    # Entry vanished between glob and stat (concurrent
+                    # gc): skip it rather than crash the listing.
+                    continue
                 manifest = ArtifactManifest(
                     key=key,
                     kind=parts[0] if parts else "?",
                     version=parts[1] if len(parts) > 2 else "?",
-                    size_bytes=path.stat().st_size,
-                    created=path.stat().st_mtime,
+                    size_bytes=stat.st_size,
+                    created=stat.st_mtime,
                 )
             yield manifest
+
+    #: Orphaned writer tempfiles younger than this survive ``gc`` — a
+    #: live concurrent writer's in-flight file must not be reaped.
+    TMP_GRACE_SECONDS = 3600.0
 
     def gc(
         self,
@@ -411,12 +497,16 @@ class ArtifactStore:
         stale_only: bool = False,
         everything: bool = False,
         dry_run: bool = False,
+        tmp_grace_seconds: float | None = None,
     ) -> tuple[int, int]:
         """Delete entries; returns (entries removed, bytes reclaimed).
 
         ``stale_only`` removes entries from other store versions;
         ``max_age_days`` removes entries older than that; ``everything``
-        removes all (optionally filtered by ``kind``).
+        removes all (optionally filtered by ``kind``).  Orphaned
+        ``.*.tmp`` files are only reaped once older than
+        ``tmp_grace_seconds`` (default :data:`TMP_GRACE_SECONDS`), so a
+        concurrent writer's half-written file is never destroyed.
         """
         now = time.time()
         removed = 0
@@ -439,11 +529,19 @@ class ArtifactStore:
             reclaimed += manifest.size_bytes or 0
             if not dry_run:
                 self.delete(manifest.key)
-        # Sweep orphaned temp files from crashed writers.
+        # Sweep orphaned temp files from crashed writers — but only
+        # past the grace period: a young tempfile may belong to a live
+        # writer about to os.replace() it into place.
         if not dry_run:
+            grace = (
+                self.TMP_GRACE_SECONDS
+                if tmp_grace_seconds is None
+                else max(0.0, tmp_grace_seconds)
+            )
             for tmp in self.root.glob(".*.tmp"):
                 with _suppress_oserror():
-                    tmp.unlink()
+                    if now - tmp.stat().st_mtime > grace:
+                        tmp.unlink()
         return removed, reclaimed
 
 

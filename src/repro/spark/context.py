@@ -14,16 +14,19 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.faults.inject import ClusterFaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.report import FaultReport
 from repro.hdfs.filesystem import SimulatedHDFS
 from repro.jvm.job import JobTrace, StageInfo
 from repro.jvm.stream import (
     JobEnd,
-    SegmentBatch,
     StageEvent,
     ThreadStart,
     TraceEvent,
     TraceStream,
     pump_events,
+    sequenced_batch,
 )
 from repro.jvm.machine import HardwareModel, MachineConfig
 from repro.jvm.methods import MethodRegistry, StackTable
@@ -77,9 +80,14 @@ class SparkContext:
         self,
         config: SparkConfig | None = None,
         fs: SimulatedHDFS | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.config = config or SparkConfig()
         self.fs = fs or SimulatedHDFS()
+        # Null plans stay None so the fault-free path is untouched.
+        self.faults: ClusterFaultInjector | None = None
+        if faults is not None and faults.cluster_active:
+            self.faults = ClusterFaultInjector(faults, "spark")
         self.registry = MethodRegistry()
         self.stack_table = StackTable(self.registry)
         self.frames = SparkFrames(self.registry)
@@ -94,6 +102,8 @@ class SparkContext:
         # Streaming mode: when set, the scheduler flushes executor
         # segments through this callback instead of accumulating them.
         self._stream_emit: Callable[[TraceEvent], None] | None = None
+        # Per-thread SegmentBatch sequence numbers (streaming mode).
+        self._stream_seq: dict[int, int] = {}
 
         seeds = np.random.SeedSequence(self.config.seed).spawn(
             self.config.n_executors
@@ -156,12 +166,15 @@ class SparkContext:
 
     def _trace_meta(self) -> dict[str, Any]:
         """Job-level metadata shared by the batch and streaming exports."""
-        return {
+        meta = {
             "n_executors": self.config.n_executors,
             "hdfs_bytes_read": self.fs.bytes_read,
             "hdfs_bytes_written": self.fs.bytes_written,
             "shuffle_bytes": self.shuffle.bytes_written,
         }
+        if self.faults is not None:
+            FaultReport.merged_meta(meta, self.faults.report)
+        return meta
 
     def job_trace(self, workload: str, input_name: str = "default") -> JobTrace:
         """Package everything the executors recorded into a JobTrace."""
@@ -191,7 +204,13 @@ class SparkContext:
         for ex in self.executors:
             trace = ex.builder.trace
             if trace.segments:
-                emit(SegmentBatch(trace.thread_id, tuple(trace.segments)))
+                seq = self._stream_seq.get(trace.thread_id, 0)
+                self._stream_seq[trace.thread_id] = seq + 1
+                emit(
+                    sequenced_batch(
+                        trace.thread_id, tuple(trace.segments), seq
+                    )
+                )
                 trace.clear_segments()
 
     def stream_trace(
@@ -215,6 +234,7 @@ class SparkContext:
 
         def produce(emit: Callable[[TraceEvent], None]) -> None:
             self._stream_emit = emit
+            self._stream_seq = {}
             try:
                 for ex in self.executors:
                     t = ex.builder.trace

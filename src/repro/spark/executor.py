@@ -609,6 +609,58 @@ class Executor:
             )
         return buckets
 
+    def run_doomed_attempt(
+        self, stage: Any, split: int, task_id: int, contention: int
+    ) -> None:
+        """One failed task attempt: recompute the partition, commit nothing.
+
+        Spark recovers a lost task by re-running it from lineage; the
+        doomed attempt burns the same compute — trace work, HDFS/shuffle
+        reads, GC — but skips every side effect (no shuffle-bucket
+        write, no action, no output part-file), so the real attempt
+        that follows produces byte-identical job results.
+        """
+        self.builder.set_contention(contention)
+        task_stack = self.ctx.frames.task_stack(
+            shuffle_map=stage.shuffle_dep is not None
+        )
+        self.compute(stage.rdd, split, task_stack, stage.stage_id, task_id)
+
+    def inject_stall(
+        self, instructions: float, stage_id: int, task_id: int
+    ) -> None:
+        """Straggler stall: framework-side busywork under memory pressure.
+
+        ``instructions`` is in final (post-``instruction_scale``) terms
+        — fault injection sizes stalls from retired-instruction deltas.
+        """
+        stack = self.ctx.frames.with_frames(
+            self.ctx.frames.task_stack(shuffle_map=False),
+            (("org.apache.spark.executor.Executor", "reportHeartBeat"),),
+        )
+        scale = self.ctx.hardware.config.instruction_scale
+        self._emit(
+            stack,
+            OpKind.FRAMEWORK,
+            AccessPattern.pointer(48e6),
+            instructions / scale,
+            stage_id,
+            task_id,
+        )
+
+    def inject_gc_pause(
+        self, instructions: float, stage_id: int, task_id: int
+    ) -> None:
+        """One long stop-the-world collection appended to the task."""
+        self._emit(
+            self.ctx.frames.gc_stack(),
+            OpKind.GC,
+            AccessPattern.pointer(0.75 * self.cfg.gc_threshold_bytes),
+            instructions,
+            stage_id,
+            task_id,
+        )
+
     def run_result_task(
         self,
         stage: Any,

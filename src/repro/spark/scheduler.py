@@ -10,6 +10,7 @@ intra-phase CPI variation (the paper's *phase interleaving*).
 
 from __future__ import annotations
 
+from functools import partial
 from functools import reduce as _functools_reduce
 from typing import Any, Callable
 
@@ -110,6 +111,68 @@ class DAGScheduler:
             for start in range(0, n_tasks, n_exec)
         ]
 
+    def _launch_task(
+        self,
+        executor: Any,
+        stage: Stage,
+        split: int,
+        task_id: int,
+        contention: int,
+        run: Callable[[], Any],
+    ) -> Any:
+        """Run one task attempt under the context's fault injector.
+
+        Failed attempts are modelled as *doomed* runs that recompute
+        the partition from lineage and commit nothing, after which the
+        real attempt (``run``) executes unchanged — so job results are
+        identical to a fault-free run.  Straggler stalls and GC pauses
+        are appended after the real attempt, sized against the work it
+        actually retired.
+        """
+        faults = self.ctx.faults
+        if faults is None:
+            return run()
+        tf = faults.task_faults(stage.stage_id, split)
+        for _ in range(tf.n_failures):
+            executor.run_doomed_attempt(stage, split, task_id, contention)
+            faults.report.record(
+                "spark.task",
+                "task_failure",
+                "lineage_recompute",
+                thread_id=executor.thread_id,
+                stage_id=stage.stage_id,
+                index=split,
+            )
+        before = executor.builder.retired
+        result = run()
+        if tf.straggler_factor:
+            extra = (tf.straggler_factor - 1.0) * (
+                executor.builder.retired - before
+            )
+            executor.inject_stall(extra, stage.stage_id, task_id)
+            faults.report.record(
+                "spark.task",
+                "straggler",
+                "absorbed",
+                thread_id=executor.thread_id,
+                stage_id=stage.stage_id,
+                index=split,
+                detail=f"slowdown x{tf.straggler_factor}",
+            )
+        if tf.gc_pause:
+            executor.inject_gc_pause(
+                faults.plan.gc_pause_inst, stage.stage_id, task_id
+            )
+            faults.report.record(
+                "spark.task",
+                "gc_pause",
+                "absorbed",
+                thread_id=executor.thread_id,
+                stage_id=stage.stage_id,
+                index=split,
+            )
+        return result
+
     def _run_shuffle_stage(self, stage: Stage) -> None:
         self._fit_partitioner_if_needed(stage)
         for wave in self._waves(stage.num_tasks()):
@@ -118,7 +181,20 @@ class DAGScheduler:
                 executor = self.ctx.executors[slot]
                 task_id = self._next_task_id
                 self._next_task_id += 1
-                executor.run_shuffle_map_task(stage, split, task_id, contention)
+                self._launch_task(
+                    executor,
+                    stage,
+                    split,
+                    task_id,
+                    contention,
+                    partial(
+                        executor.run_shuffle_map_task,
+                        stage,
+                        split,
+                        task_id,
+                        contention,
+                    ),
+                )
                 # Streaming mode ships the finished task's segments
                 # immediately (no-op otherwise).
                 self.ctx.flush_trace_events()
@@ -137,17 +213,28 @@ class DAGScheduler:
                 task_id = self._next_task_id
                 self._next_task_id += 1
                 if save_path is not None:
-                    results.append(
-                        executor.run_save_task(
-                            stage, split, task_id, contention, save_path
-                        )
+                    run = partial(
+                        executor.run_save_task,
+                        stage,
+                        split,
+                        task_id,
+                        contention,
+                        save_path,
                     )
                 else:
                     assert action is not None
-                    results.append(
-                        executor.run_result_task(
-                            stage, split, task_id, contention, action
-                        )
+                    run = partial(
+                        executor.run_result_task,
+                        stage,
+                        split,
+                        task_id,
+                        contention,
+                        action,
                     )
+                results.append(
+                    self._launch_task(
+                        executor, stage, split, task_id, contention, run
+                    )
+                )
                 self.ctx.flush_trace_events()
         return results

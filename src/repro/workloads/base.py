@@ -117,15 +117,24 @@ class Workload(abc.ABC):
         *,
         spark_config: Any = None,
         hadoop_config: Any = None,
+        faults: Any = None,
     ) -> JobTrace:
-        """Run on the chosen framework and return the job trace."""
+        """Run on the chosen framework and return the job trace.
+
+        ``faults`` takes a :class:`~repro.faults.plan.FaultPlan`; the
+        substrate injects its cluster faults (task failures, stragglers,
+        GC pauses) deterministically.  ``None`` or a null plan leaves
+        the run byte-identical to before.
+        """
         if framework == "spark":
-            ctx = SparkContext(self._spark_config(inp, spark_config))
+            ctx = SparkContext(self._spark_config(inp, spark_config), faults=faults)
             meta = self.prepare_input(ctx.fs, inp)
             self.run_spark(ctx, meta)
             return ctx.job_trace(self.name, input_name=inp.name)
         if framework == "hadoop":
-            cluster = HadoopCluster(self._hadoop_config(inp, hadoop_config))
+            cluster = HadoopCluster(
+                self._hadoop_config(inp, hadoop_config), faults=faults
+            )
             meta = self.prepare_input(cluster.fs, inp)
             self.run_hadoop(cluster, meta)
             return cluster.job_trace(self.name, input_name=inp.name)
@@ -138,6 +147,7 @@ class Workload(abc.ABC):
         *,
         spark_config: Any = None,
         hadoop_config: Any = None,
+        faults: Any = None,
     ) -> Any:
         """Run on the chosen framework, streaming the trace live.
 
@@ -148,19 +158,32 @@ class Workload(abc.ABC):
         afterwards; materialise with
         :meth:`~repro.jvm.job.JobTrace.from_stream` when the full trace
         is needed.
+
+        With a :class:`~repro.faults.plan.FaultPlan` in ``faults``, the
+        substrate injects cluster faults and the returned stream is
+        additionally wrapped with the plan's drop/duplicate/reorder
+        faults (plus the replay buffer consumers repair from).
         """
         if framework == "spark":
-            ctx = SparkContext(self._spark_config(inp, spark_config))
+            ctx = SparkContext(self._spark_config(inp, spark_config), faults=faults)
             meta = self.prepare_input(ctx.fs, inp)
-            return ctx.stream_trace(
+            stream = ctx.stream_trace(
                 lambda: self.run_spark(ctx, meta), self.name, input_name=inp.name
             )
-        if framework == "hadoop":
-            cluster = HadoopCluster(self._hadoop_config(inp, hadoop_config))
+        elif framework == "hadoop":
+            cluster = HadoopCluster(
+                self._hadoop_config(inp, hadoop_config), faults=faults
+            )
             meta = self.prepare_input(cluster.fs, inp)
-            return cluster.stream_trace(
+            stream = cluster.stream_trace(
                 lambda: self.run_hadoop(cluster, meta),
                 self.name,
                 input_name=inp.name,
             )
-        raise ValueError(f"unknown framework {framework!r} (spark|hadoop)")
+        else:
+            raise ValueError(f"unknown framework {framework!r} (spark|hadoop)")
+        if faults is not None:
+            from repro.faults.stream import inject_stream_faults
+
+            stream = inject_stream_faults(stream, faults)
+        return stream

@@ -68,6 +68,7 @@ def run_workload(
     params: dict[str, Any] | None = None,
     spark_config: Any = None,
     hadoop_config: Any = None,
+    faults: Any = None,
 ) -> JobTrace:
     """Synthesise the input, run the workload, return the job trace.
 
@@ -86,6 +87,11 @@ def run_workload(
         workloads (defaults to the Table II training input).
     params:
         Workload-specific input knobs (e.g. ``zipf_s`` for text).
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan`; cluster faults
+        are injected deterministically, recoveries leave the job
+        results unchanged, and ``meta["fault_report"]`` records what
+        happened.
     """
     workload = get_workload(name)
     inp = WorkloadInput(
@@ -96,7 +102,11 @@ def run_workload(
         params=params or {},
     )
     return workload.execute(
-        framework, inp, spark_config=spark_config, hadoop_config=hadoop_config
+        framework,
+        inp,
+        spark_config=spark_config,
+        hadoop_config=hadoop_config,
+        faults=faults,
     )
 
 
@@ -111,6 +121,7 @@ def run_workload_stream(
     params: dict[str, Any] | None = None,
     spark_config: Any = None,
     hadoop_config: Any = None,
+    faults: Any = None,
 ) -> Any:
     """Streaming twin of :func:`run_workload`.
 
@@ -119,7 +130,9 @@ def run_workload_stream(
     the workload runs on a worker thread, and segments are not retained
     after emission.  Feed it to ``SimProf.analyze_stream`` (bit-identical
     to the batch path under the same seed) or materialise it with
-    ``JobTrace.from_stream``.
+    ``JobTrace.from_stream``.  A :class:`~repro.faults.plan.FaultPlan`
+    in ``faults`` additionally wraps the stream with its
+    drop/duplicate/reorder faults.
     """
     workload = get_workload(name)
     inp = WorkloadInput(
@@ -130,5 +143,9 @@ def run_workload_stream(
         params=params or {},
     )
     return workload.execute_stream(
-        framework, inp, spark_config=spark_config, hadoop_config=hadoop_config
+        framework,
+        inp,
+        spark_config=spark_config,
+        hadoop_config=hadoop_config,
+        faults=faults,
     )

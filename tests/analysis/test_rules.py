@@ -317,12 +317,101 @@ class TestSPA005DocstringDrift:
         assert findings == []
 
 
+class TestSPA006SilentSwallow:
+    def test_bare_except_pass_flagged(self):
+        findings = check(
+            """
+            def cleanup(path):
+                try:
+                    path.unlink()
+                except:
+                    pass
+            """,
+            rule="SPA006",
+        )
+        assert len(findings) == 1
+        assert "bare except" in findings[0].message
+
+    def test_broad_exception_ellipsis_flagged(self):
+        findings = check(
+            """
+            def load(store, key):
+                try:
+                    return store.get(key)
+                except Exception:
+                    ...
+            """,
+            rule="SPA006",
+        )
+        assert len(findings) == 1
+        assert "except Exception" in findings[0].message
+
+    def test_tuple_containing_broad_type_flagged(self):
+        findings = check(
+            """
+            def load(store, key):
+                try:
+                    return store.get(key)
+                except (KeyError, Exception):
+                    pass
+            """,
+            rule="SPA006",
+        )
+        assert len(findings) == 1
+
+    def test_narrow_handler_allowed(self):
+        findings = check(
+            """
+            import os
+
+            def sweep(path):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+            """,
+            rule="SPA006",
+        )
+        assert findings == []
+
+    def test_broad_handler_with_real_body_allowed(self):
+        findings = check(
+            """
+            def load(store, key, report):
+                try:
+                    return store.get(key)
+                except Exception as exc:
+                    report.record("store", "load", "degraded")
+                    return None
+            """,
+            rule="SPA006",
+        )
+        assert findings == []
+
+    def test_out_of_tree_module_ignored(self):
+        findings = check(
+            """
+            def cleanup():
+                try:
+                    risky()
+                except Exception:
+                    pass
+            """,
+            module="tests.helpers",
+            path="tests/helpers.py",
+            rule="SPA006",
+        )
+        assert findings == []
+
+
 class TestRegistry:
-    def test_all_five_rules_registered(self):
+    def test_all_six_rules_registered(self):
         from repro.analysis import all_rules
 
         ids = [r.id for r in all_rules()]
-        assert ids == ["SPA001", "SPA002", "SPA003", "SPA004", "SPA005"]
+        assert ids == [
+            "SPA001", "SPA002", "SPA003", "SPA004", "SPA005", "SPA006",
+        ]
 
     def test_unknown_rule_raises(self):
         with pytest.raises(KeyError, match="SPA999"):

@@ -96,3 +96,17 @@ class TestExtensionDrivers:
         result = run_thread_choice(CFG, n_points=10)
         assert len(result.rows) >= 4
         assert result.oracle_spread() < 0.2
+
+    def test_fault_sweep(self):
+        from repro.experiments.ext_faults import run_fault_sweep
+
+        result = run_fault_sweep(
+            CFG, workload="grep", rates=(0.0, 0.05), n_points=10
+        )
+        assert len(result.rows) == 2
+        assert result.rows[0].n_faults == 0  # null plan fires nothing
+        assert result.rows[-1].n_faults > 0
+        assert result.all_results_match  # recoveries are transparent
+        assert result.all_replays_identical  # same plan, same faults
+        assert result.all_within_ci
+        assert "fault" in result.to_text().lower()

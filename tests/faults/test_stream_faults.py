@@ -1,0 +1,209 @@
+"""Stream fault injection and the EventGuard recovery state machine."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.faults import EventGuard, FaultPlan, inject_stream_faults
+from repro.faults.stream import ReplayBuffer
+from repro.jvm.machine import MachineConfig, OpKind
+from repro.jvm.methods import CallStack, MethodRegistry, StackTable
+from repro.jvm.stream import (
+    JobEnd,
+    SegmentBatch,
+    ThreadStart,
+    TraceStream,
+    sequenced_batch,
+)
+from repro.jvm.threads import TraceSegment
+
+
+def _segments(i: int) -> tuple[TraceSegment, ...]:
+    return (
+        TraceSegment(0, OpKind.MAP, 10_000 + i, 6_000 + 7 * i, 64, 8),
+    )
+
+
+def _batches(n: int, thread_id: int = 1) -> list[SegmentBatch]:
+    return [sequenced_batch(thread_id, _segments(i), i) for i in range(n)]
+
+
+def make_stream(n: int = 12) -> TraceStream:
+    registry = MethodRegistry()
+    table = StackTable(registry)
+    table.intern(CallStack((registry.intern("t.W", "run"),)))
+
+    def events() -> Iterator:
+        yield ThreadStart(1, 0, 0)
+        yield from _batches(n)
+        yield JobEnd({})
+
+    return TraceStream(
+        framework="synthetic",
+        workload="synth",
+        input_name="default",
+        registry=registry,
+        stack_table=table,
+        machine=MachineConfig(),
+        events=events(),
+    )
+
+
+class _FakeStream(list):
+    """A bare event list that can carry replay/batch_counts attributes."""
+
+
+def _guarded_seqs(events) -> tuple[list[int], EventGuard]:
+    guard = EventGuard(events)
+    seqs = [
+        e.seq for e in guard.events() if isinstance(e, SegmentBatch)
+    ]
+    return seqs, guard
+
+
+class TestInjector:
+    def test_null_plan_is_the_same_object(self):
+        stream = make_stream()
+        assert inject_stream_faults(stream, FaultPlan(seed=5)) is stream
+
+    def test_injection_deterministic(self):
+        plan = FaultPlan(seed=3, drop_rate=0.2, duplicate_rate=0.1,
+                         reorder_rate=0.15)
+
+        def run():
+            faulty = inject_stream_faults(make_stream(30), plan)
+            seqs = [
+                e.seq for e in faulty if isinstance(e, SegmentBatch)
+            ]
+            return seqs, faulty.fault_report.counts()
+
+        assert run() == run()
+
+    def test_injector_attaches_replay_and_counts(self):
+        plan = FaultPlan(seed=3, drop_rate=0.3)
+        faulty = inject_stream_faults(make_stream(10), plan)
+        list(faulty)
+        assert isinstance(faulty.replay, ReplayBuffer)
+        assert faulty.batch_counts == {1: 10}
+        assert faulty.fault_report.counts().get("drop/injected", 0) > 0
+
+    def test_nothing_held_past_job_end(self):
+        plan = FaultPlan(seed=1, reorder_rate=0.5, reorder_depth=3)
+        events = list(inject_stream_faults(make_stream(20), plan))
+        assert isinstance(events[-1], JobEnd)
+        batches = [e for e in events if isinstance(e, SegmentBatch)]
+        assert len(batches) == 20  # reorder permutes, never loses
+
+
+class TestGuardRecovery:
+    def test_clean_stream_untouched(self):
+        seqs, guard = _guarded_seqs(_FakeStream(_batches(8)))
+        assert seqs == list(range(8))
+        assert not guard.report
+
+    def test_duplicates_deduped(self):
+        batches = _batches(5)
+        stream = _FakeStream(batches[:3] + [batches[2]] + batches[3:])
+        seqs, guard = _guarded_seqs(stream)
+        assert seqs == list(range(5))
+        assert guard.report.counts() == {"duplicate/deduped": 1}
+
+    def test_reorder_restored(self):
+        b = _batches(6)
+        stream = _FakeStream([b[0], b[2], b[1], b[3], b[5], b[4]])
+        seqs, guard = _guarded_seqs(stream)
+        assert seqs == list(range(6))
+        assert guard.report.counts() == {"reorder/reordered": 2}
+
+    def test_gap_repaired_from_replay(self):
+        b = _batches(6)
+        replay = ReplayBuffer()
+        for batch in b:
+            replay.store(batch)
+        stream = _FakeStream(b[:2] + b[3:])  # seq 2 lost
+        stream.replay = replay
+        seqs, guard = _guarded_seqs(stream)
+        assert seqs == list(range(6))
+        # Every batch after the gap was held back, then released in order.
+        assert guard.report.counts() == {
+            "gap/replayed": 1, "reorder/reordered": 3,
+        }
+
+    def test_tail_gap_detected_via_batch_counts(self):
+        b = _batches(6)
+        replay = ReplayBuffer()
+        for batch in b:
+            replay.store(batch)
+        stream = _FakeStream(b[:5])  # final batch lost: no successor
+        stream.replay = replay
+        stream.batch_counts = {1: 6}
+        seqs, guard = _guarded_seqs(stream)
+        assert seqs == list(range(6))
+        assert guard.report.counts() == {"gap/replayed": 1}
+
+    def test_gap_degrades_without_replay(self):
+        b = _batches(5)
+        stream = _FakeStream(b[:2] + b[3:])
+        seqs, guard = _guarded_seqs(stream)
+        assert seqs == [0, 1, 3, 4]
+        assert guard.report.counts() == {
+            "gap/degraded": 1, "reorder/reordered": 2,
+        }
+
+    def test_corrupt_repaired_from_replay(self):
+        b = _batches(4)
+        replay = ReplayBuffer()
+        for batch in b:
+            replay.store(batch)
+        bad = SegmentBatch(1, _segments(99), seq=2, checksum=b[2].checksum)
+        stream = _FakeStream([b[0], b[1], bad, b[3]])
+        stream.replay = replay
+        guard = EventGuard(stream)
+        delivered = [e for e in guard.events() if isinstance(e, SegmentBatch)]
+        assert [e.seq for e in delivered] == [0, 1, 2, 3]
+        # The repaired batch is the replay buffer's pristine copy.
+        assert delivered[2].segments == b[2].segments
+        assert guard.report.counts() == {"corrupt/replayed": 1}
+
+    def test_corrupt_degrades_without_replay(self):
+        b = _batches(4)
+        bad = SegmentBatch(1, _segments(99), seq=2, checksum=b[2].checksum)
+        seqs, guard = _guarded_seqs(_FakeStream([b[0], b[1], bad, b[3]]))
+        assert seqs == [0, 1, 3]
+        assert guard.report.counts() == {"corrupt/degraded": 1}
+
+    def test_legacy_unsequenced_batches_pass_through(self):
+        legacy = SegmentBatch(1, _segments(0))  # seq == -1, checksum 0
+        seqs, guard = _guarded_seqs(_FakeStream([legacy, legacy]))
+        guarded = list(EventGuard(_FakeStream([legacy, legacy])).events())
+        assert len(guarded) == 2
+        assert not guard.report
+
+    def test_max_holdback_bounds_pending(self):
+        # A gap never filled forces the hold-back window to overflow and
+        # degrade rather than buffer unboundedly.
+        b = _batches(70)
+        stream = _FakeStream([b[0]] + b[2:])  # seq 1 lost, 68 pending max
+        guard = EventGuard(stream, max_holdback=16)
+        delivered = [
+            e.seq for e in guard.events() if isinstance(e, SegmentBatch)
+        ]
+        assert delivered == [0] + list(range(2, 70))
+        assert guard.report.counts()["gap/degraded"] == 1
+
+
+class TestEndToEnd:
+    def test_guard_restores_bit_identical_segments(self):
+        plan = FaultPlan(seed=11, drop_rate=0.15, duplicate_rate=0.1,
+                         reorder_rate=0.1)
+        clean = [
+            e.segments for e in make_stream(40)
+            if isinstance(e, SegmentBatch)
+        ]
+        faulty = inject_stream_faults(make_stream(40), plan)
+        guard = EventGuard(faulty)
+        recovered = [
+            e.segments for e in guard.events() if isinstance(e, SegmentBatch)
+        ]
+        assert recovered == clean
+        assert guard.report  # something was actually injected

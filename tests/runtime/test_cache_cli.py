@@ -72,6 +72,57 @@ class TestCacheGC:
         assert not list(populated.glob("*.pkl"))
 
 
+class TestCacheVerify:
+    def test_clean_store_passes(self, populated, capsys):
+        assert main(["cache", "verify"]) == 0
+        out = capsys.readouterr().out
+        assert "1 ok, 0 corrupt, 0 unverified" in out
+
+    def test_corrupt_payload_detected(self, populated, capsys):
+        next(populated.glob("profile-*.pkl")).write_bytes(b"bit rot")
+        assert main(["cache", "verify"]) == 1
+        out = capsys.readouterr().out
+        assert "CORRUPT" in out
+        assert "0 ok, 1 corrupt, 0 unverified" in out
+
+    def test_repair_quarantines(self, populated, capsys):
+        next(populated.glob("profile-*.pkl")).write_bytes(b"bit rot")
+        assert main(["cache", "verify", "--repair"]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined" in out
+        assert not list(populated.glob("profile-*.pkl"))
+        assert list((populated / "quarantine").glob("profile-*.pkl"))
+        # The store is clean again after the repair.
+        assert main(["cache", "verify"]) == 0
+
+
+class TestCorruptManifestTolerance:
+    """``ls`` and ``stats`` must warn, not traceback (regression)."""
+
+    def _corrupt_manifest(self, root):
+        next(root.glob("profile-*.json")).write_text("{torn write")
+
+    def test_cache_ls_warns_and_continues(self, populated, capsys):
+        self._corrupt_manifest(populated)
+        assert main(["cache", "ls"]) == 0
+        captured = capsys.readouterr()
+        assert "profile-" in captured.out
+        assert "1 corrupt manifest(s)" in captured.err
+
+    def test_stats_warns_and_continues(self, populated, capsys):
+        self._corrupt_manifest(populated)
+        assert main(["stats"]) == 0
+        captured = capsys.readouterr()
+        assert "compute invested" in captured.out
+        assert "1 corrupt manifest(s)" in captured.err
+
+    def test_cache_info_reports_status(self, populated, capsys):
+        self._corrupt_manifest(populated)
+        key = next(populated.glob("profile-*.pkl")).stem
+        assert main(["cache", "info", key]) == 1
+        assert "corrupt" in capsys.readouterr().err
+
+
 class TestStats:
     def test_aggregates_stage_timings(self, populated, capsys):
         assert main(["stats"]) == 0

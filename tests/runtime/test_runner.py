@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import json
+import os
+
 import numpy as np
 import pytest
 
@@ -190,3 +193,136 @@ class TestRunnerParallel:
             ExperimentRunner(
                 ArtifactStore(tmp_path), jobs=2, retries=0
             ).run(bad, want="profile")
+
+
+def _crash_worker(payload):
+    """Pool entry that dies like an OOM-killed worker (no exception path)."""
+    os._exit(1)
+
+
+@pytest.mark.slow
+class TestBrokenPoolDegradation:
+    def test_broken_pool_degrades_inline_byte_identical(
+        self, tmp_path, monkeypatch
+    ):
+        """A hard worker death must finish in-process, bytes unchanged."""
+        specs = [_spec("grep", "spark"), _spec("grep", "hadoop")]
+
+        serial_root = tmp_path / "serial"
+        monkeypatch.setenv("SIMPROF_CACHE_DIR", str(serial_root))
+        serial = ExperimentRunner(ArtifactStore(serial_root), jobs=1).run(
+            specs, want="profile"
+        )
+
+        broken_root = tmp_path / "broken"
+        monkeypatch.setenv("SIMPROF_CACHE_DIR", str(broken_root))
+        monkeypatch.setattr(runner_module, "_pool_worker", _crash_worker)
+        degraded = ExperimentRunner(ArtifactStore(broken_root), jobs=2).run(
+            specs, want="profile"
+        )
+
+        for s_res, d_res in zip(serial, degraded):
+            assert s_res.profile_key == d_res.profile_key
+            np.testing.assert_array_equal(
+                s_res.job.profile.cpi(), d_res.job.profile.cpi()
+            )
+        pkls = sorted(serial_root.glob("*.pkl"))
+        assert pkls, "serial run produced no artifacts"
+        for pkl in pkls:
+            assert (
+                pkl.read_bytes() == (broken_root / pkl.name).read_bytes()
+            ), f"artifact {pkl.name} differs after broken-pool degradation"
+
+
+class TestBackoff:
+    def test_exponential_backoff_between_retries(self, tmp_path, monkeypatch):
+        sleeps: list[float] = []
+        monkeypatch.setattr(
+            runner_module.time, "sleep", lambda s: sleeps.append(s)
+        )
+
+        def always_fails(spec, want, store):
+            raise OSError("persistent failure")
+
+        monkeypatch.setattr(runner_module, "_materialise", always_fails)
+        with pytest.raises(RunnerError, match="after 3 attempts"):
+            ExperimentRunner(
+                ArtifactStore(tmp_path), jobs=1, retries=2, backoff=0.5
+            ).run([_spec()], want="profile")
+        assert sleeps == [0.5, 1.0]
+
+    def test_zero_backoff_never_sleeps(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            runner_module.time,
+            "sleep",
+            lambda s: pytest.fail("sleep called with backoff=0"),
+        )
+
+        def always_fails(spec, want, store):
+            raise OSError("persistent failure")
+
+        monkeypatch.setattr(runner_module, "_materialise", always_fails)
+        with pytest.raises(RunnerError):
+            ExperimentRunner(
+                ArtifactStore(tmp_path), jobs=1, retries=1
+            ).run([_spec()], want="profile")
+
+    def test_timeout_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="timeout"):
+            ExperimentRunner(ArtifactStore(tmp_path), timeout=0)
+        with pytest.raises(ValueError, match="timeout"):
+            ExperimentRunner(ArtifactStore(tmp_path), timeout=-1.0)
+
+
+class TestCheckpoint:
+    def test_journal_class_roundtrip(self, tmp_path):
+        path = tmp_path / "ck.json"
+        journal = runner_module._Checkpoint(path)
+        journal.mark("k1")
+        journal.mark("k2")
+        journal.mark("k1")  # idempotent
+        assert json.loads(path.read_text())["done"] == ["k1", "k2"]
+        assert runner_module._Checkpoint(path).done == {"k1", "k2"}
+
+    def test_corrupt_journal_treated_as_empty(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert runner_module._Checkpoint(path).done == set()
+
+    def test_run_journals_completed_keys(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        ck = tmp_path / "ck.json"
+        runner = ExperimentRunner(store, jobs=1, checkpoint=ck)
+        [result] = runner.run([_spec()], want="profile")
+        done = json.loads(ck.read_text())["done"]
+        assert done == [result.profile_key]
+
+    def test_resume_after_store_sweep_heals(self, tmp_path):
+        """Checkpointed keys the store lost are recomputed lazily."""
+        root = tmp_path / "store"
+        ck = tmp_path / "ck.json"
+        store = ArtifactStore(root)
+        [first] = ExperimentRunner(store, jobs=1, checkpoint=ck).run(
+            [_spec()], want="profile"
+        )
+        for pkl in root.glob("*.pkl"):
+            pkl.unlink()
+        for manifest in root.glob("*.json"):
+            manifest.unlink()
+
+        fresh = ArtifactStore(root)
+        [second] = ExperimentRunner(fresh, jobs=1, checkpoint=ck).run(
+            [_spec()], want="profile"
+        )
+        assert second.profile_key == first.profile_key
+        assert second.job.n_units == first.job.n_units
+
+    def test_corrupt_checkpoint_does_not_break_run(self, tmp_path):
+        ck = tmp_path / "ck.json"
+        ck.write_text("garbage!!", encoding="utf-8")
+        store = ArtifactStore(tmp_path / "store")
+        [result] = ExperimentRunner(store, jobs=1, checkpoint=ck).run(
+            [_spec()], want="profile"
+        )
+        assert result.job.n_units > 0
+        assert json.loads(ck.read_text())["done"] == [result.profile_key]

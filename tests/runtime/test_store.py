@@ -146,6 +146,80 @@ class TestCorruptionRecovery:
         assert any(m.key == "profile-v7-abc" for m in store.entries())
 
 
+class TestIntegrity:
+    def _put_one(self, store: ArtifactStore) -> str:
+        key = store.key_for("profile", {"w": "wc"})
+        store.put(key, {"payload": list(range(50))}, kind="profile")
+        return key
+
+    def test_put_records_payload_digest(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = self._put_one(store)
+        manifest = store.manifest(key)
+        assert len(manifest.payload_sha256) == 64
+
+    def test_corrupt_payload_quarantined_on_get(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = self._put_one(store)
+        # Still a valid pickle, so only the digest can catch it.
+        (tmp_path / f"{key}.pkl").write_bytes(pickle.dumps({"evil": 1}))
+        store.clear_memory()
+        with pytest.raises(KeyError):
+            store.get(key)
+        assert not store.contains(key)
+        assert (tmp_path / "quarantine" / f"{key}.pkl").exists()
+        assert (tmp_path / "quarantine" / f"{key}.json").exists()
+
+    def test_verify_classifies_entries(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        ok_key = self._put_one(store)
+        bad_key = store.key_for("profile", {"w": "bad"})
+        store.put(bad_key, "value", kind="profile")
+        (tmp_path / f"{bad_key}.pkl").write_bytes(b"flipped bits")
+        legacy_key = store.key_for("profile", {"w": "legacy"})
+        store.put(legacy_key, "old", kind="profile")
+        manifest = store.manifest(legacy_key)
+        manifest.payload_sha256 = ""
+        (tmp_path / f"{legacy_key}.json").write_text(manifest.to_json())
+
+        report = store.verify()
+        assert report["ok"] == [ok_key]
+        assert report["corrupt"] == [bad_key]
+        assert report["unverified"] == [legacy_key]
+        # verify() alone leaves the bad entry in place...
+        assert (tmp_path / f"{bad_key}.pkl").exists()
+
+        # ...repair=True quarantines it.
+        report = store.verify(repair=True)
+        assert report["corrupt"] == [bad_key]
+        assert not (tmp_path / f"{bad_key}.pkl").exists()
+        assert (tmp_path / "quarantine" / f"{bad_key}.pkl").exists()
+        assert ArtifactStore(tmp_path).verify()["corrupt"] == []
+
+    def test_get_or_compute_recovers_from_corruption(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "fresh"
+
+        store.get_or_compute("profile", {"w": "wc"}, compute)
+        key = store.key_for("profile", {"w": "wc"})
+        (tmp_path / f"{key}.pkl").write_bytes(pickle.dumps("tampered"))
+        store.clear_memory()
+        assert store.get_or_compute("profile", {"w": "wc"}, compute) == "fresh"
+        assert len(calls) == 2
+
+    def test_manifest_status(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = self._put_one(store)
+        assert store.manifest_status(key) == "ok"
+        assert store.manifest_status("profile-v7-nope") == "missing"
+        (tmp_path / f"{key}.json").write_text("{torn", encoding="utf-8")
+        assert store.manifest_status(key) == "corrupt"
+
+
 class TestConcurrency:
     def test_concurrent_writers_same_key(self, tmp_path):
         """Many writers racing on one key leave a valid entry behind.
@@ -204,6 +278,32 @@ class TestGC:
         assert removed == 3
         assert reclaimed > 0
         assert not list(tmp_path.glob("*.pkl"))
+
+    def test_gc_spares_young_tmp_files(self, tmp_path):
+        """Regression: the sweep used to reap a live writer's tempfile."""
+        import os as _os
+
+        store = ArtifactStore(tmp_path)
+        young = tmp_path / ".profile-v7-abc.pkl.1234.tmp"
+        young.write_bytes(b"half-written")
+        old = tmp_path / ".profile-v7-def.pkl.5678.tmp"
+        old.write_bytes(b"orphaned")
+        stale = time.time() - 2 * ArtifactStore.TMP_GRACE_SECONDS
+        _os.utime(old, (stale, stale))
+
+        store.gc(everything=True)
+        assert young.exists()  # inside the grace period
+        assert not old.exists()  # past it
+
+        store.gc(everything=True, tmp_grace_seconds=0.0)
+        assert not young.exists()
+
+    def test_gc_dry_run_leaves_tmp_files(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        tmp = tmp_path / ".profile-v7-abc.pkl.1.tmp"
+        tmp.write_bytes(b"x")
+        store.gc(everything=True, dry_run=True, tmp_grace_seconds=0.0)
+        assert tmp.exists()
 
     def test_gc_kind_filter_and_dry_run(self, tmp_path):
         store = ArtifactStore(tmp_path)
