@@ -6,6 +6,7 @@ from repro.analysis.rules.spa003_seed_discipline import SeedDisciplineRule
 from repro.analysis.rules.spa004_unordered_iteration import UnorderedIterationRule
 from repro.analysis.rules.spa005_docstring_drift import DocstringDriftRule
 from repro.analysis.rules.spa006_silent_swallow import SilentSwallowRule
+from repro.analysis.rules.spa007_quadratic_distance import QuadraticDistanceRule
 
 __all__ = [
     "GlobalRngRule",
@@ -14,4 +15,5 @@ __all__ = [
     "UnorderedIterationRule",
     "DocstringDriftRule",
     "SilentSwallowRule",
+    "QuadraticDistanceRule",
 ]

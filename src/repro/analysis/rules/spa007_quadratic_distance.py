@@ -1,0 +1,104 @@
+"""SPA007: no ad-hoc O(n²) distance computation in ``repro.core``.
+
+The phase-formation fast path assembles pairwise distances once — via
+``_pairwise_sq_dists`` (one GEMM on shared squared row norms) and the
+:class:`~repro.core.clustering.SilhouetteDistances` structure shared
+across the whole k-sweep.  An ad-hoc distance expression elsewhere in
+``repro.core`` silently reintroduces the quadratic hot loop the fast
+path removed, and — because BLAS GEMM results are shape-dependent at
+the last bit — risks distances that are *almost* but not bitwise equal
+to the shared structure, breaking the bit-parity guarantees.
+
+Two idioms are flagged, both restricted to ``repro.core`` modules
+(``repro.core.clustering`` hosts the helpers and is exempt, as is the
+``repro.core._reference`` museum of pre-fast-path implementations):
+
+* ``np.linalg.norm(a - b, ...)`` — a norm over a broadcast difference
+  materialises the full displacement tensor;
+* ``A[..., None, ...] - B[..., None, ...]`` — a subtraction whose both
+  operands are ``None``-indexed subscripts, the classic
+  ``X[:, None] - C[None, :]`` broadcast that allocates an
+  ``(n, k, d)`` intermediate.
+
+The Gram-matrix expression the helpers use
+(``x_sq[:, None] + c_sq[None, :] - 2 * X @ C.T``) is not flagged: its
+subtraction operands are an addition and a product, not subscripts.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import ModuleContext, Rule, register_rule
+from repro.analysis.findings import Finding
+
+_SCOPE_PREFIX = "repro.core"
+_EXEMPT_MODULES = frozenset(
+    {"repro.core.clustering", "repro.core._reference"}
+)
+
+_NORM_CALLEES = frozenset({"numpy.linalg.norm", "scipy.linalg.norm"})
+
+
+def _contains_sub(node: ast.AST) -> bool:
+    """Whether any subtraction appears inside ``node``."""
+    return any(
+        isinstance(inner, ast.BinOp) and isinstance(inner.op, ast.Sub)
+        for inner in ast.walk(node)
+    )
+
+
+def _is_none_indexed(node: ast.AST) -> bool:
+    """Whether ``node`` is a subscript with a ``None`` axis (``a[:, None]``)."""
+    if not isinstance(node, ast.Subscript):
+        return False
+    sl = node.slice
+    elements = sl.elts if isinstance(sl, ast.Tuple) else [sl]
+    return any(
+        isinstance(e, ast.Constant) and e.value is None for e in elements
+    )
+
+
+@register_rule
+class QuadraticDistanceRule(Rule):
+    id = "SPA007"
+    name = "quadratic-distance-idiom"
+    rationale = (
+        "Ad-hoc pairwise-distance expressions reintroduce the O(n²) "
+        "hot loop and drift bitwise from the shared distance structure."
+    )
+    hint = (
+        "use repro.core.clustering's _pairwise_sq_dists / "
+        "SilhouetteDistances instead of an inline distance expression"
+    )
+
+    def _in_scope(self, ctx: ModuleContext) -> bool:
+        mod = ctx.module
+        if mod in _EXEMPT_MODULES:
+            return False
+        return mod == _SCOPE_PREFIX or mod.startswith(_SCOPE_PREFIX + ".")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not self._in_scope(ctx):
+            return
+        for node in ctx.walk():
+            if isinstance(node, ast.Call):
+                dotted = ctx.resolve_call(node)
+                if dotted in _NORM_CALLEES and any(
+                    _contains_sub(arg) for arg in node.args
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "norm over a difference materialises the full "
+                        "pairwise displacement tensor",
+                    )
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Sub):
+                if _is_none_indexed(node.left) and _is_none_indexed(node.right):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "broadcast-subtract over None-indexed operands "
+                        "allocates an O(n·k·d) distance intermediate",
+                    )

@@ -1,0 +1,184 @@
+"""Pre-fast-path reference implementations of the phase-formation hot path.
+
+These are the straightforward per-loop versions the optimised code in
+:mod:`repro.core.clustering` and :mod:`repro.core.features` replaced:
+a per-stack scatter-add featurizer, a per-cluster-loop silhouette that
+recomputes its distance block for every evaluation, a Lloyd loop with
+no fixed-point early exit, and a serial k-sweep that refits k-means for
+the chosen k.  They are kept for two reasons:
+
+* **parity** — the property tests assert the fast path produces
+  bit-identical feature matrices and phase selections (and
+  ``allclose``-equal silhouette scores, whose summation order changed);
+* **benchmarking** — ``benchmarks/bench_phase_perf.py`` times fast vs
+  reference on identical inputs to report the speedup.
+
+Nothing here is exported from :mod:`repro.core`; production code must
+not import this module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.clustering import KMeansResult, _kmeanspp_init, _pairwise_sq_dists
+from repro.core.units import JobProfile
+
+__all__ = [
+    "reference_build_feature_matrix",
+    "reference_silhouette_score",
+    "reference_kmeans",
+    "reference_choose_k",
+]
+
+
+def reference_build_feature_matrix(
+    job: JobProfile, *, normalize: bool = True
+) -> np.ndarray:
+    """Per-unit, per-stack loop featurizer (the pre-fast-path version)."""
+    n_methods = len(job.registry)
+    units = job.profile.units
+    X = np.zeros((len(units), n_methods), dtype=np.float64)
+    frames_cache: dict[int, np.ndarray] = {}
+    table = job.stack_table
+    for i, unit in enumerate(units):
+        row = X[i]
+        for sid, count in zip(unit.stack_ids, unit.stack_counts):
+            frames = frames_cache.get(int(sid))
+            if frames is None:
+                frames = np.fromiter(table.frames_of(int(sid)), dtype=np.intp)
+                frames_cache[int(sid)] = frames
+            np.add.at(row, frames, float(count))
+        if normalize:
+            total = row.sum()
+            if total > 0:
+                row /= total
+    return X
+
+
+def reference_silhouette_score(
+    X: np.ndarray,
+    assignments: np.ndarray,
+    *,
+    max_points: int = 3000,
+    seed: int = 0,
+) -> float:
+    """Per-cluster-loop silhouette; rebuilds its distances every call."""
+    n = len(X)
+    labels = np.unique(assignments)
+    if len(labels) < 2 or n < 3:
+        return 0.0
+    if n > max_points:
+        rng = np.random.default_rng(seed)
+        idx = np.sort(rng.choice(n, size=max_points, replace=False))
+    else:
+        idx = np.arange(n)
+
+    sizes = {int(lab): int((assignments == lab).sum()) for lab in labels}
+    mean_d = np.empty((len(idx), len(labels)))
+    for j, lab in enumerate(labels):
+        members = X[assignments == lab]
+        d = np.sqrt(_pairwise_sq_dists(X[idx], members))
+        mean_d[:, j] = d.mean(axis=1)
+
+    label_pos = {int(lab): j for j, lab in enumerate(labels)}
+    s = np.zeros(len(idx))
+    for i, point in enumerate(idx):
+        own = int(assignments[point])
+        j_own = label_pos[own]
+        size_own = sizes[own]
+        if size_own <= 1:
+            s[i] = 0.0
+            continue
+        a = mean_d[i, j_own] * size_own / (size_own - 1)
+        b = np.min(np.delete(mean_d[i], j_own))
+        denom = max(a, b)
+        s[i] = 0.0 if denom == 0 else (b - a) / denom
+    return float(s.mean())
+
+
+def reference_kmeans(
+    X: np.ndarray,
+    k: int,
+    *,
+    seed: int = 0,
+    n_init: int = 4,
+    max_iter: int = 100,
+    tol: float = 1e-9,
+) -> KMeansResult:
+    """Lloyd's loop without the fixed-point early exit or shared norms."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    n = len(X)
+    if n == 0:
+        raise ValueError("cannot cluster zero points")
+    k = min(k, n)
+    rng = np.random.default_rng(seed)
+
+    best: KMeansResult | None = None
+    for _run in range(n_init):
+        centers = _kmeanspp_init(X, k, rng)
+        assignments = np.zeros(n, dtype=np.int64)
+        prev_inertia = np.inf
+        for _it in range(max_iter):
+            dists = _pairwise_sq_dists(X, centers)
+            assignments = dists.argmin(axis=1)
+            inertia = float(dists[np.arange(n), assignments].sum())
+            for j in range(k):
+                members = assignments == j
+                if members.any():
+                    centers[j] = X[members].mean(axis=0)
+                else:
+                    farthest = int(dists[np.arange(n), assignments].argmax())
+                    centers[j] = X[farthest]
+            if prev_inertia - inertia <= tol * max(prev_inertia, 1.0):
+                break
+            prev_inertia = inertia
+        dists = _pairwise_sq_dists(X, centers)
+        assignments = dists.argmin(axis=1)
+        inertia = float(dists[np.arange(n), assignments].sum())
+        if best is None or inertia < best.inertia:
+            best = KMeansResult(centers.copy(), assignments, inertia)
+    assert best is not None
+    return best
+
+
+def reference_choose_k(
+    X: np.ndarray,
+    *,
+    k_max: int = 20,
+    score_threshold: float = 0.9,
+    min_structure: float = 0.40,
+    seed: int = 0,
+) -> tuple[int, dict[int, float], KMeansResult | None]:
+    """Serial sweep with per-k distance rebuilds; refits the winner.
+
+    Returns ``(k, scores_by_k, refit_result)`` so callers can compare
+    the refitted model against the fast path's reused sweep result.
+    """
+    n = len(X)
+    if n < 3 or np.allclose(X, X[0]):
+        return 1, {1: 0.0}, None
+    scores: dict[int, float] = {}
+    results: dict[int, KMeansResult] = {}
+    k_cap = min(k_max, n - 1)
+    for k in range(2, k_cap + 1):
+        result = reference_kmeans(X, k, seed=seed)
+        results[k] = result
+        if len(np.unique(result.assignments)) < 2:
+            scores[k] = 0.0
+            continue
+        scores[k] = reference_silhouette_score(X, result.assignments, seed=seed)
+    if not scores:
+        return 1, {1: 0.0}, None
+    best = max(scores.values())
+    if best < min_structure:
+        return 1, scores, None
+    cutoff = score_threshold * best
+    for k in sorted(scores):
+        if scores[k] >= cutoff:
+            # The pre-fast-path pipeline refit k-means for the chosen k
+            # (a bit-identical recomputation the fast path now skips).
+            return k, scores, reference_kmeans(X, k, seed=seed)
+    k = max(scores, key=scores.get)
+    return k, scores, reference_kmeans(X, k, seed=seed)

@@ -6,8 +6,23 @@ k whose score reaches 90 % of the best — favouring fewer phases when
 the structure is flat (grep collapses to a single phase this way).
 
 Implemented from scratch on NumPy: k-means++ seeding, Lloyd iterations
-with vectorised distance computation, empty-cluster re-seeding to the
-farthest point, and an exact silhouette.
+with vectorised distance computation (squared row norms computed once
+per fit and shared across restarts and iterations), empty-cluster
+re-seeding to the farthest point, and a fixed-point early stop when no
+centre moves between iterations.
+
+The silhouette is computed from a :class:`SilhouetteDistances`
+structure: the point-to-point distance matrix is assembled **once** per
+feature matrix and shared across every silhouette evaluation of the
+k-sweep, instead of being recomputed for each candidate k.  Scoring is
+exact for up to ``max_points`` points; larger inputs use a seeded,
+deterministic subsampled estimator — the silhouette is averaged over a
+uniform without-replacement subsample of ``max_points`` scored points,
+while each scored point's per-cluster mean distances remain exact over
+*all* points.  Under a fixed seed the estimator is bit-stable: the
+subsample indices, the distance matrix, and every derived score are
+byte-identical across runs, and the serial and parallel k-sweeps
+produce byte-identical ``(k, scores)`` results.
 """
 
 from __future__ import annotations
@@ -20,7 +35,11 @@ __all__ = [
     "KMeansResult",
     "kmeans",
     "OnlineKMeans",
+    "SilhouetteDistances",
     "silhouette_score",
+    "pick_k",
+    "sweep_k",
+    "select_phases",
     "choose_k",
     "random_projection",
 ]
@@ -66,25 +85,54 @@ class KMeansResult:
         return np.bincount(self.assignments, minlength=self.k)
 
 
-def _pairwise_sq_dists(X: np.ndarray, C: np.ndarray) -> np.ndarray:
-    """Squared Euclidean distances, ``(n, k)``."""
+def _pairwise_sq_dists(
+    X: np.ndarray,
+    C: np.ndarray,
+    *,
+    x_sq: np.ndarray | None = None,
+    c_sq: np.ndarray | None = None,
+) -> np.ndarray:
+    """Squared Euclidean distances, ``(n, k)``.
+
+    ``x_sq``/``c_sq`` accept precomputed squared row norms so callers
+    that evaluate many distance blocks against the same points (the
+    k-means restarts, the silhouette builder) pay for them once.
+
+    Accumulated in place on the GEMM output: the fused
+    ``x_sq[:, None] + c_sq[None, :] - 2 X Cᵀ`` expression materialises
+    two extra ``(n, k)`` temporaries, which at silhouette-builder shape
+    (3000 × 10⁵) is gigabytes of fresh pages and dominated the build
+    wall-clock by ~40x.  The in-place order is deterministic — the same
+    inputs always give byte-identical output — but its *rounding* order
+    differs from the fused expression, so results agree with a fused
+    reformulation to ``allclose``, not bitwise.
+    """
     # ||x||^2 + ||c||^2 - 2 x.c  (clipped: rounding can go barely negative)
-    d = (
-        (X**2).sum(axis=1)[:, None]
-        + (C**2).sum(axis=1)[None, :]
-        - 2.0 * X @ C.T
-    )
-    return np.maximum(d, 0.0)
+    if x_sq is None:
+        x_sq = (X**2).sum(axis=1)
+    if c_sq is None:
+        c_sq = (C**2).sum(axis=1)
+    d = X @ C.T
+    d *= -2.0
+    d += x_sq[:, None]
+    d += c_sq[None, :]
+    return np.maximum(d, 0.0, out=d)
 
 
 def _kmeanspp_init(
-    X: np.ndarray, k: int, rng: np.random.Generator
+    X: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    *,
+    x_sq: np.ndarray | None = None,
 ) -> np.ndarray:
-    """k-means++ seeding."""
+    """k-means++ seeding (row norms shared across candidate draws)."""
     n = len(X)
+    if x_sq is None:
+        x_sq = (X**2).sum(axis=1)
     centers = np.empty((k, X.shape[1]), dtype=np.float64)
     centers[0] = X[rng.integers(0, n)]
-    closest = _pairwise_sq_dists(X, centers[:1]).ravel()
+    closest = _pairwise_sq_dists(X, centers[:1], x_sq=x_sq).ravel()
     for j in range(1, k):
         total = closest.sum()
         if total <= 0:
@@ -94,7 +142,10 @@ def _kmeanspp_init(
         probs = closest / total
         idx = rng.choice(n, p=probs)
         centers[j] = X[idx]
-        closest = np.minimum(closest, _pairwise_sq_dists(X, centers[j : j + 1]).ravel())
+        closest = np.minimum(
+            closest,
+            _pairwise_sq_dists(X, centers[j : j + 1], x_sq=x_sq).ravel(),
+        )
     return centers
 
 
@@ -107,7 +158,15 @@ def kmeans(
     max_iter: int = 100,
     tol: float = 1e-9,
 ) -> KMeansResult:
-    """Lloyd's k-means with k-means++ seeding; best of ``n_init`` runs."""
+    """Lloyd's k-means with k-means++ seeding; best of ``n_init`` runs.
+
+    The squared row norms of ``X`` are computed once and reused by
+    every seeding pass and Lloyd iteration of every restart.  Lloyd
+    iterations stop early both on relative inertia improvement
+    (``tol``) and at the exact fixed point — when no centre moved at
+    all, the next iteration would reproduce the same assignments and
+    inertia, so breaking immediately is bit-identical to continuing.
+    """
     if k <= 0:
         raise ValueError("k must be positive")
     n = len(X)
@@ -115,18 +174,20 @@ def kmeans(
         raise ValueError("cannot cluster zero points")
     k = min(k, n)
     rng = np.random.default_rng(seed)
+    x_sq = (X**2).sum(axis=1)
 
     best: KMeansResult | None = None
     for _run in range(n_init):
-        centers = _kmeanspp_init(X, k, rng)
+        centers = _kmeanspp_init(X, k, rng, x_sq=x_sq)
         assignments = np.zeros(n, dtype=np.int64)
         prev_inertia = np.inf
         for _it in range(max_iter):
-            dists = _pairwise_sq_dists(X, centers)
+            dists = _pairwise_sq_dists(X, centers, x_sq=x_sq)
             assignments = dists.argmin(axis=1)
             inertia = float(dists[np.arange(n), assignments].sum())
             # Recompute centres; re-seed any emptied cluster on the
             # point farthest from its centre.
+            prev_centers = centers.copy()
             for j in range(k):
                 members = assignments == j
                 if members.any():
@@ -136,8 +197,12 @@ def kmeans(
                     centers[j] = X[farthest]
             if prev_inertia - inertia <= tol * max(prev_inertia, 1.0):
                 break
+            if np.array_equal(centers, prev_centers):
+                # Exact fixed point: a further iteration would recompute
+                # identical distances and break on the inertia test.
+                break
             prev_inertia = inertia
-        dists = _pairwise_sq_dists(X, centers)
+        dists = _pairwise_sq_dists(X, centers, x_sq=x_sq)
         assignments = dists.argmin(axis=1)
         inertia = float(dists[np.arange(n), assignments].sum())
         if best is None or inertia < best.inertia:
@@ -249,49 +314,265 @@ class OnlineKMeans:
         ).argmin(axis=1)
 
 
+@dataclass(frozen=True)
+class SilhouetteDistances:
+    """Shared distance structure for silhouette scoring.
+
+    Holds the (sub)sampled-rows-to-all-points distance matrix that
+    every silhouette evaluation over the same feature matrix consumes,
+    so a k-sweep assembles it once instead of once per candidate k.
+
+    ``idx`` are the *scored* point indices: all of them when
+    ``n <= max_points`` (the exact silhouette), else a seeded uniform
+    without-replacement subsample of ``max_points`` indices, sorted.
+    ``dist[i, j]`` is the exact Euclidean distance from scored point
+    ``idx[i]`` to point ``j`` — per-cluster mean distances stay exact
+    even in the subsampled estimator; only the set of points whose
+    silhouette values are averaged is subsampled.  Everything here is a
+    pure function of ``(X, max_points, seed)``, so two builds (e.g. in
+    different sweep worker processes) are byte-identical.
+    """
+
+    idx: np.ndarray
+    dist: np.ndarray
+    n: int
+    exact: bool
+
+    @classmethod
+    def build(
+        cls, X: np.ndarray, *, max_points: int = 3000, seed: int = 0
+    ) -> "SilhouetteDistances":
+        """Assemble the structure for ``X`` (one distance computation)."""
+        n = len(X)
+        if n > max_points:
+            rng = np.random.default_rng(seed)
+            idx = np.sort(rng.choice(n, size=max_points, replace=False))
+            exact = False
+        else:
+            idx = np.arange(n)
+            exact = True
+        x_sq = (X**2).sum(axis=1)
+        dist = _pairwise_sq_dists(X[idx], X, x_sq=x_sq[idx], c_sq=x_sq)
+        np.sqrt(dist, out=dist)
+        return cls(idx=idx, dist=dist, n=n, exact=exact)
+
+    def score(self, assignments: np.ndarray) -> float:
+        """Mean silhouette of a clustering over the scored points.
+
+        Fully vectorised: the per-cluster mean distances fall out of one
+        GEMM against the one-hot membership matrix, so a score costs
+        O(m·n·k) BLAS flops instead of k strided column gathers.  A pure
+        function of ``(self, assignments)`` — repeated evaluations (and
+        hence the serial and parallel sweeps) are byte-identical; only
+        the summation *order* differs from a per-point loop, so loop
+        reformulations agree to ``allclose`` rather than bitwise.
+        """
+        assignments = np.asarray(assignments)
+        if len(assignments) != self.n:
+            raise ValueError("assignments disagree with the distance structure")
+        labels, inv = np.unique(assignments, return_inverse=True)
+        if len(labels) < 2 or self.n < 3:
+            return 0.0
+        sizes = np.bincount(inv, minlength=len(labels))
+        m = len(self.idx)
+        # Mean distance from each scored point to every cluster.
+        onehot = np.zeros((self.n, len(labels)))
+        onehot[np.arange(self.n), inv] = 1.0
+        mean_d = (self.dist @ onehot) / sizes
+
+        rows = np.arange(m)
+        own = inv[self.idx]
+        size_own = sizes[own]
+        scored = size_own > 1
+        # Within-cluster mean excludes the point itself.
+        a = np.zeros(m)
+        np.divide(
+            mean_d[rows, own] * size_own,
+            size_own - 1,
+            out=a,
+            where=scored,
+        )
+        masked = mean_d.copy()
+        masked[rows, own] = np.inf
+        b = masked.min(axis=1)
+        denom = np.maximum(a, b)
+        s = np.zeros(m)
+        np.divide(b - a, denom, out=s, where=scored & (denom != 0))
+        return float(s.mean())
+
+
 def silhouette_score(
-    X: np.ndarray, assignments: np.ndarray, *, max_points: int = 3000,
+    X: np.ndarray,
+    assignments: np.ndarray,
+    *,
+    max_points: int = 3000,
     seed: int = 0,
+    distances: SilhouetteDistances | None = None,
 ) -> float:
     """Mean silhouette coefficient of a clustering.
 
-    Exact for up to ``max_points`` points; larger inputs are scored on a
-    uniform subsample (distances to *all* points are still exact — only
-    the averaged index set is subsampled).
+    Exact for up to ``max_points`` points; larger inputs are scored on
+    a seeded uniform subsample (distances to *all* points are still
+    exact — only the averaged index set is subsampled).  ``seed`` only
+    affects the subsample selection; the exact path never draws from
+    it.  Pass a prebuilt :class:`SilhouetteDistances` (which already
+    fixed the index set) to share the distance computation across many
+    evaluations — ``max_points``/``seed`` are then ignored.
+    """
+    if distances is None:
+        distances = SilhouetteDistances.build(
+            X, max_points=max_points, seed=seed
+        )
+    return distances.score(assignments)
+
+
+def pick_k(
+    scores: dict[int, float],
+    *,
+    score_threshold: float = 0.9,
+    min_structure: float = 0.40,
+) -> int:
+    """The paper's phase-count decision rule over a silhouette table.
+
+    Returns the smallest k whose score reaches ``score_threshold`` of
+    the best; 1 when even the best score is below ``min_structure`` (no
+    real cluster structure).  When no k clears the cutoff — possible
+    with a threshold above 1, or all-negative scores under a permissive
+    ``min_structure`` — the tie-break is explicit: the *smallest* k
+    among those achieving the best score, independent of dict order.
+    """
+    if not scores:
+        return 1
+    best = max(scores.values())
+    if best < min_structure:
+        return 1
+    cutoff = score_threshold * best
+    qualifying = [k for k in sorted(scores) if scores[k] >= cutoff]
+    if qualifying:
+        return qualifying[0]
+    return min(k for k, v in scores.items() if v == best)
+
+
+def _evaluate_k(
+    X: np.ndarray,
+    k: int,
+    *,
+    seed: int,
+    distances: SilhouetteDistances,
+) -> tuple[float, KMeansResult]:
+    """Fit one candidate k and silhouette-score it (shared distances)."""
+    result = kmeans(X, k, seed=seed)
+    if len(np.unique(result.assignments)) < 2:
+        return 0.0, result
+    return distances.score(result.assignments), result
+
+
+# Per-process context for parallel sweep workers: (X, distances).  Set
+# by the pool initializer; each worker builds the (deterministic)
+# distance structure once and reuses it for every k it evaluates.
+_SWEEP_STATE: tuple[np.ndarray, SilhouetteDistances] | None = None
+
+
+def _sweep_init(X: np.ndarray, max_points: int, seed: int) -> None:
+    global _SWEEP_STATE
+    X = np.asarray(X, dtype=np.float64)
+    _SWEEP_STATE = (
+        X,
+        SilhouetteDistances.build(X, max_points=max_points, seed=seed),
+    )
+
+
+def _sweep_task(args: tuple[int, int]) -> tuple[int, float, KMeansResult]:
+    k, seed = args
+    assert _SWEEP_STATE is not None, "sweep worker used before initialisation"
+    X, distances = _SWEEP_STATE
+    score, result = _evaluate_k(X, k, seed=seed, distances=distances)
+    return k, score, result
+
+
+def sweep_k(
+    X: np.ndarray,
+    *,
+    k_max: int = 20,
+    seed: int = 0,
+    max_points: int = 3000,
+    jobs: int | None = None,
+) -> tuple[dict[int, float], dict[int, KMeansResult]]:
+    """Silhouette-score every k in [2, min(k_max, n-1)].
+
+    Returns ``(scores_by_k, results_by_k)``.  The pairwise-distance
+    structure is built once and shared across all evaluations.  With
+    ``jobs > 1`` (default: the ``SIMPROF_JOBS`` environment variable,
+    via the :mod:`repro.runtime.runner` machinery) the candidate ks are
+    evaluated concurrently in worker processes; every worker
+    deterministically rebuilds the identical distance structure, so the
+    parallel sweep is byte-identical to the serial one.
+    """
+    from repro.runtime.runner import map_tasks, resolve_jobs
+
+    n = len(X)
+    ks = list(range(2, min(k_max, n - 1) + 1))
+    scores: dict[int, float] = {}
+    results: dict[int, KMeansResult] = {}
+    if not ks:
+        return scores, results
+    jobs = resolve_jobs(jobs)
+    if jobs > 1 and len(ks) > 1:
+        out = map_tasks(
+            _sweep_task,
+            [(k, seed) for k in ks],
+            jobs=jobs,
+            initializer=_sweep_init,
+            initargs=(X, max_points, seed),
+        )
+        for k, score, result in out:
+            scores[k] = score
+            results[k] = result
+        # map_tasks preserves input order, but make the ascending-k
+        # iteration order of the dicts an explicit invariant.
+        scores = {k: scores[k] for k in ks}
+        results = {k: results[k] for k in ks}
+        return scores, results
+    distances = SilhouetteDistances.build(X, max_points=max_points, seed=seed)
+    for k in ks:
+        scores[k], results[k] = _evaluate_k(
+            X, k, seed=seed, distances=distances
+        )
+    return scores, results
+
+
+def select_phases(
+    X: np.ndarray,
+    *,
+    k_max: int = 20,
+    score_threshold: float = 0.9,
+    min_structure: float = 0.40,
+    seed: int = 0,
+    max_points: int = 3000,
+    jobs: int | None = None,
+) -> tuple[int, dict[int, float], KMeansResult | None]:
+    """Pick the phase count *and* return the chosen k's fitted clustering.
+
+    The sweep already ran k-means for every candidate k, so callers
+    (:meth:`repro.core.phases.PhaseModel.fit`) reuse the winning
+    :class:`KMeansResult` instead of fitting again.  Returns
+    ``(k, scores_by_k, result)``; ``result`` is None when k = 1 (no
+    clustering was selected).
     """
     n = len(X)
-    labels = np.unique(assignments)
-    if len(labels) < 2 or n < 3:
-        return 0.0
-    if n > max_points:
-        rng = np.random.default_rng(seed)
-        idx = np.sort(rng.choice(n, size=max_points, replace=False))
-    else:
-        idx = np.arange(n)
-
-    sizes = {int(l): int((assignments == l).sum()) for l in labels}
-    # Mean distance from each scored point to every cluster.
-    mean_d = np.empty((len(idx), len(labels)))
-    for j, lab in enumerate(labels):
-        members = X[assignments == lab]
-        d = np.sqrt(_pairwise_sq_dists(X[idx], members))
-        mean_d[:, j] = d.mean(axis=1)
-
-    label_pos = {int(l): j for j, l in enumerate(labels)}
-    s = np.zeros(len(idx))
-    for i, point in enumerate(idx):
-        own = int(assignments[point])
-        j_own = label_pos[own]
-        size_own = sizes[own]
-        if size_own <= 1:
-            s[i] = 0.0
-            continue
-        # Within-cluster mean excludes the point itself.
-        a = mean_d[i, j_own] * size_own / (size_own - 1)
-        b = np.min(np.delete(mean_d[i], j_own))
-        denom = max(a, b)
-        s[i] = 0.0 if denom == 0 else (b - a) / denom
-    return float(s.mean())
+    if n < 3 or np.allclose(X, X[0]):
+        return 1, {1: 0.0}, None
+    scores, results = sweep_k(
+        X, k_max=k_max, seed=seed, max_points=max_points, jobs=jobs
+    )
+    if not scores:
+        return 1, {1: 0.0}, None
+    k = pick_k(
+        scores, score_threshold=score_threshold, min_structure=min_structure
+    )
+    if k == 1:
+        return 1, scores, None
+    return k, scores, results[k]
 
 
 def choose_k(
@@ -301,6 +582,8 @@ def choose_k(
     score_threshold: float = 0.9,
     min_structure: float = 0.40,
     seed: int = 0,
+    max_points: int = 3000,
+    jobs: int | None = None,
 ) -> tuple[int, dict[int, float]]:
     """Pick the number of phases (paper rule).
 
@@ -314,24 +597,13 @@ def choose_k(
 
     Returns ``(k, scores_by_k)``.
     """
-    n = len(X)
-    if n < 3 or np.allclose(X, X[0]):
-        return 1, {1: 0.0}
-    scores: dict[int, float] = {}
-    k_cap = min(k_max, n - 1)
-    for k in range(2, k_cap + 1):
-        result = kmeans(X, k, seed=seed)
-        if len(np.unique(result.assignments)) < 2:
-            scores[k] = 0.0
-            continue
-        scores[k] = silhouette_score(X, result.assignments, seed=seed)
-    if not scores:
-        return 1, {1: 0.0}
-    best = max(scores.values())
-    if best < min_structure:
-        return 1, scores
-    cutoff = score_threshold * best
-    for k in sorted(scores):
-        if scores[k] >= cutoff:
-            return k, scores
-    return max(scores, key=scores.get), scores  # pragma: no cover
+    k, scores, _result = select_phases(
+        X,
+        k_max=k_max,
+        score_threshold=score_threshold,
+        min_structure=min_structure,
+        seed=seed,
+        max_points=max_points,
+        jobs=jobs,
+    )
+    return k, scores

@@ -14,24 +14,118 @@ paper).  The surviving dimensions are remembered *by fully-qualified
 method name*, so units profiled from a different run (whose registry
 assigns different ids) can be projected into the same space — the
 mechanism the input-sensitivity test relies on.
+
+Featurization is CSR-style array code, not per-stack Python loops: the
+units' ``stack_ids``/``stack_counts`` are stacked into one flat
+(row, column, value) triplet stream and scattered into the matrix with
+a single ``np.add.at``, which keeps the accumulation order — and hence
+the float result — identical to the row-by-row formulation.  The
+assembled (space, matrix) pair can be cached in the content-addressed
+:class:`~repro.runtime.store.ArtifactStore`, keyed on the profile's
+content digest and the featurizer parameters, so repeat experiments on
+the same profile skip featurization entirely.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.core.units import JobProfile, SamplingUnit
 from repro.jvm.methods import MethodRegistry, StackTable
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.store import ArtifactStore
+
 __all__ = [
+    "FEATURIZER_VERSION",
     "build_feature_matrix",
     "univariate_regression_scores",
     "select_features",
     "FeatureSpace",
     "UnitFeaturizer",
 ]
+
+#: Bumped when the featurization arithmetic or the cached payload shape
+#: changes, so stale ``featmat`` store entries stop being served.
+FEATURIZER_VERSION = "v1"
+
+
+def _batch_featurize(
+    units: Sequence[SamplingUnit],
+    table: StackTable,
+    n_cols: int,
+    col_of_mid: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Scatter all units into a ``(n_units, n_cols)`` matrix at once.
+
+    ``col_of_mid`` maps method ids to matrix columns (entries < 0 are
+    dropped); None means the identity mapping over the full registry.
+    Returns ``(X, frame_totals)`` where ``frame_totals[i]`` is unit i's
+    total snapshot frame count (counting frames whose methods fall
+    outside the column mapping — the normaliser
+    :meth:`FeatureSpace.project_job` uses).
+
+    The (row, column, value) triplets are emitted in (unit, stack,
+    frame) order, exactly the order the per-unit loop accumulated in,
+    and applied with one unbuffered ``np.add.at`` — so the result is
+    bit-identical to the loop formulation.
+    """
+    n_units = len(units)
+    X = np.zeros((n_units, n_cols), dtype=np.float64)
+    frame_totals = np.zeros(n_units, dtype=np.float64)
+    if n_units == 0:
+        return X, frame_totals
+    stacks_per_unit = np.array(
+        [len(u.stack_ids) for u in units], dtype=np.intp
+    )
+    if int(stacks_per_unit.sum()) == 0:
+        return X, frame_totals
+    sids_cat = np.concatenate(
+        [np.asarray(u.stack_ids, dtype=np.intp) for u in units]
+    )
+    counts_cat = np.concatenate(
+        [np.asarray(u.stack_counts, dtype=np.float64) for u in units]
+    )
+    unit_cat = np.repeat(np.arange(n_units, dtype=np.intp), stacks_per_unit)
+
+    # Per-stack CSR: mapped columns of every distinct stack, flattened.
+    used = np.unique(sids_cat)
+    starts = np.zeros(int(used[-1]) + 1, dtype=np.intp)
+    mapped_len = np.zeros(int(used[-1]) + 1, dtype=np.intp)
+    full_len = np.zeros(int(used[-1]) + 1, dtype=np.float64)
+    chunks: list[np.ndarray] = []
+    pos = 0
+    for sid in used:
+        frames = np.asarray(table.frames_of(int(sid)), dtype=np.intp)
+        full_len[sid] = len(frames)
+        if col_of_mid is not None:
+            cols = col_of_mid[frames]
+            cols = cols[cols >= 0]
+        else:
+            cols = frames
+        starts[sid] = pos
+        mapped_len[sid] = len(cols)
+        pos += len(cols)
+        chunks.append(cols)
+    cols_flat = np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.intp)
+
+    # Ragged gather: expand each stack occurrence to its column run.
+    lengths = mapped_len[sids_cat]
+    offsets = np.cumsum(lengths) - lengths
+    flat_pos = np.arange(int(lengths.sum()), dtype=np.intp) - np.repeat(
+        offsets, lengths
+    )
+    cols = cols_flat[np.repeat(starts[sids_cat], lengths) + flat_pos]
+    rows = np.repeat(unit_cat, lengths)
+    vals = np.repeat(counts_cat, lengths)
+    np.add.at(X, (rows, cols), vals)
+    frame_totals = np.bincount(
+        unit_cat, weights=counts_cat * full_len[sids_cat], minlength=n_units
+    )
+    return X, frame_totals
 
 
 def build_feature_matrix(job: JobProfile, *, normalize: bool = True) -> np.ndarray:
@@ -43,23 +137,12 @@ def build_feature_matrix(job: JobProfile, *, normalize: bool = True) -> np.ndarr
     ``normalize=False`` the rows are raw appearance counts (one count
     per snapshot whose stack contains the method).
     """
-    n_methods = len(job.registry)
-    units = job.profile.units
-    X = np.zeros((len(units), n_methods), dtype=np.float64)
-    frames_cache: dict[int, np.ndarray] = {}
-    table = job.stack_table
-    for i, unit in enumerate(units):
-        row = X[i]
-        for sid, count in zip(unit.stack_ids, unit.stack_counts):
-            frames = frames_cache.get(int(sid))
-            if frames is None:
-                frames = np.fromiter(table.frames_of(int(sid)), dtype=np.intp)
-                frames_cache[int(sid)] = frames
-            np.add.at(row, frames, float(count))
-        if normalize:
-            total = row.sum()
-            if total > 0:
-                row /= total
+    X, _totals = _batch_featurize(
+        job.profile.units, job.stack_table, len(job.registry)
+    )
+    if normalize:
+        sums = X.sum(axis=1, keepdims=True)
+        np.divide(X, sums, out=X, where=sums > 0)
     return X
 
 
@@ -148,12 +231,36 @@ class FeatureSpace:
     scores: np.ndarray
 
     @staticmethod
-    def fit(job: JobProfile, top_k: int = 100) -> tuple["FeatureSpace", np.ndarray]:
+    def fit(
+        job: JobProfile,
+        top_k: int = 100,
+        *,
+        store: "ArtifactStore | None" = None,
+    ) -> tuple["FeatureSpace", np.ndarray]:
         """Select the space from a training profile.
 
         Returns ``(space, X_selected)`` where ``X_selected`` is the
-        training matrix restricted to the selected methods.
+        training matrix restricted to the selected methods.  With a
+        ``store``, the pair is served from (or written to) the
+        content-addressed artifact store under a key derived from the
+        profile's :meth:`~repro.core.units.JobProfile.content_digest`
+        and the featurizer parameters, so repeat experiments over the
+        same profile skip featurization and selection entirely.
         """
+        if store is None:
+            return FeatureSpace._fit_impl(job, top_k)
+        params = {
+            "job_digest": job.content_digest(),
+            "top_k": top_k,
+            "featurizer": FEATURIZER_VERSION,
+        }
+        space, X = store.get_or_compute(
+            "featmat", params, lambda: FeatureSpace._fit_impl(job, top_k)
+        )
+        return space, X
+
+    @staticmethod
+    def _fit_impl(job: JobProfile, top_k: int) -> tuple["FeatureSpace", np.ndarray]:
         raw = build_feature_matrix(job, normalize=False)
         totals = raw.sum(axis=1, keepdims=True)
         X = np.divide(raw, np.where(totals > 0, totals, 1.0))
@@ -173,28 +280,34 @@ class FeatureSpace:
         """Restrict a full training-registry matrix to the space."""
         return X_full[:, self.method_ids]
 
+    def _column_mapping(self, registry: MethodRegistry) -> np.ndarray:
+        """``method id -> column`` array for any registry (-1 = dropped)."""
+        col_of_fqn = {fqn: j for j, fqn in enumerate(self.method_fqns)}
+        col_of_mid = np.full(len(registry), -1, dtype=np.intp)
+        for mid in range(len(registry)):
+            j = col_of_fqn.get(registry.fqn(mid))
+            if j is not None:
+                col_of_mid[mid] = j
+        return col_of_mid
+
     def project_job(self, job: JobProfile) -> np.ndarray:
         """Feature matrix of any profile in this space (match by FQN).
 
         Methods of ``job`` that are not in the space are ignored; space
         methods absent from ``job`` contribute zero columns.  Rows are
         normalised by the unit's *total* snapshot frame count so
-        frequencies remain comparable to training rows.
+        frequencies remain comparable to training rows.  Computed in
+        one batched scatter-add; equals a matrix built from successive
+        :meth:`UnitFeaturizer.row` calls exactly.
         """
-        col_of_fqn = {fqn: j for j, fqn in enumerate(self.method_fqns)}
-        registry: MethodRegistry = job.registry
-        col_of_mid = np.full(len(registry), -1, dtype=np.intp)
-        for mid in range(len(registry)):
-            j = col_of_fqn.get(registry.fqn(mid))
-            if j is not None:
-                col_of_mid[mid] = j
-
-        table: StackTable = job.stack_table
-        units = job.profile.units
-        featurizer = UnitFeaturizer(self, job.registry, table)
-        X = np.zeros((len(units), self.n_features), dtype=np.float64)
-        for i, unit in enumerate(units):
-            featurizer.row_into(unit, X[i])
+        X, frame_totals = _batch_featurize(
+            job.profile.units,
+            job.stack_table,
+            self.n_features,
+            self._column_mapping(job.registry),
+        )
+        totals = frame_totals[:, None]
+        np.divide(X, totals, out=X, where=totals > 0)
         return X
 
 
@@ -204,8 +317,10 @@ class UnitFeaturizer:
     The streaming twin of :meth:`FeatureSpace.project_job`: same
     FQN-keyed column mapping, same per-stack frame cache, same
     total-frame-count normalisation — applied row by row so live
-    classification never needs the whole profile.  A full matrix built
-    from successive :meth:`row` calls equals ``project_job`` exactly.
+    classification never needs the whole profile.  Each row is one
+    scatter-add over the unit's stacked stack ids (not a per-stack
+    loop), and a full matrix built from successive :meth:`row` calls
+    equals ``project_job`` exactly.
     """
 
     def __init__(
@@ -235,24 +350,35 @@ class UnitFeaturizer:
                 new[mid] = j
         self._col_of_mid = new
 
+    def _stack_columns(self, sid: int) -> tuple[np.ndarray, int]:
+        """Cached ``(mapped columns, raw frame count)`` of one stack."""
+        cached = self._frames_cache.get(sid)
+        if cached is None:
+            frames = np.fromiter(self._table.frames_of(sid), dtype=np.intp)
+            if len(frames) and int(frames.max()) >= len(self._col_of_mid):
+                self._extend_mapping()
+            cols = self._col_of_mid[frames]
+            cols = cols[cols >= 0]
+            cached = (cols, len(frames))
+            self._frames_cache[sid] = cached
+        return cached
+
     def row_into(self, unit: SamplingUnit, row: np.ndarray) -> np.ndarray:
         """Fill ``row`` (zeroed, length ``n_features``) with one unit."""
-        total = 0.0
-        for sid, count in zip(unit.stack_ids, unit.stack_counts):
-            cached = self._frames_cache.get(int(sid))
-            if cached is None:
-                frames = np.fromiter(
-                    self._table.frames_of(int(sid)), dtype=np.intp
-                )
-                if len(frames) and int(frames.max()) >= len(self._col_of_mid):
-                    self._extend_mapping()
-                cols = self._col_of_mid[frames]
-                cols = cols[cols >= 0]
-                cached = (cols, len(frames))
-                self._frames_cache[int(sid)] = cached
-            cols, n_frames = cached
-            np.add.at(row, cols, float(count))
-            total += float(count) * n_frames
+        n_stacks = len(unit.stack_ids)
+        if n_stacks == 0:
+            return row
+        counts = np.asarray(unit.stack_counts, dtype=np.float64)
+        chunks: list[np.ndarray] = []
+        lengths = np.empty(n_stacks, dtype=np.intp)
+        full_len = np.empty(n_stacks, dtype=np.float64)
+        for i, sid in enumerate(unit.stack_ids):
+            cols, n_frames = self._stack_columns(int(sid))
+            chunks.append(cols)
+            lengths[i] = len(cols)
+            full_len[i] = n_frames
+        np.add.at(row, np.concatenate(chunks), np.repeat(counts, lengths))
+        total = float((counts * full_len).sum())
         if total > 0:
             row /= total
         return row

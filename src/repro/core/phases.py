@@ -11,15 +11,18 @@ test.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 import numpy as np
 
-from repro.core.clustering import KMeansResult, OnlineKMeans, choose_k, kmeans
+from repro.core.clustering import OnlineKMeans, select_phases
 from repro.core.features import FeatureSpace, UnitFeaturizer
 from repro.core.units import JobProfile, SamplingUnit
 from repro.jvm.methods import MethodRegistry, StackTable
 from repro.runtime.instrument import stage_timer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.store import ArtifactStore
 
 __all__ = ["PhaseStats", "PhaseModel"]
 
@@ -79,14 +82,20 @@ class PhaseModel:
         score_threshold: float = 0.9,
         seed: int = 0,
         projection_dims: int | None = None,
+        jobs: int | None = None,
+        store: "ArtifactStore | None" = None,
     ) -> "PhaseModel":
         """Phase formation: vectorise, select features, cluster.
 
         ``projection_dims`` enables the SimPoint-style random projection
-        before clustering (an ablation variant; None = off).
+        before clustering (an ablation variant; None = off).  ``jobs``
+        parallelises the silhouette k-sweep (``None`` = the
+        ``SIMPROF_JOBS`` default); ``store`` enables the feature-matrix
+        cache.  Neither affects the fitted model: the result is
+        bit-identical whatever the worker count or cache state.
         """
         with stage_timer("feature-selection") as rec:
-            space, X = FeatureSpace.fit(job, top_k=top_k)
+            space, X = FeatureSpace.fit(job, top_k=top_k, store=store)
             rec.add(features=space.n_features)
         if space.n_features == 0:
             # No method correlates with performance: the whole run is
@@ -107,15 +116,17 @@ class PhaseModel:
             ) / np.sqrt(projection_dims)
             X_cluster = X @ projection
         with stage_timer("k-means") as rec:
-            k, scores = choose_k(
-                X_cluster, k_max=max_phases, score_threshold=score_threshold,
+            k, scores, result = select_phases(
+                X_cluster,
+                k_max=max_phases,
+                score_threshold=score_threshold,
                 seed=seed,
+                jobs=jobs,
             )
-            if k == 1:
+            if k == 1 or result is None:
                 centers = X_cluster.mean(axis=0, keepdims=True)
                 assignments = np.zeros(len(X_cluster), dtype=np.int64)
             else:
-                result: KMeansResult = kmeans(X_cluster, k, seed=seed)
                 centers = result.centers
                 assignments = result.assignments
             rec.add(phases=k)
@@ -238,8 +249,13 @@ class PhaseModel:
         (take them from the :class:`~repro.jvm.stream.TraceStream`).
         """
         featurizer = UnitFeaturizer(self.space, registry, stack_table)
+        # One reusable row buffer: live mode classifies unit by unit,
+        # so a fresh allocation per unit would dominate the loop.
+        row = np.zeros((1, self.space.n_features))
         for unit in units:
-            yield int(self.classify(featurizer.row(unit)[None, :])[0])
+            row.fill(0.0)
+            featurizer.row_into(unit, row[0])
+            yield int(self.classify(row)[0])
 
     # -- statistics -----------------------------------------------------------
 

@@ -13,8 +13,9 @@ The one-stop entry point a user of the library needs (Figure 2):
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
@@ -32,6 +33,9 @@ from repro.core.units import JobProfile, SamplingUnit
 from repro.jvm.job import JobTrace
 from repro.jvm.stream import TraceStream
 from repro.runtime.instrument import ThroughputMeter, stage_timer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.store import ArtifactStore
 
 __all__ = ["SimProfConfig", "SimProfResult", "SimProf"]
 
@@ -128,14 +132,34 @@ class SimProf:
             job = profiler.consume(stream, meter=ThroughputMeter(rec))
         return job
 
-    def form_phases(self, job: JobProfile) -> PhaseModel:
-        """Stage 2: phase formation."""
+    def form_phases(
+        self,
+        job: JobProfile,
+        *,
+        jobs: int | None = None,
+        store: "ArtifactStore | None" = None,
+    ) -> PhaseModel:
+        """Stage 2: phase formation.
+
+        ``jobs`` parallelises the silhouette k-sweep (``None`` defers to
+        ``SIMPROF_JOBS``); ``store`` caches the assembled feature matrix
+        in the artifact store, keyed on the profile's content digest.
+        When ``SIMPROF_FEATURE_CACHE=1`` is set and no store is given,
+        the default store is used.  Both knobs are pure accelerators:
+        the fitted model is bit-identical with or without them.
+        """
+        if store is None and os.environ.get("SIMPROF_FEATURE_CACHE") == "1":
+            from repro.runtime.store import default_store
+
+            store = default_store()
         return PhaseModel.fit(
             job,
             top_k=self.config.top_k_methods,
             max_phases=self.config.max_phases,
             score_threshold=self.config.silhouette_threshold,
             seed=self.config.seed,
+            jobs=jobs,
+            store=store,
         )
 
     def select_points(
@@ -224,9 +248,13 @@ class SimProf:
         featurizer = UnitFeaturizer(
             model.space, stream.registry, stream.stack_table
         )
+        # One reusable row buffer: live mode classifies unit by unit,
+        # so a fresh allocation per unit would dominate the loop.
+        row = np.zeros((1, model.space.n_features))
         for tid, unit in profiler.units(stream):
-            phase = int(model.classify(featurizer.row(unit)[None, :])[0])
-            yield tid, unit, phase
+            row.fill(0.0)
+            featurizer.row_into(unit, row[0])
+            yield tid, unit, int(model.classify(row)[0])
 
     def sample_size_for(
         self,

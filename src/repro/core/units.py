@@ -125,3 +125,69 @@ class JobProfile:
     def oracle_cpi(self) -> float:
         """Mean CPI over all units (ground truth for sampling error)."""
         return self.profile.oracle_cpi()
+
+    def content_digest(self) -> str:
+        """Stable SHA-256 of everything featurization consumes.
+
+        Covers the job identity, the profiler geometry, the registry
+        and stack-table interning (in id order), and every unit's stack
+        histogram and hardware counters — two profiles digest equally
+        iff featurizing them yields identical matrices.  Used as the
+        cache key for assembled feature matrices in the artifact store.
+        Cached on the instance: a built profile is never mutated.
+        """
+        cached = self.__dict__.get("_content_digest")
+        if cached is not None:
+            return cached
+        from repro.runtime.store import digest_arrays
+
+        units = self.profile.units
+        table = self.stack_table
+        parts: list[Any] = [
+            "job-profile",
+            self.workload,
+            self.framework,
+            self.input_name,
+            self.profile.thread_id,
+            self.profile.unit_size,
+            self.profile.snapshot_period,
+            "\n".join(ref.fqn for ref in self.registry.all_refs()),
+        ]
+        frame_tuples = [table.frames_of(sid) for sid in range(len(table))]
+        parts.append(
+            np.array([len(f) for f in frame_tuples], dtype=np.int64)
+        )
+        parts.append(
+            np.array(
+                [mid for frames in frame_tuples for mid in frames],
+                dtype=np.int64,
+            )
+        )
+        parts.append(
+            np.array(
+                [
+                    (u.index, u.instructions, u.cycles, u.l1d_misses, u.llc_misses)
+                    for u in units
+                ],
+                dtype=np.float64,
+            ).reshape(len(units), 5)
+        )
+        parts.append(np.array([len(u.stack_ids) for u in units], dtype=np.int64))
+        if units:
+            parts.append(
+                np.concatenate(
+                    [np.asarray(u.stack_ids, dtype=np.int64) for u in units]
+                )
+                if any(len(u.stack_ids) for u in units)
+                else np.zeros(0, dtype=np.int64)
+            )
+            parts.append(
+                np.concatenate(
+                    [np.asarray(u.stack_counts, dtype=np.float64) for u in units]
+                )
+                if any(len(u.stack_counts) for u in units)
+                else np.zeros(0, dtype=np.float64)
+            )
+        digest = digest_arrays(parts)
+        self._content_digest = digest
+        return digest

@@ -26,6 +26,14 @@ them into generators requires inversion of control:
 events to the consumer through a bounded queue — backpressure keeps the
 producer from racing ahead of the consumer by more than the queue
 depth, which is what makes the memory bound real.
+
+Consumers on the classification side
+(:meth:`~repro.core.phases.PhaseModel.classify_stream`,
+``SimProf.classify_stream``) pair the stream's ``registry`` /
+``stack_table`` with a :class:`~repro.core.features.UnitFeaturizer`,
+whose per-unit scatter-add and reusable row buffer keep live
+classification allocation-free per unit and row-for-row identical to
+the batch path.
 """
 
 from __future__ import annotations

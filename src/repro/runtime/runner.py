@@ -42,7 +42,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.core.phases import PhaseModel
 from repro.core.pipeline import SimProf, SimProfConfig
@@ -56,6 +56,7 @@ __all__ = [
     "RunnerError",
     "ExperimentRunner",
     "resolve_jobs",
+    "map_tasks",
     "run_specs",
 ]
 
@@ -73,6 +74,103 @@ def resolve_jobs(jobs: int | None = None) -> int:
 
 class RunnerError(RuntimeError):
     """A spec kept failing after the configured retries."""
+
+
+def map_tasks(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    *,
+    jobs: int | None = None,
+    retries: int = 2,
+    backoff: float = 0.0,
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple[Any, ...] = (),
+) -> list[Any]:
+    """Order-preserving parallel map with the runner's failure semantics.
+
+    The generic sibling of :meth:`ExperimentRunner.run` for pure
+    compute tasks that are not :class:`RunSpec`-shaped (the phase
+    k-sweep, batch scoring): ``fn`` must be a picklable module-level
+    callable and each item picklable.  Guarantees:
+
+    * results come back in input order, so serial (``jobs=1``) and
+      parallel runs of a deterministic ``fn`` are byte-identical;
+    * per-item bounded retries with exponential backoff
+      (``backoff * 2**attempt`` seconds), surfacing as
+      :class:`RunnerError` when exhausted;
+    * a broken pool (OOM-killed worker, fork failure) degrades to
+      in-process execution of the unfinished items — ``initializer``
+      is then invoked locally so per-process context stays available.
+
+    ``jobs`` defaults to the ``SIMPROF_JOBS`` environment variable;
+    with one worker (or one item) everything runs in-process and the
+    initializer, if any, runs first.
+    """
+    jobs = resolve_jobs(jobs)
+    retries = max(0, int(retries))
+    backoff = max(0.0, float(backoff))
+    work = list(items)
+
+    def sleep_before_retry(attempt: int) -> None:
+        if backoff > 0:
+            time.sleep(backoff * (2.0**attempt))
+
+    def run_inline(item: Any) -> Any:
+        last: Exception | None = None
+        for attempt in range(retries + 1):
+            if attempt > 0:
+                sleep_before_retry(attempt - 1)
+            try:
+                return fn(item)
+            except Exception as exc:  # noqa: BLE001 - rewrapped below
+                last = exc
+        raise RunnerError(
+            f"task {item!r} failed after {retries + 1} attempts: {last}"
+        ) from last
+
+    if jobs <= 1 or len(work) <= 1:
+        if initializer is not None:
+            initializer(*initargs)
+        return [run_inline(item) for item in work]
+
+    results: list[Any] = [None] * len(work)
+    done: set[int] = set()
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(work)),
+            initializer=initializer,
+            initargs=initargs,
+        ) as pool:
+            attempts = dict.fromkeys(range(len(work)), 0)
+            futures = {pool.submit(fn, item): i for i, item in enumerate(work)}
+            while futures:
+                finished, _pending = wait(futures, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    i = futures.pop(future)
+                    exc = future.exception()
+                    if exc is None:
+                        results[i] = future.result()
+                        done.add(i)
+                        continue
+                    if isinstance(exc, BrokenProcessPool):
+                        raise exc
+                    attempts[i] += 1
+                    if attempts[i] > retries:
+                        raise RunnerError(
+                            f"task {work[i]!r} failed after "
+                            f"{retries + 1} attempts: {exc}"
+                        ) from exc
+                    sleep_before_retry(attempts[i] - 1)
+                    futures[pool.submit(fn, work[i])] = i
+    except BrokenProcessPool:
+        # A worker died hard (OOM, signal).  Finish what is left
+        # in-process rather than losing the batch.
+        if initializer is not None:
+            initializer(*initargs)
+        for i, item in enumerate(work):
+            if i not in done:
+                results[i] = run_inline(item)
+    return results
 
 
 @dataclass(frozen=True)
@@ -202,8 +300,15 @@ def _materialise(
     model_key: str | None = None
     if want == "model":
         model_params = spec.model_params()
+        # Spec-level parallelism takes precedence: the phase-formation
+        # k-sweep runs serially here (jobs=1) so pool workers never nest
+        # process pools.  The assembled feature matrix is cached in the
+        # same store, keyed on the profile's content digest, so sweeps
+        # over clustering knobs skip featurization entirely.
         store.get_or_compute(
-            "model", model_params, lambda: SimProf(spec.simprof).form_phases(job)
+            "model",
+            model_params,
+            lambda: SimProf(spec.simprof).form_phases(job, jobs=1, store=store),
         )
         model_key = store.key_for("model", model_params)
     return profile_key, model_key
@@ -272,6 +377,25 @@ class ExperimentRunner:
             raise ValueError("timeout must be positive (or None)")
         self.timeout = timeout
         self.checkpoint = _Checkpoint(checkpoint) if checkpoint else None
+
+    def map_tasks(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        *,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple[Any, ...] = (),
+    ) -> list[Any]:
+        """Run :func:`map_tasks` with this runner's jobs/retries/backoff."""
+        return map_tasks(
+            fn,
+            items,
+            jobs=self.jobs,
+            retries=self.retries,
+            backoff=self.backoff,
+            initializer=initializer,
+            initargs=initargs,
+        )
 
     def _sleep_before_retry(self, attempt: int) -> None:
         """Exponential backoff between attempts (attempt is 0-based)."""

@@ -404,13 +404,103 @@ class TestSPA006SilentSwallow:
         assert findings == []
 
 
+class TestSPA007QuadraticDistance:
+    def test_norm_over_difference_flagged(self):
+        findings = check(
+            """
+            import numpy as np
+
+            def nearest(X, C):
+                d = np.linalg.norm(X[:, None, :] - C[None, :, :], axis=-1)
+                return d.argmin(axis=1)
+            """,
+            rule="SPA007",
+        )
+        # Both the norm-over-difference and the broadcast-subtract fire.
+        assert len(findings) == 2
+        assert all(f.rule == "SPA007" for f in findings)
+
+    def test_broadcast_subtract_flagged(self):
+        findings = check(
+            """
+            def dists(a, b):
+                return ((a[:, None] - b[None, :]) ** 2).sum(axis=-1)
+            """,
+            rule="SPA007",
+        )
+        assert len(findings) == 1
+        assert "broadcast-subtract" in findings[0].message
+
+    def test_gram_matrix_expression_passes(self):
+        findings = check(
+            """
+            def sq_dists(X, C):
+                return (
+                    (X**2).sum(axis=1)[:, None]
+                    + (C**2).sum(axis=1)[None, :]
+                    - 2.0 * X @ C.T
+                )
+            """,
+            rule="SPA007",
+        )
+        assert findings == []
+
+    def test_norm_without_difference_passes(self):
+        findings = check(
+            """
+            import numpy as np
+
+            def lengths(X):
+                return np.linalg.norm(X, axis=1)
+            """,
+            rule="SPA007",
+        )
+        assert findings == []
+
+    def test_clustering_module_exempt(self):
+        findings = check(
+            """
+            def helper(a, b):
+                return a[:, None] - b[None, :]
+            """,
+            module="repro.core.clustering",
+            rule="SPA007",
+        )
+        assert findings == []
+
+    def test_reference_module_exempt(self):
+        findings = check(
+            """
+            def old(a, b):
+                return a[:, None] - b[None, :]
+            """,
+            module="repro.core._reference",
+            rule="SPA007",
+        )
+        assert findings == []
+
+    def test_outside_core_ignored(self):
+        findings = check(
+            """
+            import numpy as np
+
+            def fine(X, C):
+                return np.linalg.norm(X[:, None] - C[None, :], axis=-1)
+            """,
+            module="repro.workloads.synthetic",
+            rule="SPA007",
+        )
+        assert findings == []
+
+
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_seven_rules_registered(self):
         from repro.analysis import all_rules
 
         ids = [r.id for r in all_rules()]
         assert ids == [
             "SPA001", "SPA002", "SPA003", "SPA004", "SPA005", "SPA006",
+            "SPA007",
         ]
 
     def test_unknown_rule_raises(self):

@@ -326,3 +326,82 @@ class TestCheckpoint:
         )
         assert result.job.n_units > 0
         assert json.loads(ck.read_text())["done"] == [result.profile_key]
+
+
+# -- map_tasks ----------------------------------------------------------------
+
+_MAP_STATE: dict[str, int] = {}
+
+
+def _double(x: int) -> int:
+    return 2 * x
+
+
+def _scaled(x: int) -> int:
+    return _MAP_STATE["factor"] * x
+
+
+def _map_init(factor: int) -> None:
+    _MAP_STATE["factor"] = factor
+
+
+def _flaky(x: int) -> int:
+    _MAP_STATE.setdefault("calls", 0)
+    _MAP_STATE["calls"] += 1
+    if _MAP_STATE["calls"] < 3:
+        raise RuntimeError("transient")
+    return x
+
+
+def _always_fails(x: int) -> int:
+    raise RuntimeError("permanent")
+
+
+class TestMapTasks:
+    def test_serial_preserves_order(self):
+        assert runner_module.map_tasks(_double, [3, 1, 2], jobs=1) == [6, 2, 4]
+
+    def test_parallel_preserves_order(self):
+        out = runner_module.map_tasks(_double, list(range(8)), jobs=2)
+        assert out == [2 * i for i in range(8)]
+
+    def test_serial_and_parallel_agree(self):
+        items = list(range(6))
+        assert runner_module.map_tasks(_double, items, jobs=1) == (
+            runner_module.map_tasks(_double, items, jobs=3)
+        )
+
+    def test_initializer_runs_serially(self):
+        _MAP_STATE.clear()
+        out = runner_module.map_tasks(
+            _scaled, [1, 2, 3], jobs=1, initializer=_map_init, initargs=(10,)
+        )
+        assert out == [10, 20, 30]
+
+    def test_initializer_runs_in_workers(self):
+        out = runner_module.map_tasks(
+            _scaled, [1, 2, 3], jobs=2, initializer=_map_init, initargs=(7,)
+        )
+        assert out == [7, 14, 21]
+
+    def test_serial_retries_transient_failures(self):
+        _MAP_STATE.clear()
+        assert runner_module.map_tasks(_flaky, [42], jobs=1, retries=2) == [42]
+        assert _MAP_STATE["calls"] == 3
+
+    def test_exhausted_retries_raise_runner_error(self):
+        with pytest.raises(RunnerError, match="permanent"):
+            runner_module.map_tasks(_always_fails, [1], jobs=1, retries=1)
+
+    def test_parallel_failure_raises_runner_error(self):
+        with pytest.raises(RunnerError, match="permanent"):
+            runner_module.map_tasks(
+                _always_fails, [1, 2], jobs=2, retries=0
+            )
+
+    def test_empty_items(self):
+        assert runner_module.map_tasks(_double, [], jobs=4) == []
+
+    def test_runner_method_uses_configured_jobs(self, tmp_path):
+        runner = ExperimentRunner(ArtifactStore(tmp_path), jobs=1)
+        assert runner.map_tasks(_double, [5]) == [10]
