@@ -29,6 +29,12 @@ a script, not under pytest::
 ``--check-baseline`` compares the fast end-to-end wall-clock at
 n = 10⁴ against ``benchmarks/baselines/phase_perf_baseline.json`` and
 exits non-zero on a > 2x regression (the CI ``phase-perf-smoke`` gate).
+
+``--scale`` additionally benchmarks the stages that scale to a
+10⁶-unit job — featurize (fast vs reference, bit-parity asserted) and
+select — at n = 10⁶.  The silhouette sweep is deliberately excluded
+there: even the subsampled estimator holds a ``max_points x n``
+distance matrix, which at n = 10⁶ is ~24 GB.
 """
 
 from __future__ import annotations
@@ -58,6 +64,7 @@ TOP_K = 100
 K_MAX = 20
 QUICK_NS = (100, 1_000, 10_000)
 FULL_NS = (100, 1_000, 10_000, 100_000)
+SCALE_N = 1_000_000
 BASELINE_N = 10_000
 BASELINE_PATH = Path(__file__).parent / "baselines" / "phase_perf_baseline.json"
 REGRESSION_FACTOR = 2.0
@@ -247,6 +254,40 @@ def run_scale(n: int, *, check_parallel: bool = False) -> dict:
     }
 
 
+def run_featurize_scale(n: int = SCALE_N) -> dict:
+    """Featurize + select at the 10⁶-unit scale (sweep excluded).
+
+    The columnar trace plane feeds this stage, so it is the one held to
+    the full job length; parity with the reference featurizer stays
+    bit-exact even here.
+    """
+    job = make_job(n)
+    Xf, t_fast, m_fast = timed(lambda: build_feature_matrix(job))
+    Xr, t_ref, m_ref = timed(lambda: reference_build_feature_matrix(job))
+    assert Xf.dtype == Xr.dtype and np.array_equal(
+        Xf, Xr
+    ), f"feature matrices diverge at n={n}"
+    del Xr
+    ipc = job.profile.ipc()
+    (ids, _scores), t_select, m_select = timed(
+        lambda: select_features(Xf, ipc, top_k=TOP_K)
+    )
+    return {
+        "n": n,
+        "d_selected": int(len(ids)),
+        "featurize": {
+            "fast_s": round(t_fast, 4),
+            "ref_s": round(t_ref, 4),
+            "fast_peak_kib": round(m_fast, 1),
+            "ref_peak_kib": round(m_ref, 1),
+            "speedup": round(t_ref / t_fast, 2) if t_fast > 0 else None,
+        },
+        "select": {"shared_s": round(t_select, 4), "peak_kib": round(m_select, 1)},
+        "sweep": None,  # max_points x n distances: infeasible at this n
+        "parity": {"featmat_bitwise": True},
+    }
+
+
 def check_baseline(rows: list[dict]) -> int:
     """Exit status of the >2x regression gate at n = BASELINE_N."""
     row = next((r for r in rows if r["n"] == BASELINE_N), None)
@@ -283,6 +324,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help=f"fail on >{REGRESSION_FACTOR:.0f}x regression at n={BASELINE_N}",
     )
+    parser.add_argument(
+        "--scale",
+        action="store_true",
+        help=f"also benchmark featurize + select at n={SCALE_N} (no sweep)",
+    )
     parser.add_argument("--out", default="BENCH_phase.json")
     args = parser.parse_args(argv)
 
@@ -298,9 +344,20 @@ def main(argv: list[str] | None = None) -> int:
             f"(d={row['d_selected']})"
         )
 
+    scale_row = None
+    if args.scale:
+        scale_row = run_featurize_scale()
+        feat = scale_row["featurize"]
+        print(
+            f"n={scale_row['n']:>7} (featurize only): "
+            f"fast {feat['fast_s']:>8.3f}s | ref {feat['ref_s']:>8.3f}s | "
+            f"speedup {feat['speedup']:>5.1f}x (d={scale_row['d_selected']})"
+        )
+
     payload = {
         "benchmark": "phase-formation-fast-path",
         "quick": args.quick,
+        "scale": scale_row,
         "seed": SEED,
         "k_max": K_MAX,
         "top_k": TOP_K,

@@ -7,6 +7,7 @@ from repro.analysis.rules.spa004_unordered_iteration import UnorderedIterationRu
 from repro.analysis.rules.spa005_docstring_drift import DocstringDriftRule
 from repro.analysis.rules.spa006_silent_swallow import SilentSwallowRule
 from repro.analysis.rules.spa007_quadratic_distance import QuadraticDistanceRule
+from repro.analysis.rules.spa008_columnar import ColumnarIterationRule
 
 __all__ = [
     "GlobalRngRule",
@@ -16,4 +17,5 @@ __all__ = [
     "DocstringDriftRule",
     "SilentSwallowRule",
     "QuadraticDistanceRule",
+    "ColumnarIterationRule",
 ]

@@ -1,11 +1,12 @@
-"""Pre-fast-path reference implementations of the phase-formation hot path.
+"""Pre-fast-path reference implementations of the core hot paths.
 
 These are the straightforward per-loop versions the optimised code in
-:mod:`repro.core.clustering` and :mod:`repro.core.features` replaced:
-a per-stack scatter-add featurizer, a per-cluster-loop silhouette that
-recomputes its distance block for every evaluation, a Lloyd loop with
-no fixed-point early exit, and a serial k-sweep that refits k-means for
-the chosen k.  They are kept for two reasons:
+:mod:`repro.core.clustering`, :mod:`repro.core.features`, and
+:mod:`repro.core.profiler` replaced: a per-stack scatter-add
+featurizer, a per-cluster-loop silhouette that recomputes its distance
+block for every evaluation, a Lloyd loop with no fixed-point early
+exit, a serial k-sweep that refits k-means for the chosen k, and the
+per-segment streaming unit cutter.  They are kept for two reasons:
 
 * **parity** — the property tests assert the fast path produces
   bit-identical feature matrices and phase selections (and
@@ -22,14 +23,187 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.clustering import KMeansResult, _kmeanspp_init, _pairwise_sq_dists
-from repro.core.units import JobProfile
+from repro.core.profiler import ProfilerConfig
+from repro.core.units import JobProfile, SamplingUnit
+from repro.jvm.threads import TraceSegment
 
 __all__ = [
     "reference_build_feature_matrix",
     "reference_silhouette_score",
     "reference_kmeans",
     "reference_choose_k",
+    "ReferenceUnitCutter",
 ]
+
+
+class ReferenceUnitCutter:
+    """The pre-columnar per-segment unit cutter (the parity oracle).
+
+    The scalar incremental cutter the columnar
+    :class:`repro.core.profiler._UnitCutter` replaced, preserved
+    verbatim: one :meth:`feed` call per :class:`TraceSegment` object,
+    running float64 ``+=`` counters, one lazy RNG draw per poll gap,
+    and per-boundary two-point ``np.interp`` calls.  The columnar
+    parity suite feeds both cutters identical streams and asserts
+    bit-identical units.
+    """
+
+    __slots__ = (
+        "thread_id",
+        "_cfg",
+        "total",
+        "_cum_i",
+        "_cum_c",
+        "_cum_l1",
+        "_cum_llc",
+        "_prev_b",
+        "_prev_c",
+        "_prev_l1",
+        "_prev_llc",
+        "_next_boundary",
+        "_rng",
+        "_first",
+        "_gap_sum",
+        "_point_int",
+        "_counts",
+    )
+
+    def __init__(self, thread_id: int, cfg: ProfilerConfig) -> None:
+        self.thread_id = thread_id
+        self._cfg = cfg
+        self.total = 0  # integer instruction counter (the JVMTI clock)
+        self._cum_i = 0.0  # float64 cumulative counters (the perf columns)
+        self._cum_c = 0.0
+        self._cum_l1 = 0.0
+        self._cum_llc = 0.0
+        # Counter values interpolated at the last processed boundary.
+        self._prev_b = 0
+        self._prev_c = 0.0
+        self._prev_l1 = 0.0
+        self._prev_llc = 0.0
+        # Boundary 0 goes through the same deferred machinery so a
+        # zero-instruction prefix folds into its left endpoint exactly
+        # as np.interp's last-duplicate rule would have it.
+        self._next_boundary = 0
+        # Poll timer state, mirroring StackSnapshotter._poll_points.
+        self._first = cfg.snapshot_period
+        if cfg.snapshot_jitter == 0.0:
+            self._rng = None
+            self._gap_sum = 0.0
+        else:
+            self._rng = np.random.default_rng(
+                np.random.SeedSequence([cfg.seed, thread_id & 0x7FFFFFFF])
+            )
+            self._gap_sum = 0.0
+        self._point_int = self._first
+        # unit index -> {stack_id: count}; only units whose closing
+        # boundary has not streamed past yet are resident.
+        self._counts: dict[int, dict[int, int]] = {}
+
+    def _advance_point(self) -> None:
+        if self._rng is None:
+            self._point_int += self._cfg.snapshot_period
+            return
+        cfg = self._cfg
+        # One lazy draw per gap: scalar uniform() calls consume the
+        # PCG64 stream exactly like the batch path's single
+        # uniform(size=n) array draw, element for element.
+        gap = cfg.snapshot_period * self._rng.uniform(
+            1.0 - cfg.snapshot_jitter, 1.0 + cfg.snapshot_jitter
+        )
+        self._gap_sum += gap
+        self._point_int = int(float(self._first) + self._gap_sum)
+
+    def _emit_unit(
+        self, b: int, c_b: float, l1_b: float, llc_b: float
+    ) -> SamplingUnit:
+        unit_size = self._cfg.unit_size
+        index = b // unit_size - 1
+        counts = self._counts.pop(index, None)
+        if counts:
+            items = sorted(counts.items())
+            ids = np.array([k for k, _ in items], dtype=np.int64)
+            cnt = np.array([v for _, v in items], dtype=np.int64)
+        else:
+            ids = np.array([], dtype=np.int64)
+            cnt = np.array([], dtype=np.int64)
+        unit = SamplingUnit(
+            index=index,
+            stack_ids=ids,
+            stack_counts=cnt,
+            instructions=float(b) - float(self._prev_b),
+            cycles=c_b - self._prev_c,
+            l1d_misses=l1_b - self._prev_l1,
+            llc_misses=llc_b - self._prev_llc,
+        )
+        self._prev_b = b
+        self._prev_c = c_b
+        self._prev_l1 = l1_b
+        self._prev_llc = llc_b
+        self._next_boundary = b + unit_size
+        return unit
+
+    def feed(self, seg: TraceSegment) -> list[SamplingUnit]:
+        """Account one segment; return any units it completed."""
+        cfg = self._cfg
+        x0 = self._cum_i
+        c0 = self._cum_c
+        l10 = self._cum_l1
+        llc0 = self._cum_llc
+        self._cum_i += float(seg.instructions)
+        self._cum_c += float(seg.cycles)
+        self._cum_l1 += float(seg.l1d_misses)
+        self._cum_llc += float(seg.llc_misses)
+        total_new = self.total + seg.instructions
+        self.total = total_new
+
+        # Snapshots landing in this segment: consume-when-passed.
+        point = self._point_int
+        if point < total_new:
+            stack_id = seg.stack_id
+            unit_size = cfg.unit_size
+            while point < total_new:
+                bucket = self._counts.setdefault(point // unit_size, {})
+                bucket[stack_id] = bucket.get(stack_id, 0) + 1
+                self._advance_point()
+                point = self._point_int
+
+        if total_new <= self._next_boundary:
+            return []
+        # Unit boundaries this segment streamed past.  np.interp over
+        # the segment's own two-point window matches the global call.
+        x1 = self._cum_i
+        out: list[SamplingUnit] = []
+        while total_new > self._next_boundary:
+            b = self._next_boundary
+            fb = float(b)
+            xw = (x0, x1)
+            c_b = float(np.interp(fb, xw, (c0, self._cum_c)))
+            l1_b = float(np.interp(fb, xw, (l10, self._cum_l1)))
+            llc_b = float(np.interp(fb, xw, (llc0, self._cum_llc)))
+            if b == 0:
+                # Boundary 0 opens the first unit; it emits nothing.
+                self._prev_c = c_b
+                self._prev_l1 = l1_b
+                self._prev_llc = llc_b
+                self._next_boundary = cfg.unit_size
+            else:
+                out.append(self._emit_unit(b, c_b, l1_b, llc_b))
+        return out
+
+    def flush(self) -> list[SamplingUnit]:
+        """Emit a boundary sitting exactly on the final total, if any."""
+        out: list[SamplingUnit] = []
+        if self.total > 0 and self._next_boundary == self.total:
+            # Exact-multiple trace: global interpolation at the last
+            # abscissa returns the final cumulative values.
+            out.append(
+                self._emit_unit(
+                    self._next_boundary, self._cum_c, self._cum_l1, self._cum_llc
+                )
+            )
+        self._counts.clear()  # trailing partial unit, dropped like batch
+        return out
 
 
 def reference_build_feature_matrix(

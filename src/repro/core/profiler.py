@@ -38,7 +38,7 @@ from repro.jvm.job import JobTrace, StageInfo
 from repro.jvm.jvmti import StackSnapshotter
 from repro.jvm.perf import PerfCounterReader
 from repro.jvm.stream import JobEnd, SegmentBatch, StageEvent, ThreadStart, TraceStream
-from repro.jvm.threads import ThreadTrace, TraceSegment
+from repro.jvm.threads import ThreadTrace
 from repro.runtime.instrument import ThroughputMeter
 
 __all__ = ["ProfilerConfig", "SimProfProfiler", "StreamingProfiler"]
@@ -156,20 +156,42 @@ class SimProfProfiler:
 
 
 class _UnitCutter:
-    """Incremental unit cutter for one thread.
+    """Incremental columnar unit cutter for one thread.
 
-    Replays the batch arithmetic exactly — the running float64
-    cumulative counters stand in for ``PerfCounterReader``'s cumsum
-    columns (sequential ``+=`` is bit-identical to ``np.cumsum``), and
-    per-segment two-point ``np.interp`` calls reproduce the global
-    interpolation because the bracketing interval is the same one the
-    global binary search would pick.  Two ordering rules keep the
-    duplicate-abscissa semantics of ``np.interp`` (exact matches resolve
-    to the *last* duplicate): a unit boundary is processed only once the
-    integer instruction counter strictly exceeds it, so zero-instruction
-    segments sitting exactly on a boundary fold their counters into the
-    left endpoint first; and a boundary equal to the thread's final
-    total is flushed at finalisation with the final cumulative values.
+    Consumes whole :data:`~repro.jvm.segments.SEGMENT_DTYPE` batches
+    (:meth:`feed_array`) and replays the batch arithmetic exactly:
+
+    * the chained ``np.cumsum`` over each batch's float64 counter
+      columns is bit-identical to ``PerfCounterReader``'s global cumsum
+      (both are sequential left-to-right accumulation, and the carry is
+      the exact running value);
+    * poll points come from the same PCG64 stream as the batch
+      snapshotter — chunked ``uniform(size=n)`` draws consume the
+      generator exactly like ``n`` scalar draws, and the buffered
+      leftovers are the next draws in order;
+    * snapshot→segment assignment is ``searchsorted(cum_end, points,
+      side="right")`` — a poll point belongs to the first segment whose
+      cumulative count strictly exceeds it, the consume-when-passed
+      rule;
+    * boundary counters come from one ``np.interp`` per column over the
+      batch-local chained cumsum, which selects the same bracketing
+      interval (and the same last-duplicate resolution for exact
+      matches) as the global call.
+
+    Two ordering rules keep the duplicate-abscissa semantics of
+    ``np.interp`` (exact matches resolve to the *last* duplicate): a
+    unit boundary is processed only once the integer instruction
+    counter strictly exceeds it, so zero-instruction segments sitting
+    exactly on a boundary fold their counters into the left endpoint
+    first; and a boundary equal to the thread's final total is flushed
+    at finalisation with the final cumulative values.  All snapshots of
+    a unit land in segments at or before the unit's closing boundary's
+    crossing segment, so bucketing a batch's snapshots before emitting
+    its boundaries preserves the per-segment interleaving.
+
+    The scalar per-segment original lives on as
+    :class:`repro.core._reference.ReferenceUnitCutter`; the parity
+    suite holds the two bit-identical.
     """
 
     __slots__ = (
@@ -190,6 +212,8 @@ class _UnitCutter:
         "_gap_sum",
         "_point_int",
         "_counts",
+        "_gap_buf",
+        "_gap_pos",
     )
 
     def __init__(self, thread_id: int, cfg: ProfilerConfig) -> None:
@@ -213,30 +237,93 @@ class _UnitCutter:
         self._first = cfg.snapshot_period
         if cfg.snapshot_jitter == 0.0:
             self._rng = None
-            self._gap_sum = 0.0
         else:
             self._rng = np.random.default_rng(
                 np.random.SeedSequence([cfg.seed, thread_id & 0x7FFFFFFF])
             )
-            self._gap_sum = 0.0
+        self._gap_sum = 0.0
         self._point_int = self._first
         # unit index -> {stack_id: count}; only units whose closing
         # boundary has not streamed past yet are resident.
         self._counts: dict[int, dict[int, int]] = {}
+        # Buffered jitter gaps: chunked uniform draws, consumed in draw
+        # order so the stream position always matches the scalar path.
+        self._gap_buf = np.empty(0, dtype=np.float64)
+        self._gap_pos = 0
 
-    def _advance_point(self) -> None:
+    def _peek_gaps(self, n: int) -> np.ndarray:
+        """The next ``n`` poll gaps, without committing the timer to them."""
+        avail = len(self._gap_buf) - self._gap_pos
+        if avail < n:
+            cfg = self._cfg
+            fresh = cfg.snapshot_period * self._rng.uniform(
+                1.0 - cfg.snapshot_jitter,
+                1.0 + cfg.snapshot_jitter,
+                size=max(n - avail, 1024),
+            )
+            self._gap_buf = np.concatenate(
+                [self._gap_buf[self._gap_pos :], fresh]
+            )
+            self._gap_pos = 0
+        return self._gap_buf[self._gap_pos : self._gap_pos + n]
+
+    def _consume_points(self, total_new: int) -> np.ndarray | None:
+        """Poll points in ``[self._point_int, total_new)``; advance the timer.
+
+        Returns the consumed points in firing order (``None`` when the
+        batch ends before the next point), leaving ``_point_int`` at
+        the first point ``>= total_new`` and ``_gap_sum`` at the chained
+        float sum after exactly one draw per consumed point — the same
+        generator state the scalar one-draw-per-advance loop reaches.
+        """
+        p = self._point_int
+        if p >= total_new:
+            return None
+        period = self._cfg.snapshot_period
         if self._rng is None:
-            self._point_int += self._cfg.snapshot_period
-            return
-        cfg = self._cfg
-        # One lazy draw per gap: scalar uniform() calls consume the
-        # PCG64 stream exactly like the batch path's single
-        # uniform(size=n) array draw, element for element.
-        gap = cfg.snapshot_period * self._rng.uniform(
-            1.0 - cfg.snapshot_jitter, 1.0 + cfg.snapshot_jitter
-        )
-        self._gap_sum += gap
-        self._point_int = int(float(self._first) + self._gap_sum)
+            n = (total_new - 1 - p) // period + 1
+            pts = p + period * np.arange(n, dtype=np.int64)
+            self._point_int = int(p + period * n)
+            return pts
+        first = float(self._first)
+        parts = [np.array([p], dtype=np.int64)]
+        while True:
+            span = total_new - p
+            want = int(span // period) + 2
+            gaps = self._peek_gaps(want)
+            # Chained cumsum: gsums[j] is _gap_sum after j+1 sequential
+            # += draws, bit for bit.
+            gsums = np.cumsum(np.concatenate(([self._gap_sum], gaps)))[1:]
+            cands = (first + gsums).astype(np.int64)
+            stop = int(np.searchsorted(cands, total_new, side="left"))
+            if stop < want:
+                # cands[stop] is the first point past the batch: it and
+                # every earlier candidate consumed one draw each.
+                parts.append(cands[:stop])
+                self._gap_pos += stop + 1
+                self._gap_sum = float(gsums[stop])
+                self._point_int = int(cands[stop])
+                return np.concatenate(parts)
+            parts.append(cands)
+            self._gap_pos += want
+            self._gap_sum = float(gsums[-1])
+            p = int(cands[-1])
+
+    def _bucket_points(self, points: np.ndarray, stacks: np.ndarray) -> None:
+        """Fold ``(point, stack)`` pairs into the per-unit count dicts."""
+        units = points // self._cfg.unit_size
+        order = np.lexsort((stacks, units))
+        u = units[order]
+        s = stacks[order]
+        group_start = np.empty(len(u), dtype=bool)
+        group_start[0] = True
+        group_start[1:] = (u[1:] != u[:-1]) | (s[1:] != s[:-1])
+        starts = np.flatnonzero(group_start)
+        counts = np.diff(np.append(starts, len(u)))
+        for at, cnt in zip(starts, counts):
+            bucket = self._counts.setdefault(int(u[at]), {})
+            sid = int(s[at])
+            bucket[sid] = bucket.get(sid, 0) + int(cnt)
 
     def _emit_unit(self, b: int, c_b: float, l1_b: float, llc_b: float) -> SamplingUnit:
         unit_size = self._cfg.unit_size
@@ -265,56 +352,83 @@ class _UnitCutter:
         self._next_boundary = b + unit_size
         return unit
 
-    def feed(self, seg: TraceSegment) -> list[SamplingUnit]:
-        """Account one segment; return any units it completed."""
-        cfg = self._cfg
-        x0 = self._cum_i
-        c0 = self._cum_c
-        l10 = self._cum_l1
-        llc0 = self._cum_llc
-        self._cum_i += float(seg.instructions)
-        self._cum_c += float(seg.cycles)
-        self._cum_l1 += float(seg.l1d_misses)
-        self._cum_llc += float(seg.llc_misses)
-        total_new = self.total + seg.instructions
-        self.total = total_new
+    def feed_array(self, data: np.ndarray) -> list[SamplingUnit]:
+        """Account one packed segment batch; return the units it completed.
 
-        # Snapshots landing in this segment: searchsorted(side="right")
-        # assigns a poll point to the first segment whose cumulative
-        # count strictly exceeds it, which is exactly this consume-when-
-        # passed rule.  Points at or beyond the final total never fire,
-        # reproducing the batch points-<-total filter.
-        point = self._point_int
-        if point < total_new:
-            stack_id = seg.stack_id
-            unit_size = cfg.unit_size
-            while point < total_new:
-                bucket = self._counts.setdefault(point // unit_size, {})
-                bucket[stack_id] = bucket.get(stack_id, 0) + 1
-                self._advance_point()
-                point = self._point_int
+        ``data`` is a :data:`~repro.jvm.segments.SEGMENT_DTYPE` array;
+        the cutter touches only its columns and never materialises
+        per-segment objects.
+        """
+        n = len(data)
+        if n == 0:
+            return []
+        cfg = self._cfg
+        inst = data["instructions"]
+        # Integer JVMTI clock per segment end (exact), and the chained
+        # float64 perf columns — np.cumsum accumulates left to right, so
+        # seeding it with the carry reproduces sequential += bit for bit.
+        cum_end = self.total + np.cumsum(inst)
+        total_new = int(cum_end[-1])
+        ci = np.cumsum(
+            np.concatenate(([self._cum_i], inst.astype(np.float64)))
+        )
+        cc = np.cumsum(
+            np.concatenate(
+                ([self._cum_c], data["cycles"].astype(np.float64))
+            )
+        )
+        cl1 = np.cumsum(
+            np.concatenate(
+                ([self._cum_l1], data["l1d_misses"].astype(np.float64))
+            )
+        )
+        cllc = np.cumsum(
+            np.concatenate(
+                ([self._cum_llc], data["llc_misses"].astype(np.float64))
+            )
+        )
+        self.total = total_new
+        self._cum_i = float(ci[-1])
+        self._cum_c = float(cc[-1])
+        self._cum_l1 = float(cl1[-1])
+        self._cum_llc = float(cllc[-1])
+
+        # Snapshots: searchsorted(side="right") hands each poll point to
+        # the first segment whose cumulative count strictly exceeds it
+        # (consume-when-passed); points at or beyond the batch total
+        # stay pending, reproducing the batch points-<-total filter.
+        points = self._consume_points(total_new)
+        if points is not None:
+            seg_of_point = np.searchsorted(cum_end, points, side="right")
+            self._bucket_points(points, data["stack_id"][seg_of_point])
 
         if total_new <= self._next_boundary:
             return []
-        # Unit boundaries this segment streamed past.  np.interp over
-        # the segment's own two-point window matches the global call.
-        x1 = self._cum_i
+        # Unit boundaries this batch streamed past.  One np.interp per
+        # column over the batch-local chained cumsum selects the same
+        # bracketing interval — and the same last-duplicate resolution
+        # for boundaries sitting exactly on a segment end — as the
+        # global call over the whole trace.
+        bs = np.arange(self._next_boundary, total_new, cfg.unit_size)
+        fbs = bs.astype(np.float64)
+        c_bs = np.interp(fbs, ci, cc)
+        l1_bs = np.interp(fbs, ci, cl1)
+        llc_bs = np.interp(fbs, ci, cllc)
         out: list[SamplingUnit] = []
-        while total_new > self._next_boundary:
-            b = self._next_boundary
-            fb = float(b)
-            xw = (x0, x1)
-            c_b = float(np.interp(fb, xw, (c0, self._cum_c)))
-            l1_b = float(np.interp(fb, xw, (l10, self._cum_l1)))
-            llc_b = float(np.interp(fb, xw, (llc0, self._cum_llc)))
+        for k, b in enumerate(bs):
+            b = int(b)
             if b == 0:
                 # Boundary 0 opens the first unit; it emits nothing.
-                self._prev_c = c_b
-                self._prev_l1 = l1_b
-                self._prev_llc = llc_b
+                self._prev_c = float(c_bs[k])
+                self._prev_l1 = float(l1_bs[k])
+                self._prev_llc = float(llc_bs[k])
                 self._next_boundary = cfg.unit_size
             else:
-                out.append(self._emit_unit(b, c_b, l1_b, llc_b))
+                out.append(
+                    self._emit_unit(
+                        b, float(c_bs[k]), float(l1_bs[k]), float(llc_bs[k])
+                    )
+                )
         return out
 
     def flush(self) -> list[SamplingUnit]:
@@ -389,9 +503,8 @@ class StreamingProfiler:
                         )
                     continue  # thread deliberately not cut
                 tid = event.thread_id
-                for seg in event.segments:
-                    for unit in cutter.feed(seg):
-                        yield tid, unit
+                for unit in cutter.feed_array(event.data):
+                    yield tid, unit
             elif isinstance(event, ThreadStart):
                 seen.add(event.thread_id)
                 if only is None or event.thread_id == only:

@@ -26,6 +26,14 @@ Unsequenced batches (``seq == -1``) pass through untouched, so legacy
 streams behave exactly as before.  When nothing anomalous happened the
 guard's report stays empty and downstream metadata is byte-identical
 to an unguarded run.
+
+Everything here operates on the columnar batch payload: verification
+is one :func:`~repro.jvm.segments.segment_checksum` CRC pass over the
+packed ``batch.data`` buffer (bit-identical to the historical
+per-segment pack loop for any content, so mixed old/new-format streams
+verify through this one path), and batches are held back, replayed,
+and re-emitted by reference — the guard never materialises per-segment
+objects.
 """
 
 from __future__ import annotations
@@ -204,7 +212,7 @@ class EventGuard:
 
     def _verified(self, batch: SegmentBatch) -> SegmentBatch | None:
         """Return a checksum-clean copy of ``batch`` or None if lost."""
-        if segment_checksum(batch.segments) == batch.checksum:
+        if segment_checksum(batch.data) == batch.checksum:
             return batch
         fresh = (
             self._replay.fetch(batch.thread_id, batch.seq)
@@ -213,7 +221,7 @@ class EventGuard:
         )
         if (
             fresh is not None
-            and segment_checksum(fresh.segments) == fresh.checksum
+            and segment_checksum(fresh.data) == fresh.checksum
         ):
             self.report.record(
                 _STREAM_SITE,
@@ -245,7 +253,7 @@ class EventGuard:
         )
         if (
             fresh is not None
-            and segment_checksum(fresh.segments) == fresh.checksum
+            and segment_checksum(fresh.data) == fresh.checksum
         ):
             self.report.record(
                 _STREAM_SITE,

@@ -167,8 +167,8 @@ class _TaskRun:
         if trace.segments:
             seq = cluster._stream_seq.get(self.slot, 0)
             cluster._stream_seq[self.slot] = seq + 1
-            emit(sequenced_batch(self.slot, tuple(trace.segments), seq))
-            trace.clear_segments()
+            # Columnar flush: pack the task's segments once and clear.
+            emit(sequenced_batch(self.slot, trace.drain_structured(), seq))
         return trace
 
 

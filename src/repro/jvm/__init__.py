@@ -17,6 +17,11 @@ reproduce that bridge with a simulated JVM:
   SimProf's thread profiler consumes; they see only what the real
   interfaces would expose (stacks at sampled instants, counters per
   window), never the underlying segments.
+* :mod:`repro.jvm.segments` / :mod:`repro.jvm.stream` /
+  :mod:`repro.jvm.shm` — the columnar trace plane: the packed
+  ``SEGMENT_DTYPE`` wire format, the incremental event stream that
+  moves batches by reference, and the shared-memory transport that
+  keeps batches zero-copy across a process boundary.
 """
 
 from repro.jvm.methods import CallStack, MethodRef, MethodRegistry, StackTable
@@ -30,6 +35,7 @@ from repro.jvm.threads import ThreadTrace, TraceBuilder, TraceSegment
 from repro.jvm.jvmti import StackSnapshot, StackSnapshotter
 from repro.jvm.perf import CounterWindow, PerfCounterReader
 from repro.jvm.job import JobTrace, StageInfo
+from repro.jvm.segments import SEGMENT_DTYPE, segment_checksum
 from repro.jvm.stream import (
     JobEnd,
     SegmentBatch,
@@ -40,6 +46,7 @@ from repro.jvm.stream import (
     pump_events,
     trace_to_stream,
 )
+from repro.jvm.shm import recv_stream, send_stream
 
 __all__ = [
     "AccessPattern",
@@ -53,6 +60,7 @@ __all__ = [
     "MethodRegistry",
     "OpKind",
     "PerfCounterReader",
+    "SEGMENT_DTYPE",
     "SegmentBatch",
     "StackSnapshot",
     "StackSnapshotter",
@@ -66,5 +74,8 @@ __all__ = [
     "TraceSegment",
     "TraceStream",
     "pump_events",
+    "recv_stream",
+    "segment_checksum",
+    "send_stream",
     "trace_to_stream",
 ]

@@ -1,0 +1,50 @@
+"""Pre-columnar reference implementations of the trace-plane wire code.
+
+The per-segment Python loops the columnar trace plane replaced, kept —
+per the ``_reference`` parity pattern — as oracles the parity tests
+check the vectorised code against bit for bit:
+
+* :func:`reference_segment_checksum` — the historical pack-and-fold
+  CRC-32 loop over :class:`~repro.jvm.threads.TraceSegment` objects.
+  Because CRC-32 chains over concatenation, the columnar
+  :func:`repro.jvm.segments.segment_checksum` (one ``crc32`` over the
+  packed buffer) must produce the identical value for identical batch
+  content; the tests assert it does, which is the guarantee that lets
+  old-format (object) and new-format (columnar) batches coexist in one
+  stream and verify through one path.
+
+Nothing here is exported from :mod:`repro.jvm`; production code must
+not import this module.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Sequence
+
+from repro.jvm.threads import OP_KIND_CODES, TraceSegment
+
+__all__ = ["reference_segment_checksum"]
+
+_SEGMENT_PACK = struct.Struct("<qqqqqqqq")
+
+
+def reference_segment_checksum(segments: Sequence[TraceSegment]) -> int:
+    """The pre-columnar per-segment pack loop (the parity oracle)."""
+    crc = 0
+    for s in segments:
+        crc = zlib.crc32(
+            _SEGMENT_PACK.pack(
+                s.stack_id,
+                OP_KIND_CODES[s.op_kind],
+                s.instructions,
+                s.cycles,
+                s.l1d_misses,
+                s.llc_misses,
+                s.stage_id,
+                s.task_id,
+            ),
+            crc,
+        )
+    return crc

@@ -1,0 +1,235 @@
+"""Zero-copy trace-event transport across a process boundary.
+
+:func:`pump_events` moves columnar :class:`~repro.jvm.stream.SegmentBatch`
+payloads by reference, which is free between threads but not between
+processes — a naive ``multiprocessing`` queue would pickle every batch,
+copying the packed buffer twice.  This module keeps the zero-copy
+property across the boundary with ``multiprocessing.shared_memory``:
+
+* :func:`send_stream` (producer process) iterates a
+  :class:`~repro.jvm.stream.TraceStream`; each batch's packed
+  :data:`~repro.jvm.segments.SEGMENT_DTYPE` buffer is written into its
+  own shared-memory block and only a small picklable
+  :class:`ShmBatchRef` (block name, row count, seq, checksum) crosses
+  the queue.  Non-batch events (``ThreadStart``/``StageEvent``/
+  ``JobEnd``) and the stream header are pickled as-is — they are tiny.
+* :func:`recv_stream` (consumer process) rebuilds a ``TraceStream``
+  whose batches wrap the shared blocks as zero-copy ndarray views; the
+  checksum travels with the ref, so the consumer-side
+  :class:`~repro.faults.stream.EventGuard` verifies the buffer
+  end-to-end across the boundary.
+
+Block lifecycle: the producer closes its mapping right after writing
+(the block itself persists until unlinked).  The consumer unlinks each
+block one event *after* yielding it — when the consumer asks for event
+``k+1`` it has, by the stream contract, finished with batch ``k-1``'s
+buffer (its loop variable still pins batch ``k``), so the one-event lag
+makes eager reclamation safe and keeps shared memory bounded by the
+in-flight window.  Consumers that retain a batch beyond the next event
+must copy its ``data`` first (``EventGuard`` hold-back and replay
+buffers only retain batches on faulty streams; route those through an
+in-process pump instead).  When the iterator closes or is garbage
+collected, its open blocks are reclaimed and any refs already sitting
+in the queue are drained and unlinked best-effort.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from multiprocessing import shared_memory
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.jvm.segments import SEGMENT_DTYPE
+from repro.jvm.stream import SegmentBatch, TraceEvent, TraceStream
+
+__all__ = ["ShmBatchRef", "ShmStreamHeader", "send_stream", "recv_stream"]
+
+
+class ShmBatchRef:
+    """Picklable handle to a segment batch parked in shared memory."""
+
+    __slots__ = ("name", "length", "thread_id", "seq", "checksum")
+
+    def __init__(
+        self, name: str, length: int, thread_id: int, seq: int, checksum: int
+    ) -> None:
+        self.name = name
+        self.length = length
+        self.thread_id = thread_id
+        self.seq = seq
+        self.checksum = checksum
+
+    def __getstate__(self) -> tuple:
+        return (self.name, self.length, self.thread_id, self.seq, self.checksum)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.name, self.length, self.thread_id, self.seq, self.checksum = state
+
+
+class ShmStreamHeader:
+    """First queue message: the stream's shared context."""
+
+    __slots__ = (
+        "framework",
+        "workload",
+        "input_name",
+        "registry",
+        "stack_table",
+        "machine",
+    )
+
+    def __init__(self, stream: TraceStream) -> None:
+        self.framework = stream.framework
+        self.workload = stream.workload
+        self.input_name = stream.input_name
+        self.registry = stream.registry
+        self.stack_table = stream.stack_table
+        self.machine = stream.machine
+
+
+class _ShmDone:
+    """End-of-stream sentinel (pickles to a fresh but equal instance)."""
+
+    __slots__ = ()
+
+
+def send_stream(stream: TraceStream, queue: Any) -> None:
+    """Ship ``stream`` over ``queue``, batches via shared memory.
+
+    Blocks until the stream is exhausted; the paired consumer calls
+    :func:`recv_stream` on the other end of the queue.  ``queue`` is
+    any object with ``put`` (``multiprocessing.Queue`` or a duck-typed
+    stand-in for tests).
+    """
+    queue.put(ShmStreamHeader(stream))
+    for event in stream:
+        if isinstance(event, SegmentBatch):
+            data = event.data
+            block = shared_memory.SharedMemory(
+                create=True, size=max(1, data.nbytes)
+            )
+            if len(data):
+                view = np.ndarray(
+                    len(data), dtype=SEGMENT_DTYPE, buffer=block.buf
+                )
+                view[:] = data
+                del view
+            ref = ShmBatchRef(
+                block.name,
+                len(data),
+                event.thread_id,
+                event.seq,
+                event.checksum,
+            )
+            # The block outlives the producer's mapping; the consumer
+            # unlinks it once the batch has been consumed.
+            block.close()
+            queue.put(ref)
+        else:
+            queue.put(event)
+    queue.put(_ShmDone())
+
+
+def _shm_events(queue: Any) -> Iterator[TraceEvent]:
+    # (name -> SharedMemory) of blocks the consumer may still be
+    # reading; reclaimed with a one-event lag (see module docstring).
+    open_blocks: deque[shared_memory.SharedMemory] = deque()
+
+    def reclaim(keep_last: int) -> None:
+        while len(open_blocks) > keep_last:
+            block = open_blocks.popleft()
+            try:
+                block.close()
+                block.unlink()
+            except BufferError:  # consumer still holds a view; leave it
+                open_blocks.append(block)
+                return
+
+    try:
+        while True:
+            item = queue.get()
+            if isinstance(item, _ShmDone):
+                return
+            if isinstance(item, ShmBatchRef):
+                block = shared_memory.SharedMemory(name=item.name)
+                data: np.ndarray = np.ndarray(
+                    item.length, dtype=SEGMENT_DTYPE, buffer=block.buf
+                )
+                data.setflags(write=False)
+                batch = SegmentBatch(
+                    item.thread_id,
+                    data,
+                    seq=item.seq,
+                    checksum=item.checksum,
+                )
+                open_blocks.append(block)
+                del data
+                try:
+                    yield batch
+                finally:
+                    # Drop our own reference before reclaiming — on an
+                    # abandoned iterator (GeneratorExit) this frame
+                    # would otherwise pin the current block through the
+                    # closing reclaim.  Back from the consumer, it pins
+                    # at most this batch, so older blocks are
+                    # reclaimable.
+                    del batch
+                    reclaim(1)
+            else:
+                yield item
+    finally:
+        reclaim(0)
+        _drain_pending(queue)
+
+
+def _drain_pending(queue: Any) -> None:
+    """Best-effort unlink of refs still queued when the consumer quits.
+
+    An abandoned iterator leaves the blocks of never-received batches
+    parked in shared memory; reclaim whatever has already arrived.  A
+    producer still mid-``send_stream`` can race this (its later blocks
+    are only reclaimed if the consumer drains again), which is why
+    fault-prone streams belong on an in-process pump instead.
+    """
+    get_nowait = getattr(queue, "get_nowait", None)
+    if get_nowait is None:
+        return
+    while True:
+        try:
+            item = get_nowait()
+        except Exception:  # queue.Empty, or a duck-typed equivalent
+            return
+        if isinstance(item, _ShmDone):
+            return
+        if isinstance(item, ShmBatchRef):
+            try:
+                block = shared_memory.SharedMemory(name=item.name)
+            except FileNotFoundError:
+                continue
+            block.close()
+            block.unlink()
+
+
+def recv_stream(queue: Any) -> TraceStream:
+    """Rebuild the :class:`TraceStream` a paired :func:`send_stream` ships.
+
+    Blocks until the header message arrives.  The returned stream's
+    batches are zero-copy views of the producer's shared-memory blocks;
+    iterate it exactly like an in-process stream.
+    """
+    header = queue.get()
+    if not isinstance(header, ShmStreamHeader):
+        raise ValueError(
+            f"expected an ShmStreamHeader first, got {type(header).__name__}"
+        )
+    return TraceStream(
+        framework=header.framework,
+        workload=header.workload,
+        input_name=header.input_name,
+        registry=header.registry,
+        stack_table=header.stack_table,
+        machine=header.machine,
+        events=_shm_events(queue),
+    )

@@ -1,4 +1,4 @@
-"""The TraceStream protocol: incremental trace events.
+"""The TraceStream protocol: incremental columnar trace events.
 
 A :class:`TraceStream` is the streaming counterpart of
 :class:`~repro.jvm.job.JobTrace`: the same run record, delivered as an
@@ -8,14 +8,27 @@ streaming profiler, or :meth:`JobTrace.from_stream`) see segments the
 moment a task flushes them, long before the run finishes, so peak
 memory is bounded by the in-flight window rather than the whole trace.
 
+Segment payloads are **columnar from birth to consumption**: a
+:class:`SegmentBatch` carries one packed
+:data:`~repro.jvm.segments.SEGMENT_DTYPE` structured array (``.data``),
+not per-segment Python objects.  Substrates pack each flush into one
+array, :func:`pump_events` moves the batch by reference through its
+queue (one pointer per batch, however many segments it holds; see
+:mod:`repro.jvm.shm` for the shared-memory variant when the consumer is
+a worker process), the fault guard checksums the packed buffer in one
+CRC pass, and the streaming profiler cuts sampling units from column
+slices — no per-segment object is ever allocated on the hot path.  The
+``.segments`` property materialises classic
+:class:`~repro.jvm.threads.TraceSegment` tuples lazily for the
+object-path consumers (``JobTrace.from_stream``, parity tests).
+
 Event vocabulary:
 
 * :class:`ThreadStart` — a (merged pseudo-)thread exists; carries the
   identity the profiler needs (thread id, core, start cycle).
-* :class:`SegmentBatch` — a run of consecutive
-  :class:`~repro.jvm.threads.TraceSegment` objects for one thread.
-  Batches of one thread arrive in trace order; batches of different
-  threads may interleave.
+* :class:`SegmentBatch` — a packed run of consecutive trace segments
+  for one thread.  Batches of one thread arrive in trace order;
+  batches of different threads may interleave.
 * :class:`StageEvent` — stage metadata, emitted when the framework
   records the stage.
 * :class:`JobEnd` — the run finished; carries the job-level meta dict.
@@ -39,16 +52,22 @@ the batch path.
 from __future__ import annotations
 
 import queue
-import struct
 import threading
-import zlib
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Union
+
+import numpy as np
 
 from repro.jvm.job import JobTrace, StageInfo
 from repro.jvm.machine import MachineConfig
 from repro.jvm.methods import MethodRegistry, StackTable
-from repro.jvm.threads import OP_KIND_CODES, TraceSegment
+from repro.jvm.segments import (
+    SEGMENT_DTYPE,
+    array_to_segments,
+    segment_checksum,
+    segments_to_array,
+)
+from repro.jvm.threads import TraceSegment
 
 __all__ = [
     "ThreadStart",
@@ -64,35 +83,6 @@ __all__ = [
     "trace_to_stream",
 ]
 
-_SEGMENT_PACK = struct.Struct("<qqqqqqqq")
-
-
-def segment_checksum(segments: tuple[TraceSegment, ...]) -> int:
-    """CRC-32 over the integer fields of a segment batch payload.
-
-    Deterministic across processes (unlike salted ``hash()``): packs
-    each segment's identifying integers little-endian and folds them
-    through :func:`zlib.crc32`.  Cheap enough to compute at emission
-    and again at consumption, which is what lets the stream guard in
-    :mod:`repro.faults.stream` detect corrupted payloads.
-    """
-    crc = 0
-    for s in segments:
-        crc = zlib.crc32(
-            _SEGMENT_PACK.pack(
-                s.stack_id,
-                OP_KIND_CODES[s.op_kind],
-                s.instructions,
-                s.cycles,
-                s.l1d_misses,
-                s.llc_misses,
-                s.stage_id,
-                s.task_id,
-            ),
-            crc,
-        )
-    return crc
-
 
 @dataclass(frozen=True, slots=True)
 class ThreadStart:
@@ -103,30 +93,86 @@ class ThreadStart:
     start_cycle: int = 0
 
 
-@dataclass(frozen=True, slots=True)
 class SegmentBatch:
-    """Consecutive trace segments of one thread, in emission order.
+    """Consecutive trace segments of one thread, packed columnar.
+
+    ``data`` is one :data:`~repro.jvm.segments.SEGMENT_DTYPE` structured
+    array — the batch's only payload.  Consumers read column slices
+    (``batch.data["instructions"]``); the ``segments`` property
+    materialises legacy :class:`~repro.jvm.threads.TraceSegment` tuples
+    lazily (and caches them) for object-path consumers only.
+
+    The constructor accepts either a packed array (adopted by
+    reference — the zero-copy path substrates and the shared-memory
+    channel use) or an iterable of :class:`TraceSegment` objects (the
+    legacy path, converted once).
 
     ``seq`` is a per-thread sequence number (0, 1, 2, ... in emission
-    order) and ``checksum`` the :func:`segment_checksum` of the
+    order) and ``checksum`` the :func:`segment_checksum` of the packed
     payload; together they let consumers detect gaps, duplicates,
-    reordering, and corruption.  ``seq == -1`` marks a legacy/unsequenced
-    batch, which consumers pass through untouched.
+    reordering, and corruption.  ``seq == -1`` marks a
+    legacy/unsequenced batch, which consumers pass through untouched.
     """
 
-    thread_id: int
-    segments: tuple[TraceSegment, ...]
-    seq: int = -1
-    checksum: int = 0
+    __slots__ = ("thread_id", "data", "seq", "checksum", "_objects")
+
+    def __init__(
+        self,
+        thread_id: int,
+        segments: "np.ndarray | tuple[TraceSegment, ...] | list[TraceSegment]" = (),
+        seq: int = -1,
+        checksum: int = 0,
+    ) -> None:
+        self.thread_id = thread_id
+        if isinstance(segments, np.ndarray):
+            if segments.dtype != SEGMENT_DTYPE:
+                raise TypeError(
+                    f"expected a SEGMENT_DTYPE array, got {segments.dtype!r}"
+                )
+            self.data = segments
+            self._objects: tuple[TraceSegment, ...] | None = None
+        else:
+            self._objects = tuple(segments)
+            self.data = segments_to_array(self._objects)
+        self.seq = seq
+        self.checksum = checksum
+
+    @property
+    def segments(self) -> tuple[TraceSegment, ...]:
+        """Lazy object-path view of the packed payload (cached)."""
+        if self._objects is None:
+            self._objects = array_to_segments(self.data)
+        return self._objects
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SegmentBatch):
+            return NotImplemented
+        return (
+            self.thread_id == other.thread_id
+            and self.seq == other.seq
+            and self.checksum == other.checksum
+            and np.array_equal(self.data, other.data)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentBatch(thread_id={self.thread_id}, n={len(self.data)}, "
+            f"seq={self.seq}, checksum={self.checksum})"
+        )
 
 
 def sequenced_batch(
-    thread_id: int, segments: tuple[TraceSegment, ...], seq: int
+    thread_id: int,
+    segments: "np.ndarray | tuple[TraceSegment, ...]",
+    seq: int,
 ) -> SegmentBatch:
     """Build a :class:`SegmentBatch` with its checksum filled in."""
-    return SegmentBatch(
-        thread_id, segments, seq=seq, checksum=segment_checksum(segments)
-    )
+    batch = SegmentBatch(thread_id, segments, seq=seq)
+    batch.checksum = segment_checksum(batch.data)
+    return batch
 
 
 @dataclass(frozen=True, slots=True)
@@ -200,6 +246,8 @@ def pump_events(
     daemon thread; every emitted event is handed to the consuming
     iterator through a queue bounded at ``max_queue`` entries, so the
     producer blocks (backpressure) once the consumer falls behind.
+    Events move by reference — a columnar :class:`SegmentBatch` costs
+    one queue slot regardless of how many segments it packs.
 
     Exceptions in the producer propagate out of the iterator.  If the
     consumer abandons the iterator early (``break`` / ``close()``),
@@ -262,8 +310,10 @@ def trace_to_stream(job: JobTrace, *, batch_size: int = 256) -> TraceStream:
 
     The synthetic-substrate adapter: any trace built directly against
     :mod:`repro.jvm` (tests, synthetic generators) becomes a stream
-    without a worker thread.  ``from_stream(trace_to_stream(job))``
-    round-trips exactly.
+    without a worker thread.  Each thread's segments are packed once
+    (:meth:`~repro.jvm.threads.ThreadTrace.to_structured`) and batches
+    are zero-copy slices of that packed array.
+    ``from_stream(trace_to_stream(job))`` round-trips exactly.
     """
     if batch_size <= 0:
         raise ValueError("batch_size must be positive")
@@ -274,9 +324,10 @@ def trace_to_stream(job: JobTrace, *, batch_size: int = 256) -> TraceStream:
         for info in job.stages:
             yield StageEvent(info)
         for t in job.traces:
-            for seq, i in enumerate(range(0, len(t.segments), batch_size)):
+            data = t.to_structured()
+            for seq, i in enumerate(range(0, len(data), batch_size)):
                 yield sequenced_batch(
-                    t.thread_id, tuple(t.segments[i : i + batch_size]), seq
+                    t.thread_id, data[i : i + batch_size], seq
                 )
         yield JobEnd(dict(job.meta))
 

@@ -74,6 +74,12 @@ class ThreadTrace:
     _totals_cache: tuple[int, int, int, int] | None = field(
         default=None, init=False, repr=False, compare=False
     )
+    # Packed-array cache: ((epoch, n_segments), SEGMENT_DTYPE array).
+    # Shared by to_structured()/to_arrays() so the replay streamer, the
+    # snapshotter, and the counter reader pack each trace state once.
+    _structured_cache: "tuple[tuple[int, int], np.ndarray] | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
     _epoch: int = field(default=0, init=False, repr=False, compare=False)
 
     def __len__(self) -> int:
@@ -115,6 +121,7 @@ class ThreadTrace:
         same length with different segments.
         """
         self.segments.clear()
+        self._structured_cache = None
         self._epoch += 1
 
     @property
@@ -122,35 +129,63 @@ class ThreadTrace:
         """Global cycle at which the thread finished."""
         return self.start_cycle + self.total_cycles
 
+    def to_structured(self) -> np.ndarray:
+        """Pack the trace into one ``SEGMENT_DTYPE`` structured array.
+
+        The columnar wire form of the trace
+        (:data:`repro.jvm.segments.SEGMENT_DTYPE`): one row per segment,
+        ``op_kind`` coded via ``OP_KIND_CODES``.  Cached under the same
+        (epoch, length) key as the totals, so repeat packers (replay
+        streaming, the snapshotter, the counter reader) pay the
+        object-walk once per trace state.
+        """
+        from repro.jvm.segments import segments_to_array
+
+        cache = self._structured_cache
+        key = (self._epoch, len(self.segments))
+        if cache is not None and cache[0] == key:
+            return cache[1]
+        data = segments_to_array(self.segments)
+        data.setflags(write=False)
+        self._structured_cache = (key, data)
+        return data
+
+    def drain_structured(self) -> np.ndarray:
+        """Pack and clear in one step (the streaming-flush hot path).
+
+        Returns the packed array of the current segments and empties the
+        trace (bumping the epoch like :meth:`clear_segments`), so a
+        substrate flush hands a columnar batch straight to the stream
+        without leaving a second copy behind.
+        """
+        data = self.to_structured()
+        self.clear_segments()
+        return data
+
     def to_arrays(self) -> dict[str, np.ndarray]:
         """Pack the trace into parallel NumPy arrays.
 
         Keys: ``stack_id``, ``op_kind`` (coded via ``OP_KIND_CODES``),
         ``instructions``, ``cycles``, ``l1d_misses``, ``llc_misses``,
         ``stage_id``, ``task_id``.  Downstream consumers (the profiler,
-        the counter reader) work exclusively on these arrays.
+        the counter reader) work exclusively on these arrays.  The
+        values are column views of :meth:`to_structured`, so the two
+        packers share one cache entry.
         """
-        n = len(self.segments)
-        out = {
-            "stack_id": np.empty(n, dtype=np.int64),
-            "op_kind": np.empty(n, dtype=np.int64),
-            "instructions": np.empty(n, dtype=np.int64),
-            "cycles": np.empty(n, dtype=np.int64),
-            "l1d_misses": np.empty(n, dtype=np.int64),
-            "llc_misses": np.empty(n, dtype=np.int64),
-            "stage_id": np.empty(n, dtype=np.int64),
-            "task_id": np.empty(n, dtype=np.int64),
+        data = self.to_structured()
+        return {
+            name: data[name]
+            for name in (
+                "stack_id",
+                "op_kind",
+                "instructions",
+                "cycles",
+                "l1d_misses",
+                "llc_misses",
+                "stage_id",
+                "task_id",
+            )
         }
-        for i, s in enumerate(self.segments):
-            out["stack_id"][i] = s.stack_id
-            out["op_kind"][i] = OP_KIND_CODES[s.op_kind]
-            out["instructions"][i] = s.instructions
-            out["cycles"][i] = s.cycles
-            out["l1d_misses"][i] = s.l1d_misses
-            out["llc_misses"][i] = s.llc_misses
-            out["stage_id"][i] = s.stage_id
-            out["task_id"][i] = s.task_id
-        return out
 
     @staticmethod
     def merged(traces: list["ThreadTrace"], thread_id: int) -> "ThreadTrace":

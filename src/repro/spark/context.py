@@ -206,12 +206,13 @@ class SparkContext:
             if trace.segments:
                 seq = self._stream_seq.get(trace.thread_id, 0)
                 self._stream_seq[trace.thread_id] = seq + 1
+                # Pack-and-clear in one step: the batch goes out as a
+                # columnar array, no per-segment objects cross the wire.
                 emit(
                     sequenced_batch(
-                        trace.thread_id, tuple(trace.segments), seq
+                        trace.thread_id, trace.drain_structured(), seq
                     )
                 )
-                trace.clear_segments()
 
     def stream_trace(
         self,

@@ -493,14 +493,181 @@ class TestSPA007QuadraticDistance:
         assert findings == []
 
 
+class TestSPA008Columnar:
+    def test_for_loop_over_batch_data_flagged(self):
+        findings = check(
+            """
+            def cut(batch):
+                out = []
+                for row in batch.data:
+                    out.append(row["instructions"])
+                return out
+            """,
+            module="repro.core.profiler",
+            rule="SPA008",
+        )
+        assert len(findings) == 1
+        assert "per-element for-loop" in findings[0].message
+
+    def test_comprehension_over_packer_call_flagged(self):
+        findings = check(
+            """
+            def ship(trace):
+                return [int(r["cycles"]) for r in trace.to_structured()]
+            """,
+            module="repro.jvm.stream",
+            rule="SPA008",
+        )
+        assert len(findings) == 1
+        assert "comprehension" in findings[0].message
+
+    def test_tainted_local_name_flagged(self):
+        findings = check(
+            """
+            def ship(trace):
+                packed = trace.drain_structured()
+                for row in packed:
+                    yield row
+            """,
+            module="repro.jvm.stream",
+            rule="SPA008",
+        )
+        assert len(findings) == 1
+
+    def test_zip_over_column_slices_flagged(self):
+        findings = check(
+            """
+            def pairs(batch):
+                for sid, n in zip(batch.data["stack_id"], batch.data["instructions"]):
+                    yield sid, n
+            """,
+            module="repro.faults.stream",
+            rule="SPA008",
+        )
+        assert len(findings) == 1
+
+    def test_tolist_flagged(self):
+        findings = check(
+            """
+            def export(arr):
+                return arr.tolist()
+            """,
+            module="repro.core.features",
+            rule="SPA008",
+        )
+        assert len(findings) == 1
+        assert "tolist" in findings[0].message
+
+    def test_object_dtype_flagged(self):
+        findings = check(
+            """
+            import numpy as np
+
+            def boxes(rows):
+                a = np.empty(len(rows), dtype=object)
+                b = np.array(rows, dtype="object")
+                return a, b, np.dtype(object)
+            """,
+            module="repro.core.features",
+            rule="SPA008",
+        )
+        assert len(findings) == 3
+        assert all("object dtype" in f.message for f in findings)
+
+    def test_column_arithmetic_passes(self):
+        findings = check(
+            """
+            import numpy as np
+
+            def totals(batch):
+                data = batch.data
+                cum = np.cumsum(data["instructions"])
+                hit = np.searchsorted(cum, 100, side="right")
+                return int(cum[-1]), int(data["stack_id"][hit])
+            """,
+            module="repro.core.profiler",
+            rule="SPA008",
+        )
+        assert findings == []
+
+    def test_iteration_over_plain_locals_passes(self):
+        findings = check(
+            """
+            import numpy as np
+
+            def boundaries(n, size):
+                bs = np.arange(0, n, size)
+                return [int(b) for b in bs]
+            """,
+            module="repro.core.profiler",
+            rule="SPA008",
+        )
+        assert findings == []
+
+    def test_taint_is_function_scoped(self):
+        # A packer-call rebinding in one function must not taint the
+        # same name in another.
+        findings = check(
+            """
+            def a(segments):
+                segments = segments_to_array(segments)
+                return segments
+
+            def b(segments):
+                return [s.cycles for s in segments]
+            """,
+            module="repro.jvm.segments",
+            rule="SPA008",
+        )
+        assert findings == []
+
+    def test_reference_module_exempt(self):
+        findings = check(
+            """
+            def old(batch):
+                for row in batch.data:
+                    yield row
+            """,
+            module="repro.jvm._reference",
+            rule="SPA008",
+        )
+        assert findings == []
+
+    def test_outside_trace_plane_ignored(self):
+        findings = check(
+            """
+            def assemble(event):
+                for row in event.data:
+                    yield row
+            """,
+            module="repro.jvm.job",
+            rule="SPA008",
+        )
+        assert findings == []
+
+    def test_inline_suppression_with_justification(self):
+        findings = check(
+            """
+            def adapt(data):
+                return [
+                    row["stack_id"]
+                    for row in data  # simprof: ignore[SPA008] -- adapter
+                ]
+            """,
+            module="repro.jvm.segments",
+            rule="SPA008",
+        )
+        assert findings == []
+
+
 class TestRegistry:
-    def test_all_seven_rules_registered(self):
+    def test_all_eight_rules_registered(self):
         from repro.analysis import all_rules
 
         ids = [r.id for r in all_rules()]
         assert ids == [
             "SPA001", "SPA002", "SPA003", "SPA004", "SPA005", "SPA006",
-            "SPA007",
+            "SPA007", "SPA008",
         ]
 
     def test_unknown_rule_raises(self):

@@ -1,0 +1,220 @@
+"""Shared-memory trace transport: zero-copy across a process boundary."""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.jvm.job import JobTrace, StageInfo
+from repro.jvm.machine import MachineConfig
+from repro.jvm.segments import SEGMENT_DTYPE, segment_checksum
+from repro.jvm.shm import ShmBatchRef, recv_stream, send_stream
+from repro.jvm.stream import (
+    JobEnd,
+    SegmentBatch,
+    ThreadStart,
+    TraceStream,
+    trace_to_stream,
+)
+from tests.helpers import make_registry_with_stacks, make_trace
+
+
+class _LocalQueue:
+    """Duck-typed queue: send_stream/recv_stream in one process."""
+
+    def __init__(self) -> None:
+        self._items: deque = deque()
+
+    def put(self, item) -> None:
+        self._items.append(item)
+
+    def get(self):
+        return self._items.popleft()
+
+    def get_nowait(self):
+        return self._items.popleft()
+
+
+def _small_job(n_threads: int = 2, n_segments: int = 12) -> JobTrace:
+    registry, table, stacks = make_registry_with_stacks(n_stacks=3)
+    job = JobTrace(
+        framework="spark",
+        workload="synthetic",
+        input_name="default",
+        registry=registry,
+        stack_table=table,
+        machine=MachineConfig(),
+        stages=[StageInfo(0, "map", 4)],
+        meta={"elapsed": 0.5},
+    )
+    for tid in range(n_threads):
+        segments = [
+            (stacks[i % len(stacks)], 900 + 7 * i, 0.7 + 0.02 * i)
+            for i in range(n_segments)
+        ]
+        job.traces.append(make_trace(segments, table, thread_id=tid))
+    return job
+
+
+def _send_job(queue, job: JobTrace, batch_size: int) -> None:
+    send_stream(trace_to_stream(job, batch_size=batch_size), queue)
+
+
+class TestInProcess:
+    def test_round_trip(self):
+        job = _small_job()
+        queue = _LocalQueue()
+        _send_job(queue, job, batch_size=5)
+        rebuilt = JobTrace.from_stream(recv_stream(queue))
+        assert rebuilt.framework == job.framework
+        assert rebuilt.stages == job.stages
+        assert rebuilt.meta == job.meta
+        for orig, copy in zip(job.traces, rebuilt.traces):
+            assert copy.thread_id == orig.thread_id
+            assert copy.segments == orig.segments
+
+    def test_batches_arrive_verified_and_read_only(self):
+        job = _small_job(n_threads=1)
+        queue = _LocalQueue()
+        _send_job(queue, job, batch_size=4)
+        for event in recv_stream(queue):
+            if isinstance(event, SegmentBatch):
+                assert event.data.dtype == SEGMENT_DTYPE
+                # A view of the shared block, not a private copy ...
+                assert not event.data.flags.owndata
+                assert not event.data.flags.writeable
+                # ... and the producer-side checksum still matches it.
+                assert event.checksum == segment_checksum(event.data)
+
+    def test_blocks_reclaimed_after_consumption(self):
+        from multiprocessing import shared_memory
+
+        job = _small_job(n_threads=1)
+        queue = _LocalQueue()
+        _send_job(queue, job, batch_size=3)
+        names = [i.name for i in queue._items if isinstance(i, ShmBatchRef)]
+        assert names
+        for _ in recv_stream(queue):
+            pass
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_abandoned_iterator_reclaims_on_close(self):
+        from multiprocessing import shared_memory
+
+        job = _small_job(n_threads=2)
+        queue = _LocalQueue()
+        _send_job(queue, job, batch_size=2)
+        names = [i.name for i in queue._items if isinstance(i, ShmBatchRef)]
+        stream = recv_stream(queue)
+        it = iter(stream)
+        for _ in range(3):
+            event = next(it)
+        del event, _  # drop the pins so close() can reclaim every block
+        it.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_empty_batch_crosses_the_wire(self):
+        job = _small_job(n_threads=1, n_segments=2)
+        template = trace_to_stream(job)
+
+        def events():
+            yield ThreadStart(0, 0)
+            yield SegmentBatch(0, (), seq=0)
+            yield JobEnd({})
+
+        stream = TraceStream(
+            framework=template.framework,
+            workload=template.workload,
+            input_name=template.input_name,
+            registry=template.registry,
+            stack_table=template.stack_table,
+            machine=template.machine,
+            events=events(),
+        )
+        queue = _LocalQueue()
+        send_stream(stream, queue)
+        received = list(recv_stream(queue))
+        batches = [e for e in received if isinstance(e, SegmentBatch)]
+        assert [len(b) for b in batches] == [0]
+        assert batches[0].segments == ()
+
+    def test_recv_rejects_headerless_queue(self):
+        queue = _LocalQueue()
+        queue.put(ThreadStart(0, 0))
+        with pytest.raises(ValueError, match="ShmStreamHeader"):
+            recv_stream(queue)
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="requires the fork start method",
+)
+class TestCrossProcess:
+    def test_producer_in_child_process(self):
+        # Touch shared memory in this process first so the resource
+        # tracker exists before the fork — the child then inherits it,
+        # and the parent-side unlink unregisters the child's blocks
+        # from the same tracker (no spurious leak warnings at exit).
+        from multiprocessing import shared_memory
+
+        probe = shared_memory.SharedMemory(create=True, size=1)
+        probe.close()
+        probe.unlink()
+
+        job = _small_job(n_threads=2, n_segments=20)
+        expected = JobTrace.from_stream(trace_to_stream(job, batch_size=6))
+
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.Queue()
+        child = ctx.Process(target=_send_job, args=(queue, job, 6))
+        child.start()
+        try:
+            stream = recv_stream(queue)
+            checksums = []
+            rebuilt_events = []
+            for event in stream:
+                if isinstance(event, SegmentBatch):
+                    # The view lives in the producer's shared block;
+                    # verify it end-to-end, then copy out what the
+                    # rebuild needs (the batch is reclaimed after the
+                    # next event).
+                    assert event.checksum == segment_checksum(event.data)
+                    checksums.append(event.checksum)
+                    rebuilt_events.append(
+                        SegmentBatch(
+                            event.thread_id,
+                            event.data.copy(),
+                            seq=event.seq,
+                            checksum=event.checksum,
+                        )
+                    )
+                else:
+                    rebuilt_events.append(event)
+        finally:
+            child.join(timeout=30)
+        assert child.exitcode == 0
+        assert checksums  # batches actually crossed the boundary
+
+        template = trace_to_stream(job)
+        rebuilt = JobTrace.from_stream(
+            TraceStream(
+                framework=template.framework,
+                workload=template.workload,
+                input_name=template.input_name,
+                registry=template.registry,
+                stack_table=template.stack_table,
+                machine=template.machine,
+                events=iter(rebuilt_events),
+            )
+        )
+        assert len(rebuilt.traces) == len(expected.traces)
+        for got, want in zip(rebuilt.traces, expected.traces):
+            assert got.thread_id == want.thread_id
+            assert np.array_equal(got.to_structured(), want.to_structured())

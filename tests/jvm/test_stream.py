@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.jvm.job import JobTrace, StageInfo
 from repro.jvm.machine import MachineConfig, OpKind
+from repro.jvm.segments import SEGMENT_DTYPE
 from repro.jvm.stream import (
     JobEnd,
     SegmentBatch,
@@ -13,6 +15,7 @@ from repro.jvm.stream import (
     StreamClosed,
     ThreadStart,
     pump_events,
+    segment_checksum,
     trace_to_stream,
 )
 from repro.jvm.threads import ThreadTrace, TraceSegment
@@ -128,6 +131,81 @@ class TestPumpEvents:
                 emit(ThreadStart(i, 0))
 
         assert len(list(pump_events(producer, max_queue=2))) == 50
+
+    def test_zero_length_stream(self):
+        def producer(emit):
+            pass
+
+        assert list(pump_events(producer)) == []
+
+    def test_exception_before_first_emit(self):
+        def producer(emit):
+            raise ValueError("substrate died on startup")
+
+        with pytest.raises(ValueError, match="died on startup"):
+            next(pump_events(producer))
+
+    def test_empty_batches_flow_through(self):
+        def producer(emit):
+            emit(ThreadStart(0, 0))
+            emit(SegmentBatch(0, ()))
+            emit(SegmentBatch(0, np.empty(0, dtype=SEGMENT_DTYPE)))
+
+        events = list(pump_events(producer))
+        batches = [e for e in events if isinstance(e, SegmentBatch)]
+        assert [len(b) for b in batches] == [0, 0]
+        assert all(b.segments == () for b in batches)
+        assert all(b.checksum == 0 for b in batches)
+
+
+class TestColumnarBatch:
+    def test_payload_is_packed_array(self):
+        job = _small_job(n_threads=1, n_segments=5)
+        batches = [
+            e for e in trace_to_stream(job) if isinstance(e, SegmentBatch)
+        ]
+        assert all(b.data.dtype == SEGMENT_DTYPE for b in batches)
+
+    def test_replay_batches_are_zero_copy_slices(self):
+        # trace_to_stream must slice the thread's packed array, not
+        # copy per batch: every batch view shares the same base buffer.
+        job = _small_job(n_threads=1, n_segments=10)
+        packed = job.traces[0].to_structured()
+        batches = [
+            e
+            for e in trace_to_stream(job, batch_size=3)
+            if isinstance(e, SegmentBatch)
+        ]
+        assert all(b.data.base is packed for b in batches)
+
+    def test_segments_property_is_lazy_and_cached(self):
+        job = _small_job(n_threads=1, n_segments=4)
+        batch = SegmentBatch(0, job.traces[0].to_structured())
+        first = batch.segments
+        assert first == tuple(job.traces[0].segments)
+        assert batch.segments is first
+
+    def test_object_constructor_round_trips(self):
+        job = _small_job(n_threads=1, n_segments=4)
+        segs = tuple(job.traces[0].segments)
+        batch = SegmentBatch(0, segs)
+        assert batch.segments == segs
+        assert segment_checksum(batch.data) == segment_checksum(segs)
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(TypeError, match="SEGMENT_DTYPE"):
+            SegmentBatch(0, np.zeros(3, dtype=np.int64))
+
+    def test_cold_survives_the_wire(self):
+        registry, table, stacks = make_registry_with_stacks(n_stacks=1)
+        sid = table.intern(stacks[0])
+        cold = TraceSegment(sid, OpKind.MAP, 100, 60, 1, 0, cold=True)
+        warm = TraceSegment(sid, OpKind.MAP, 100, 60, 1, 0, cold=False)
+        batch = SegmentBatch(0, (cold, warm))
+        assert [s.cold for s in batch.segments] == [True, False]
+        # cold is metadata, not payload: it must not perturb the
+        # checksum the historical 8-field pack defined.
+        assert segment_checksum((cold,)) == segment_checksum((warm,))
 
 
 class TestTraceCaching:
