@@ -1,0 +1,183 @@
+"""Checkpoint/restore benchmark: latency, overhead, chaos smoke.
+
+Three questions about the checkpoint layer, answered on the same
+deterministic wc/spark stream:
+
+* **Cost of a snapshot** — wall-clock to ``snapshot()`` + encode +
+  store one mid-stream profiling session, and to restore it into a
+  fresh session.
+* **Overhead of the policy** — end-to-end streaming profile time at
+  ``every`` = 1/10/100 versus checkpointing off.  Off must be the
+  plain hot path: no snapshot work, no store traffic.
+* **Does it survive chaos** — a seeded kill-and-restore campaign must
+  reproduce the uninterrupted digest bit-exactly (the acceptance gate
+  of the whole layer, asserted here so the CI smoke job exercises it
+  end to end).
+
+Writes the evidence to ``BENCH_checkpoint.json`` for the CI artifact.
+``SIMPROF_BENCH_SMOKE=1`` shrinks the stream for the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from conftest import emit
+
+from repro.core.pipeline import SimProf, SimProfConfig
+from repro.core.profiler import ProfilerSession
+from repro.faults.chaos import ChaosPlan, kill_and_restore
+from repro.runtime.checkpoint import (
+    CheckpointManager,
+    CheckpointPolicy,
+    drive_session,
+)
+from repro.runtime.snapshot import decode_state, encode_state
+from repro.runtime.store import ArtifactStore
+from repro.workloads import run_workload_stream
+
+SMOKE = os.environ.get("SIMPROF_BENCH_SMOKE") == "1"
+SCALE = 0.08 if SMOKE else 0.6
+REPEATS = 3 if SMOKE else 5
+
+CONFIG = SimProfConfig(unit_size=10_000_000, snapshot_period=500_000, seed=0)
+
+RESULTS: dict = {}
+
+
+def _stream():
+    return run_workload_stream("wc", "spark", scale=SCALE, seed=0)
+
+
+def _session(stream):
+    return ProfilerSession(CONFIG.profiler_config(), stream, collect=True)
+
+
+def _timed_profile(checkpoint=None) -> tuple[float, str]:
+    tool = SimProf(CONFIG)
+    start = time.perf_counter()
+    job = tool.profile_stream(_stream(), checkpoint=checkpoint)
+    return time.perf_counter() - start, job.content_digest()
+
+
+def test_snapshot_write_restore_latency(tmp_path):
+    """Snapshot + encode + store, and restore, of a mid-stream session."""
+    stream = _stream()
+    session = _session(stream)
+    for i, event in enumerate(stream):
+        session.feed(event)
+        if i >= 40:
+            break
+    store = ArtifactStore(tmp_path)
+    manager = CheckpointManager(store, "bench-latency")
+
+    writes = []
+    for position in range(REPEATS):
+        start = time.perf_counter()
+        manager.save(position, {"position": position,
+                                "session": session.snapshot()})
+        writes.append(time.perf_counter() - start)
+
+    blob = encode_state({"position": 0, "session": session.snapshot()})
+    restores = []
+    for _ in range(REPEATS):
+        fresh = _session(_stream())
+        start = time.perf_counter()
+        fresh.restore(decode_state(blob)["session"])
+        restores.append(time.perf_counter() - start)
+
+    RESULTS["latency"] = {
+        "snapshot_bytes": len(blob),
+        "write_ms": [round(w * 1e3, 3) for w in writes],
+        "restore_ms": [round(r * 1e3, 3) for r in restores],
+    }
+    assert min(writes) > 0 and min(restores) > 0
+    emit(
+        "Checkpoint write/restore latency",
+        f"  snapshot payload: {len(blob) / 1024:,.1f} KiB\n"
+        f"  write (snapshot+encode+store): "
+        f"{min(writes) * 1e3:.2f} ms best of {REPEATS}\n"
+        f"  restore (decode+restore):      "
+        f"{min(restores) * 1e3:.2f} ms best of {REPEATS}",
+    )
+
+
+def test_policy_overhead(tmp_path):
+    """End-to-end profile time at every=1/10/100 vs checkpointing off."""
+    off_time, want = _timed_profile(checkpoint=None)
+
+    rows = []
+    for every in (1, 10, 100):
+        store = ArtifactStore(tmp_path / f"every-{every}")
+        manager = CheckpointManager(store, "bench-overhead")
+        elapsed, digest = _timed_profile(
+            CheckpointPolicy(manager, every=every, resume=False)
+        )
+        assert digest == want, "checkpointing changed the result"
+        rows.append(
+            {
+                "every": every,
+                "seconds": round(elapsed, 4),
+                "overhead": round(elapsed / off_time, 3),
+                "snapshots": len(manager.manifests()),
+            }
+        )
+
+    RESULTS["overhead"] = {"off_seconds": round(off_time, 4), "rows": rows}
+    # Coarser intervals cannot cost more snapshots than finer ones.
+    assert rows[0]["snapshots"] >= rows[1]["snapshots"] >= rows[2]["snapshots"]
+    emit(
+        "Checkpoint policy overhead (vs off)",
+        f"  off: {off_time:.3f}s (digest {want[:12]})\n"
+        + "\n".join(
+            f"  every={r['every']:>3}: {r['seconds']:.3f}s "
+            f"({r['overhead']:.2f}x, {r['snapshots']} snapshots)"
+            for r in rows
+        ),
+    )
+
+
+def test_chaos_smoke_and_artifact(tmp_path):
+    """Kill-and-restore must be byte-identical; writes the artifact."""
+    start = time.perf_counter()
+    outcome = kill_and_restore(
+        _stream,
+        _session,
+        ArtifactStore(tmp_path),
+        "bench-chaos",
+        ChaosPlan(seed=0, kills=2, checkpoint_every=1),
+    )
+    elapsed = time.perf_counter() - start
+    assert outcome.byte_identical, "resumed result diverged from reference"
+
+    RESULTS["chaos"] = {
+        "seconds": round(elapsed, 3),
+        "n_events": outcome.n_events,
+        "kills": [
+            {"position": a.kill_position, "resumed_from": a.resumed_from}
+            for a in outcome.attempts
+        ],
+        "final_resumed_from": outcome.final_resumed_from,
+        "byte_identical": outcome.byte_identical,
+    }
+
+    payload = {
+        "benchmark": "checkpoint",
+        "smoke": SMOKE,
+        "scale": SCALE,
+        "unit_size": CONFIG.unit_size,
+        "snapshot_period": CONFIG.snapshot_period,
+        **RESULTS,
+    }
+    with open("BENCH_checkpoint.json", "w") as fh:
+        json.dump(payload, fh, indent=2)
+
+    emit(
+        "Kill-and-restore chaos",
+        f"  {outcome.n_events} events, kills at "
+        f"{[a.kill_position for a in outcome.attempts]}, final resume from "
+        f"{outcome.final_resumed_from}: byte-identical "
+        f"(wrote BENCH_checkpoint.json)",
+    )

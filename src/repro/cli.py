@@ -103,6 +103,22 @@ def build_parser() -> argparse.ArgumentParser:
                       help="JSON fault plan (repro.faults.FaultPlan): "
                       "inject deterministic cluster faults — and stream "
                       "faults with --stream — then report the recoveries")
+    prof.add_argument("--worker", action="store_true",
+                      help="with --stream: produce the trace in a worker "
+                      "process, shipped zero-copy over shared memory "
+                      "(falls back to a pickling queue transport on "
+                      "platforms without shared_memory, and for "
+                      "fault-injected streams)")
+    prof.add_argument("--checkpoint-every", type=int, default=None,
+                      metavar="N",
+                      help="with --stream: persist a resumable snapshot "
+                      "of the profiling session to the artifact store "
+                      "every N segment batches (off by default: zero "
+                      "overhead)")
+    prof.add_argument("--resume", action="store_true",
+                      help="with --checkpoint-every: resume from the "
+                      "latest checkpoint of an identical interrupted "
+                      "run instead of starting fresh")
 
     fig = sub.add_parser("figure", help="regenerate a paper table/figure")
     fig.add_argument("name", choices=sorted(FIGURES),
@@ -154,6 +170,18 @@ def build_parser() -> argparse.ArgumentParser:
                               help="move corrupt entries to "
                               "<store>/quarantine/ instead of just "
                               "reporting them")
+    cache_ckpt = cache_sub.add_parser(
+        "checkpoints",
+        help="list, inspect or gc in-flight stream checkpoints",
+    )
+    cache_ckpt.add_argument("--inspect", default=None, metavar="KEY",
+                            help="decode one checkpoint's snapshot and "
+                            "summarise its components")
+    cache_ckpt.add_argument("--gc", action="store_true",
+                            help="delete checkpoint manifests instead of "
+                            "listing them")
+    cache_ckpt.add_argument("--job", default=None, metavar="JOBKEY",
+                            help="restrict listing/gc to one job key")
     cache_gc = cache_sub.add_parser("gc", help="evict artifacts")
     cache_gc.add_argument("--stale", action="store_true",
                           help="remove entries from other store versions")
@@ -309,16 +337,25 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             faults = FaultPlan.load(args.faults)
         except (OSError, ValueError) as exc:
             raise SystemExit(f"error: cannot load fault plan: {exc}") from exc
+    if not args.stream and (
+        args.worker or args.checkpoint_every is not None or args.resume
+    ):
+        raise SystemExit(
+            "error: --worker/--checkpoint-every/--resume require --stream"
+        )
+    if args.resume and args.checkpoint_every is None:
+        raise SystemExit("error: --resume requires --checkpoint-every")
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        raise SystemExit("error: --checkpoint-every must be >= 1")
     mode = "streaming" if args.stream else "batch"
     print(f"Profiling {args.label} ({mode}, scale {args.scale}, "
           f"seed {args.seed}) ...")
-    simprof = SimProf(
-        SimProfConfig(
-            unit_size=args.unit_size,
-            snapshot_period=args.snapshot_period,
-            seed=args.seed,
-        )
+    config = SimProfConfig(
+        unit_size=args.unit_size,
+        snapshot_period=args.snapshot_period,
+        seed=args.seed,
     )
+    simprof = SimProf(config)
     run_kwargs = dict(
         scale=args.scale,
         seed=args.seed,
@@ -327,8 +364,54 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         faults=faults,
     )
     if args.stream:
-        stream = run_workload_stream(workload, framework, **run_kwargs)
-        result = simprof.analyze_stream(stream, n_points=args.points)
+        if args.worker:
+            from repro.workloads import stream_in_worker
+
+            stream = stream_in_worker(
+                workload,
+                framework,
+                scale=args.scale,
+                seed=args.seed,
+                graph_name=args.graph,
+                input_name=args.graph or "default",
+                faults=faults,
+            )
+            print(f"worker transport: {stream.transport}")
+        else:
+            stream = run_workload_stream(workload, framework, **run_kwargs)
+        checkpoint = None
+        if args.checkpoint_every is not None:
+            from repro.runtime.checkpoint import (
+                CheckpointManager,
+                CheckpointPolicy,
+                checkpoint_job_key,
+            )
+            from repro.runtime.store import default_store
+
+            job_key = checkpoint_job_key(
+                {
+                    "workload": workload,
+                    "framework": framework,
+                    "scale": args.scale,
+                    "seed": args.seed,
+                    "graph": args.graph or "",
+                    "profiler": config.profiler_config(),
+                }
+            )
+            manager = CheckpointManager(default_store(), job_key)
+            if not args.resume:
+                manager.clear()  # start fresh, drop stale chains
+            checkpoint = CheckpointPolicy(
+                manager, every=args.checkpoint_every, resume=args.resume
+            )
+        result = simprof.analyze_stream(
+            stream, n_points=args.points, checkpoint=checkpoint
+        )
+        if checkpoint is not None:
+            cleared = checkpoint.manager.clear()
+            print(f"checkpointing: job {job_key}, every "
+                  f"{args.checkpoint_every} batches "
+                  f"({cleared} snapshot(s) retired on completion)")
     else:
         trace = run_workload(workload, framework, **run_kwargs)
         result = simprof.analyze(trace, n_points=args.points)
@@ -538,6 +621,63 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             f"{len(outcome['unverified'])} unverified in {store.root}"
         )
         return 1 if outcome["corrupt"] and not args.repair else 0
+    if args.cache_command == "checkpoints":
+        from repro.runtime.checkpoint import iter_checkpoint_manifests
+        from repro.runtime.snapshot import decode_state
+
+        manifests = [
+            m for m in iter_checkpoint_manifests(store)
+            if args.job is None or m.params.get("job") == args.job
+        ]
+        manifests.sort(
+            key=lambda m: (m.params.get("job", ""), m.params.get("position", 0))
+        )
+        if args.inspect is not None:
+            manifest = next(
+                (m for m in manifests if m.key == args.inspect), None
+            )
+            if manifest is None:
+                print(f"error: no checkpoint {args.inspect!r} in {store.root}",
+                      file=sys.stderr)
+                return 1
+            print(manifest.to_json())
+            state = decode_state(store.get(manifest.key))
+            kinds = {
+                name: value.get("kind")
+                for name, value in state.items()
+                if isinstance(value, dict) and "kind" in value
+            }
+            print(f"snapshot components: {kinds}")
+            return 0
+        if args.gc:
+            reclaimed = sum(m.size_bytes for m in manifests)
+            for manifest in manifests:
+                store.delete(manifest.key)
+            print(f"removed {len(manifests)} checkpoint(s) "
+                  f"({reclaimed / 1024:.0f}K)")
+            return 0
+        now = time.time()
+        print(
+            format_table(
+                ["key", "job", "position", "size", "age"],
+                [
+                    (
+                        m.key,
+                        m.params.get("job", "?"),
+                        m.params.get("position", "?"),
+                        f"{m.size_bytes / 1024:.0f}K",
+                        _format_age(now - m.created) if m.created else "?",
+                    )
+                    for m in manifests
+                ],
+                title=(
+                    f"In-flight checkpoints: {store.root} "
+                    f"({len(manifests)} across "
+                    f"{len({m.params.get('job') for m in manifests})} job(s))"
+                ),
+            )
+        )
+        return 0
     if args.cache_command == "gc":
         if not (args.stale or args.older_than is not None or args.everything):
             print("error: pass --stale, --older-than DAYS and/or --all",

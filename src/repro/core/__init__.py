@@ -2,7 +2,12 @@
 sensitivity (Sections III-A through III-D of the paper)."""
 
 from repro.core.units import JobProfile, SamplingUnit, ThreadProfile
-from repro.core.profiler import ProfilerConfig, SimProfProfiler, StreamingProfiler
+from repro.core.profiler import (
+    ProfilerConfig,
+    ProfilerSession,
+    SimProfProfiler,
+    StreamingProfiler,
+)
 from repro.core.features import (
     FeatureSpace,
     UnitFeaturizer,
@@ -36,9 +41,10 @@ from repro.core.sensitivity import (
     input_sensitivity_test,
 )
 from repro.core.analysis import CoVReport, cov_report, phase_type_of, phase_types
-from repro.core.pipeline import SimProf, SimProfConfig, SimProfResult
+from repro.core.pipeline import ClassifySession, SimProf, SimProfConfig, SimProfResult
 
 __all__ = [
+    "ClassifySession",
     "CoVReport",
     "CodeSampler",
     "FeatureSpace",
@@ -50,6 +56,7 @@ __all__ = [
     "PhaseSensitivity",
     "PhaseStats",
     "ProfilerConfig",
+    "ProfilerSession",
     "SRSSampler",
     "SamplingUnit",
     "SecondSampler",

@@ -313,6 +313,46 @@ class OnlineKMeans:
             np.asarray(X, dtype=np.float64), self._centers
         ).argmin(axis=1)
 
+    # -- snapshot protocol -------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture centres, counts, warm-up buffer and RNG position."""
+        from repro.runtime.snapshot import rng_state
+
+        return {
+            "kind": "online-kmeans",
+            "k": self.k,
+            "init_size": self._init_size,
+            "n_seen": self.n_seen,
+            "rng": rng_state(self._rng),
+            "buffer": list(self._buffer),
+            "centers": self._centers,
+            "counts": self._counts,
+            "init_labels": self._init_labels,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Rebuild from :meth:`snapshot` output (same ``k``/``init_size``)."""
+        from repro.runtime.snapshot import restore_rng
+
+        if state.get("kind") != "online-kmeans":
+            raise ValueError(f"not an online-kmeans snapshot: {state.get('kind')!r}")
+        if int(state["k"]) != self.k or int(state["init_size"]) != self._init_size:
+            raise ValueError(
+                "snapshot configuration (k/init_size) does not match instance"
+            )
+        self.n_seen = int(state["n_seen"])
+        self._rng = restore_rng(state["rng"])
+        self._buffer = [
+            np.asarray(row, dtype=np.float64) for row in state["buffer"]
+        ]
+        centers = state["centers"]
+        self._centers = None if centers is None else np.asarray(centers, np.float64)
+        counts = state["counts"]
+        self._counts = None if counts is None else np.asarray(counts, np.int64)
+        labels = state["init_labels"]
+        self._init_labels = None if labels is None else np.asarray(labels, np.int64)
+
 
 @dataclass(frozen=True)
 class SilhouetteDistances:

@@ -276,6 +276,25 @@ class FeatureSpace:
         """Dimensionality of the selected space."""
         return len(self.method_ids)
 
+    def snapshot(self) -> dict:
+        """Codec-safe capture of the (immutable) space definition."""
+        return {
+            "kind": "feature-space",
+            "method_ids": np.asarray(self.method_ids, dtype=np.int64),
+            "method_fqns": list(self.method_fqns),
+            "scores": np.asarray(self.scores, dtype=np.float64),
+        }
+
+    @classmethod
+    def from_snapshot(cls, state: dict) -> "FeatureSpace":
+        if state.get("kind") != "feature-space":
+            raise ValueError(f"not a feature-space snapshot: {state.get('kind')!r}")
+        return cls(
+            method_ids=np.asarray(state["method_ids"], dtype=np.intp),
+            method_fqns=tuple(state["method_fqns"]),
+            scores=np.asarray(state["scores"], dtype=np.float64),
+        )
+
     def transform(self, X_full: np.ndarray) -> np.ndarray:
         """Restrict a full training-registry matrix to the space."""
         return X_full[:, self.method_ids]
@@ -386,3 +405,34 @@ class UnitFeaturizer:
     def row(self, unit: SamplingUnit) -> np.ndarray:
         """The unit's feature row in the space."""
         return self.row_into(unit, np.zeros(self.space.n_features))
+
+    # -- snapshot protocol -------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture the space identity; the caches are derived state.
+
+        The id → column mapping and the per-stack frame cache are
+        deterministic functions of the space, the registry, and the
+        stack table, all of which a resumed job reconstructs — so the
+        snapshot carries only enough to validate the pairing.
+        """
+        return {
+            "kind": "unit-featurizer",
+            "space": self.space.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Validate the space pairing and rebuild the derived caches."""
+        if state.get("kind") != "unit-featurizer":
+            raise ValueError(
+                f"not a unit-featurizer snapshot: {state.get('kind')!r}"
+            )
+        space = FeatureSpace.from_snapshot(state["space"])
+        if tuple(space.method_fqns) != tuple(self.space.method_fqns):
+            raise ValueError("snapshot feature space does not match instance")
+        self._col_of_fqn = {
+            fqn: j for j, fqn in enumerate(self.space.method_fqns)
+        }
+        self._col_of_mid = np.full(0, -1, dtype=np.intp)
+        self._extend_mapping()
+        self._frames_cache = {}

@@ -212,6 +212,53 @@ class PhaseModel:
             feature_centers=centers,
         )
 
+    # -- snapshot protocol --------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Codec-safe capture of the fitted model, space included."""
+        return {
+            "kind": "phase-model",
+            "space": self.space.snapshot(),
+            "centers": self.centers,
+            "assignments": self.assignments,
+            "silhouette_by_k": sorted(
+                [int(k), float(v)] for k, v in self.silhouette_by_k.items()
+            ),
+            "global_mean": self.global_mean,
+            "projection": self.projection,
+            "feature_centers": self.feature_centers,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Rebuild the model in place from :meth:`snapshot` output."""
+        if state.get("kind") != "phase-model":
+            raise ValueError(f"not a phase-model snapshot: {state.get('kind')!r}")
+        self.space = FeatureSpace.from_snapshot(state["space"])
+        self.centers = np.asarray(state["centers"], dtype=np.float64)
+        self.assignments = np.asarray(state["assignments"], dtype=np.int64)
+        self.silhouette_by_k = {
+            int(k): float(v) for k, v in state["silhouette_by_k"]
+        }
+
+        def _opt(value) -> np.ndarray | None:
+            return None if value is None else np.asarray(value, dtype=np.float64)
+
+        self.global_mean = _opt(state["global_mean"])
+        self.projection = _opt(state["projection"])
+        self.feature_centers = _opt(state["feature_centers"])
+
+    @classmethod
+    def from_snapshot(cls, state: dict) -> "PhaseModel":
+        """Construct a model directly from :meth:`snapshot` output."""
+        model = cls(
+            space=FeatureSpace.from_snapshot(state["space"]),
+            centers=np.zeros((1, 0)),
+            assignments=np.zeros(0, dtype=np.int64),
+            silhouette_by_k={},
+        )
+        model.restore(state)
+        return model
+
     # -- classification -----------------------------------------------------
 
     def classify(self, X: np.ndarray) -> np.ndarray:

@@ -22,7 +22,12 @@ import numpy as np
 from repro.core.analysis import CoVReport, cov_report, phase_types
 from repro.core.features import UnitFeaturizer
 from repro.core.phases import PhaseModel, PhaseStats
-from repro.core.profiler import ProfilerConfig, SimProfProfiler, StreamingProfiler
+from repro.core.profiler import (
+    ProfilerConfig,
+    ProfilerSession,
+    SimProfProfiler,
+    StreamingProfiler,
+)
 from repro.core.sampling import (
     StratifiedEstimate,
     required_sample_size,
@@ -37,7 +42,7 @@ from repro.runtime.instrument import ThroughputMeter, stage_timer
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.store import ArtifactStore
 
-__all__ = ["SimProfConfig", "SimProfResult", "SimProf"]
+__all__ = ["ClassifySession", "SimProfConfig", "SimProfResult", "SimProf"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -117,7 +122,11 @@ class SimProf:
         return job
 
     def profile_stream(
-        self, stream: TraceStream, thread_id: int | None = None
+        self,
+        stream: TraceStream,
+        thread_id: int | None = None,
+        *,
+        checkpoint=None,
     ) -> JobProfile:
         """Stage 1, streaming: profile a live trace stream incrementally.
 
@@ -126,10 +135,18 @@ class SimProf:
         materialised.  Bit-identical to :meth:`profile` on the same run
         and seed.  Per-unit emission latency and unit throughput land
         in the ``stream-profiling`` instrumentation stage.
+
+        ``checkpoint`` (a
+        :class:`~repro.runtime.checkpoint.CheckpointPolicy`) makes the
+        run suspendable: session snapshots are persisted periodically
+        and a killed run resumes bit-identically from its latest
+        checkpoint (see :mod:`repro.runtime.checkpoint`).
         """
         profiler = StreamingProfiler(self.config.profiler_config(thread_id))
         with stage_timer("stream-profiling") as rec:
-            job = profiler.consume(stream, meter=ThroughputMeter(rec))
+            job = profiler.consume(
+                stream, meter=ThroughputMeter(rec), checkpoint=checkpoint
+            )
         return job
 
     def form_phases(
@@ -211,6 +228,8 @@ class SimProf:
         stream: TraceStream,
         n_points: int = 20,
         thread_id: int | None = None,
+        *,
+        checkpoint=None,
     ) -> SimProfResult:
         """Run stages 1–3 over a live trace stream.
 
@@ -219,8 +238,10 @@ class SimProf:
         With the same configuration and seed the result — unit vectors,
         phase model, selected simulation points — is bit-identical to
         :meth:`analyze` on the materialised trace of the same run.
+        ``checkpoint`` makes the profiling stage suspendable, exactly
+        as in :meth:`profile_stream`.
         """
-        job = self.profile_stream(stream, thread_id)
+        job = self.profile_stream(stream, thread_id, checkpoint=checkpoint)
         model = self.form_phases(job)
         points = self.select_points(job, model, n_points)
         return SimProfResult(
@@ -256,6 +277,22 @@ class SimProf:
             featurizer.row_into(unit, row[0])
             yield tid, unit, int(model.classify(row)[0])
 
+    def classify_session(
+        self,
+        model: PhaseModel,
+        stream: TraceStream,
+        thread_id: int | None = None,
+    ) -> "ClassifySession":
+        """Suspendable twin of :meth:`classify_stream`.
+
+        Returns a push-mode :class:`ClassifySession` that can be driven
+        by :func:`repro.runtime.checkpoint.drive_session` — checkpoint,
+        kill, and resume mid-classification bit-identically.
+        """
+        return ClassifySession(
+            self.config.profiler_config(thread_id), model, stream
+        )
+
     def sample_size_for(
         self,
         job: JobProfile,
@@ -275,3 +312,92 @@ class SimProf:
             relative_error=relative_error,
             confidence=confidence,
         )
+
+
+class ClassifySession:
+    """Push-mode online classification: profile, featurize, classify.
+
+    Wraps a :class:`~repro.core.profiler.ProfilerSession` (collect
+    mode) with the live classification stage: every completed sampling
+    unit is projected into the model's feature space and assigned its
+    nearest phase.  Feed events with :meth:`feed`, seal with
+    :meth:`finish`, harvest ``(JobProfile, labels)`` with
+    :meth:`result`.
+
+    The session is :class:`~repro.runtime.snapshot.Snapshotable`
+    end to end — profiler state, featurizer pairing, phase model, and
+    the labels emitted so far — so an online classification job can be
+    checkpointed, killed, and resumed bit-identically (same units,
+    same phases) by :func:`repro.runtime.checkpoint.drive_session`.
+    """
+
+    def __init__(
+        self,
+        config: ProfilerConfig,
+        model: PhaseModel,
+        stream: TraceStream,
+    ) -> None:
+        self.model = model
+        self.profiler = ProfilerSession(config, stream, collect=True)
+        self._featurizer = UnitFeaturizer(
+            model.space, stream.registry, stream.stack_table
+        )
+        # One reusable row buffer, as in classify_stream.
+        self._row = np.zeros((1, model.space.n_features))
+        #: ``(thread_id, phase)`` per emitted unit, in emission order.
+        self.labels: list[tuple[int, int]] = []
+
+    @property
+    def batches_fed(self) -> int:
+        return self.profiler.batches_fed
+
+    def _classify(self, unit: SamplingUnit) -> int:
+        self._row.fill(0.0)
+        self._featurizer.row_into(unit, self._row[0])
+        return int(self.model.classify(self._row)[0])
+
+    def feed(self, event) -> list[tuple[int, SamplingUnit, int]]:
+        """Feed one raw stream event; returns ``(tid, unit, phase)`` triples."""
+        out = []
+        for tid, unit in self.profiler.feed(event):
+            phase = self._classify(unit)
+            self.labels.append((tid, phase))
+            out.append((tid, unit, phase))
+        return out
+
+    def finish(self) -> list[tuple[int, SamplingUnit, int]]:
+        """End of stream: flush the profiler, classify trailing units."""
+        out = []
+        for tid, unit in self.profiler.finish():
+            phase = self._classify(unit)
+            self.labels.append((tid, phase))
+            out.append((tid, unit, phase))
+        return out
+
+    def result(self) -> tuple[JobProfile, list[tuple[int, int]]]:
+        """The profiled job and the full label sequence."""
+        return self.profiler.result(), list(self.labels)
+
+    # -- snapshot protocol -------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": "classify-session",
+            "profiler": self.profiler.snapshot(),
+            "featurizer": self._featurizer.snapshot(),
+            "model": self.model.snapshot(),
+            "labels": [[tid, phase] for tid, phase in self.labels],
+        }
+
+    def restore(self, state: dict) -> None:
+        if state.get("kind") != "classify-session":
+            raise ValueError(
+                f"not a classify-session snapshot: {state.get('kind')!r}"
+            )
+        self.profiler.restore(state["profiler"])
+        # Restoring the model from the checkpoint guarantees "same
+        # phases" even if the caller reloaded a drifted model object.
+        self.model.restore(state["model"])
+        self._featurizer.restore(state["featurizer"])
+        self._row = np.zeros((1, self.model.space.n_features))
+        self.labels = [(int(tid), int(phase)) for tid, phase in state["labels"]]

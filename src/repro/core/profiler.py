@@ -37,11 +37,24 @@ from repro.core.units import JobProfile, SamplingUnit, ThreadProfile
 from repro.jvm.job import JobTrace, StageInfo
 from repro.jvm.jvmti import StackSnapshotter
 from repro.jvm.perf import PerfCounterReader
-from repro.jvm.stream import JobEnd, SegmentBatch, StageEvent, ThreadStart, TraceStream
+from repro.jvm.stream import (
+    JobEnd,
+    SegmentBatch,
+    StageEvent,
+    ThreadStart,
+    TraceEvent,
+    TraceStream,
+)
 from repro.jvm.threads import ThreadTrace
 from repro.runtime.instrument import ThroughputMeter
+from repro.runtime.snapshot import restore_rng, rng_state
 
-__all__ = ["ProfilerConfig", "SimProfProfiler", "StreamingProfiler"]
+__all__ = [
+    "ProfilerConfig",
+    "ProfilerSession",
+    "SimProfProfiler",
+    "StreamingProfiler",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -445,6 +458,289 @@ class _UnitCutter:
         self._counts.clear()  # trailing partial unit, dropped like batch
         return out
 
+    # -- snapshot protocol -------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture the full cutter state, PCG64 position included.
+
+        The jitter buffer is normalised to its unconsumed tail, so the
+        state a restore produces re-snapshots identically.
+        """
+        return {
+            "kind": "unit-cutter",
+            "thread_id": self.thread_id,
+            "total": self.total,
+            "cum": [self._cum_i, self._cum_c, self._cum_l1, self._cum_llc],
+            "prev": [self._prev_b, self._prev_c, self._prev_l1, self._prev_llc],
+            "next_boundary": self._next_boundary,
+            "first": self._first,
+            "gap_sum": self._gap_sum,
+            "point_int": self._point_int,
+            "rng": None if self._rng is None else rng_state(self._rng),
+            "counts": [
+                [unit, sorted(bucket.items())]
+                for unit, bucket in sorted(self._counts.items())
+            ],
+            "gap_buf": self._gap_buf[self._gap_pos :].copy(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Rebuild from :meth:`snapshot` output (same thread and config)."""
+        if state.get("kind") != "unit-cutter":
+            raise ValueError(f"not a unit-cutter snapshot: {state.get('kind')!r}")
+        if int(state["thread_id"]) != self.thread_id:
+            raise ValueError(
+                f"snapshot is for thread {state['thread_id']}, "
+                f"cutter is thread {self.thread_id}"
+            )
+        self.total = int(state["total"])
+        cum = state["cum"]
+        self._cum_i = float(cum[0])
+        self._cum_c = float(cum[1])
+        self._cum_l1 = float(cum[2])
+        self._cum_llc = float(cum[3])
+        prev = state["prev"]
+        self._prev_b = int(prev[0])
+        self._prev_c = float(prev[1])
+        self._prev_l1 = float(prev[2])
+        self._prev_llc = float(prev[3])
+        self._next_boundary = int(state["next_boundary"])
+        self._first = int(state["first"])
+        self._gap_sum = float(state["gap_sum"])
+        self._point_int = int(state["point_int"])
+        self._rng = None if state["rng"] is None else restore_rng(state["rng"])
+        self._counts = {
+            int(unit): {int(sid): int(cnt) for sid, cnt in bucket}
+            for unit, bucket in state["counts"]
+        }
+        self._gap_buf = np.asarray(state["gap_buf"], dtype=np.float64).copy()
+        self._gap_pos = 0
+
+
+def _unit_state(unit: SamplingUnit) -> dict:
+    return {
+        "index": unit.index,
+        "stack_ids": unit.stack_ids,
+        "stack_counts": unit.stack_counts,
+        "instructions": unit.instructions,
+        "cycles": unit.cycles,
+        "l1d_misses": unit.l1d_misses,
+        "llc_misses": unit.llc_misses,
+    }
+
+
+def _unit_from_state(state: dict) -> SamplingUnit:
+    return SamplingUnit(
+        index=int(state["index"]),
+        stack_ids=np.asarray(state["stack_ids"], dtype=np.int64),
+        stack_counts=np.asarray(state["stack_counts"], dtype=np.int64),
+        instructions=float(state["instructions"]),
+        cycles=float(state["cycles"]),
+        l1d_misses=float(state["l1d_misses"]),
+        llc_misses=float(state["llc_misses"]),
+    )
+
+
+class ProfilerSession:
+    """Push-mode streaming profiler: feed events, harvest units.
+
+    Owns the per-thread :class:`_UnitCutter` fleet, the
+    :class:`~repro.faults.stream.EventGuard` in front of them, and the
+    stage/meta/totals bookkeeping (:class:`_StreamSink`).  Where
+    :meth:`StreamingProfiler.units` pulls from a stream, a session is
+    *fed* one event at a time — which is what makes the pipeline
+    suspendable: between any two ``feed`` calls, :meth:`snapshot`
+    captures the complete mutable state (sequence numbers, cutter
+    carries, PCG64 positions, collected units) and :meth:`restore` on a
+    fresh session resumes bit-identically.
+
+    ``collect=True`` retains emitted units per thread so
+    :meth:`result` can assemble a :class:`JobProfile` (the
+    :meth:`StreamingProfiler.consume` mode); ``collect=False`` keeps
+    the O(active-unit) memory guarantee for pure generators.
+    """
+
+    def __init__(
+        self,
+        config: ProfilerConfig,
+        stream: TraceStream,
+        *,
+        sink: "_StreamSink | None" = None,
+        collect: bool = False,
+    ) -> None:
+        # Local import: repro.faults.stream depends on repro.jvm.stream.
+        from repro.faults.stream import EventGuard
+
+        self.config = config
+        self.stream = stream
+        self.sink = sink if sink is not None else _StreamSink()
+        self.collect = collect
+        self.guard = EventGuard(stream)
+        self.batches_fed = 0
+        self._cutters: dict[int, _UnitCutter] = {}
+        self._seen: set[int] = set()
+        self._units: dict[int, list[SamplingUnit]] = {}
+        self._finished = False
+
+    # -- event pump --------------------------------------------------
+
+    def feed(self, event: TraceEvent) -> list[tuple[int, SamplingUnit]]:
+        """Feed one raw stream event; returns the units it completed."""
+        if isinstance(event, SegmentBatch):
+            self.batches_fed += 1
+        emitted: list[tuple[int, SamplingUnit]] = []
+        for guarded in self.guard.admit_event(event):
+            self._route(guarded, emitted)
+        return emitted
+
+    def _route(
+        self, event: TraceEvent, emitted: list[tuple[int, SamplingUnit]]
+    ) -> None:
+        if isinstance(event, SegmentBatch):
+            cutter = self._cutters.get(event.thread_id)
+            if cutter is None:
+                if event.thread_id not in self._seen:
+                    raise ValueError(
+                        f"segment batch for unknown thread {event.thread_id} "
+                        "(no ThreadStart seen)"
+                    )
+                return  # thread deliberately not cut
+            tid = event.thread_id
+            units = cutter.feed_array(event.data)
+            if units:
+                if self.collect:
+                    self._units.setdefault(tid, []).extend(units)
+                emitted.extend((tid, unit) for unit in units)
+        elif isinstance(event, ThreadStart):
+            self._seen.add(event.thread_id)
+            only = self.config.thread_id
+            if only is None or event.thread_id == only:
+                self._cutters[event.thread_id] = _UnitCutter(
+                    event.thread_id, self.config
+                )
+        elif isinstance(event, StageEvent):
+            self.sink.stages.append(event.info)
+        elif isinstance(event, JobEnd):
+            self.sink.meta.update(event.meta)
+
+    def finish(self) -> list[tuple[int, SamplingUnit]]:
+        """End of stream: flush the guard and every cutter, seal the sink."""
+        # Local import mirrors feed(): faults layers on top of jvm.
+        from repro.faults.report import FaultReport
+
+        if self._finished:
+            return []
+        self._finished = True
+        emitted: list[tuple[int, SamplingUnit]] = []
+        for guarded in self.guard.finish():
+            self._route(guarded, emitted)
+        for tid, cutter in self._cutters.items():
+            units = cutter.flush()
+            if units:
+                if self.collect:
+                    self._units.setdefault(tid, []).extend(units)
+                emitted.extend((tid, unit) for unit in units)
+            self.sink.totals[tid] = cutter.total
+        self.sink.seen = self._seen
+        FaultReport.merged_meta(self.sink.meta, self.guard.report)
+        return emitted
+
+    # -- result assembly ---------------------------------------------
+
+    def result(self) -> JobProfile:
+        """Assemble the :class:`JobProfile` (after :meth:`finish`).
+
+        Thread selection matches the batch path: ``config.thread_id``
+        if set (``KeyError`` when the stream never started it),
+        otherwise the thread that retired the most instructions, first
+        ThreadStart winning ties.
+        """
+        if not self._finished:
+            raise ValueError("session is still streaming; call finish() first")
+        cfg = self.config
+        sink = self.sink
+        if cfg.thread_id is not None:
+            if cfg.thread_id not in sink.seen:
+                raise KeyError(f"no thread {cfg.thread_id} in job trace")
+            selected = cfg.thread_id
+        else:
+            if not sink.totals:
+                raise ValueError("job trace has no threads")
+            selected = None
+            best = -1
+            for tid, total in sink.totals.items():  # ThreadStart order
+                if total > best:
+                    best = total
+                    selected = tid
+        total = sink.totals.get(selected, 0)
+        if total // cfg.unit_size == 0:
+            raise ValueError(
+                f"thread {selected} retired {total} instructions, "
+                f"fewer than one sampling unit ({cfg.unit_size})"
+            )
+        stream = self.stream
+        return JobProfile(
+            workload=stream.workload,
+            framework=stream.framework,
+            input_name=stream.input_name,
+            profile=ThreadProfile(
+                thread_id=selected,
+                unit_size=cfg.unit_size,
+                snapshot_period=cfg.snapshot_period,
+                units=self._units.get(selected, []),
+            ),
+            registry=stream.registry,
+            stack_table=stream.stack_table,
+            machine=stream.machine,
+            stages=sink.stages,
+            meta=sink.meta,
+        )
+
+    # -- snapshot protocol -------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture the complete session state as a codec-safe dict."""
+        return {
+            "kind": "profiler-session",
+            "collect": self.collect,
+            "batches_fed": self.batches_fed,
+            "seen": sorted(self._seen),
+            # Insertion order is ThreadStart order — the busiest-thread
+            # tie-break depends on it, so cutters ride as an ordered list.
+            "cutters": [
+                [tid, cutter.snapshot()] for tid, cutter in self._cutters.items()
+            ],
+            "guard": self.guard.snapshot(),
+            "sink": self.sink.snapshot(),
+            "units": [
+                [tid, [_unit_state(unit) for unit in units]]
+                for tid, units in self._units.items()
+            ],
+        }
+
+    def restore(self, state: dict) -> None:
+        """Rebuild session state; the stream binding stays fresh."""
+        if state.get("kind") != "profiler-session":
+            raise ValueError(
+                f"not a profiler-session snapshot: {state.get('kind')!r}"
+            )
+        if bool(state["collect"]) != self.collect:
+            raise ValueError("snapshot collect mode does not match session")
+        self.batches_fed = int(state["batches_fed"])
+        self._seen = {int(tid) for tid in state["seen"]}
+        self._cutters = {}
+        for tid, cutter_state in state["cutters"]:
+            cutter = _UnitCutter(int(tid), self.config)
+            cutter.restore(cutter_state)
+            self._cutters[int(tid)] = cutter
+        self.guard.restore(state["guard"])
+        self.sink.restore(state["sink"])
+        self._units = {
+            int(tid): [_unit_from_state(u) for u in units]
+            for tid, units in state["units"]
+        }
+        self._finished = False
+
 
 class StreamingProfiler:
     """Incremental profiler over a :class:`~repro.jvm.stream.TraceStream`.
@@ -483,46 +779,10 @@ class StreamingProfiler:
         sink's ``meta["fault_report"]``.  Clean streams pass through
         with identical output.
         """
-        # Local import: repro.faults.stream depends on repro.jvm.stream.
-        from repro.faults.report import FaultReport
-        from repro.faults.stream import EventGuard
-
-        cfg = self.config
-        only = cfg.thread_id
-        guard = EventGuard(stream)
-        cutters: dict[int, _UnitCutter] = {}
-        seen: set[int] = set()
-        for event in guard.events():
-            if isinstance(event, SegmentBatch):
-                cutter = cutters.get(event.thread_id)
-                if cutter is None:
-                    if event.thread_id not in seen:
-                        raise ValueError(
-                            f"segment batch for unknown thread {event.thread_id} "
-                            "(no ThreadStart seen)"
-                        )
-                    continue  # thread deliberately not cut
-                tid = event.thread_id
-                for unit in cutter.feed_array(event.data):
-                    yield tid, unit
-            elif isinstance(event, ThreadStart):
-                seen.add(event.thread_id)
-                if only is None or event.thread_id == only:
-                    cutters[event.thread_id] = _UnitCutter(event.thread_id, cfg)
-            elif isinstance(event, StageEvent):
-                if sink is not None:
-                    sink.stages.append(event.info)
-            elif isinstance(event, JobEnd):
-                if sink is not None:
-                    sink.meta.update(event.meta)
-        for tid, cutter in cutters.items():
-            for unit in cutter.flush():
-                yield tid, unit
-            if sink is not None:
-                sink.totals[tid] = cutter.total
-        if sink is not None:
-            sink.seen = seen
-            FaultReport.merged_meta(sink.meta, guard.report)
+        session = ProfilerSession(self.config, stream, sink=sink, collect=False)
+        for event in stream:
+            yield from session.feed(event)
+        yield from session.finish()
 
     # -- batch-compatible consumption ---------------------------------------
 
@@ -531,6 +791,7 @@ class StreamingProfiler:
         stream: TraceStream,
         *,
         meter: ThroughputMeter | None = None,
+        checkpoint: "Any | None" = None,
     ) -> JobProfile:
         """Drive the stream to completion and build a :class:`JobProfile`.
 
@@ -540,50 +801,33 @@ class StreamingProfiler:
         ThreadStart winning ties.  ``meter`` ticks once per emitted
         unit so streaming throughput lands in the instrumentation
         counters.
+
+        ``checkpoint`` is an optional
+        :class:`~repro.runtime.checkpoint.CheckpointPolicy`: the
+        session state is persisted every ``policy.every`` batches, a
+        prior checkpoint is resumed from when ``policy.resume`` is set,
+        and the result is bit-identical to an uninterrupted run.  When
+        it is ``None`` (the default) the consume loop below contains
+        no checkpoint logic at all — the non-resumable path costs
+        nothing extra.
         """
-        cfg = self.config
-        sink = _StreamSink()
-        units_by_thread: dict[int, list[SamplingUnit]] = {}
-        for tid, unit in self.units(stream, sink=sink):
-            units_by_thread.setdefault(tid, []).append(unit)
-            if meter is not None:
-                meter.tick()
-        if cfg.thread_id is not None:
-            if cfg.thread_id not in sink.seen:
-                raise KeyError(f"no thread {cfg.thread_id} in job trace")
-            selected = cfg.thread_id
+        session = ProfilerSession(self.config, stream, collect=True)
+        if checkpoint is None:
+            for event in stream:
+                emitted = session.feed(event)
+                if meter is not None and emitted:
+                    meter.tick(len(emitted))
+            emitted = session.finish()
+            if meter is not None and emitted:
+                meter.tick(len(emitted))
         else:
-            if not sink.totals:
-                raise ValueError("job trace has no threads")
-            selected = None
-            best = -1
-            for tid, total in sink.totals.items():  # ThreadStart order
-                if total > best:
-                    best = total
-                    selected = tid
-        total = sink.totals.get(selected, 0)
-        if total // cfg.unit_size == 0:
-            raise ValueError(
-                f"thread {selected} retired {total} instructions, "
-                f"fewer than one sampling unit ({cfg.unit_size})"
-            )
-        units = units_by_thread.get(selected, [])
-        return JobProfile(
-            workload=stream.workload,
-            framework=stream.framework,
-            input_name=stream.input_name,
-            profile=ThreadProfile(
-                thread_id=selected,
-                unit_size=cfg.unit_size,
-                snapshot_period=cfg.snapshot_period,
-                units=units,
-            ),
-            registry=stream.registry,
-            stack_table=stream.stack_table,
-            machine=stream.machine,
-            stages=sink.stages,
-            meta=sink.meta,
-        )
+            # Local import: the checkpoint layer lives in runtime and
+            # imports the store; pulling it in lazily keeps the plain
+            # streaming path free of that dependency.
+            from repro.runtime.checkpoint import drive_session
+
+            drive_session(session, stream, checkpoint, meter=meter)
+        return session.result()
 
 
 class _StreamSink:
@@ -596,3 +840,25 @@ class _StreamSink:
         self.meta: dict[str, Any] = {}
         self.totals: dict[int, int] = {}
         self.seen: set[int] = set()
+
+    # -- snapshot protocol -------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": "stream-sink",
+            "stages": [[s.stage_id, s.name, s.n_tasks] for s in self.stages],
+            "meta": self.meta,
+            "totals": [[tid, total] for tid, total in self.totals.items()],
+            "seen": sorted(self.seen),
+        }
+
+    def restore(self, state: dict) -> None:
+        if state.get("kind") != "stream-sink":
+            raise ValueError(f"not a stream-sink snapshot: {state.get('kind')!r}")
+        self.stages = [
+            StageInfo(stage_id=int(sid), name=str(name), n_tasks=int(n))
+            for sid, name, n in state["stages"]
+        ]
+        self.meta = dict(state["meta"])
+        self.totals = {int(tid): int(total) for tid, total in state["totals"]}
+        self.seen = {int(tid) for tid in state["seen"]}

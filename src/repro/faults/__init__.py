@@ -25,8 +25,18 @@ Layers:
     :class:`ClusterFaultInjector` (task failures / stragglers / GC
     pauses inside the simulated Spark + Hadoop clusters) and
     :func:`perturb_trace` (batch-trace counter glitches).
+``chaos``
+    :func:`kill_and_restore` — seeded kill-and-restore campaigns that
+    kill checkpointing jobs at deterministic stream offsets and verify
+    the resumed result byte-equals an uninterrupted run.
 """
 
+from repro.faults.chaos import (
+    ChaosAttempt,
+    ChaosOutcome,
+    ChaosPlan,
+    kill_and_restore,
+)
 from repro.faults.inject import ClusterFaultInjector, TaskFaults, perturb_trace
 from repro.faults.plan import FAULTS_KEY, FaultPlan, site_rng
 from repro.faults.report import FaultEvent, FaultReport
@@ -34,6 +44,9 @@ from repro.faults.stream import EventGuard, ReplayBuffer, inject_stream_faults
 
 __all__ = [
     "FAULTS_KEY",
+    "ChaosAttempt",
+    "ChaosOutcome",
+    "ChaosPlan",
     "ClusterFaultInjector",
     "EventGuard",
     "FaultEvent",
@@ -42,6 +55,7 @@ __all__ = [
     "ReplayBuffer",
     "TaskFaults",
     "inject_stream_faults",
+    "kill_and_restore",
     "perturb_trace",
     "site_rng",
 ]

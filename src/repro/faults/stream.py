@@ -41,6 +41,8 @@ from __future__ import annotations
 from collections import OrderedDict, deque
 from typing import Iterator
 
+import numpy as np
+
 from repro.faults.plan import FaultPlan, site_rng
 from repro.faults.report import FaultReport
 from repro.jvm.stream import (
@@ -57,28 +59,64 @@ _STREAM_SITE = "stream"
 
 
 class ReplayBuffer:
-    """Bounded per-thread window of recently emitted batches.
+    """Bounded per-thread window of recently emitted batch payloads.
 
     Models the retransmission buffer a real profiling agent keeps: a
     consumer that detects a gap or a corrupt payload can re-request a
     batch by ``(thread_id, seq)`` as long as it is still inside the
     window.  Bounded so the streaming memory guarantee survives.
+
+    Entries are zero-copy columnar refs — the packed ``SEGMENT_DTYPE``
+    array and its checksum, never a :class:`SegmentBatch` object copy —
+    so buffering a batch costs two machine words, shares the producer's
+    (possibly shared-memory) buffer, and never materialises the lazy
+    per-segment object cache.  :meth:`fetch` rebuilds a fresh batch
+    around the ref on demand.  Consumers that track commit progress
+    call :meth:`release` to drop refs they can no longer request,
+    mirroring the shm channel's one-event reclamation lag.
     """
 
     def __init__(self, window: int = 512) -> None:
         if window <= 0:
             raise ValueError("window must be positive")
         self.window = window
-        self._batches: dict[int, OrderedDict[int, SegmentBatch]] = {}
+        # thread → seq → (packed payload ref, checksum); seq-ascending
+        # because producers emit (and therefore store) in seq order.
+        self._batches: dict[int, OrderedDict[int, tuple[np.ndarray, int]]] = {}
 
     def store(self, batch: SegmentBatch) -> None:
         per_thread = self._batches.setdefault(batch.thread_id, OrderedDict())
-        per_thread[batch.seq] = batch
+        per_thread[batch.seq] = (batch.data, batch.checksum)
         while len(per_thread) > self.window:
             per_thread.popitem(last=False)
 
     def fetch(self, thread_id: int, seq: int) -> SegmentBatch | None:
-        return self._batches.get(thread_id, {}).get(seq)
+        entry = self._batches.get(thread_id, {}).get(seq)
+        if entry is None:
+            return None
+        data, checksum = entry
+        return SegmentBatch(thread_id, data, seq=seq, checksum=checksum)
+
+    def release(self, thread_id: int, upto_seq: int) -> int:
+        """Drop refs with ``seq <= upto_seq``; returns how many.
+
+        Called by the consumer once a sequence point is committed and
+        past its reclamation lag — those payloads can never be
+        re-requested, so holding the refs would only pin (possibly
+        shared-memory) buffers.
+        """
+        per_thread = self._batches.get(thread_id)
+        released = 0
+        while per_thread:
+            seq = next(iter(per_thread))
+            if seq > upto_seq:
+                break
+            per_thread.popitem(last=False)
+            released += 1
+        return released
+
+    def __len__(self) -> int:
+        return sum(len(per_thread) for per_thread in self._batches.values())
 
 
 def inject_stream_faults(
@@ -188,25 +226,42 @@ class _ThreadState:
 class EventGuard:
     """Sequence-checking, self-repairing view of a trace event stream.
 
-    Iterate :meth:`events` instead of the raw stream; batches come out
-    deduplicated, in per-thread ``seq`` order, checksum-verified, with
-    gaps repaired from ``stream.replay`` when available.  ``report``
-    holds the anomalies seen so far (empty on a clean stream).
+    Iterate :meth:`events` instead of the raw stream — or, in push
+    mode, construct with ``stream=None`` (or :meth:`bind` later) and
+    feed events through :meth:`admit_event` / :meth:`finish`; batches
+    come out deduplicated, in per-thread ``seq`` order,
+    checksum-verified, with gaps repaired from ``stream.replay`` when
+    available.  ``report`` holds the anomalies seen so far (empty on a
+    clean stream).
 
     ``max_holdback`` bounds how many out-of-order batches per thread
     the guard buffers before declaring the missing one lost; it must
     exceed the producer's worst-case reorder depth (the injector's
     default is 3) for reordering to be absorbed losslessly.
+
+    The guard is :class:`~repro.runtime.snapshot.Snapshotable`: the
+    per-thread sequence numbers, held-back batches (as columnar
+    payloads) and fault report round-trip through
+    ``snapshot()``/``restore()``, so a checkpointed consumer resumes
+    mid-repair bit-identically.
     """
 
-    def __init__(self, stream, *, max_holdback: int = 64) -> None:
+    def __init__(self, stream=None, *, max_holdback: int = 64) -> None:
         if max_holdback <= 0:
             raise ValueError("max_holdback must be positive")
-        self._stream = stream
-        self._replay: ReplayBuffer | None = getattr(stream, "replay", None)
+        self._stream = None
+        self._replay: ReplayBuffer | None = None
+        if stream is not None:
+            self.bind(stream)
         self.max_holdback = max_holdback
         self.report = FaultReport()
         self._threads: dict[int, _ThreadState] = {}
+
+    def bind(self, stream) -> "EventGuard":
+        """Attach ``stream`` (its replay buffer and batch counts)."""
+        self._stream = stream
+        self._replay = getattr(stream, "replay", None)
+        return self
 
     # -- verification ------------------------------------------------
 
@@ -293,12 +348,29 @@ class EventGuard:
                 if repaired is not None:
                     yield repaired
                 yield from self._drain(state, batch.thread_id)
+            self._release_committed(batch.thread_id)
             return
         verified = self._verified(batch)
         state.expected += 1
         if verified is not None:
             yield verified
         yield from self._drain(state, batch.thread_id)
+        self._release_committed(batch.thread_id)
+
+    def _release_committed(self, thread_id: int) -> None:
+        """Release replay refs this thread can never re-request.
+
+        Everything below ``expected - 1`` is committed and past its
+        one-event reclamation lag (the most recent commit stays
+        fetchable, mirroring the shm channel's ``keep_last=1``); the
+        replay buffer may drop those columnar refs so shared buffers
+        unpin as the stream advances.
+        """
+        if self._replay is None:
+            return
+        state = self._threads.get(thread_id)
+        if state is not None:
+            self._replay.release(thread_id, state.expected - 2)
 
     def _drain(self, state: _ThreadState, thread_id: int) -> Iterator[SegmentBatch]:
         while state.expected in state.pending:
@@ -335,17 +407,77 @@ class EventGuard:
                 if repaired is not None:
                     yield repaired
                 yield from self._drain(state, thread_id)
+            self._release_committed(thread_id)
+
+    # -- push API ----------------------------------------------------
+
+    def admit_event(self, event: TraceEvent) -> list[TraceEvent]:
+        """Feed one raw event; returns the events it releases (0..n).
+
+        A sequenced batch may release nothing (held back), itself, or
+        itself plus previously held batches; a :class:`JobEnd` flushes
+        every outstanding repair before passing through; everything
+        else passes through unchanged.
+        """
+        if isinstance(event, SegmentBatch) and event.seq >= 0:
+            return list(self._admit(event))
+        if isinstance(event, JobEnd):
+            out: list[TraceEvent] = list(self._flush())
+            out.append(event)
+            return out
+        return [event]
+
+    def finish(self) -> list[TraceEvent]:
+        """End of stream: resolve every outstanding hold-back and gap."""
+        return list(self._flush())
 
     def events(self) -> Iterator[TraceEvent]:
+        if self._stream is None:
+            raise ValueError("EventGuard is not bound to a stream")
         for event in self._stream:
-            if isinstance(event, SegmentBatch) and event.seq >= 0:
-                yield from self._admit(event)
-            elif isinstance(event, JobEnd):
-                yield from self._flush()
-                yield event
-            else:
-                yield event
-        yield from self._flush()
+            yield from self.admit_event(event)
+        yield from self.finish()
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return self.events()
+
+    # -- snapshot protocol -------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture sequence numbers, held-back payloads, and report."""
+        return {
+            "kind": "event-guard",
+            "max_holdback": self.max_holdback,
+            "threads": [
+                [
+                    thread_id,
+                    state.expected,
+                    [
+                        [seq, batch.data, batch.checksum]
+                        for seq, batch in sorted(state.pending.items())
+                    ],
+                ]
+                for thread_id, state in self._threads.items()
+            ],
+            "report": self.report.to_dict(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Rebuild guard state from :meth:`snapshot` output.
+
+        The stream binding is untouched — a resumed session binds the
+        guard to its freshly recreated stream, not the dead one.
+        """
+        if state.get("kind") != "event-guard":
+            raise ValueError(f"not an event-guard snapshot: {state.get('kind')!r}")
+        self.max_holdback = int(state["max_holdback"])
+        self.report = FaultReport.from_dict(state["report"])
+        self._threads = {}
+        for thread_id, expected, pending in state["threads"]:
+            thread_state = _ThreadState()
+            thread_state.expected = int(expected)
+            for seq, data, checksum in pending:
+                thread_state.pending[int(seq)] = SegmentBatch(
+                    int(thread_id), data, seq=int(seq), checksum=int(checksum)
+                )
+            self._threads[int(thread_id)] = thread_state

@@ -42,9 +42,15 @@ from typing import Any, Iterator
 import numpy as np
 
 from repro.jvm.segments import SEGMENT_DTYPE
-from repro.jvm.stream import SegmentBatch, TraceEvent, TraceStream
+from repro.jvm.stream import JobEnd, SegmentBatch, TraceEvent, TraceStream
 
-__all__ = ["ShmBatchRef", "ShmStreamHeader", "send_stream", "recv_stream"]
+__all__ = [
+    "ShmBatchRef",
+    "ShmStreamHeader",
+    "ShmStreamTrailer",
+    "send_stream",
+    "recv_stream",
+]
 
 
 class ShmBatchRef:
@@ -89,6 +95,32 @@ class ShmStreamHeader:
         self.machine = stream.machine
 
 
+class ShmStreamTrailer:
+    """Last data message: the stream's *completed* shared context.
+
+    The header crosses the queue before the run starts, so when the
+    producer lives in another process its pickled registry and stack
+    table are frozen half-empty — both keep interning while the
+    workload runs.  The trailer re-ships them once the run is done;
+    :func:`recv_stream` patches its stream in place, so by the time the
+    consumer's iteration finishes (when featurization first needs
+    them) the context is complete.  In-process pumps share the live
+    objects and the patch is a harmless no-op.
+    """
+
+    __slots__ = ("registry", "stack_table")
+
+    def __init__(self, stream: TraceStream) -> None:
+        self.registry = stream.registry
+        self.stack_table = stream.stack_table
+
+    def __getstate__(self) -> tuple:
+        return (self.registry, self.stack_table)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.registry, self.stack_table = state
+
+
 class _ShmDone:
     """End-of-stream sentinel (pickles to a fresh but equal instance)."""
 
@@ -104,7 +136,14 @@ def send_stream(stream: TraceStream, queue: Any) -> None:
     stand-in for tests).
     """
     queue.put(ShmStreamHeader(stream))
+    trailer_sent = False
     for event in stream:
+        # The trailer must precede JobEnd: consumers react to JobEnd
+        # while still iterating (e.g. the EventGuard flushes its
+        # repairs there) and need the completed context by then.
+        if isinstance(event, JobEnd) and not trailer_sent:
+            queue.put(ShmStreamTrailer(stream))
+            trailer_sent = True
         if isinstance(event, SegmentBatch):
             data = event.data
             block = shared_memory.SharedMemory(
@@ -129,6 +168,8 @@ def send_stream(stream: TraceStream, queue: Any) -> None:
             queue.put(ref)
         else:
             queue.put(event)
+    if not trailer_sent:
+        queue.put(ShmStreamTrailer(stream))
     queue.put(_ShmDone())
 
 
@@ -224,12 +265,23 @@ def recv_stream(queue: Any) -> TraceStream:
         raise ValueError(
             f"expected an ShmStreamHeader first, got {type(header).__name__}"
         )
-    return TraceStream(
+    stream = TraceStream(
         framework=header.framework,
         workload=header.workload,
         input_name=header.input_name,
         registry=header.registry,
         stack_table=header.stack_table,
         machine=header.machine,
-        events=_shm_events(queue),
+        events=iter(()),
     )
+
+    def events() -> Iterator[TraceEvent]:
+        for item in _shm_events(queue):
+            if isinstance(item, ShmStreamTrailer):
+                stream.registry = item.registry
+                stream.stack_table = item.stack_table
+                continue
+            yield item
+
+    stream.events = events()
+    return stream

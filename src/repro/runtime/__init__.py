@@ -18,6 +18,14 @@ imports the instrumentation hooks from here, and the runner imports
 create a cycle.
 """
 
+from repro.runtime.checkpoint import (
+    CHECKPOINT_KIND,
+    CheckpointManager,
+    CheckpointPolicy,
+    WorkerKilled,
+    checkpoint_job_key,
+    drive_session,
+)
 from repro.runtime.instrument import (
     Instrumentation,
     StageRecord,
@@ -25,6 +33,16 @@ from repro.runtime.instrument import (
     get_instrumentation,
     record_stage,
     stage_timer,
+)
+from repro.runtime.snapshot import (
+    SNAPSHOT_VERSION,
+    Snapshotable,
+    SnapshotError,
+    decode_state,
+    encode_state,
+    restore_rng,
+    rng_state,
+    state_digest,
 )
 from repro.runtime.store import (
     STORE_VERSION,
@@ -47,20 +65,34 @@ _RUNNER_EXPORTS = (
 )
 
 __all__ = [
+    "CHECKPOINT_KIND",
+    "SNAPSHOT_VERSION",
     "STORE_VERSION",
     "ArtifactManifest",
     "ArtifactStore",
     "CacheStats",
+    "CheckpointManager",
+    "CheckpointPolicy",
     "Instrumentation",
+    "Snapshotable",
+    "SnapshotError",
     "StageRecord",
     "StageStats",
+    "WorkerKilled",
     "canonical_repr",
+    "checkpoint_job_key",
+    "decode_state",
     "default_store",
+    "drive_session",
+    "encode_state",
     "get_instrumentation",
     "record_stage",
     "reset_default_stores",
+    "restore_rng",
+    "rng_state",
     "stable_hash",
     "stage_timer",
+    "state_digest",
     *_RUNNER_EXPORTS,
 ]
 

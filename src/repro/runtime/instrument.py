@@ -106,6 +106,31 @@ class ThroughputMeter:
         """Items metered so far."""
         return self._items
 
+    # -- snapshot protocol -------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture the counters; the interval clock is wall-time.
+
+        ``_last`` is deliberately absent: a restored meter restarts its
+        inter-tick clock at restore time, so resumed runs accumulate
+        only wall-clock they actually spend (checkpoint identity covers
+        results, never timings).
+        """
+        return {
+            "kind": "throughput-meter",
+            "items": self._items,
+            "seconds": self._seconds,
+        }
+
+    def restore(self, state: dict) -> None:
+        if state.get("kind") != "throughput-meter":
+            raise ValueError(
+                f"not a throughput-meter snapshot: {state.get('kind')!r}"
+            )
+        self._items = int(state["items"])
+        self._seconds = float(state["seconds"])
+        self._last = time.perf_counter()
+
     @property
     def items_per_second(self) -> float:
         """Throughput over the metered intervals (0 before any tick)."""

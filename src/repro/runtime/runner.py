@@ -288,14 +288,66 @@ def _compute_profile(spec: RunSpec) -> JobProfile:
     return SimProf(spec.simprof).profile(trace)
 
 
+def _compute_profile_stream(
+    spec: RunSpec,
+    store: ArtifactStore,
+    *,
+    checkpoint_every: int,
+    resume: bool = True,
+    kill_after: int | None = None,
+) -> JobProfile:
+    """Streaming twin of :func:`_compute_profile` with checkpointing.
+
+    The job is profiled off a live stream under a
+    :class:`~repro.runtime.checkpoint.CheckpointPolicy` keyed on the
+    spec's profile params: a worker killed mid-stream leaves its
+    snapshots in the shared store, and the next worker to pick up the
+    same spec resumes bit-identically from the latest one.  On success
+    the snapshots are cleared — the profile artifact supersedes them.
+    """
+    from repro.datagen.seeds import GRAPH_INPUTS
+    from repro.runtime.checkpoint import (
+        CheckpointManager,
+        CheckpointPolicy,
+        checkpoint_job_key,
+    )
+    from repro.workloads import run_workload_stream
+
+    graph = GRAPH_INPUTS[spec.graph_name] if spec.graph_name else None
+    manager = CheckpointManager(store, checkpoint_job_key(spec.profile_params()))
+    policy = CheckpointPolicy(
+        manager, every=checkpoint_every, resume=resume, kill_after=kill_after
+    )
+    stream = run_workload_stream(
+        spec.workload,
+        spec.framework,
+        scale=spec.scale,
+        seed=spec.seed,
+        graph=graph,
+        input_name=spec.input_name or spec.graph_name or "default",
+        params=dict(spec.params) if spec.params else None,
+    )
+    job = SimProf(spec.simprof).profile_stream(stream, checkpoint=policy)
+    manager.clear()
+    return job
+
+
 def _materialise(
-    spec: RunSpec, want: str, store: ArtifactStore
+    spec: RunSpec,
+    want: str,
+    store: ArtifactStore,
+    *,
+    checkpoint_every: int | None = None,
 ) -> tuple[str, str | None]:
     """Ensure the spec's artifacts exist in the store; return their keys."""
     profile_params = spec.profile_params()
-    job = store.get_or_compute(
-        "profile", profile_params, lambda: _compute_profile(spec)
-    )
+    if checkpoint_every is not None:
+        compute = lambda: _compute_profile_stream(  # noqa: E731
+            spec, store, checkpoint_every=checkpoint_every
+        )
+    else:
+        compute = lambda: _compute_profile(spec)  # noqa: E731
+    job = store.get_or_compute("profile", profile_params, compute)
     profile_key = store.key_for("profile", profile_params)
     model_key: str | None = None
     if want == "model":
@@ -321,7 +373,12 @@ def _pool_worker(payload: dict[str, Any]) -> tuple[str, str | None]:
     reads identical bytes whether the work ran here or in-process.
     """
     spec = RunSpec.from_payload(payload)
-    return _materialise(spec, payload["want"], default_store())
+    return _materialise(
+        spec,
+        payload["want"],
+        default_store(),
+        checkpoint_every=payload.get("checkpoint_every"),
+    )
 
 
 # -- the runner ---------------------------------------------------------------
@@ -330,6 +387,14 @@ def _pool_worker(payload: dict[str, Any]) -> tuple[str, str | None]:
 class _Checkpoint:
     """Journal of completed dedupe keys, atomically rewritten on mark.
 
+    Besides the ``done`` set, the journal records *in-flight* specs:
+    ``inflight`` maps each dedupe key currently being computed to the
+    stream-checkpoint job key its worker snapshots under (see
+    :mod:`repro.runtime.checkpoint`).  A batch killed mid-stream and
+    restarted with the same journal therefore knows exactly which
+    checkpoint chain each unfinished spec resumes from; ``mark``
+    retires the in-flight entry when the spec completes.
+
     A corrupt or unreadable journal is treated as empty (the batch
     restarts from the store's contents) rather than crashing a resume.
     """
@@ -337,23 +402,41 @@ class _Checkpoint:
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self.done: set[str] = set()
+        self.inflight: dict[str, dict[str, Any]] = {}
         if self.path.exists():
             try:
                 data = json.loads(self.path.read_text(encoding="utf-8"))
                 self.done = {str(k) for k in data.get("done", ())}
-            except (OSError, json.JSONDecodeError, AttributeError):
+                self.inflight = {
+                    str(k): dict(v)
+                    for k, v in (data.get("inflight") or {}).items()
+                }
+            except (OSError, json.JSONDecodeError, AttributeError, TypeError):
                 self.done = set()
+                self.inflight = {}
+
+    def _write(self) -> None:
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        payload: dict[str, Any] = {"done": sorted(self.done)}
+        if self.inflight:
+            payload["inflight"] = {
+                k: self.inflight[k] for k in sorted(self.inflight)
+            }
+        tmp.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        tmp.replace(self.path)
 
     def mark(self, key: str) -> None:
-        if key in self.done:
+        if key in self.done and key not in self.inflight:
             return
         self.done.add(key)
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_text(
-            json.dumps({"done": sorted(self.done)}, indent=2) + "\n",
-            encoding="utf-8",
-        )
-        tmp.replace(self.path)
+        self.inflight.pop(key, None)
+        self._write()
+
+    def mark_inflight(self, key: str, info: dict[str, Any]) -> None:
+        if key in self.done or self.inflight.get(key) == info:
+            return
+        self.inflight[key] = dict(info)
+        self._write()
 
 
 class ExperimentRunner:
@@ -368,6 +451,7 @@ class ExperimentRunner:
         backoff: float = 0.0,
         timeout: float | None = None,
         checkpoint: str | Path | None = None,
+        checkpoint_every: int | None = None,
     ) -> None:
         self.store = store or default_store()
         self.jobs = resolve_jobs(jobs)
@@ -377,6 +461,14 @@ class ExperimentRunner:
             raise ValueError("timeout must be positive (or None)")
         self.timeout = timeout
         self.checkpoint = _Checkpoint(checkpoint) if checkpoint else None
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1 (or None)")
+        # With checkpoint_every set, cache-miss profiles are computed off
+        # the streaming path under a CheckpointPolicy, so a worker killed
+        # mid-job resumes bit-identically on the next attempt (or on a
+        # replacement worker sharing the store).  None keeps the batch
+        # path with zero checkpoint overhead.
+        self.checkpoint_every = checkpoint_every
 
     def map_tasks(
         self,
@@ -428,7 +520,12 @@ class ExperimentRunner:
             if attempt > 0:
                 self._sleep_before_retry(attempt - 1)
             try:
-                _materialise(spec, want, self.store)
+                _materialise(
+                    spec,
+                    want,
+                    self.store,
+                    checkpoint_every=self.checkpoint_every,
+                )
                 return
             except Exception as exc:  # noqa: BLE001 - rewrapped below
                 last = exc
@@ -441,7 +538,11 @@ class ExperimentRunner:
         workers = min(self.jobs, len(missing))
 
         def payload(key: str) -> dict[str, Any]:
-            return {**missing[key].to_payload(), "want": want}
+            return {
+                **missing[key].to_payload(),
+                "want": want,
+                "checkpoint_every": self.checkpoint_every,
+            }
 
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -544,6 +645,21 @@ class ExperimentRunner:
         missing = {
             k: s for k, s in unique.items() if not cached[k] and k not in done_keys
         }
+        if missing and self.checkpoint is not None and self.checkpoint_every:
+            # Journal where each unfinished spec's stream checkpoints
+            # live, so a killed batch restarted with this journal can be
+            # audited (``simprof cache checkpoints``) and resumes from
+            # the recorded chains.
+            from repro.runtime.checkpoint import checkpoint_job_key
+
+            for key, spec in missing.items():
+                self.checkpoint.mark_inflight(
+                    key,
+                    {
+                        "job_key": checkpoint_job_key(spec.profile_params()),
+                        "label": spec.label,
+                    },
+                )
         if missing:
             if self.jobs > 1 and len(missing) > 1:
                 self._run_pool(missing, want)
@@ -593,6 +709,7 @@ def run_specs(
     backoff: float = 0.0,
     timeout: float | None = None,
     checkpoint: str | Path | None = None,
+    checkpoint_every: int | None = None,
 ) -> list[RunResult]:
     """Convenience wrapper: run a batch against the default store."""
     runner = ExperimentRunner(
@@ -602,5 +719,6 @@ def run_specs(
         backoff=backoff,
         timeout=timeout,
         checkpoint=checkpoint,
+        checkpoint_every=checkpoint_every,
     )
     return runner.run(specs, want=want)

@@ -1,0 +1,346 @@
+"""Run a workload in a worker process, streaming its trace back.
+
+``simprof profile --stream --worker`` (and any embedder that wants the
+workload's compute off the consumer's core) produces the trace in a
+child process and consumes it in the parent.  Two transports move the
+events across the boundary:
+
+* **shm** — :mod:`repro.jvm.shm`: each ``SegmentBatch``'s packed
+  columnar buffer is parked in ``multiprocessing.shared_memory`` and
+  only a tiny ref crosses the queue; the consumer gets zero-copy
+  ndarray views.
+* **queued** — the portable fallback for platforms without usable
+  ``shared_memory`` (and for fault-injected streams, whose hold-back
+  retention breaks shm's one-event reclamation lag): batches cross the
+  queue as picklable ``(thread_id, data, seq, checksum)`` tuples and
+  are rebuilt on the consumer side.  One copy per batch, but no shared
+  state to reclaim.
+
+``transport="auto"`` picks shm exactly when :func:`shm_available`
+reports a working implementation *and* the fault plan injects no
+stream faults; the choice is surfaced on the returned stream's
+``transport`` attribute.  Either way the consumer sees a normal
+:class:`~repro.jvm.stream.TraceStream` — same events, same checksums,
+bit-identical profiling results — and the child is joined when the
+stream is exhausted or closed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import asdict
+from typing import Any, Iterator
+
+from repro.jvm.stream import JobEnd, SegmentBatch, TraceEvent, TraceStream
+
+__all__ = [
+    "shm_available",
+    "resolve_transport",
+    "stream_in_worker",
+    "send_stream_queued",
+    "recv_stream_queued",
+]
+
+
+def shm_available() -> bool:
+    """True when ``multiprocessing.shared_memory`` actually works here.
+
+    Importing is not enough: platforms without a usable ``/dev/shm``
+    (or with it mounted unwritable) fail at allocation time, so probe
+    with a one-byte block.
+    """
+    try:
+        from multiprocessing import shared_memory
+    except ImportError:
+        return False
+    try:
+        block = shared_memory.SharedMemory(create=True, size=1)
+    except OSError:
+        return False
+    block.close()
+    block.unlink()
+    return True
+
+
+def resolve_transport(transport: str, *, faults: Any = None) -> str:
+    """Resolve ``auto`` to a concrete transport for this platform/plan."""
+    if transport not in ("auto", "shm", "queued"):
+        raise ValueError(
+            f"transport must be 'auto', 'shm' or 'queued', got {transport!r}"
+        )
+    if transport != "auto":
+        return transport
+    stream_faults = faults is not None and getattr(faults, "stream_active", False)
+    return "shm" if shm_available() and not stream_faults else "queued"
+
+
+# -- queued transport (portable fallback) -------------------------------------
+
+
+class _QueuedHeader:
+    """First queue message: the stream's shared context (pickled whole).
+
+    ``replay_window`` is the producer-side replay buffer's window when
+    the stream carries one (fault-injected streams), else ``None``.
+    """
+
+    __slots__ = (
+        "framework",
+        "workload",
+        "input_name",
+        "registry",
+        "stack_table",
+        "machine",
+        "replay_window",
+    )
+
+    def __init__(self, stream: TraceStream) -> None:
+        self.framework = stream.framework
+        self.workload = stream.workload
+        self.input_name = stream.input_name
+        self.registry = stream.registry
+        self.stack_table = stream.stack_table
+        self.machine = stream.machine
+        replay = getattr(stream, "replay", None)
+        self.replay_window = replay.window if replay is not None else None
+
+    def __getstate__(self) -> tuple:
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __setstate__(self, state: tuple) -> None:
+        for name, value in zip(self.__slots__, state):
+            setattr(self, name, value)
+
+
+class _QueuedDone:
+    """End-of-stream sentinel."""
+
+    __slots__ = ()
+
+
+def send_stream_queued(stream: TraceStream, queue: Any) -> None:
+    """Ship ``stream`` over ``queue`` with plain pickling.
+
+    Segment batches cross as ``("batch", thread_id, data, seq,
+    checksum)`` tuples — the packed columnar buffer is pickled (one
+    copy), everything else travels as-is.  Mirroring the shm
+    transport's trailer, the completed registry and stack table are
+    re-shipped after the last event: the header's copies were pickled
+    before the run interned anything.
+    """
+    queue.put(_QueuedHeader(stream))
+    # A fault-injected stream repairs gaps from its producer-side
+    # replay buffer (``stream.replay``), which the consumer process
+    # cannot share.  Mirror every store across the queue, in stream
+    # order, so the consumer-side EventGuard sees an identical
+    # retransmission window and repairs bit-identically.
+    replay = getattr(stream, "replay", None)
+    pending: list[tuple] = []
+    if replay is not None:
+        inner_store = replay.store
+
+        def mirrored_store(batch: SegmentBatch) -> None:
+            inner_store(batch)
+            pending.append(
+                ("replay", batch.thread_id, batch.data, batch.seq, batch.checksum)
+            )
+
+        replay.store = mirrored_store  # type: ignore[method-assign]
+    def trailer() -> tuple:
+        return (
+            "trailer",
+            stream.registry,
+            stream.stack_table,
+            getattr(stream, "batch_counts", None),
+            getattr(stream, "fault_report", None),
+        )
+
+    trailer_sent = False
+    for event in stream:
+        for item in pending:
+            queue.put(item)
+        pending.clear()
+        if isinstance(event, SegmentBatch):
+            queue.put(
+                ("batch", event.thread_id, event.data, event.seq, event.checksum)
+            )
+        else:
+            # The trailer must precede JobEnd: consumers react to
+            # JobEnd while still iterating (the EventGuard flushes its
+            # tail-gap repairs there) and need the completed context —
+            # registry, stack table, true batch counts — by then.
+            if isinstance(event, JobEnd) and not trailer_sent:
+                queue.put(trailer())
+                trailer_sent = True
+            queue.put(event)
+    for item in pending:
+        queue.put(item)
+    if not trailer_sent:
+        queue.put(trailer())
+    queue.put(_QueuedDone())
+
+
+def recv_stream_queued(queue: Any) -> TraceStream:
+    """Rebuild the stream a paired :func:`send_stream_queued` ships."""
+    header = queue.get()
+    if not isinstance(header, _QueuedHeader):
+        raise ValueError(
+            f"expected a queued stream header first, got {type(header).__name__}"
+        )
+    stream = TraceStream(
+        framework=header.framework,
+        workload=header.workload,
+        input_name=header.input_name,
+        registry=header.registry,
+        stack_table=header.stack_table,
+        machine=header.machine,
+        events=iter(()),
+    )
+    replay = None
+    counts: dict[int, int] | None = None
+    if header.replay_window is not None:
+        from repro.faults.stream import ReplayBuffer
+
+        replay = ReplayBuffer(header.replay_window)
+        stream.replay = replay
+        # Live dict, same object the guard later reads off the stream;
+        # the trailer fills it in place before end of stream.
+        counts = {}
+        stream.batch_counts = counts
+
+    def events() -> Iterator[TraceEvent]:
+        while True:
+            item = queue.get()
+            if isinstance(item, _QueuedDone):
+                return
+            if isinstance(item, tuple) and item and item[0] == "batch":
+                _, thread_id, data, seq, checksum = item
+                yield SegmentBatch(thread_id, data, seq=seq, checksum=checksum)
+            elif isinstance(item, tuple) and item and item[0] == "replay":
+                _, thread_id, data, seq, checksum = item
+                replay.store(
+                    SegmentBatch(thread_id, data, seq=seq, checksum=checksum)
+                )
+            elif isinstance(item, tuple) and item and item[0] == "trailer":
+                stream.registry = item[1]
+                stream.stack_table = item[2]
+                if item[3] is not None and counts is not None:
+                    counts.update(item[3])
+                if item[4] is not None:
+                    stream.fault_report = item[4]
+            else:
+                yield item
+
+    stream.events = events()
+    return stream
+
+
+# -- the worker ---------------------------------------------------------------
+
+
+def _worker_main(payload: dict[str, Any], queue: Any) -> None:
+    """Child entry point: run the workload, ship its stream back."""
+    from repro.datagen.seeds import GRAPH_INPUTS
+    from repro.workloads.registry import run_workload_stream
+
+    faults = None
+    if payload["faults"] is not None:
+        from repro.faults import FaultPlan
+
+        faults = FaultPlan(**payload["faults"])
+    stream = run_workload_stream(
+        payload["workload"],
+        payload["framework"],
+        scale=payload["scale"],
+        seed=payload["seed"],
+        graph=GRAPH_INPUTS[payload["graph_name"]]
+        if payload["graph_name"]
+        else None,
+        input_name=payload["input_name"],
+        params=payload["params"],
+        faults=faults,
+    )
+    if payload["transport"] == "shm":
+        from repro.jvm.shm import send_stream
+
+        send_stream(stream, queue)
+    else:
+        send_stream_queued(stream, queue)
+
+
+def stream_in_worker(
+    workload: str,
+    framework: str,
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    graph_name: str | None = None,
+    input_name: str | None = None,
+    params: dict[str, Any] | None = None,
+    faults: Any = None,
+    transport: str = "auto",
+) -> TraceStream:
+    """Streaming twin of ``run_workload_stream`` with the run off-process.
+
+    Spawns a child that executes the workload and sends its trace over
+    the resolved transport; returns the consumer-side
+    :class:`~repro.jvm.stream.TraceStream` (its ``transport`` attribute
+    names the transport in effect).  The child is joined when the
+    stream is exhausted or closed; graph inputs are passed by name so
+    only small, picklable payloads cross process creation.
+    """
+    resolved = resolve_transport(transport, faults=faults)
+    payload = {
+        "workload": workload,
+        "framework": framework,
+        "scale": scale,
+        "seed": seed,
+        "graph_name": graph_name,
+        "input_name": input_name or graph_name or "default",
+        "params": dict(params) if params else None,
+        "faults": asdict(faults) if faults is not None else None,
+        "transport": resolved,
+    }
+    queue: Any = mp.Queue()
+    proc = mp.Process(target=_worker_main, args=(payload, queue), daemon=True)
+    proc.start()
+    if resolved == "shm":
+        from repro.jvm.shm import recv_stream
+
+        inner = recv_stream(queue)
+    else:
+        inner = recv_stream_queued(queue)
+
+    def events() -> Iterator[TraceEvent]:
+        try:
+            yield from inner
+            # The transport patched the inner stream's context from its
+            # trailer; re-sync the wrapper before consumers featurize.
+            stream.registry = inner.registry
+            stream.stack_table = inner.stack_table
+            report = getattr(inner, "fault_report", None)
+            if report is not None:
+                stream.fault_report = report
+        finally:
+            proc.join(timeout=30)
+            if proc.is_alive():  # wedged child; don't hang the consumer
+                proc.terminate()
+                proc.join()
+
+    stream = TraceStream(
+        framework=inner.framework,
+        workload=inner.workload,
+        input_name=inner.input_name,
+        registry=inner.registry,
+        stack_table=inner.stack_table,
+        machine=inner.machine,
+        events=events(),
+    )
+    inner_replay = getattr(inner, "replay", None)
+    if inner_replay is not None:  # guards bind replay off the outer stream
+        stream.replay = inner_replay
+    inner_counts = getattr(inner, "batch_counts", None)
+    if inner_counts is not None:  # live dict shared with the transport
+        stream.batch_counts = inner_counts
+    stream.transport = resolved
+    return stream

@@ -1,0 +1,131 @@
+"""Kill-and-restore chaos campaigns.
+
+The chaos mode's contract: a worker killed at seeded, deterministic
+stream offsets and resumed from its checkpoints yields a result
+byte-identical to the uninterrupted run — for streaming profiling and
+for online classification.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import SimProf
+from repro.core.profiler import ProfilerSession
+from repro.faults.chaos import ChaosPlan, kill_and_restore
+from repro.runtime.store import ArtifactStore
+from repro.workloads import run_workload_stream
+from tests.conftest import TEST_SCALE, TEST_SIMPROF_CONFIG
+
+
+def _make_stream(framework="spark"):
+    return run_workload_stream("wc", framework, scale=TEST_SCALE, seed=0)
+
+
+def _make_profiler_session(stream):
+    return ProfilerSession(
+        TEST_SIMPROF_CONFIG.profiler_config(), stream, collect=True
+    )
+
+
+class TestChaosPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChaosPlan(kills=-1)
+        with pytest.raises(ValueError):
+            ChaosPlan(checkpoint_every=0)
+
+    def test_defaults(self):
+        plan = ChaosPlan()
+        assert plan.kills == 2 and plan.checkpoint_every == 1
+
+
+class TestProfilingChaos:
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_byte_identical_after_kills(self, tmp_path, seed):
+        outcome = kill_and_restore(
+            _make_stream,
+            _make_profiler_session,
+            ArtifactStore(tmp_path),
+            f"chaos-profile-{seed}",
+            ChaosPlan(seed=seed, kills=2, checkpoint_every=1),
+        )
+        assert outcome.byte_identical
+        assert len(outcome.attempts) <= 2
+        for attempt in outcome.attempts:
+            assert 0 < attempt.kill_position < outcome.n_events
+
+    def test_kill_offsets_are_seeded_and_replayable(self, tmp_path):
+        runs = [
+            kill_and_restore(
+                _make_stream,
+                _make_profiler_session,
+                ArtifactStore(tmp_path / str(i)),
+                "chaos-replay",
+                ChaosPlan(seed=3, kills=2),
+            )
+            for i in range(2)
+        ]
+        assert [a.kill_position for a in runs[0].attempts] == [
+            a.kill_position for a in runs[1].attempts
+        ]
+        assert runs[0].byte_identical and runs[1].byte_identical
+
+    def test_successive_kills_make_progress(self, tmp_path):
+        outcome = kill_and_restore(
+            _make_stream,
+            _make_profiler_session,
+            ArtifactStore(tmp_path),
+            "chaos-progress",
+            ChaosPlan(seed=1, kills=3),
+        )
+        assert outcome.byte_identical
+        # Each cycle's kill lands strictly after the previous resume
+        # point, so resumed_from is non-decreasing across attempts.
+        resumed = [a.resumed_from for a in outcome.attempts]
+        assert resumed == sorted(resumed)
+
+    def test_zero_kills_is_a_plain_checkpointed_run(self, tmp_path):
+        outcome = kill_and_restore(
+            _make_stream,
+            _make_profiler_session,
+            ArtifactStore(tmp_path),
+            "chaos-none",
+            ChaosPlan(seed=0, kills=0),
+        )
+        assert outcome.attempts == []
+        assert outcome.final_resumed_from == 0
+        assert outcome.byte_identical
+
+    def test_coarse_checkpoint_interval(self, tmp_path):
+        outcome = kill_and_restore(
+            _make_stream,
+            _make_profiler_session,
+            ArtifactStore(tmp_path),
+            "chaos-coarse",
+            ChaosPlan(seed=2, kills=2, checkpoint_every=4),
+        )
+        assert outcome.byte_identical
+
+
+class TestClassificationChaos:
+    def test_byte_identical_including_labels(self, tmp_path, wc_spark_model):
+        tool = SimProf(TEST_SIMPROF_CONFIG)
+
+        def make_session(stream):
+            return tool.classify_session(wc_spark_model, stream)
+
+        outcome = kill_and_restore(
+            _make_stream,
+            make_session,
+            ArtifactStore(tmp_path),
+            "chaos-classify",
+            ChaosPlan(seed=5, kills=2, checkpoint_every=1),
+        )
+        assert outcome.byte_identical
+        # Classification identity covers the label sequence, not just
+        # the profile digest.
+        job, labels = outcome.resumed
+        ref_job, ref_labels = outcome.reference
+        assert list(labels) == list(ref_labels)
+        assert job.content_digest() == ref_job.content_digest()

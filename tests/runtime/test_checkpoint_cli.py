@@ -1,0 +1,109 @@
+"""CLI surface of the checkpoint layer.
+
+``simprof profile --stream --checkpoint-every N [--resume]`` and the
+``simprof cache checkpoints`` maintenance subcommand.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.runtime.checkpoint import CheckpointManager
+from repro.runtime.store import default_store, reset_default_stores
+
+PROFILE_ARGS = [
+    "profile",
+    "wc_sp",
+    "--stream",
+    "--scale",
+    "0.08",
+    "--unit-size",
+    "10000000",
+    "--snapshot-period",
+    "500000",
+]
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("SIMPROF_CACHE_DIR", str(tmp_path))
+    reset_default_stores()
+    yield
+    reset_default_stores()
+
+
+class TestProfileFlagValidation:
+    @pytest.mark.parametrize(
+        "extra",
+        [
+            ["--checkpoint-every", "2"],
+            ["--resume"],
+            ["--worker"],
+        ],
+    )
+    def test_stream_only_flags_rejected_in_batch_mode(self, extra):
+        with pytest.raises(SystemExit, match="require --stream"):
+            main(["profile", "wc_sp", *extra])
+
+    def test_resume_requires_interval(self):
+        with pytest.raises(SystemExit, match="requires --checkpoint-every"):
+            main([*PROFILE_ARGS, "--resume"])
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(SystemExit, match=">= 1"):
+            main([*PROFILE_ARGS, "--checkpoint-every", "0"])
+
+
+class TestProfileCheckpointing:
+    def test_completed_run_retires_its_snapshots(self, capsys):
+        assert main([*PROFILE_ARGS, "--checkpoint-every", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "checkpointing: job" in out
+        assert "retired on completion" in out
+        # Nothing left behind for the maintenance command to show.
+        assert main(["cache", "checkpoints"]) == 0
+        assert "0 across 0 job(s)" in capsys.readouterr().out
+
+
+class TestCacheCheckpoints:
+    def _seed_chain(self, job_key="job-under-test"):
+        manager = CheckpointManager(default_store(), job_key)
+        manager.save(4, {"position": 4, "session": {"kind": "x"}})
+        manager.save(9, {"position": 9, "session": {"kind": "x"}})
+        return manager
+
+    def test_empty_store(self, capsys):
+        assert main(["cache", "checkpoints"]) == 0
+        assert "0 across 0 job(s)" in capsys.readouterr().out
+
+    def test_lists_positions_per_job(self, capsys):
+        self._seed_chain()
+        assert main(["cache", "checkpoints"]) == 0
+        out = capsys.readouterr().out
+        assert "2 across 1 job(s)" in out
+        assert "job-under-test" in out
+
+    def test_job_filter(self, capsys):
+        self._seed_chain("job-a")
+        self._seed_chain("job-b")
+        assert main(["cache", "checkpoints", "--job", "job-a"]) == 0
+        out = capsys.readouterr().out
+        assert "job-a" in out and "job-b" not in out
+
+    def test_inspect_decodes_the_snapshot(self, capsys):
+        manager = self._seed_chain()
+        key = manager.manifests()[0].key
+        assert main(["cache", "checkpoints", "--inspect", key]) == 0
+        out = capsys.readouterr().out
+        assert '"position": 4' in out
+        assert "snapshot components" in out
+
+    def test_gc_removes_chains(self, capsys):
+        self._seed_chain("job-a")
+        self._seed_chain("job-b")
+        assert main(["cache", "checkpoints", "--gc", "--job", "job-a"]) == 0
+        assert "removed 2 checkpoint(s)" in capsys.readouterr().out
+        assert main(["cache", "checkpoints"]) == 0
+        out = capsys.readouterr().out
+        assert "job-b" in out and "2 across 1 job(s)" in out

@@ -125,11 +125,11 @@ class TestRunnerSerial:
         real = runner_module._materialise
         failures = {"left": 2}
 
-        def flaky(spec, want, store):
+        def flaky(spec, want, store, **kwargs):
             if failures["left"] > 0:
                 failures["left"] -= 1
                 raise OSError("transient worker failure")
-            return real(spec, want, store)
+            return real(spec, want, store, **kwargs)
 
         monkeypatch.setattr(runner_module, "_materialise", flaky)
         store = ArtifactStore(tmp_path)
@@ -142,7 +142,7 @@ class TestRunnerSerial:
     def test_retries_exhausted_raise_runner_error(self, tmp_path, monkeypatch):
         calls = []
 
-        def always_fails(spec, want, store):
+        def always_fails(spec, want, store, **kwargs):
             calls.append(1)
             raise OSError("persistent failure")
 
@@ -241,7 +241,7 @@ class TestBackoff:
             runner_module.time, "sleep", lambda s: sleeps.append(s)
         )
 
-        def always_fails(spec, want, store):
+        def always_fails(spec, want, store, **kwargs):
             raise OSError("persistent failure")
 
         monkeypatch.setattr(runner_module, "_materialise", always_fails)
@@ -258,7 +258,7 @@ class TestBackoff:
             lambda s: pytest.fail("sleep called with backoff=0"),
         )
 
-        def always_fails(spec, want, store):
+        def always_fails(spec, want, store, **kwargs):
             raise OSError("persistent failure")
 
         monkeypatch.setattr(runner_module, "_materialise", always_fails)
@@ -405,3 +405,78 @@ class TestMapTasks:
     def test_runner_method_uses_configured_jobs(self, tmp_path):
         runner = ExperimentRunner(ArtifactStore(tmp_path), jobs=1)
         assert runner.map_tasks(_double, [5]) == [10]
+
+
+class TestStreamingCheckpoint:
+    """The runner's checkpoint_every path: resumable cache-miss profiles."""
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            ExperimentRunner(ArtifactStore(tmp_path), checkpoint_every=0)
+
+    def test_streaming_compute_matches_batch(self, tmp_path):
+        spec = _spec()
+        batch = ExperimentRunner(
+            ArtifactStore(tmp_path / "batch"), jobs=1
+        ).run([spec], want="profile")[0]
+        streaming = ExperimentRunner(
+            ArtifactStore(tmp_path / "stream"), jobs=1, checkpoint_every=2
+        ).run([spec], want="profile")[0]
+        assert (
+            streaming.job.content_digest() == batch.job.content_digest()
+        )
+        assert streaming.profile_key == batch.profile_key
+
+    def test_killed_worker_resumes_bit_identically(self, tmp_path):
+        from repro.runtime.checkpoint import (
+            CheckpointManager,
+            WorkerKilled,
+            checkpoint_job_key,
+        )
+
+        spec = _spec()
+        want = ExperimentRunner(
+            ArtifactStore(tmp_path / "ref"), jobs=1
+        ).run([spec], want="profile")[0].job.content_digest()
+
+        store = ArtifactStore(tmp_path / "store")
+        with pytest.raises(WorkerKilled):
+            runner_module._compute_profile_stream(
+                spec, store, checkpoint_every=1, kill_after=14
+            )
+        manager = CheckpointManager(
+            store, checkpoint_job_key(spec.profile_params())
+        )
+        assert manager.latest() is not None
+
+        # The "replacement worker": a plain run over the same store
+        # resumes from the dead worker's snapshots and retires them.
+        [result] = ExperimentRunner(store, jobs=1, checkpoint_every=1).run(
+            [spec], want="profile"
+        )
+        assert result.job.content_digest() == want
+        assert manager.latest() is None
+
+    def test_journal_tracks_inflight_jobs(self, tmp_path):
+        from repro.runtime.checkpoint import checkpoint_job_key
+
+        spec = _spec()
+        ck = tmp_path / "ck.json"
+        store = ArtifactStore(tmp_path / "store")
+        runner = ExperimentRunner(
+            store, jobs=1, checkpoint=ck, checkpoint_every=2
+        )
+        [result] = runner.run([spec], want="profile")
+        data = json.loads(ck.read_text())
+        # Completion retires the inflight entry into "done".
+        assert data["done"] == [result.profile_key]
+        assert "inflight" not in data
+
+    def test_mark_inflight_roundtrip(self, tmp_path):
+        path = tmp_path / "ck.json"
+        journal = runner_module._Checkpoint(path)
+        journal.mark_inflight("k1", {"job_key": "abc", "label": "wc_sp"})
+        reloaded = runner_module._Checkpoint(path)
+        assert reloaded.inflight == {"k1": {"job_key": "abc", "label": "wc_sp"}}
+        journal.mark("k1")
+        assert runner_module._Checkpoint(path).inflight == {}

@@ -1,0 +1,156 @@
+"""Worker-process streaming: transport selection and bit-identity.
+
+``stream_in_worker`` must be indistinguishable from an in-process
+``run_workload_stream`` — same units, same digest, and on faulty
+streams the same fault report — whichever transport carries the
+events across the process boundary.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import pytest
+
+from repro.core.pipeline import SimProf
+from repro.faults import FaultPlan
+from repro.jvm.stream import SegmentBatch
+from repro.workloads import (
+    resolve_transport,
+    run_workload_stream,
+    shm_available,
+    stream_in_worker,
+)
+from repro.workloads.worker import recv_stream_queued, send_stream_queued
+from tests.conftest import TEST_SCALE, TEST_SIMPROF_CONFIG
+
+FAULTY = FaultPlan(seed=3, drop_rate=0.2, duplicate_rate=0.2, reorder_rate=0.1)
+
+
+class _LocalQueue:
+    """Duck-typed queue: send/recv of the queued transport in-process."""
+
+    def __init__(self) -> None:
+        self._items: deque = deque()
+
+    def put(self, item) -> None:
+        self._items.append(item)
+
+    def get(self):
+        return self._items.popleft()
+
+
+def _profile_digest(stream):
+    return SimProf(TEST_SIMPROF_CONFIG).profile_stream(stream).content_digest()
+
+
+def _inproc_stream(faults=None):
+    return run_workload_stream(
+        "wc", "spark", scale=TEST_SCALE, seed=0, faults=faults
+    )
+
+
+class TestResolveTransport:
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            resolve_transport("carrier-pigeon")
+
+    def test_explicit_choice_passes_through(self):
+        assert resolve_transport("queued") == "queued"
+        assert resolve_transport("shm") == "shm"
+        # Even a faulty plan does not override an explicit choice.
+        assert resolve_transport("queued", faults=FAULTY) == "queued"
+
+    def test_auto_avoids_shm_on_faulty_streams(self):
+        # Hold-back retention breaks shm's one-event reclamation lag,
+        # so auto must fall back to the queued transport.
+        assert resolve_transport("auto", faults=FAULTY) == "queued"
+
+    def test_auto_with_clean_stream_matches_availability(self):
+        expected = "shm" if shm_available() else "queued"
+        assert resolve_transport("auto") == expected
+        assert resolve_transport("auto", faults=FaultPlan()) == expected
+
+
+class TestQueuedTransportInProcess:
+    def test_clean_round_trip_is_bit_identical(self):
+        want = _profile_digest(_inproc_stream())
+        queue = _LocalQueue()
+        send_stream_queued(_inproc_stream(), queue)
+        assert _profile_digest(recv_stream_queued(queue)) == want
+
+    def test_trailer_completes_the_registry(self):
+        queue = _LocalQueue()
+        producer = _inproc_stream()
+        send_stream_queued(producer, queue)
+        stream = recv_stream_queued(queue)
+        for _ in stream:
+            pass
+        # After exhaustion the trailer has patched in the completed
+        # context: every method interned during the run is present.
+        assert len(stream.registry) == len(producer.registry)
+        assert len(stream.stack_table) == len(producer.stack_table)
+
+    def test_faulty_round_trip_repairs_identically(self):
+        inproc = _inproc_stream(faults=FAULTY)
+        want = _profile_digest(inproc)
+        want_report = inproc.fault_report.counts()
+
+        queue = _LocalQueue()
+        send_stream_queued(_inproc_stream(faults=FAULTY), queue)
+        stream = recv_stream_queued(queue)
+        assert _profile_digest(stream) == want
+        assert stream.fault_report.counts() == want_report
+
+    def test_recv_rejects_headerless_queue(self):
+        queue = _LocalQueue()
+        queue.put(("batch", 0, None, 0, 0))
+        with pytest.raises(ValueError, match="header"):
+            recv_stream_queued(queue)
+
+
+class TestStreamInWorker:
+    @pytest.mark.parametrize("transport", ["queued", "auto"])
+    def test_clean_stream_bit_identical(self, transport):
+        want = _profile_digest(_inproc_stream())
+        stream = stream_in_worker(
+            "wc",
+            "spark",
+            scale=TEST_SCALE,
+            seed=0,
+            transport=transport,
+        )
+        assert stream.transport == resolve_transport(transport)
+        assert _profile_digest(stream) == want
+
+    def test_faulty_stream_bit_identical_including_report(self):
+        inproc = _inproc_stream(faults=FAULTY)
+        want = _profile_digest(inproc)
+        want_report = inproc.fault_report.counts()
+
+        stream = stream_in_worker(
+            "wc",
+            "spark",
+            scale=TEST_SCALE,
+            seed=0,
+            faults=FAULTY,
+            transport="auto",
+        )
+        assert stream.transport == "queued"
+        assert _profile_digest(stream) == want
+        assert stream.fault_report.counts() == want_report
+
+    def test_events_match_in_process_stream(self):
+        expected = [
+            (event.thread_id, event.seq, event.checksum)
+            for event in _inproc_stream()
+            if isinstance(event, SegmentBatch)
+        ]
+        got = [
+            (event.thread_id, event.seq, event.checksum)
+            for event in stream_in_worker(
+                "wc", "spark", scale=TEST_SCALE, seed=0, transport="queued"
+            )
+            if isinstance(event, SegmentBatch)
+        ]
+        assert got == expected
