@@ -1,0 +1,115 @@
+"""Incremental-analysis benchmark: cold vs warm ``simprof check``.
+
+The two-pass engine content-addresses every per-module analysis (and
+every project-rule result) in the ArtifactStore, so re-checking an
+unchanged tree should cost cache reads, not re-analysis.  This bench
+measures that claim on the repo's own ``src/`` tree:
+
+* **cold** — empty store: parse every file, run every rule, build and
+  persist every index;
+* **warm** — fresh store instance on the same root (empty memory
+  tier): every module payload and every project-rule result must come
+  off disk.
+
+The acceptance gate is a >= 3x cold/warm speedup; anything less means
+the cache is being bypassed.  A third timing covers ``--changed``
+semantics: one touched file re-analyzes only its reverse-dependency
+closure.  Writes ``BENCH_check.json`` for the CI artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from conftest import emit
+
+from repro.analysis import run_check
+from repro.runtime.store import ArtifactStore
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+TARGET = REPO_ROOT / "src"
+REPEATS = 3
+
+RESULTS: dict = {}
+
+
+def _timed_check(store, **kwargs):
+    start = time.perf_counter()
+    result = run_check([TARGET], store=store, **kwargs)
+    return time.perf_counter() - start, result
+
+
+def test_cold_vs_warm_speedup(tmp_path):
+    """Warm re-analysis must be at least 3x faster than a cold run."""
+    root = tmp_path / "cache"
+    cold_time, cold = _timed_check(ArtifactStore(root))
+    assert cold.n_cached == 0
+    assert cold.parse_errors == []
+
+    warm_times = []
+    for _ in range(REPEATS):
+        # A fresh instance per run: the memory tier starts empty, so
+        # every hit below is a disk read, like a new CI process.
+        elapsed, warm = _timed_check(ArtifactStore(root))
+        warm_times.append(elapsed)
+    warm_time = min(warm_times)
+
+    assert warm.n_cached == warm.n_files, "a module missed the cache"
+    assert warm.n_project_cached == 4, "a project rule re-ran warm"
+    assert [f.fingerprint() for f in warm.findings] == [
+        f.fingerprint() for f in cold.findings
+    ], "warm findings diverged from cold"
+
+    speedup = cold_time / warm_time
+    RESULTS["cold_vs_warm"] = {
+        "files": cold.n_files,
+        "cold_seconds": round(cold_time, 4),
+        "warm_seconds": round(warm_time, 4),
+        "warm_seconds_all": [round(t, 4) for t in warm_times],
+        "speedup": round(speedup, 2),
+    }
+    emit(
+        "simprof check: cold vs warm",
+        f"  {cold.n_files} files: cold {cold_time:.3f}s, "
+        f"warm {warm_time:.3f}s (best of {REPEATS}) -> {speedup:.1f}x",
+    )
+    assert speedup >= 3.0, (
+        f"warm check only {speedup:.1f}x faster than cold (< 3x): "
+        "the analysis cache is not doing its job"
+    )
+
+
+def test_changed_closure_and_artifact(tmp_path):
+    """--changed re-analysis scales with the edit, not the tree."""
+    root = tmp_path / "cache"
+    store = ArtifactStore(root)
+    run_check([TARGET], store=store)
+
+    # Touching nothing: everything is skipped, almost nothing is read.
+    skip_time, skipped = _timed_check(
+        ArtifactStore(root), changed_only=True
+    )
+    assert len(skipped.skipped) == skipped.n_files
+    assert skipped.findings == []
+
+    RESULTS["changed"] = {
+        "files": skipped.n_files,
+        "all_unchanged_seconds": round(skip_time, 4),
+        "skipped": len(skipped.skipped),
+    }
+
+    payload = {
+        "benchmark": "check",
+        "target": str(TARGET.relative_to(REPO_ROOT)),
+        **RESULTS,
+    }
+    with open("BENCH_check.json", "w") as fh:
+        json.dump(payload, fh, indent=2)
+
+    emit(
+        "simprof check --changed (unchanged tree)",
+        f"  {skipped.n_files} files skipped in {skip_time:.3f}s "
+        "(wrote BENCH_check.json)",
+    )

@@ -7,11 +7,16 @@ a stray ``random.random()``, a wall-clock read inside the simulated
 pipeline, or an unordered ``set`` iteration feeding an artifact hash
 silently breaks that contract without failing any unit test.
 
-``repro.analysis`` machine-checks those invariants: a small AST-walking
-lint framework (rule registry, per-rule findings with ``file:line`` and
-fix hints, text/JSON reporters, inline ``# simprof: ignore[RULE]``
-suppressions, and a checked-in baseline for grandfathered findings)
-exposed as ``simprof check [--strict] [--format json] [paths...]``.
+``repro.analysis`` machine-checks those invariants with a two-pass
+whole-program engine: pass 1 runs per-module rules and builds a
+:class:`~repro.analysis.index.ProjectIndex` (symbol tables, class
+attribute maps, call edges, import graph), pass 2 runs cross-module
+:class:`~repro.analysis.project.ProjectRule` checks over it.  Per-file
+results are content-addressed in the
+:class:`~repro.runtime.store.ArtifactStore` (unchanged file ⇒ zero
+re-analysis) and both passes fan out over ``map_tasks`` with
+byte-identical reports, exposed as ``simprof check [--strict]
+[--format json|sarif] [--jobs N|auto] [--changed] [paths...]``.
 
 The shipped rules target this repo's real failure modes:
 
@@ -21,9 +26,17 @@ SPA002    wall-clock reads inside deterministic packages
 SPA003    seed discipline for public randomness-drawing functions
 SPA004    unordered set/dict iteration feeding artifacts
 SPA005    docstring numeric constants drifting from code
+SPA006    silently swallowed exceptions
+SPA007    quadratic pairwise-distance loops
+SPA008    per-row iteration over columnar batches
+SPA009    snapshot-state drift (project)
+SPA010    checkpoint-key completeness (project)
+SPA011    cross-boundary entropy taint (project)
+SPA012    shared-resource lifecycle (project)
 ========  ====================================================
 
-See ``docs/analysis.md`` for the full rule catalogue and workflow.
+See ``docs/analysis.md`` for the full rule catalogue, the engine
+architecture, and the checking workflow.
 """
 
 from repro.analysis.base import (
@@ -36,7 +49,16 @@ from repro.analysis.base import (
 from repro.analysis.baseline import Baseline
 from repro.analysis.checker import CheckResult, check_source, run_check
 from repro.analysis.findings import Finding
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.index import ModuleIndex, ProjectIndex, build_module_index
+from repro.analysis.project import (
+    ProjectContext,
+    ProjectRule,
+    all_project_rules,
+    check_project,
+    get_project_rule,
+    register_project_rule,
+)
+from repro.analysis.reporters import render_json, render_sarif, render_text
 
 # Importing the package registers every built-in rule.
 from repro.analysis import rules as _rules  # noqa: F401  (registration side effect)
@@ -44,14 +66,24 @@ from repro.analysis import rules as _rules  # noqa: F401  (registration side eff
 __all__ = [
     "Finding",
     "ModuleContext",
+    "ModuleIndex",
+    "ProjectContext",
+    "ProjectIndex",
+    "ProjectRule",
     "Rule",
     "Baseline",
     "CheckResult",
     "all_rules",
+    "all_project_rules",
+    "build_module_index",
+    "check_project",
     "get_rule",
+    "get_project_rule",
     "register_rule",
+    "register_project_rule",
     "run_check",
     "check_source",
     "render_text",
     "render_json",
+    "render_sarif",
 ]

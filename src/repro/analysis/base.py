@@ -199,6 +199,7 @@ class Rule:
             message=message,
             hint=self.hint if hint is None else hint,
             line_text=ctx.line_text(line),
+            qualname=".".join(reversed(ctx.enclosing_names(node))),
         )
 
 

@@ -1,12 +1,19 @@
 """Baseline file: grandfathered findings tolerated by ``simprof check``.
 
 The baseline is a checked-in JSON document mapping finding fingerprints
-(rule + path + offending line *text* — not line numbers, so edits above
-a grandfathered line do not resurrect it) to occurrence counts.  The
-default (non ``--strict``) check subtracts baselined findings from the
-failure set; ``--strict`` tolerates nothing.  ``--write-baseline``
-rewrites the file from the current tree, which is how a finding leaves
-the baseline: fix it, regenerate, commit the shrunken file.
+to occurrence counts.  Version 2 fingerprints key on (rule, path,
+enclosing-def qualname, whitespace-normalised snippet) — not line
+numbers, and not raw line text — so unrelated edits above a
+grandfathered line, or moving it between functions' *surroundings*,
+do not resurrect it.  The default (non ``--strict``) check subtracts
+baselined findings from the failure set; ``--strict`` tolerates
+nothing.  ``--write-baseline`` rewrites the file from the current
+tree, which is how a finding leaves the baseline: fix it, regenerate,
+commit the shrunken file.
+
+Version-1 files (keyed on raw stripped line text) still load: matching
+falls back to the legacy fingerprint, and the CLI migrates the file in
+place to version 2 on the first successful run that loads one.
 """
 
 from __future__ import annotations
@@ -19,15 +26,23 @@ from repro.analysis.findings import Finding
 
 __all__ = ["Baseline", "BASELINE_VERSION", "DEFAULT_BASELINE_NAME"]
 
-BASELINE_VERSION = 1
+BASELINE_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 DEFAULT_BASELINE_NAME = ".simprof-baseline.json"
 
 
 class Baseline:
     """Fingerprint multiset with load/save/partition operations."""
 
-    def __init__(self, counts: dict[str, int] | None = None) -> None:
+    def __init__(
+        self,
+        counts: dict[str, int] | None = None,
+        *,
+        version: int = BASELINE_VERSION,
+    ) -> None:
         self.counts: Counter[str] = Counter(counts or {})
+        #: Schema version of the file this baseline was loaded from.
+        self.version = version
 
     def __len__(self) -> int:
         return sum(self.counts.values())
@@ -38,6 +53,12 @@ class Baseline:
     @classmethod
     def from_findings(cls, findings: list[Finding]) -> "Baseline":
         return cls(Counter(f.fingerprint() for f in findings))
+
+    def _fingerprint(self, finding: Finding) -> str:
+        """The fingerprint flavour this baseline's version matches on."""
+        if self.version == 1:
+            return finding.fingerprint_v1()
+        return finding.fingerprint()
 
     def partition(
         self, findings: list[Finding]
@@ -52,7 +73,7 @@ class Baseline:
         fresh: list[Finding] = []
         known: list[Finding] = []
         for finding in sorted(findings):
-            fp = finding.fingerprint()
+            fp = self._fingerprint(finding)
             if budget.get(fp, 0) > 0:
                 budget[fp] -= 1
                 known.append(finding)
@@ -70,17 +91,18 @@ class Baseline:
         except FileNotFoundError:
             return cls()
         data = json.loads(text)
-        if data.get("version") != BASELINE_VERSION:
+        version = data.get("version")
+        if version not in _SUPPORTED_VERSIONS:
             raise ValueError(
-                f"unsupported baseline version {data.get('version')!r} in {path}"
+                f"unsupported baseline version {version!r} in {path}"
             )
         counts: Counter[str] = Counter()
         for entry in data.get("findings", []):
             counts[entry["fingerprint"]] += int(entry.get("count", 1))
-        return cls(counts)
+        return cls(counts, version=version)
 
     def save(self, path: str | Path, findings: list[Finding]) -> None:
-        """Write the baseline for ``findings`` (sorted, annotated).
+        """Write the (version-2) baseline for ``findings``.
 
         Entries carry the rule/path/message of one representative
         occurrence purely for human review; only the fingerprint and

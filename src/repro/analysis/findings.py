@@ -21,19 +21,42 @@ class Finding:
     message: str
     hint: str = ""
     line_text: str = field(default="", compare=False)
+    # Dotted name of the enclosing def/class chain ("Cls.method"), used
+    # by the v2 fingerprint so findings survive unrelated line motion.
+    qualname: str = field(default="", compare=False)
 
     @property
     def location(self) -> str:
         return f"{self.path}:{self.line}:{self.col + 1}"
 
-    def fingerprint(self) -> str:
-        """Content-based identity used by the baseline file.
+    @property
+    def snippet(self) -> str:
+        """Whitespace-normalised offending line (fingerprint material)."""
+        return " ".join(self.line_text.split())
 
-        Hashes the rule, path and the *text* of the offending line (not
-        its number), so unrelated edits above a grandfathered finding do
-        not resurrect it.  Two identical lines in one file share a
-        fingerprint; the baseline therefore stores a count per
-        fingerprint rather than a set.
+    def fingerprint(self) -> str:
+        """Content-based identity used by the baseline file (v2).
+
+        Hashes (rule, path, enclosing-def qualname, normalised source
+        snippet) — not line numbers, and not raw indentation — so
+        unrelated edits above a grandfathered finding, or a pure
+        re-indent of the surrounding block, do not resurrect it.  Two
+        identical lines in one *function* share a fingerprint; the
+        baseline therefore stores a count per fingerprint rather than
+        a set.
+        """
+        payload = (
+            f"{self.rule}\x1f{self.path}\x1f{self.qualname}\x1f{self.snippet}"
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def fingerprint_v1(self) -> str:
+        """Legacy (version-1 baseline) fingerprint, kept for migration.
+
+        v1 keyed on (rule, path, stripped line text) only, so findings
+        churned whenever an identical line moved between functions.
+        Version-1 baseline files are matched through this fallback
+        until they are rewritten with ``--write-baseline``.
         """
         payload = f"{self.rule}\x1f{self.path}\x1f{self.line_text.strip()}"
         return hashlib.sha256(payload.encode()).hexdigest()[:16]
@@ -46,5 +69,32 @@ class Finding:
             "col": self.col,
             "message": self.message,
             "hint": self.hint,
+            "qualname": self.qualname,
             "fingerprint": self.fingerprint(),
         }
+
+    def to_payload(self) -> dict:
+        """Complete plain-dict form (the analysis cache's wire format)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "line_text": self.line_text,
+            "qualname": self.qualname,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Finding":
+        return cls(
+            path=payload["path"],
+            line=int(payload["line"]),
+            col=int(payload["col"]),
+            rule=payload["rule"],
+            message=payload["message"],
+            hint=payload.get("hint", ""),
+            line_text=payload.get("line_text", ""),
+            qualname=payload.get("qualname", ""),
+        )

@@ -1,0 +1,201 @@
+"""Pass 2 of the whole-program engine: project rules.
+
+A :class:`ProjectRule` sees the entire project at once through a
+:class:`ProjectContext` — the merged :class:`~repro.analysis.index.ProjectIndex`
+built in pass 1 plus lazy access to each module's parsed
+:class:`~repro.analysis.base.ModuleContext` (for rules, like the CFG
+reachability checks, that need real ASTs rather than the distilled
+index).  Module sources are only read and re-parsed on demand, so an
+index-only rule touches no source files at all.
+
+Project rules register in their own registry
+(:func:`register_project_rule`) so the checker can run the per-module
+pass and the project pass with independent rule selections, and so
+``--rules SPA009`` keeps working uniformly across both kinds.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.index import ModuleIndex, ProjectIndex, build_module_index
+
+__all__ = [
+    "ProjectContext",
+    "ProjectRule",
+    "register_project_rule",
+    "all_project_rules",
+    "get_project_rule",
+    "project_rule_ids",
+    "check_project",
+]
+
+
+class ProjectContext:
+    """Whole-program view handed to project rules.
+
+    ``sources`` may pre-seed module sources (tests, or the in-process
+    checker which already read every file); anything else is loaded
+    from the path recorded in the module's index entry.
+    """
+
+    def __init__(
+        self,
+        index: ProjectIndex,
+        *,
+        sources: dict[str, str] | None = None,
+    ) -> None:
+        self.index = index
+        self._sources: dict[str, str] = dict(sources or {})
+        self._contexts: dict[str, ModuleContext | None] = {}
+
+    # -- module access --------------------------------------------------------
+
+    def module_index(self, module: str) -> ModuleIndex | None:
+        return self.index.modules.get(module)
+
+    def source(self, module: str) -> str | None:
+        """Raw source of a project module (lazy disk read)."""
+        if module in self._sources:
+            return self._sources[module]
+        mi = self.index.modules.get(module)
+        if mi is None:
+            return None
+        try:
+            text = open(mi.path, encoding="utf-8").read()
+        except OSError:
+            text = None
+        self._sources[module] = text  # type: ignore[assignment]
+        return text
+
+    def module_context(self, module: str) -> ModuleContext | None:
+        """Parsed :class:`ModuleContext` for a project module (cached)."""
+        if module in self._contexts:
+            return self._contexts[module]
+        mi = self.index.modules.get(module)
+        source = self.source(module)
+        if mi is None or source is None:
+            self._contexts[module] = None
+            return None
+        try:
+            ctx = ModuleContext(source, path=mi.path, module=module)
+        except SyntaxError:
+            ctx = None
+        self._contexts[module] = ctx
+        return ctx
+
+    def line_text(self, module: str, lineno: int) -> str:
+        source = self.source(module)
+        if source is None:
+            return ""
+        lines = source.splitlines()
+        if 1 <= lineno <= len(lines):
+            return lines[lineno - 1]
+        return ""
+
+
+class ProjectRule:
+    """Base class for cross-module rules (pass 2).
+
+    Mirrors :class:`~repro.analysis.base.Rule` but ``check`` receives
+    the :class:`ProjectContext`; findings must anchor at a concrete
+    (module, line) so suppression comments and the baseline work
+    exactly as they do for per-module findings.
+    """
+
+    id: str = ""
+    name: str = ""
+    rationale: str = ""
+    hint: str = ""
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def finding(
+        self,
+        project: ProjectContext,
+        *,
+        module: str,
+        line: int,
+        message: str,
+        col: int = 0,
+        hint: str | None = None,
+        qualname: str = "",
+    ) -> Finding:
+        """Build a Finding anchored at ``module``'s source line."""
+        mi = project.module_index(module)
+        return Finding(
+            path=mi.path if mi is not None else module,
+            line=line,
+            col=col,
+            rule=self.id,
+            message=message,
+            hint=self.hint if hint is None else hint,
+            line_text=project.line_text(module, line),
+            qualname=qualname,
+        )
+
+
+_PROJECT_REGISTRY: dict[str, type[ProjectRule]] = {}
+
+
+def register_project_rule(cls: type[ProjectRule]) -> type[ProjectRule]:
+    """Class decorator adding a project rule to the pass-2 registry."""
+    if not cls.id:
+        raise ValueError(f"project rule {cls.__name__} has no id")
+    if cls.id in _PROJECT_REGISTRY and _PROJECT_REGISTRY[cls.id] is not cls:
+        raise ValueError(f"duplicate project rule id {cls.id}")
+    _PROJECT_REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_project_rules() -> list[ProjectRule]:
+    """Fresh instances of every registered project rule, sorted by id."""
+    return [cls() for _, cls in sorted(_PROJECT_REGISTRY.items())]
+
+
+def get_project_rule(rule_id: str) -> ProjectRule:
+    """Instantiate one registered project rule by id."""
+    try:
+        return _PROJECT_REGISTRY[rule_id]()
+    except KeyError:
+        known = ", ".join(sorted(_PROJECT_REGISTRY))
+        raise KeyError(f"unknown project rule {rule_id!r} (known: {known})") from None
+
+
+def project_rule_ids() -> frozenset[str]:
+    return frozenset(_PROJECT_REGISTRY)
+
+
+def check_project(
+    sources: dict[str, str], rule: ProjectRule
+) -> list[Finding]:
+    """Run one project rule over in-memory modules (test helper).
+
+    ``sources`` maps dotted module names to source text; paths are
+    synthesised as ``src/<module path>.py`` so findings look like real
+    repo findings.
+    """
+    index = ProjectIndex()
+    for module, source in sources.items():
+        path = "src/" + module.replace(".", "/") + ".py"
+        ctx = ModuleContext(source, path=path, module=module)
+        index.add(build_module_index(ctx))
+    project = ProjectContext(index, sources=dict(sources))
+    return sorted(rule.check(project))
+
+
+def _walk_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """(qualname, def) pairs for module-level functions and methods."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.name, node
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield f"{node.name}.{item.name}", item

@@ -1,4 +1,4 @@
-"""Render a :class:`~repro.analysis.checker.CheckResult` as text or JSON."""
+"""Render a :class:`~repro.analysis.checker.CheckResult` as text/JSON/SARIF."""
 
 from __future__ import annotations
 
@@ -6,8 +6,27 @@ import json
 
 from repro.analysis.base import all_rules
 from repro.analysis.checker import CheckResult
+from repro.analysis.project import all_project_rules
 
-__all__ = ["render_text", "render_json", "render_rule_catalogue"]
+__all__ = [
+    "render_text",
+    "render_json",
+    "render_sarif",
+    "render_rule_catalogue",
+]
+
+#: Anchor base for rule help URIs (``--format sarif`` links and docs).
+DOCS_URL = "https://github.com/simprof/simprof/blob/main/docs/analysis.md"
+
+
+def _catalogue():
+    """Every registered rule (module + project), sorted by id."""
+    return sorted(all_rules() + all_project_rules(), key=lambda r: r.id)
+
+
+def _help_uri(rule) -> str:
+    """docs/analysis.md heading anchor for ``### SPA00N — name``."""
+    return f"{DOCS_URL}#{rule.id.lower()}--{rule.name}"
 
 
 def render_text(result: CheckResult, *, strict: bool = False) -> str:
@@ -23,23 +42,42 @@ def render_text(result: CheckResult, *, strict: bool = False) -> str:
         out.append(f"{finding.location}: {finding.rule}{tag} {finding.message}")
         if finding.hint:
             out.append(f"    hint: {finding.hint}")
+    for path, line, rule_list in result.unused_suppressions:
+        spec = ", ".join(rule_list) if rule_list else "all rules"
+        out.append(
+            f"{path}:{line}: warning: unused suppression ({spec}) — "
+            "the marker matched no finding; remove it"
+        )
+    for path in result.skipped:
+        out.append(f"skipped (unchanged): {path}")
     summary = (
         f"{result.n_files} files checked: "
         f"{len(result.findings)} new finding(s), "
         f"{len(result.baselined)} baselined, "
         f"{result.suppressed} suppressed inline"
     )
+    if result.skipped:
+        summary += f", {len(result.skipped)} skipped as unchanged"
     out.append(summary)
     return "\n".join(out)
 
 
 def render_json(result: CheckResult, *, strict: bool = False) -> str:
-    """Machine-oriented report (stable key order)."""
+    """Machine-oriented report (stable key order).
+
+    Deliberately excludes cache statistics: serial, parallel and
+    warm-cache runs of the same tree must render byte-identically.
+    """
     doc = {
         "files": result.n_files,
         "new": [f.to_dict() for f in sorted(result.findings)],
         "baselined": [f.to_dict() for f in sorted(result.baselined)],
         "suppressed": result.suppressed,
+        "unused_suppressions": [
+            {"path": p, "line": line, "rules": list(rules)}
+            for p, line, rules in result.unused_suppressions
+        ],
+        "skipped": list(result.skipped),
         "parse_errors": [
             {"path": p, "error": e} for p, e in result.parse_errors
         ],
@@ -48,10 +86,107 @@ def render_json(result: CheckResult, *, strict: bool = False) -> str:
     return json.dumps(doc, indent=2, sort_keys=True)
 
 
+def render_sarif(result: CheckResult, *, strict: bool = False) -> str:
+    """SARIF 2.1.0 report for GitHub code-scanning annotations.
+
+    Every registered rule appears in the driver's rule table with a
+    help URI anchored into docs/analysis.md; each finding becomes one
+    ``result`` with a physical location and the finding's fingerprint
+    (so code scanning tracks findings across commits the same way the
+    baseline does).
+    """
+    catalogue = _catalogue()
+    rule_index = {rule.id: i for i, rule in enumerate(catalogue)}
+    shown = list(result.findings)
+    if strict:
+        shown += result.baselined
+    results = []
+    for finding in sorted(shown):
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "ruleIndex": rule_index.get(finding.rule, -1),
+                "level": "error",
+                "message": {
+                    "text": finding.message
+                    + (f" (hint: {finding.hint})" if finding.hint else "")
+                },
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": finding.path,
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.col + 1,
+                            },
+                        }
+                    }
+                ],
+                "partialFingerprints": {
+                    "simprofFingerprint/v2": finding.fingerprint()
+                },
+            }
+        )
+    for path, error in result.parse_errors:
+        results.append(
+            {
+                "ruleId": "parse-error",
+                "ruleIndex": -1,
+                "level": "error",
+                "message": {"text": f"file does not parse: {error}"},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": path,
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {"startLine": 1, "startColumn": 1},
+                        }
+                    }
+                ],
+            }
+        )
+    doc = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simprof-check",
+                        "informationUri": DOCS_URL,
+                        "rules": [
+                            {
+                                "id": rule.id,
+                                "name": rule.name,
+                                "shortDescription": {"text": rule.rationale},
+                                "helpUri": _help_uri(rule),
+                                "defaultConfiguration": {"level": "error"},
+                            }
+                            for rule in catalogue
+                        ],
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
 def render_rule_catalogue() -> str:
-    """``simprof check --list-rules`` output."""
+    """``simprof check --list-rules`` output (module + project rules)."""
     out = []
-    for rule in all_rules():
-        out.append(f"{rule.id}  {rule.name}")
+    for rule in _catalogue():
+        kind = " [project]" if rule.id in {r.id for r in all_project_rules()} else ""
+        out.append(f"{rule.id}  {rule.name}{kind}")
         out.append(f"    {rule.rationale}")
     return "\n".join(out)

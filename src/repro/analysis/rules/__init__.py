@@ -1,4 +1,10 @@
-"""Built-in rules; importing this package registers all of them."""
+"""Built-in rules; importing this package registers all of them.
+
+SPA001–SPA008 are per-module rules (:class:`~repro.analysis.base.Rule`);
+SPA009–SPA012 are whole-program rules
+(:class:`~repro.analysis.project.ProjectRule`) that run in pass 2 with
+cross-module context.
+"""
 
 from repro.analysis.rules.spa001_global_rng import GlobalRngRule
 from repro.analysis.rules.spa002_wallclock import WallClockRule
@@ -8,6 +14,10 @@ from repro.analysis.rules.spa005_docstring_drift import DocstringDriftRule
 from repro.analysis.rules.spa006_silent_swallow import SilentSwallowRule
 from repro.analysis.rules.spa007_quadratic_distance import QuadraticDistanceRule
 from repro.analysis.rules.spa008_columnar import ColumnarIterationRule
+from repro.analysis.rules.spa009_snapshot_drift import SnapshotStateDrift
+from repro.analysis.rules.spa010_checkpoint_key import CheckpointKeyCompleteness
+from repro.analysis.rules.spa011_entropy_taint import EntropyTaint
+from repro.analysis.rules.spa012_resource_lifecycle import SharedResourceLifecycle
 
 __all__ = [
     "GlobalRngRule",
@@ -18,4 +28,8 @@ __all__ = [
     "SilentSwallowRule",
     "QuadraticDistanceRule",
     "ColumnarIterationRule",
+    "SnapshotStateDrift",
+    "CheckpointKeyCompleteness",
+    "EntropyTaint",
+    "SharedResourceLifecycle",
 ]

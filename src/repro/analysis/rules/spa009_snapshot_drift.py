@@ -1,0 +1,136 @@
+"""SPA009: snapshot-state drift.
+
+A class participating in the checkpoint protocol (it defines both
+``snapshot()`` and ``restore()``, directly or through a base) carries
+mutable state that the protocol never round-trips: an attribute is
+mutated in place or bound to a mutable container by some method, but
+``restore()`` never reinstates it.  A resumed instance then silently
+continues from stale (usually empty) state — exactly the failure mode
+a fresh-instance round-trip test cannot catch, because right after
+construction the drifting attribute still holds its initial value.
+
+Two shapes are flagged:
+
+* ``snapshot()`` reads the attribute but ``restore()`` never assigns
+  it — saved, never restored;
+* neither method touches it — fully invisible to the protocol.
+
+Two exemptions keep the rule honest:
+
+* an attribute that ``restore()`` *does* assign, even when
+  ``snapshot()`` never reads it — derived caches legitimately skip the
+  payload and are rebuilt on restore;
+* an attribute bound in ``__init__`` straight from a constructor
+  parameter (``self._record = record``) and never rebound to a fresh
+  container — an *injected collaborator* whose lifecycle belongs to
+  the caller, not to the snapshot payload.
+
+Scope is product code (``repro.*``); test doubles that stub the
+protocol are not held to it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.index import ClassInfo, FunctionInfo, ModuleIndex
+from repro.analysis.project import (
+    ProjectContext,
+    ProjectRule,
+    register_project_rule,
+)
+
+
+def _protocol_reach(
+    project: ProjectContext,
+    mi: ModuleIndex,
+    cls: ClassInfo,
+    fn: FunctionInfo,
+    field: str,
+) -> frozenset[str]:
+    """Attributes ``fn`` touches (per ``field``), helpers one level deep."""
+    out: set[str] = set(getattr(fn, field))
+    for helper in fn.self_calls:
+        info = project.index.method(mi, cls, helper)
+        if info is not None:
+            out.update(getattr(info, field))
+    return frozenset(out)
+
+
+@register_project_rule
+class SnapshotStateDrift(ProjectRule):
+    id = "SPA009"
+    name = "snapshot-state-drift"
+    rationale = (
+        "Mutable state outside the snapshot()/restore() round-trip makes "
+        "a resumed run silently diverge from an uninterrupted one."
+    )
+    hint = (
+        "serialize the attribute in snapshot() and reassign it in "
+        "restore(), or rebuild it explicitly in restore() if it is "
+        "derived state"
+    )
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        for module, mi in sorted(project.index.modules.items()):
+            if not module.startswith("repro."):
+                continue
+            for cname in sorted(mi.classes):
+                cls = mi.classes[cname]
+                snap = project.index.method(mi, cls, "snapshot")
+                rest = project.index.method(mi, cls, "restore")
+                if snap is None or rest is None:
+                    continue
+                reads = _protocol_reach(project, mi, cls, snap, "self_read")
+                restored = _protocol_reach(
+                    project, mi, cls, rest, "self_assign"
+                ) | _protocol_reach(project, mi, cls, rest, "self_mutate")
+
+                # Mutable state over the whole base chain, keyed by the
+                # method (and module) that first establishes it.
+                state: dict[str, tuple[str, str, int]] = {}
+                injected: set[str] = set()
+                rebound: set[str] = set()
+                for omi, ocls in project.index.base_chain(mi, cls):
+                    for mname in sorted(ocls.methods):
+                        if mname in ("snapshot", "restore"):
+                            continue
+                        fn = ocls.methods[mname]
+                        if mname == "__init__":
+                            injected.update(fn.self_param_assign)
+                        rebound.update(fn.self_mutable_assign)
+                        for table in (fn.self_mutable_assign, fn.self_mutate):
+                            for attr, lineno in sorted(table.items()):
+                                if attr.startswith("__"):
+                                    continue
+                                state.setdefault(
+                                    attr, (omi.module, fn.qualname, lineno)
+                                )
+
+                for attr in sorted(state):
+                    if attr in restored:
+                        continue
+                    if attr in injected and attr not in rebound:
+                        # Bound straight from a constructor parameter and
+                        # never replaced with a fresh container: an
+                        # injected collaborator the caller owns.
+                        continue
+                    owner_module, qualname, lineno = state[attr]
+                    if attr in reads:
+                        detail = (
+                            "snapshot() serializes it but restore() never "
+                            "assigns it back"
+                        )
+                    else:
+                        detail = "neither snapshot() nor restore() touches it"
+                    yield self.finding(
+                        project,
+                        module=owner_module,
+                        line=lineno,
+                        message=(
+                            f"mutable state 'self.{attr}' of {cname} drifts "
+                            f"across snapshot/restore: {detail}"
+                        ),
+                        qualname=qualname,
+                    )

@@ -1,25 +1,35 @@
 """Inline suppression comments: ``# simprof: ignore[RULE, ...]``.
 
 A finding is suppressed when its line — or the immediately preceding
-line, if that line is a comment — carries a marker naming its rule (or
-naming no rule, which suppresses everything on that line).  Anything
-after ``--`` is a free-form justification and is encouraged::
+line, if that line is a standalone comment — carries a marker naming its
+rule (or naming no rule, which suppresses everything on that line).
+Anything after ``--`` is a free-form justification and is encouraged::
 
     t0 = time.perf_counter()  # simprof: ignore[SPA002] -- benchmark harness
+
+Markers are recognised only in genuine comments (the source is
+tokenized), so a marker quoted inside a docstring or string literal is
+documentation, not a suppression.  Each index also tracks which of its
+suppressions actually matched a finding, feeding the checker's
+unused-suppression report so stale ignores do not accumulate.
 
 Suppressions are deliberately line-scoped: there is no file- or
 block-level escape hatch, so every grandfathered violation stays
 visible next to the code it excuses (use the baseline file for bulk
-grandfathering instead).
+grandfathering instead).  Project-level (cross-module) findings are
+suppressed the same way, at the line the finding anchors to.
 """
 
 from __future__ import annotations
 
+import io
 import re
+import tokenize
 
 __all__ = ["SuppressionIndex", "parse_suppressions"]
 
-_MARKER = re.compile(r"#\s*simprof:\s*ignore(?:\[([A-Za-z0-9_,\s]*)\])?")
+_MARKER = re.compile(r"#\s*simprof:\s*ignore(?:\[([A-Za-z0-9_,\s-]*)\])?")
+_STANDALONE = "\x00standalone"
 
 
 class SuppressionIndex:
@@ -27,6 +37,8 @@ class SuppressionIndex:
 
     def __init__(self, by_line: dict[int, frozenset[str]]) -> None:
         self._by_line = by_line
+        #: Marker lines that suppressed at least one finding this run.
+        self.used: set[int] = set()
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
         """True if ``rule_id`` is ignored at 1-based ``line``."""
@@ -38,30 +50,75 @@ class SuppressionIndex:
             # marker on the *previous* line only applies when that line
             # is a standalone comment (tracked at parse time via the
             # sentinel below).
-            if candidate == line - 1 and "\x00standalone" not in rules:
+            if candidate == line - 1 and _STANDALONE not in rules:
                 continue
-            if not (rules - {"\x00standalone"}) or rule_id in rules:
+            if not (rules - {_STANDALONE}) or rule_id in rules:
+                self.used.add(candidate)
                 return True
         return False
+
+    def entries(self) -> dict[int, tuple[str, ...]]:
+        """Marker line -> sorted rule ids (empty tuple = bare ignore)."""
+        return {
+            line: tuple(sorted(rules - {_STANDALONE}))
+            for line, rules in sorted(self._by_line.items())
+        }
+
+    def unused(self) -> list[tuple[int, tuple[str, ...]]]:
+        """Markers that suppressed nothing, as (line, rules) pairs."""
+        return [
+            (line, rules)
+            for line, rules in self.entries().items()
+            if line not in self.used
+        ]
+
+    def mark_used(self, lines) -> None:
+        """Record externally-observed usage (cached or project passes)."""
+        self.used.update(int(line) for line in lines)
 
     def __len__(self) -> int:
         return len(self._by_line)
 
 
+def _marker_rules(spec: str | None) -> frozenset[str]:
+    if not spec:
+        return frozenset()
+    return frozenset(r.strip().upper() for r in spec.split(",") if r.strip())
+
+
 def parse_suppressions(lines: list[str]) -> SuppressionIndex:
-    """Scan raw source lines for suppression markers."""
+    """Scan source lines for suppression markers (comments only).
+
+    Tokenizes the joined source so markers embedded in string literals
+    are ignored; falls back to a raw line scan when the source does not
+    tokenize (the AST parse already succeeded, so this is rare — e.g.
+    fixture fragments with exotic line endings).
+    """
     by_line: dict[int, frozenset[str]] = {}
+    source = "\n".join(lines)
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        tokens = None
+    if tokens is not None:
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _MARKER.search(tok.string)
+            if not match:
+                continue
+            rules = _marker_rules(match.group(1))
+            lineno = tok.start[0]
+            if 1 <= lineno <= len(lines) and lines[lineno - 1].lstrip().startswith("#"):
+                rules |= {_STANDALONE}
+            by_line[lineno] = rules
+        return SuppressionIndex(by_line)
     for i, text in enumerate(lines, start=1):
         match = _MARKER.search(text)
         if not match:
             continue
-        spec = match.group(1)
-        rules = (
-            frozenset(r.strip().upper() for r in spec.split(",") if r.strip())
-            if spec
-            else frozenset()
-        )
+        rules = _marker_rules(match.group(1))
         if text.lstrip().startswith("#"):
-            rules |= {"\x00standalone"}
+            rules |= {_STANDALONE}
         by_line[i] = rules
     return SuppressionIndex(by_line)

@@ -207,8 +207,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="files or directories to check (default: src)")
     check.add_argument("--strict", action="store_true",
                        help="fail on baselined findings too (CI mode)")
-    check.add_argument("--format", choices=["text", "json"], default="text",
-                       dest="output_format")
+    check.add_argument("--format", choices=["text", "json", "sarif"],
+                       default="text", dest="output_format")
     check.add_argument("--baseline", default=None, metavar="FILE",
                        help="baseline file (default: .simprof-baseline.json "
                        "next to the first path, if present)")
@@ -219,6 +219,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated rule ids (default: all)")
     check.add_argument("--list-rules", action="store_true",
                        help="print the rule catalogue and exit")
+    check.add_argument("--jobs", default=None, metavar="N",
+                       help="fan analysis out over N processes "
+                       "('auto' = CPU count)")
+    check.add_argument("--changed", action="store_true",
+                       help="report only files whose digest changed since "
+                       "the cached analysis, plus their reverse-dependency "
+                       "closure; print what was skipped")
+    check.add_argument("--no-cache", action="store_true",
+                       help="bypass the ArtifactStore analysis cache")
     return parser
 
 
@@ -395,6 +404,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                     "scale": args.scale,
                     "seed": args.seed,
                     "graph": args.graph or "",
+                    # A faulty stream profiles differently from a clean
+                    # one: two runs that differ only in the fault plan
+                    # must never share a checkpoint chain (SPA010).
+                    "faults": args.faults or "",
                     "profiler": config.profiler_config(),
                 }
             )
@@ -774,8 +787,14 @@ def _cmd_stats() -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    from repro.analysis import Baseline, render_json, render_text, run_check
-    from repro.analysis.baseline import DEFAULT_BASELINE_NAME
+    from repro.analysis import (
+        Baseline,
+        render_json,
+        render_sarif,
+        render_text,
+        run_check,
+    )
+    from repro.analysis.baseline import BASELINE_VERSION, DEFAULT_BASELINE_NAME
     from repro.analysis.reporters import render_rule_catalogue
 
     if args.list_rules:
@@ -785,13 +804,40 @@ def _cmd_check(args: argparse.Namespace) -> int:
     rule_ids = None
     if args.rules:
         rule_ids = [r.strip().upper() for r in args.rules.split(",") if r.strip()]
+    jobs = None
+    if args.jobs is not None:
+        if str(args.jobs).lower() == "auto":
+            jobs = os.cpu_count() or 1
+        else:
+            try:
+                jobs = max(1, int(args.jobs))
+            except ValueError:
+                print(f"error: --jobs must be an integer or 'auto', got "
+                      f"{args.jobs!r}", file=sys.stderr)
+                return 2
+    store = None
+    if not args.no_cache:
+        from repro.runtime.store import default_store
+
+        store = default_store()
+    if args.changed and store is None:
+        print("error: --changed needs the analysis cache (drop --no-cache)",
+              file=sys.stderr)
+        return 2
     try:
         baseline = Baseline.load(baseline_path)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     try:
-        result = run_check(list(args.paths), rule_ids=rule_ids, baseline=baseline)
+        result = run_check(
+            list(args.paths),
+            rule_ids=rule_ids,
+            baseline=baseline,
+            jobs=jobs,
+            store=store,
+            changed_only=args.changed,
+        )
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -801,8 +847,17 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print(f"wrote {baseline_path} ({len(everything)} grandfathered "
               "finding(s))")
         return 0
+    # A v1 baseline that loaded cleanly is migrated in place: re-key the
+    # findings it currently absorbs under the v2 fingerprint scheme.
+    if baseline.version < BASELINE_VERSION and not result.parse_errors:
+        Baseline().save(baseline_path, sorted(result.baselined))
+        print(f"note: migrated {baseline_path} to version {BASELINE_VERSION} "
+              f"({len(result.baselined)} grandfathered finding(s) re-keyed)",
+              file=sys.stderr)
     if args.output_format == "json":
         print(render_json(result, strict=args.strict))
+    elif args.output_format == "sarif":
+        print(render_sarif(result, strict=args.strict))
     else:
         print(render_text(result, strict=args.strict))
     return result.exit_code(strict=args.strict)

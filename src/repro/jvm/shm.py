@@ -149,19 +149,27 @@ def send_stream(stream: TraceStream, queue: Any) -> None:
             block = shared_memory.SharedMemory(
                 create=True, size=max(1, data.nbytes)
             )
-            if len(data):
-                view = np.ndarray(
-                    len(data), dtype=SEGMENT_DTYPE, buffer=block.buf
+            try:
+                if len(data):
+                    view = np.ndarray(
+                        len(data), dtype=SEGMENT_DTYPE, buffer=block.buf
+                    )
+                    view[:] = data
+                    del view
+                ref = ShmBatchRef(
+                    block.name,
+                    len(data),
+                    event.thread_id,
+                    event.seq,
+                    event.checksum,
                 )
-                view[:] = data
-                del view
-            ref = ShmBatchRef(
-                block.name,
-                len(data),
-                event.thread_id,
-                event.seq,
-                event.checksum,
-            )
+            except BaseException:
+                # The ref never reached the queue, so no consumer will
+                # ever unlink this block — reclaim it here before the
+                # error unwinds past us.
+                block.close()
+                block.unlink()
+                raise
             # The block outlives the producer's mapping; the consumer
             # unlinks it once the batch has been consumed.
             block.close()
@@ -195,6 +203,10 @@ def _shm_events(queue: Any) -> Iterator[TraceEvent]:
                 return
             if isinstance(item, ShmBatchRef):
                 block = shared_memory.SharedMemory(name=item.name)
+                # Register the block *before* building views on it: if
+                # the ndarray or batch construction raises, the closing
+                # ``reclaim(0)`` below must already own the mapping.
+                open_blocks.append(block)
                 data: np.ndarray = np.ndarray(
                     item.length, dtype=SEGMENT_DTYPE, buffer=block.buf
                 )
@@ -205,7 +217,6 @@ def _shm_events(queue: Any) -> Iterator[TraceEvent]:
                     seq=item.seq,
                     checksum=item.checksum,
                 )
-                open_blocks.append(block)
                 del data
                 try:
                     yield batch

@@ -73,17 +73,44 @@ class TestBaselineRoundTrip:
         assert len(known) == 1
         assert len(fresh) == 1
 
-    def test_identical_lines_counted_not_collapsed(self, tmp_path):
-        # jitter() and wobble() contain byte-identical offending lines:
-        # one fingerprint, count 2.  Baselining one occurrence must not
-        # absolve a second.
+    def test_identical_lines_in_distinct_functions_not_collapsed(
+        self, tmp_path
+    ):
+        # jitter() and wobble() contain byte-identical offending lines,
+        # but the v2 fingerprint keys on the enclosing qualname: two
+        # entries, so baselining one can never absolve the other.
         findings = _findings(SOURCE)
+        assert findings[0].fingerprint() != findings[1].fingerprint()
+        path = tmp_path / "baseline.json"
+        Baseline().save(path, findings)
+        doc = json.loads(path.read_text())
+        assert len(doc["findings"]) == 2
+        assert all(e["count"] == 1 for e in doc["findings"])
+
+    def test_identical_lines_in_one_function_counted(self, tmp_path):
+        # Within a single function the qualname cannot discriminate:
+        # one fingerprint, count 2, and partition() spends the budget
+        # per occurrence.
+        source = """
+            import random
+
+            def jitter():
+                out = []
+                out.append(random.random())
+                out.append(random.random())
+                return out
+            """
+        findings = _findings(source)
+        assert len(findings) == 2
         assert findings[0].fingerprint() == findings[1].fingerprint()
         path = tmp_path / "baseline.json"
         Baseline().save(path, findings)
         doc = json.loads(path.read_text())
         assert len(doc["findings"]) == 1
         assert doc["findings"][0]["count"] == 2
+
+        fresh, known = Baseline.load(path).partition(findings)
+        assert fresh == [] and len(known) == 2
 
     def test_version_mismatch_rejected(self, tmp_path):
         path = tmp_path / "baseline.json"
@@ -97,3 +124,56 @@ class TestBaselineRoundTrip:
         Baseline().save(a, findings)
         Baseline().save(b, list(reversed(findings)))
         assert a.read_text() == b.read_text()
+
+
+class TestV1Migration:
+    def _v1_file(self, tmp_path, findings):
+        # A version-1 baseline as the previous engine wrote it: keyed
+        # on (rule, path, stripped line text).
+        path = tmp_path / "baseline.json"
+        counts = {}
+        for f in findings:
+            counts[f.fingerprint_v1()] = counts.get(f.fingerprint_v1(), 0) + 1
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "findings": [
+                        {"fingerprint": fp, "count": n}
+                        for fp, n in sorted(counts.items())
+                    ],
+                }
+            )
+        )
+        return path
+
+    def test_v1_file_still_matches(self, tmp_path):
+        findings = _findings(SOURCE)
+        path = self._v1_file(tmp_path, findings)
+        loaded = Baseline.load(path)
+        assert loaded.version == 1
+        fresh, known = loaded.partition(findings)
+        assert fresh == []
+        assert len(known) == 2
+
+    def test_v1_qualnames_share_one_fingerprint(self, tmp_path):
+        # The v1 key cannot tell jitter() from wobble(): both spend the
+        # same budget entry.  Grandfathering only one occurrence leaves
+        # the other fresh — whichever sorts later.
+        findings = _findings(SOURCE)
+        path = self._v1_file(tmp_path, findings[:1])
+        fresh, known = Baseline.load(path).partition(findings)
+        assert len(fresh) == 1 and len(known) == 1
+
+    def test_save_rewrites_as_v2(self, tmp_path):
+        findings = _findings(SOURCE)
+        path = self._v1_file(tmp_path, findings)
+        loaded = Baseline.load(path)
+        _, known = loaded.partition(findings)
+        Baseline().save(path, known)
+        doc = json.loads(path.read_text())
+        assert doc["version"] == 2
+        reloaded = Baseline.load(path)
+        assert reloaded.version == 2
+        fresh, known = reloaded.partition(findings)
+        assert fresh == [] and len(known) == 2

@@ -1,0 +1,209 @@
+"""Per-function CFG construction and exception-edge reachability."""
+
+import ast
+import textwrap
+
+from repro.analysis.cfg import build_cfg
+
+
+def cfg_of(source):
+    tree = ast.parse(textwrap.dedent(source))
+    fn = next(
+        n
+        for n in tree.body
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    return build_cfg(fn), fn
+
+
+def node_at(cfg, fn, needle):
+    """Node id of the first statement whose source contains ``needle``."""
+    for stmt in ast.walk(fn):
+        if isinstance(stmt, ast.stmt) and needle in ast.unparse(stmt).split(
+            "\n"
+        )[0]:
+            nid = cfg.node_of(stmt)
+            if nid is not None:
+                return nid
+    raise AssertionError(f"no CFG node for {needle!r}")
+
+
+class TestReachability:
+    def test_straight_line_leak(self):
+        cfg, fn = cfg_of(
+            """
+            def f():
+                block = acquire()
+                work(block)
+                return None
+            """
+        )
+        start = node_at(cfg, fn, "block = acquire()")
+        # Nothing releases: both the exit and (via work()'s exception
+        # edge) the raise sink are reachable.
+        assert cfg.reaches_without(start, set(), cfg.exit_id)
+        assert cfg.reaches_without(start, set(), cfg.raise_id)
+        # Blocking the only successor blocks everything.
+        release = node_at(cfg, fn, "work(block)")
+        assert not cfg.reaches_without(start, {release}, cfg.exit_id)
+
+    def test_own_exception_edge_not_a_leak(self):
+        # If the acquisition itself raises, the resource never existed:
+        # the walk leaves the start by normal successors only.
+        cfg, fn = cfg_of(
+            """
+            def f():
+                block = acquire()
+                block.close()
+            """
+        )
+        start = node_at(cfg, fn, "block = acquire()")
+        close = node_at(cfg, fn, "block.close()")
+        assert not cfg.reaches_without(start, {close}, cfg.raise_id)
+
+    def test_try_finally_covers_exception_path(self):
+        cfg, fn = cfg_of(
+            """
+            def f():
+                block = acquire()
+                try:
+                    work(block)
+                finally:
+                    block.close()
+            """
+        )
+        start = node_at(cfg, fn, "block = acquire()")
+        close = node_at(cfg, fn, "block.close()")
+        assert not cfg.reaches_without(start, {close}, cfg.exit_id)
+        assert not cfg.reaches_without(start, {close}, cfg.raise_id)
+
+    def test_partial_handler_leaks_exception_path(self):
+        cfg, fn = cfg_of(
+            """
+            def f():
+                block = acquire()
+                try:
+                    work(block)
+                except ValueError:
+                    pass
+                block.close()
+            """
+        )
+        start = node_at(cfg, fn, "block = acquire()")
+        close = node_at(cfg, fn, "block.close()")
+        # A TypeError from work() bypasses the ValueError handler and
+        # unwinds before close() runs.
+        assert cfg.reaches_without(start, {close}, cfg.raise_id)
+        assert not cfg.reaches_without(start, {close}, cfg.exit_id)
+
+    def test_catch_all_handler_stops_propagation(self):
+        cfg, fn = cfg_of(
+            """
+            def f():
+                block = acquire()
+                try:
+                    work(block)
+                except Exception:
+                    pass
+                block.close()
+            """
+        )
+        start = node_at(cfg, fn, "block = acquire()")
+        close = node_at(cfg, fn, "block.close()")
+        assert not cfg.reaches_without(start, {close}, cfg.raise_id)
+
+    def test_reraising_handler_must_release_first(self):
+        cfg, fn = cfg_of(
+            """
+            def f():
+                block = acquire()
+                try:
+                    work(block)
+                except BaseException:
+                    block.close()
+                    raise
+                done(block)
+            """
+        )
+        start = node_at(cfg, fn, "block = acquire()")
+        close = node_at(cfg, fn, "block.close()")
+        done = node_at(cfg, fn, "done(block)")
+        # close() guards the re-raise; done() guards the happy path.
+        assert not cfg.reaches_without(start, {close, done}, cfg.raise_id)
+        assert not cfg.reaches_without(start, {close, done}, cfg.exit_id)
+        # Without the handler's close, the raise sink is reachable.
+        assert cfg.reaches_without(start, {done}, cfg.raise_id)
+
+    def test_branch_must_release_on_both_arms(self):
+        cfg, fn = cfg_of(
+            """
+            def f(flag):
+                block = acquire()
+                if flag:
+                    block.close()
+                return None
+            """
+        )
+        start = node_at(cfg, fn, "block = acquire()")
+        close = node_at(cfg, fn, "block.close()")
+        # The else arm falls through to the return without releasing.
+        assert cfg.reaches_without(start, {close}, cfg.exit_id)
+
+    def test_loop_back_edge_and_break(self):
+        cfg, fn = cfg_of(
+            """
+            def f(items):
+                block = acquire()
+                for item in items:
+                    if bad(item):
+                        break
+                    use(block, item)
+                block.close()
+            """
+        )
+        start = node_at(cfg, fn, "block = acquire()")
+        close = node_at(cfg, fn, "block.close()")
+        assert not cfg.reaches_without(start, {close}, cfg.exit_id)
+
+    def test_return_before_release_leaks(self):
+        cfg, fn = cfg_of(
+            """
+            def f(flag):
+                block = acquire()
+                if flag:
+                    return None
+                block.close()
+                return None
+            """
+        )
+        start = node_at(cfg, fn, "block = acquire()")
+        close = node_at(cfg, fn, "block.close()")
+        assert cfg.reaches_without(start, {close}, cfg.exit_id)
+
+    def test_nested_def_is_opaque(self):
+        cfg, fn = cfg_of(
+            """
+            def f():
+                block = acquire()
+
+                def inner():
+                    return block
+
+                block.close()
+                return inner
+            """
+        )
+        start = node_at(cfg, fn, "block = acquire()")
+        close = node_at(cfg, fn, "block.close()")
+        # The nested def body is not inlined: its statements have no
+        # nodes in the outer graph, and flow passes straight through.
+        inner_return = next(
+            s
+            for s in ast.walk(fn)
+            if isinstance(s, ast.Return)
+            and s.value is not None
+            and isinstance(s.value, ast.Name)
+            and s.value.id == "block"
+        )
+        assert cfg.node_of(inner_return) is None
+        assert not cfg.reaches_without(start, {close}, cfg.exit_id)

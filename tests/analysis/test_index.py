@@ -1,0 +1,211 @@
+"""Pass-1 module indexes and the assembled :class:`ProjectIndex`."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.base import ModuleContext
+from repro.analysis.index import (
+    INDEX_VERSION,
+    ModuleIndex,
+    ProjectIndex,
+    build_module_index,
+)
+
+
+def index_of(source, module="repro.core.example"):
+    ctx = ModuleContext(
+        textwrap.dedent(source),
+        path="src/" + module.replace(".", "/") + ".py",
+        module=module,
+    )
+    return build_module_index(ctx, digest="d" * 64)
+
+
+def project_of(**sources):
+    index = ProjectIndex()
+    for module, source in sources.items():
+        index.add(index_of(source, module=module.replace("__", ".")))
+    return index
+
+
+class TestModuleExtraction:
+    SOURCE = """
+        from collections import deque
+
+        class Meter:
+            def __init__(self, record, limit):
+                self._record = record
+                self._limit = limit
+                self._items = deque()
+                self._seen = {}
+
+            def tick(self, value):
+                self._items.append(value)
+                self._record.add(value)
+                self._seen[value] = True
+                self._total += value
+                return self._limit
+
+            def flush(self):
+                self._drain()
+
+            def _drain(self):
+                self._items = deque()
+    """
+
+    def test_self_attribute_maps(self):
+        mi = index_of(self.SOURCE)
+        cls = mi.classes["Meter"]
+        init = cls.methods["__init__"]
+        assert set(init.self_assign) == {"_record", "_limit", "_items", "_seen"}
+        assert set(init.self_mutable_assign) == {"_items", "_seen"}
+        # Bound straight from constructor parameters:
+        assert set(init.self_param_assign) == {"_record", "_limit"}
+
+        tick = cls.methods["tick"]
+        assert set(tick.self_mutate) == {"_items", "_record", "_seen", "_total"}
+        assert "_limit" in tick.self_read
+
+    def test_self_calls_and_params(self):
+        mi = index_of(self.SOURCE)
+        cls = mi.classes["Meter"]
+        assert cls.methods["flush"].self_calls == frozenset({"_drain"})
+        assert cls.methods["tick"].params == ("self", "value")
+
+    def test_call_sites_record_bare_param_flow(self):
+        mi = index_of(
+            """
+            import numpy as np
+
+            def run(seed, data):
+                rng = np.random.default_rng(seed)
+                return rng.choice(data, size=3), np.cumsum(x=data)
+            """
+        )
+        calls = {c.dotted or c.attr: c for c in mi.functions["run"].calls}
+        assert calls["numpy.random.default_rng"].arg_params == ("seed",)
+        assert calls["rng.choice"].attr == "choice"
+        assert calls["rng.choice"].arg_params == ("data",)
+        assert calls["numpy.cumsum"].kw_params == (("x", "data"),)
+
+    def test_round_trip_through_dict(self):
+        mi = index_of(self.SOURCE)
+        restored = ModuleIndex.from_dict(mi.to_dict())
+        assert restored.to_dict() == mi.to_dict()
+        assert restored.classes["Meter"].methods["tick"].self_mutate == (
+            mi.classes["Meter"].methods["tick"].self_mutate
+        )
+
+    def test_version_mismatch_rejected(self):
+        data = index_of(self.SOURCE).to_dict()
+        data["version"] = INDEX_VERSION + 1
+        with pytest.raises(ValueError, match="version"):
+            ModuleIndex.from_dict(data)
+
+
+class TestProjectIndex:
+    BASE = """
+        class Checkpointable:
+            def __init__(self):
+                self._log = []
+
+            def snapshot(self):
+                return {"log": list(self._log)}
+    """
+
+    CHILD = """
+        from repro.core.base import Checkpointable
+
+        class Runner(Checkpointable):
+            def restore(self, payload):
+                self._log = list(payload["log"])
+    """
+
+    def test_cross_module_base_chain_and_method(self):
+        project = project_of(
+            repro__core__base=self.BASE, repro__core__child=self.CHILD
+        )
+        mi = project.modules["repro.core.child"]
+        cls = mi.classes["Runner"]
+        chain = [c.name for _, c in project.base_chain(mi, cls)]
+        assert chain == ["Runner", "Checkpointable"]
+        # snapshot() resolves through the base, restore() locally.
+        assert project.method(mi, cls, "snapshot").qualname == (
+            "Checkpointable.snapshot"
+        )
+        assert project.method(mi, cls, "restore").qualname == "Runner.restore"
+        assert project.method(mi, cls, "missing") is None
+
+    def test_same_module_unqualified_base(self):
+        project = project_of(
+            repro__core__one=self.BASE
+            + """
+
+        class Local(Checkpointable):
+            def restore(self, payload):
+                self._log = payload["log"]
+            """
+        )
+        mi = project.modules["repro.core.one"]
+        chain = [c.name for _, c in project.base_chain(mi, mi.classes["Local"])]
+        assert chain == ["Local", "Checkpointable"]
+
+    def test_cyclic_bases_terminate(self):
+        project = project_of(
+            repro__core__loop="""
+            class A(B):
+                pass
+
+            class B(A):
+                pass
+            """
+        )
+        mi = project.modules["repro.core.loop"]
+        chain = [c.name for _, c in project.base_chain(mi, mi.classes["A"])]
+        assert chain == ["A", "B"]
+
+    def test_import_graph_and_reverse_closure(self):
+        project = project_of(
+            repro__core__base=self.BASE,
+            repro__core__child=self.CHILD,
+            repro__cli="""
+            from repro.core.child import Runner
+
+            def main():
+                return Runner()
+            """,
+            repro__io="""
+            import json
+
+            def dump(x):
+                return json.dumps(x)
+            """,
+        )
+        graph = project.import_graph()
+        assert graph["repro.core.child"] == {"repro.core.base"}
+        assert graph["repro.cli"] == {"repro.core.child"}
+        assert graph["repro.io"] == set()  # stdlib edges are not project edges
+
+        closure = project.reverse_closure({"repro.core.base"})
+        assert closure == {"repro.core.base", "repro.core.child", "repro.cli"}
+        assert project.reverse_closure({"repro.io"}) == {"repro.io"}
+
+    def test_functions_named_and_dotted_lookup(self):
+        project = project_of(
+            repro__a="""
+            def helper():
+                return 1
+            """,
+            repro__b="""
+            class Box:
+                def helper(self):
+                    return 2
+            """,
+        )
+        assert [f.qualname for f in project.functions_named("helper")] == [
+            "helper",
+            "Box.helper",
+        ]
+        assert project.function_by_dotted("repro.a.helper").qualname == "helper"
+        assert project.function_by_dotted("repro.zzz.helper") is None

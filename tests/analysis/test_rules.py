@@ -661,7 +661,7 @@ class TestSPA008Columnar:
 
 
 class TestRegistry:
-    def test_all_eight_rules_registered(self):
+    def test_all_module_rules_registered(self):
         from repro.analysis import all_rules
 
         ids = [r.id for r in all_rules()]
@@ -670,6 +670,18 @@ class TestRegistry:
             "SPA007", "SPA008",
         ]
 
+    def test_all_project_rules_registered(self):
+        from repro.analysis import all_project_rules
+
+        ids = [r.id for r in all_project_rules()]
+        assert ids == ["SPA009", "SPA010", "SPA011", "SPA012"]
+
     def test_unknown_rule_raises(self):
         with pytest.raises(KeyError, match="SPA999"):
             get_rule("SPA999")
+
+    def test_unknown_project_rule_raises(self):
+        from repro.analysis import get_project_rule
+
+        with pytest.raises(KeyError, match="SPA999"):
+            get_project_rule("SPA999")

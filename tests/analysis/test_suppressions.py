@@ -82,6 +82,60 @@ class TestInlineSuppression:
         assert findings[0].line == 6
 
 
+class TestMultiRuleLines:
+    # One line violating two different rules at once: wall-clock read
+    # (SPA002) feeding a stdlib global-RNG seed (SPA001).
+    SOURCE = """
+        import random
+        import time
+
+        def jitter():
+            random.seed(int(time.time())){comment}
+        """
+
+    def test_both_rules_fire_unsuppressed(self):
+        findings = check(self.SOURCE.format(comment=""))
+        assert sorted({f.rule for f in findings}) == ["SPA001", "SPA002"]
+
+    def test_naming_one_rule_leaves_the_other(self):
+        findings = check(
+            self.SOURCE.format(comment="  # simprof: ignore[SPA002]")
+        )
+        assert sorted({f.rule for f in findings}) == ["SPA001"]
+
+    def test_one_marker_naming_both_silences_both(self):
+        findings = check(
+            self.SOURCE.format(
+                comment="  # simprof: ignore[SPA001, SPA002] -- fuzz seed"
+            )
+        )
+        assert findings == []
+
+    def test_bare_marker_silences_both(self):
+        findings = check(self.SOURCE.format(comment="  # simprof: ignore"))
+        assert findings == []
+
+
+class TestMarkerRecognition:
+    def test_docstring_marker_is_documentation_not_suppression(self):
+        findings = check(
+            '''
+            import random
+
+            def jitter():
+                """Example: x()  # simprof: ignore[SPA001]"""
+                return random.random()
+            '''
+        )
+        assert len(findings) == 1
+
+    def test_string_literal_marker_not_a_suppression(self):
+        idx = parse_suppressions(
+            ['text = "# simprof: ignore[SPA001]"', "y = f()"]
+        )
+        assert len(idx) == 0
+
+
 class TestParseSuppressions:
     def test_index_lookup(self):
         idx = parse_suppressions(
