@@ -1,0 +1,215 @@
+"""Replication + fleet-restore benchmark: overhead, speedup, no-op gate.
+
+Three questions about the replication plane, answered on deterministic
+workload streams:
+
+* **Cost of replicating** — end-to-end streaming profile time with a
+  checkpoint chain mirrored to a filesystem peer, at ``every`` =
+  1/10/100, versus the same checkpointed run with replication off.
+  The async policy keeps peer traffic off the hot path, so the
+  overhead should shrink toward 1.0x as the interval coarsens.
+* **Replication off is a no-op** — with no policy attached the run
+  must produce a byte-identical profile and generate zero peer
+  traffic (the peer directory is never created).
+* **Fleet restore speedup** — 8 jobs killed mid-stream, chains and
+  journal replicated, then restored serially (``jobs=1``) versus in
+  parallel (``jobs=8``) from an identical pulled copy.  The two
+  restores must be byte-identical; on hosts with ≥ 4 cores the
+  parallel restore must be ≥ 3x faster (on smaller hosts the measured
+  speedup is recorded but not gated — 8 workers cannot beat 1 core).
+
+Writes the evidence to ``BENCH_restore.json`` for the CI artifact.
+``SIMPROF_BENCH_SMOKE=1`` shrinks the streams for the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from conftest import emit
+
+from repro.core.pipeline import SimProf, SimProfConfig
+from repro.runtime.checkpoint import (
+    CheckpointManager,
+    CheckpointPolicy,
+    WorkerKilled,
+)
+from repro.runtime.replicate import (
+    FilesystemPeer,
+    ReplicationPolicy,
+    RetryPolicy,
+    pull_fleet,
+    restore_fleet,
+)
+from repro.runtime.runner import RunSpec, _compute_profile_stream
+from repro.runtime.store import ArtifactStore
+from repro.workloads import run_workload_stream
+
+SMOKE = os.environ.get("SIMPROF_BENCH_SMOKE") == "1"
+SCALE = 0.08 if SMOKE else 0.3
+FLEET = 8
+#: The ≥3x serial→parallel gate only binds where the hardware can
+#: actually run restores concurrently.
+GATE_MIN_CPUS = 4
+
+CONFIG = SimProfConfig(unit_size=10_000_000, snapshot_period=500_000, seed=0)
+NO_BACKOFF = RetryPolicy(retries=3, backoff=0.0)
+
+RESULTS: dict = {}
+
+
+def _stream():
+    return run_workload_stream("wc", "spark", scale=SCALE, seed=0)
+
+
+def _timed_profile(checkpoint=None) -> tuple[float, str]:
+    tool = SimProf(CONFIG)
+    start = time.perf_counter()
+    job = tool.profile_stream(_stream(), checkpoint=checkpoint)
+    return time.perf_counter() - start, job.content_digest()
+
+
+def test_replication_overhead(tmp_path):
+    """Checkpointed run + replication vs the same run replication-off."""
+    off_base, want = _timed_profile()  # no checkpointing at all
+
+    rows = []
+    for every in (1, 10, 100):
+        local = ArtifactStore(tmp_path / f"off-{every}")
+        manager = CheckpointManager(local, "bench-off")
+        t_off, d_off = _timed_profile(
+            CheckpointPolicy(manager, every=every, resume=False)
+        )
+        assert d_off == want, "checkpointing changed the result"
+        # Replication off really was a no-op: zero peer traffic.
+        assert not (tmp_path / f"peer-{every}").exists()
+
+        local = ArtifactStore(tmp_path / f"on-{every}")
+        peer = FilesystemPeer(tmp_path / f"peer-{every}")
+        policy = ReplicationPolicy(peer, retry=NO_BACKOFF)
+        manager = CheckpointManager(local, "bench-on", replicate=policy)
+        start = time.perf_counter()
+        tool = SimProf(CONFIG)
+        job = tool.profile_stream(
+            _stream(),
+            checkpoint=CheckpointPolicy(manager, every=every, resume=False),
+        )
+        status = policy.close()  # drain: replication cost fully counted
+        t_on = time.perf_counter() - start
+        assert job.content_digest() == want, "replication changed the result"
+        assert not status.degraded
+        assert status.pushed + status.present == status.submitted
+        rows.append(
+            {
+                "every": every,
+                "off_seconds": round(t_off, 4),
+                "on_seconds": round(t_on, 4),
+                "overhead": round(t_on / t_off, 3) if t_off else 0.0,
+                "pushed": status.pushed,
+            }
+        )
+
+    RESULTS["overhead"] = {"baseline_seconds": round(off_base, 4), "rows": rows}
+    emit(
+        "Replication overhead (checkpointed run, on vs off)",
+        f"  no checkpointing: {off_base:.3f}s (digest {want[:12]})\n"
+        + "\n".join(
+            f"  every={r['every']:>3}: off {r['off_seconds']:.3f}s, "
+            f"on {r['on_seconds']:.3f}s ({r['overhead']:.2f}x, "
+            f"{r['pushed']} pushed)"
+            for r in rows
+        ),
+    )
+
+
+def _fleet_specs():
+    frameworks = ("spark", "hadoop")
+    return [
+        RunSpec(
+            ("wc", "grep")[(i // 2) % 2],
+            frameworks[i % 2],
+            scale=SCALE,
+            seed=i // 4,
+            simprof=CONFIG,
+        )
+        for i in range(FLEET)
+    ]
+
+
+def test_fleet_restore_serial_vs_parallel(tmp_path):
+    """Serial and parallel restores are byte-identical; speedup gated
+    on hosts with enough cores to express it."""
+    specs = _fleet_specs()
+    store_a = ArtifactStore(tmp_path / "a")
+    peer = FilesystemPeer(tmp_path / "peer")
+    policy = ReplicationPolicy(peer, retry=NO_BACKOFF)
+    for i, spec in enumerate(specs):
+        try:
+            _compute_profile_stream(
+                spec,
+                store_a,
+                checkpoint_every=1,
+                kill_after=12 + i,
+                replicate=policy,
+            )
+        except WorkerKilled:
+            pass
+    status = policy.close()
+    assert not status.degraded, "replication must drain cleanly here"
+
+    # An identical second copy, recovered the DR way: pulled from the peer.
+    store_b = ArtifactStore(tmp_path / "b")
+    pulled = pull_fleet(peer, store_b, retry=NO_BACKOFF)
+    assert pulled.ok
+
+    start = time.perf_counter()
+    serial = restore_fleet(store_a, jobs=1)
+    t_serial = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = restore_fleet(store_b, jobs=FLEET)
+    t_parallel = time.perf_counter() - start
+
+    assert len(serial) == len(parallel) == FLEET
+    pairs = [(s.job_key, s.digest) for s in serial]
+    assert pairs == [(p.job_key, p.digest) for p in parallel], (
+        "parallel restore diverged from serial"
+    )
+
+    cpus = os.cpu_count() or 1
+    speedup = t_serial / t_parallel if t_parallel else 0.0
+    RESULTS["fleet_restore"] = {
+        "fleet": FLEET,
+        "cpus": cpus,
+        "serial_seconds": round(t_serial, 3),
+        "parallel_seconds": round(t_parallel, 3),
+        "speedup": round(speedup, 2),
+        "byte_identical": True,
+        "gated": cpus >= GATE_MIN_CPUS,
+    }
+    if cpus >= GATE_MIN_CPUS:
+        assert speedup >= 3.0, (
+            f"parallel restore only {speedup:.2f}x faster than serial "
+            f"({t_parallel:.2f}s vs {t_serial:.2f}s) on {cpus} cpus"
+        )
+
+    payload = {
+        "benchmark": "restore",
+        "smoke": SMOKE,
+        "scale": SCALE,
+        "unit_size": CONFIG.unit_size,
+        "snapshot_period": CONFIG.snapshot_period,
+        **RESULTS,
+    }
+    with open("BENCH_restore.json", "w") as fh:
+        json.dump(payload, fh, indent=2)
+
+    emit(
+        "Fleet restore: serial vs parallel",
+        f"  fleet {FLEET} on {cpus} cpu(s): serial {t_serial:.2f}s, "
+        f"parallel {t_parallel:.2f}s ({speedup:.2f}x"
+        f"{', gate ≥3x' if cpus >= GATE_MIN_CPUS else ', ungated'})\n"
+        f"  byte-identical: True (wrote BENCH_restore.json)",
+    )

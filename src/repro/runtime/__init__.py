@@ -62,6 +62,26 @@ _RUNNER_EXPORTS = (
     "RunnerError",
     "resolve_jobs",
     "run_specs",
+    "spec_stream",
+)
+
+# The replication plane imports the fault-plan RNG (for deterministic
+# backoff jitter), which lives above the runtime layer — re-exported
+# lazily for the same reason as the runner.
+_REPLICATE_EXPORTS = (
+    "FilesystemPeer",
+    "FlakyPeer",
+    "FlakyPlan",
+    "ReplicationPolicy",
+    "ReplicationStatus",
+    "RetryPolicy",
+    "StorePeer",
+    "pull_fleet",
+    "pull_job",
+    "push_key",
+    "replicate_store",
+    "resolve_replication",
+    "restore_fleet",
 )
 
 __all__ = [
@@ -94,6 +114,7 @@ __all__ = [
     "stage_timer",
     "state_digest",
     *_RUNNER_EXPORTS,
+    *_REPLICATE_EXPORTS,
 ]
 
 
@@ -102,4 +123,8 @@ def __getattr__(name: str):
         from repro.runtime import runner
 
         return getattr(runner, name)
+    if name in _REPLICATE_EXPORTS:
+        from repro.runtime import replicate
+
+        return getattr(replicate, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -21,11 +21,14 @@ snapshot identity: same logical state, same bytes, same digest.
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 from dataclasses import dataclass
 from typing import Any, Iterator
 
 from repro.runtime.snapshot import (
     SNAPSHOT_VERSION,
+    SnapshotError,
     decode_state,
     encode_state,
     state_digest,
@@ -39,6 +42,8 @@ __all__ = [
     "WorkerKilled",
     "checkpoint_job_key",
     "drive_session",
+    "iter_checkpoint_manifests",
+    "verify_checkpoints",
 ]
 
 CHECKPOINT_KIND = "checkpoint"
@@ -63,18 +68,29 @@ def checkpoint_job_key(params: dict[str, Any]) -> str:
 
 
 class CheckpointManager:
-    """Save/load the checkpoint chain of one job in an ArtifactStore."""
+    """Save/load the checkpoint chain of one job in an ArtifactStore.
 
-    def __init__(self, store: ArtifactStore, job_key: str) -> None:
+    ``replicate`` (a :class:`~repro.runtime.replicate.ReplicationPolicy`,
+    duck-typed to avoid an import cycle) mirrors every fresh save to a
+    remote peer and retires the chain there when the job completes.
+    Replication is strictly off the correctness path: a missing or
+    unreachable peer changes nothing about what this manager stores or
+    loads locally.
+    """
+
+    def __init__(
+        self, store: ArtifactStore, job_key: str, *, replicate=None
+    ) -> None:
         self.store = store
         self.job_key = job_key
+        self.replicate = replicate
 
     def save(self, position: int, state: dict) -> str:
         """Persist ``state`` at stream ``position``; returns the store key.
 
         Idempotent: re-saving the same (job, position) is a no-op, so a
         resumed run crossing an already-checkpointed position does not
-        churn the store.
+        churn the store (or re-ship bytes the peer already holds).
         """
         blob = encode_state(state)
         params = {
@@ -86,6 +102,8 @@ class CheckpointManager:
         key = self.store.key_for(CHECKPOINT_KIND, params)
         if not self.store.contains(key):
             self.store.put(key, blob, kind=CHECKPOINT_KIND, params=params)
+            if self.replicate is not None:
+                self.replicate.submit(self.store, key)
         return key
 
     def manifests(self) -> list[ArtifactManifest]:
@@ -100,22 +118,55 @@ class CheckpointManager:
         return found
 
     def latest(self) -> tuple[int, dict] | None:
-        """``(position, state)`` of the newest checkpoint, or None."""
+        """``(position, state)`` of the newest *loadable* checkpoint.
+
+        An entry whose payload survives the store's byte-level digest
+        check but fails snapshot-level validation — wrong
+        ``state_digest``, not an encoded snapshot at all, or a blob
+        :func:`decode_state` rejects — is quarantined and the chain
+        falls back to the previous position.  A truncated or corrupt
+        checkpoint is therefore never resumable; the worst case is
+        re-consuming the events since the last good snapshot.
+        """
         for manifest in reversed(self.manifests()):
             try:
                 blob = self.store.get(manifest.key)
             except KeyError:
                 continue  # quarantined or deleted under us; try older
-            return int(manifest.params["position"]), decode_state(blob)
+            want = str(manifest.params.get("state_digest") or "")
+            try:
+                if not isinstance(blob, (bytes, bytearray)):
+                    raise SnapshotError(
+                        f"checkpoint payload for {manifest.key} is not an "
+                        "encoded snapshot"
+                    )
+                blob = bytes(blob)
+                if want and state_digest(blob) != want:
+                    raise SnapshotError(
+                        f"checkpoint {manifest.key} fails its recorded "
+                        "state digest"
+                    )
+                state = decode_state(blob)
+            except SnapshotError:
+                self.store.quarantine(manifest.key)
+                continue
+            return int(manifest.params["position"]), state
         return None
 
     def clear(self) -> int:
-        """Delete this job's checkpoints (job finished); returns count."""
-        removed = 0
+        """Delete this job's checkpoints (job finished); returns count.
+
+        With replication attached the retirement propagates to the
+        peer (best-effort, async) so finished jobs do not accumulate
+        stale chains there.
+        """
+        removed: list[str] = []
         for manifest in self.manifests():
             self.store.delete(manifest.key)
-            removed += 1
-        return removed
+            removed.append(manifest.key)
+        if self.replicate is not None and removed:
+            self.replicate.retire(removed)
+        return len(removed)
 
 
 def iter_checkpoint_manifests(store: ArtifactStore) -> Iterator[ArtifactManifest]:
@@ -123,6 +174,59 @@ def iter_checkpoint_manifests(store: ArtifactStore) -> Iterator[ArtifactManifest
     for manifest in store.entries():
         if manifest.kind == CHECKPOINT_KIND:
             yield manifest
+
+
+def verify_checkpoints(
+    store: ArtifactStore, *, repair: bool = False
+) -> dict[str, list[str]]:
+    """Deep-verify every checkpoint entry; optionally quarantine bad ones.
+
+    The store's generic :meth:`~ArtifactStore.verify` only proves the
+    payload bytes match the manifest digest.  Checkpoints carry a
+    second integrity layer — the snapshot-level ``state_digest`` and
+    the canonical encoding itself — and an entry can pass the byte
+    check while being unresumable (e.g. a snapshot truncated *before*
+    it was stored, so the digest faithfully records garbage).  This
+    check unpickles the payload, verifies the recorded
+    ``state_digest``, and decodes the snapshot; anything that fails is
+    reported ``corrupt`` and, with ``repair=True``, routed through the
+    store's quarantine so it can never be loaded again.
+
+    Returns ``{"ok": [...], "corrupt": [...], "unverified": [...]}``
+    with sorted key lists, mirroring ``ArtifactStore.verify``.
+    """
+    out: dict[str, list[str]] = {"ok": [], "corrupt": [], "unverified": []}
+    for manifest in iter_checkpoint_manifests(store):
+        key = manifest.key
+        if not manifest.payload_sha256:
+            out["unverified"].append(key)
+            continue
+        try:
+            payload = store.read_payload(key)
+        except KeyError:
+            continue  # vanished between listing and read
+        healthy = False
+        try:
+            if hashlib.sha256(payload).hexdigest() == manifest.payload_sha256:
+                blob = pickle.loads(payload)
+                if isinstance(blob, (bytes, bytearray)):
+                    blob = bytes(blob)
+                    want = str(manifest.params.get("state_digest") or "")
+                    if not want or state_digest(blob) == want:
+                        decode_state(blob)
+                        healthy = True
+        except Exception:
+            # Any unpickle/decode failure means corrupt, recorded below.
+            healthy = False
+        if healthy:
+            out["ok"].append(key)
+        else:
+            out["corrupt"].append(key)
+            if repair:
+                store.quarantine(key)
+    for keys in out.values():
+        keys.sort()
+    return out
 
 
 @dataclass(frozen=True, slots=True)

@@ -1,0 +1,1207 @@
+"""Checkpoint replication between stores and fleet-wide restore.
+
+PR 7 made a *single* in-flight streaming job suspendable: its snapshots
+live as content-addressed checkpoints in the local
+:class:`~repro.runtime.store.ArtifactStore`.  That still ties every
+in-flight job to one disk — lose the disk (or the preempted host it is
+attached to) and every chain on it dies.  This module is the missing
+replication plane:
+
+* :class:`StorePeer` — a digest-verified push/pull endpoint for store
+  entries.  :class:`FilesystemPeer` lays the peer out exactly like an
+  ``ArtifactStore`` root (``<key>.pkl`` + ``<key>.json``), so a
+  disaster-recovery site can mount it directly.  Transfers are chunked
+  and **resumable**: an interrupted push leaves a partial file under
+  ``transfer/`` and the next attempt continues from that offset; a
+  completed transfer is committed only after its SHA-256 matches the
+  manifest, otherwise the bytes are **quarantined** on the receiving
+  side and the transfer restarts.
+* :class:`FlakyPeer` — a fault-injectable wrapper (seeded drops,
+  stalls, payload corruption) used by the chaos drills to attack the
+  transfer path the same way :mod:`repro.faults` attacks everything
+  else: deterministically.
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  **deterministic jitter** (``site_rng(seed, "replicate.backoff", …)``),
+  plus a per-transfer timeout so a stalled peer cannot wedge a job.
+* :class:`ReplicationPolicy` — hooked into
+  :meth:`~repro.runtime.checkpoint.CheckpointManager.save`: every fresh
+  checkpoint write is pushed to the peer asynchronously with bounded
+  lag.  An unreachable peer **never fails the job**: the policy
+  degrades to local-only and records the replication lag instead.
+* the **inflight journal**: ``kind="inflight"`` store entries carrying
+  each streaming job's full spec payload, written when the job starts
+  checkpointing and retired on completion.  Because the journal lives
+  *in the store*, it replicates like any other entry — a remote peer
+  knows not just the chains but the jobs they belong to.
+* :func:`restore_fleet` — discovers every inflight job in a (possibly
+  just pulled) store's journal and restores them in parallel over
+  :func:`repro.runtime.runner.map_tasks`, byte-identical to a serial
+  restore.
+
+A spot-preempted worker's successor therefore needs **no shared
+filesystem**: it pulls the chains and journal from the peer
+(:func:`pull_fleet`) and resumes the whole fleet bit-identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+import time
+import zlib
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.runtime.store import (
+    ArtifactManifest,
+    ArtifactStore,
+    _atomic_write_bytes,
+    default_store,
+)
+
+__all__ = [
+    "INFLIGHT_KIND",
+    "REPLICATION_KINDS",
+    "FilesystemPeer",
+    "FlakyPeer",
+    "FlakyPlan",
+    "FleetRestore",
+    "PeerError",
+    "PeerPayloadMismatch",
+    "PeerUnreachable",
+    "ReplicationPolicy",
+    "ReplicationReport",
+    "ReplicationStatus",
+    "RetryPolicy",
+    "StorePeer",
+    "TransferOutcome",
+    "clear_inflight",
+    "inflight_store_key",
+    "iter_inflight",
+    "pull_fleet",
+    "pull_job",
+    "pull_key",
+    "push_key",
+    "register_inflight",
+    "replicate_store",
+    "resolve_replication",
+    "restore_fleet",
+]
+
+#: Store kind of the inflight-job journal entries.
+INFLIGHT_KIND = "inflight"
+
+#: Kinds replicated by default: the checkpoint chains and the journal
+#: that names the jobs they belong to.  Finished artifacts (profiles,
+#: models) are reproducible from their specs and are not part of the
+#: disaster-recovery contract.
+REPLICATION_KINDS = ("checkpoint", INFLIGHT_KIND)
+
+#: Environment variable naming the filesystem peer every checkpointing
+#: job replicates to (see :func:`resolve_replication`).
+ENV_PEER = "SIMPROF_REPLICA_PEER"
+
+#: Set to ``1`` to make env-resolved replication synchronous (each save
+#: blocks until pushed) — mostly for tests and drills.
+ENV_SYNC = "SIMPROF_REPLICA_SYNC"
+
+_BACKOFF_SITE = "replicate.backoff"
+_FLAKY_SITE = "replicate.flaky"
+
+
+def _site_rng(seed: int, site: str, *coords: int):
+    """Seeded per-decision RNG (lazy import: faults re-exports chaos,
+    chaos imports this module — a top-level import would cycle)."""
+    from repro.faults.plan import site_rng
+
+    return site_rng(seed, site, *coords)
+
+
+class PeerError(RuntimeError):
+    """A peer operation failed (transport or protocol)."""
+
+
+class PeerUnreachable(PeerError):
+    """The peer could not be reached (or the transfer timed out)."""
+
+
+class PeerPayloadMismatch(PeerError):
+    """A completed transfer failed digest verification and was quarantined."""
+
+
+# -- retry/backoff/timeout ----------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Bounded retries with deterministic exponential-backoff jitter.
+
+    ``sleep_seconds`` derives its jitter from
+    ``site_rng(seed, "replicate.backoff", *coords, attempt)`` — never
+    from ambient randomness — so a replayed fault campaign waits the
+    exact same intervals.  ``timeout`` bounds one transfer attempt
+    end-to-end (a stalled peer surfaces as :class:`PeerUnreachable`
+    and is retried).
+    """
+
+    retries: int = 3
+    backoff: float = 0.01
+    timeout: float = 30.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.backoff < 0:
+            raise ValueError("backoff must be >= 0")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+
+    def sleep_seconds(self, attempt: int, *coords: int) -> float:
+        """Backoff before retry ``attempt`` (0-based), jitter included."""
+        if self.backoff <= 0:
+            return 0.0
+        jitter = float(
+            _site_rng(self.seed, _BACKOFF_SITE, *coords, attempt).uniform()
+        )
+        return self.backoff * (2.0**attempt) * (1.0 + 0.5 * jitter)
+
+    def deadline(self) -> float | None:
+        return None if self.timeout is None else time.monotonic() + self.timeout
+
+
+# -- peers --------------------------------------------------------------------
+
+
+class StorePeer:
+    """A digest-verified push/pull endpoint for store entries.
+
+    The transfer protocol is deliberately dumb (offset-addressed
+    chunks + a commit barrier) so any transport — filesystem, object
+    store, socket — can implement it:
+
+    * ``transfer_offset(key)`` returns how many payload bytes the peer
+      already holds for an in-flight transfer (resume point);
+    * ``send_chunk(key, offset, data)`` appends bytes at exactly that
+      offset (a mismatch means the two sides disagree and the transfer
+      restarts);
+    * ``commit(key, manifest)`` verifies the assembled payload against
+      ``manifest.payload_sha256`` and atomically publishes it — or
+      quarantines the bytes and raises :class:`PeerPayloadMismatch`;
+    * ``read_chunk`` / ``manifest`` / ``keys`` serve the pull
+      direction; ``delete`` retires entries whose job completed.
+    """
+
+    #: Bytes per chunk; small enough that drills can interrupt
+    #: mid-transfer, large enough to amortise syscalls.
+    CHUNK = 1 << 16
+
+    name: str = "peer"
+
+    def manifest(self, key: str) -> ArtifactManifest | None:
+        raise NotImplementedError
+
+    def has(self, key: str, payload_sha256: str) -> bool:
+        raise NotImplementedError
+
+    def transfer_offset(self, key: str) -> int:
+        raise NotImplementedError
+
+    def send_chunk(self, key: str, offset: int, data: bytes) -> None:
+        raise NotImplementedError
+
+    def commit(self, key: str, manifest: ArtifactManifest) -> None:
+        raise NotImplementedError
+
+    def abort_transfer(self, key: str) -> None:
+        raise NotImplementedError
+
+    def read_chunk(self, key: str, offset: int, size: int) -> bytes:
+        raise NotImplementedError
+
+    def keys(self, kind: str | None = None) -> list[str]:
+        raise NotImplementedError
+
+    def delete(self, key: str) -> None:
+        raise NotImplementedError
+
+
+class FilesystemPeer(StorePeer):
+    """A peer backed by a directory laid out like an ``ArtifactStore``.
+
+    ``<root>/<key>.pkl`` + ``<root>/<key>.json`` mirror the local
+    store's layout byte-for-byte, so a recovery site can open the peer
+    directory directly as an ``ArtifactStore`` (or pull it with
+    :func:`pull_fleet`).  Partial transfers live under
+    ``<root>/transfer/``, quarantined mismatches under
+    ``<root>/quarantine/``.
+
+    Construction never touches the disk — an unreachable path
+    surfaces as :class:`PeerUnreachable` on the first operation, not
+    as a crash at wiring time.
+    """
+
+    def __init__(self, root: str | Path, *, name: str | None = None) -> None:
+        self.root = Path(root)
+        self.name = name or str(self.root)
+
+    # -- paths ---------------------------------------------------------------
+
+    def _value_path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def _manifest_path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def _part_path(self, key: str) -> Path:
+        return self.root / "transfer" / f"{key}.part"
+
+    def _ensure(self, path: Path) -> None:
+        try:
+            path.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise PeerUnreachable(f"peer {self.name}: {exc}") from exc
+
+    # -- metadata ------------------------------------------------------------
+
+    def manifest(self, key: str) -> ArtifactManifest | None:
+        try:
+            return ArtifactManifest.from_json(
+                self._manifest_path(key).read_text(encoding="utf-8")
+            )
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise PeerUnreachable(f"peer {self.name}: {exc}") from exc
+        except ValueError:
+            return None  # torn manifest: treat as absent, re-replicate
+
+    def has(self, key: str, payload_sha256: str) -> bool:
+        """Digest-verified acknowledgement: the peer holds these bytes.
+
+        The stored payload is re-hashed — an entry that rotted *on the
+        peer* must read as missing, not acknowledged, or the bounded-lag
+        GC guard would collect the only good copy.
+        """
+        if not payload_sha256:
+            return False
+        manifest = self.manifest(key)
+        if manifest is None or manifest.payload_sha256 != payload_sha256:
+            return False
+        try:
+            payload = self._value_path(key).read_bytes()
+        except OSError:
+            return False
+        return hashlib.sha256(payload).hexdigest() == payload_sha256
+
+    # -- push direction ------------------------------------------------------
+
+    def transfer_offset(self, key: str) -> int:
+        try:
+            return self._part_path(key).stat().st_size
+        except FileNotFoundError:
+            return 0
+        except OSError as exc:
+            raise PeerUnreachable(f"peer {self.name}: {exc}") from exc
+
+    def send_chunk(self, key: str, offset: int, data: bytes) -> None:
+        part = self._part_path(key)
+        self._ensure(part.parent)
+        try:
+            with open(part, "ab") as fh:
+                if fh.tell() != offset:
+                    raise PeerError(
+                        f"peer {self.name}: transfer offset mismatch for "
+                        f"{key} (peer at {fh.tell()}, sender at {offset})"
+                    )
+                fh.write(data)
+        except OSError as exc:
+            raise PeerUnreachable(f"peer {self.name}: {exc}") from exc
+
+    def commit(self, key: str, manifest: ArtifactManifest) -> None:
+        part = self._part_path(key)
+        try:
+            payload = part.read_bytes()
+        except OSError as exc:
+            raise PeerUnreachable(f"peer {self.name}: {exc}") from exc
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != manifest.payload_sha256:
+            qdir = self.root / "quarantine"
+            self._ensure(qdir)
+            try:
+                os.replace(part, qdir / part.name)
+            except OSError as exc:
+                raise PeerUnreachable(f"peer {self.name}: {exc}") from exc
+            raise PeerPayloadMismatch(
+                f"peer {self.name}: payload digest mismatch for {key} "
+                f"(got {digest[:12]}, manifest {manifest.payload_sha256[:12]}); "
+                "bytes quarantined"
+            )
+        try:
+            self._ensure(self.root)
+            os.replace(part, self._value_path(key))
+            _atomic_write_bytes(
+                self._manifest_path(key), manifest.to_json().encode()
+            )
+        except OSError as exc:
+            raise PeerUnreachable(f"peer {self.name}: {exc}") from exc
+
+    def abort_transfer(self, key: str) -> None:
+        self._part_path(key).unlink(missing_ok=True)
+
+    # -- pull direction ------------------------------------------------------
+
+    def read_chunk(self, key: str, offset: int, size: int) -> bytes:
+        try:
+            with open(self._value_path(key), "rb") as fh:
+                fh.seek(offset)
+                return fh.read(size)
+        except FileNotFoundError as exc:
+            raise PeerError(f"peer {self.name}: no payload for {key}") from exc
+        except OSError as exc:
+            raise PeerUnreachable(f"peer {self.name}: {exc}") from exc
+
+    def keys(self, kind: str | None = None) -> list[str]:
+        try:
+            paths = sorted(self.root.glob("*.json"))
+        except OSError as exc:
+            raise PeerUnreachable(f"peer {self.name}: {exc}") from exc
+        found = []
+        for path in paths:
+            if kind is not None and not path.stem.startswith(f"{kind}-"):
+                continue
+            if self._value_path(path.stem).exists():
+                found.append(path.stem)
+        return found
+
+    def delete(self, key: str) -> None:
+        try:
+            self._value_path(key).unlink(missing_ok=True)
+            self._manifest_path(key).unlink(missing_ok=True)
+            self._part_path(key).unlink(missing_ok=True)
+        except OSError as exc:
+            raise PeerUnreachable(f"peer {self.name}: {exc}") from exc
+
+
+@dataclass(frozen=True, slots=True)
+class FlakyPlan:
+    """Seeded misbehaviour of a :class:`FlakyPeer` transport.
+
+    Rates are per data-plane operation (``send_chunk``, ``read_chunk``,
+    ``commit``, ``delete``).  Exactly one fault can fire per operation:
+    the decision draw partitions ``[0, 1)`` into drop / stall / clean,
+    and a *separate* draw corrupts chunk payloads so corruption rates
+    compose independently with drops.  Every draw derives from
+    ``site_rng(seed, "replicate.flaky", op_index)``, so a flaky
+    campaign replays bit-identically.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    stall_rate: float = 0.0
+    stall_seconds: float = 0.001
+    corrupt_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "stall_rate", "corrupt_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate!r}")
+        if self.stall_seconds < 0:
+            raise ValueError("stall_seconds must be >= 0")
+
+
+class FlakyPeer(StorePeer):
+    """Wraps a peer with deterministic drops, stalls, and corruption.
+
+    The control plane (``manifest``/``has``/``transfer_offset``/
+    ``keys``) passes through untouched — the interesting failures are
+    on the data path, and keeping metadata reliable keeps the fault
+    sequence easy to reason about in drills.
+    """
+
+    def __init__(self, inner: StorePeer, plan: FlakyPlan) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.name = f"flaky({inner.name})"
+        self.ops = 0
+        self.faults: list[tuple[int, str, str]] = []  # (op, op_name, fault)
+
+    def _fault(self, op_name: str, data: bytes | None = None) -> bytes | None:
+        """Draw this operation's fault decision; may raise or sleep."""
+        op = self.ops
+        self.ops += 1
+        rng = _site_rng(self.plan.seed, _FLAKY_SITE, op)
+        draw = float(rng.uniform())
+        if draw < self.plan.drop_rate:
+            self.faults.append((op, op_name, "drop"))
+            raise PeerUnreachable(
+                f"peer {self.name}: injected drop at op {op} ({op_name})"
+            )
+        if draw < self.plan.drop_rate + self.plan.stall_rate:
+            self.faults.append((op, op_name, "stall"))
+            time.sleep(self.plan.stall_seconds)
+        if (
+            data is not None
+            and len(data) > 0
+            and self.plan.corrupt_rate > 0
+            and float(rng.uniform()) < self.plan.corrupt_rate
+        ):
+            self.faults.append((op, op_name, "corrupt"))
+            pos = int(rng.integers(len(data)))
+            corrupted = bytearray(data)
+            corrupted[pos] ^= 0xFF
+            return bytes(corrupted)
+        return data
+
+    # Control plane: reliable passthrough.
+    def manifest(self, key):
+        return self.inner.manifest(key)
+
+    def has(self, key, payload_sha256):
+        return self.inner.has(key, payload_sha256)
+
+    def transfer_offset(self, key):
+        return self.inner.transfer_offset(key)
+
+    def abort_transfer(self, key):
+        self.inner.abort_transfer(key)
+
+    def keys(self, kind=None):
+        return self.inner.keys(kind)
+
+    # Data plane: seeded violence.
+    def send_chunk(self, key, offset, data):
+        data = self._fault("send_chunk", data)
+        self.inner.send_chunk(key, offset, data)
+
+    def commit(self, key, manifest):
+        self._fault("commit")
+        self.inner.commit(key, manifest)
+
+    def read_chunk(self, key, offset, size):
+        data = self.inner.read_chunk(key, offset, size)
+        return self._fault("read_chunk", data)
+
+    def delete(self, key):
+        self._fault("delete")
+        self.inner.delete(key)
+
+
+# -- transfers ----------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class TransferOutcome:
+    """What happened to one key.
+
+    ``action`` is one of ``pushed``/``pulled`` (bytes moved and
+    verified), ``present`` (digest-verified copy already there),
+    ``gone`` (source entry vanished — a completed job retired it),
+    ``unverified`` (source has no recorded digest; refused, never
+    silently shipped), ``corrupt-local`` (source bytes fail their own
+    manifest digest; quarantined at the source), ``missing`` (pull of
+    a key the peer does not hold), or ``failed`` (retries exhausted).
+    """
+
+    key: str
+    action: str
+    attempts: int = 0
+    bytes_moved: int = 0
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.action in ("pushed", "pulled", "present", "gone")
+
+
+def _key_coord(key: str) -> int:
+    """Stable per-key coordinate for backoff jitter desynchronisation."""
+    return zlib.crc32(key.encode())
+
+
+def push_key(
+    store: ArtifactStore,
+    peer: StorePeer,
+    key: str,
+    *,
+    retry: RetryPolicy | None = None,
+) -> TransferOutcome:
+    """Push one entry's exact bytes + manifest to ``peer``; never raises.
+
+    The local payload is re-hashed before shipping — a corrupt local
+    entry is quarantined, not replicated.  Transfers resume from the
+    peer's partial offset, and the peer's ``commit`` verifies the
+    assembled bytes, so a torn or corrupted transfer can never be
+    acknowledged.
+    """
+    retry = retry or RetryPolicy()
+    manifest = store.manifest(key)
+    if manifest is None or not manifest.payload_sha256:
+        return TransferOutcome(
+            key, "unverified", error="no payload digest recorded; not shipped"
+        )
+    try:
+        payload = store.read_payload(key)
+    except KeyError:
+        return TransferOutcome(key, "gone")
+    if hashlib.sha256(payload).hexdigest() != manifest.payload_sha256:
+        store.quarantine(key)
+        return TransferOutcome(
+            key, "corrupt-local",
+            error="local payload fails manifest digest; quarantined",
+        )
+    last_error = ""
+    sent_total = 0
+    for attempt in range(retry.retries + 1):
+        if attempt > 0:
+            time.sleep(retry.sleep_seconds(attempt - 1, _key_coord(key)))
+        try:
+            if peer.has(key, manifest.payload_sha256):
+                return TransferOutcome(key, "present", attempts=attempt)
+            deadline = retry.deadline()
+            offset = peer.transfer_offset(key)
+            if offset > len(payload):
+                # The partial belongs to different bytes; start over.
+                peer.abort_transfer(key)
+                offset = 0
+            while offset < len(payload):
+                if deadline is not None and time.monotonic() > deadline:
+                    raise PeerUnreachable(
+                        f"push of {key} timed out after {retry.timeout}s"
+                    )
+                chunk = payload[offset : offset + peer.CHUNK]
+                peer.send_chunk(key, offset, chunk)
+                offset += len(chunk)
+                sent_total += len(chunk)
+            peer.commit(key, manifest)
+            return TransferOutcome(
+                key, "pushed", attempts=attempt + 1, bytes_moved=sent_total
+            )
+        except (PeerError, OSError) as exc:
+            last_error = str(exc)
+    return TransferOutcome(
+        key,
+        "failed",
+        attempts=retry.retries + 1,
+        bytes_moved=sent_total,
+        error=last_error,
+    )
+
+
+def pull_key(
+    peer: StorePeer,
+    store: ArtifactStore,
+    key: str,
+    *,
+    retry: RetryPolicy | None = None,
+) -> TransferOutcome:
+    """Fetch one entry from ``peer`` into ``store``; never raises.
+
+    The mirror image of :func:`push_key`: chunked reads accumulate in
+    ``<store>/transfer/<key>.part`` (resumable), the assembled bytes
+    must match the peer manifest's digest (mismatches are quarantined
+    locally and retried from scratch), and the verified payload +
+    manifest are installed atomically with their bytes unchanged — the
+    local copy is byte-identical to what the origin store wrote.
+    """
+    retry = retry or RetryPolicy()
+    last_error = ""
+    pulled_total = 0
+    for attempt in range(retry.retries + 1):
+        if attempt > 0:
+            time.sleep(retry.sleep_seconds(attempt - 1, _key_coord(key)))
+        try:
+            manifest = peer.manifest(key)
+            if manifest is None or not manifest.payload_sha256:
+                return TransferOutcome(
+                    key, "missing", attempts=attempt + 1,
+                    error="peer has no verified entry for this key",
+                )
+            local = store.manifest(key)
+            if (
+                local is not None
+                and local.payload_sha256 == manifest.payload_sha256
+                and store.contains(key)
+            ):
+                return TransferOutcome(key, "present", attempts=attempt)
+            part = store.root / "transfer" / f"{key}.part"
+            part.parent.mkdir(parents=True, exist_ok=True)
+            deadline = retry.deadline()
+            size = int(manifest.size_bytes)
+            offset = part.stat().st_size if part.exists() else 0
+            if offset > size:
+                part.unlink(missing_ok=True)
+                offset = 0
+            with open(part, "ab") as fh:
+                while offset < size:
+                    if deadline is not None and time.monotonic() > deadline:
+                        raise PeerUnreachable(
+                            f"pull of {key} timed out after {retry.timeout}s"
+                        )
+                    chunk = peer.read_chunk(key, offset, peer.CHUNK)
+                    if not chunk:
+                        raise PeerError(
+                            f"peer returned no data for {key} at {offset}"
+                        )
+                    fh.write(chunk)
+                    offset += len(chunk)
+                    pulled_total += len(chunk)
+            payload = part.read_bytes()
+            if hashlib.sha256(payload).hexdigest() != manifest.payload_sha256:
+                qdir = store.root / "quarantine"
+                qdir.mkdir(exist_ok=True)
+                os.replace(part, qdir / part.name)
+                raise PeerPayloadMismatch(
+                    f"pulled payload for {key} fails digest; quarantined"
+                )
+            part.unlink(missing_ok=True)
+            store.install_payload(key, payload, manifest)
+            return TransferOutcome(
+                key, "pulled", attempts=attempt + 1, bytes_moved=pulled_total
+            )
+        except (PeerError, OSError) as exc:
+            last_error = str(exc)
+    return TransferOutcome(
+        key,
+        "failed",
+        attempts=retry.retries + 1,
+        bytes_moved=pulled_total,
+        error=last_error,
+    )
+
+
+@dataclass
+class ReplicationReport:
+    """Outcome of one store↔peer sweep (:func:`replicate_store` etc.)."""
+
+    outcomes: list[TransferOutcome] = field(default_factory=list)
+
+    def _keys(self, *actions: str) -> list[str]:
+        return [o.key for o in self.outcomes if o.action in actions]
+
+    @property
+    def moved(self) -> list[str]:
+        return self._keys("pushed", "pulled")
+
+    @property
+    def present(self) -> list[str]:
+        return self._keys("present")
+
+    @property
+    def failed(self) -> list[str]:
+        return self._keys("failed")
+
+    @property
+    def skipped(self) -> list[str]:
+        return self._keys("gone", "unverified", "corrupt-local", "missing")
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.moved)} transferred, {len(self.present)} already "
+            f"present, {len(self.failed)} failed, "
+            f"{len(self.skipped)} skipped"
+        )
+
+
+def replicate_store(
+    store: ArtifactStore,
+    peer: StorePeer,
+    *,
+    kinds: tuple[str, ...] = REPLICATION_KINDS,
+    retry: RetryPolicy | None = None,
+) -> ReplicationReport:
+    """Push every local entry of the given kinds to ``peer``.
+
+    The catch-up sibling of :class:`ReplicationPolicy`: one sweep makes
+    the peer hold a digest-verified copy of every checkpoint chain and
+    inflight-journal entry currently on disk (``simprof cache
+    replicate``).  Keys are visited in sorted order so two sweeps of
+    the same store transfer in the same sequence.
+    """
+    report = ReplicationReport()
+    wanted = set(kinds)
+    for manifest in store.entries():
+        if manifest.kind not in wanted:
+            continue
+        report.outcomes.append(push_key(store, peer, manifest.key, retry=retry))
+    return report
+
+
+def pull_job(
+    peer: StorePeer,
+    store: ArtifactStore,
+    job_key: str,
+    *,
+    kinds: tuple[str, ...] = REPLICATION_KINDS,
+    retry: RetryPolicy | None = None,
+) -> ReplicationReport:
+    """Fetch one job's checkpoint chain + journal entry from ``peer``."""
+    report = ReplicationReport()
+    for kind in kinds:
+        for key in _peer_keys_safe(peer, kind, report):
+            manifest = peer.manifest(key)
+            if manifest is None or manifest.params.get("job") != job_key:
+                continue
+            report.outcomes.append(pull_key(peer, store, key, retry=retry))
+    return report
+
+
+def pull_fleet(
+    peer: StorePeer,
+    store: ArtifactStore,
+    *,
+    kinds: tuple[str, ...] = REPLICATION_KINDS,
+    retry: RetryPolicy | None = None,
+) -> ReplicationReport:
+    """Fetch *every* replicated entry from ``peer`` into ``store``.
+
+    The disaster-recovery entry point: after a total local-store loss,
+    one pull rebuilds the inflight journal and all checkpoint chains,
+    and :func:`restore_fleet` finishes the jobs.
+    """
+    report = ReplicationReport()
+    for kind in kinds:
+        for key in _peer_keys_safe(peer, kind, report):
+            report.outcomes.append(pull_key(peer, store, key, retry=retry))
+    return report
+
+
+def _peer_keys_safe(
+    peer: StorePeer, kind: str, report: ReplicationReport
+) -> list[str]:
+    """List a peer's keys, degrading to an explicit failure record."""
+    try:
+        return peer.keys(kind)
+    except PeerError as exc:
+        report.outcomes.append(
+            TransferOutcome(f"{kind}-*", "failed", error=str(exc))
+        )
+        return []
+
+
+# -- the replication policy ---------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicationStatus:
+    """A point-in-time accounting of a policy's replication state.
+
+    Every submitted key is accounted for exactly once:
+    ``pushed + present + gone + failed + superseded + pending ==
+    submitted`` — degradation is recorded, never silent.  ``lag`` is
+    the number of submitted-but-unacknowledged keys; a healthy policy
+    drains it to zero.
+    """
+
+    submitted: int = 0
+    pushed: int = 0
+    present: int = 0
+    gone: int = 0
+    failed: int = 0
+    superseded: int = 0
+    pending: int = 0
+    last_error: str = ""
+
+    @property
+    def lag(self) -> int:
+        return self.pending + self.failed + self.superseded
+
+    @property
+    def degraded(self) -> bool:
+        """True when some key did not make it to the peer."""
+        return self.failed > 0 or self.superseded > 0
+
+
+class ReplicationPolicy:
+    """Mirrors fresh checkpoint writes to a peer, off the hot path.
+
+    Hooked into :meth:`~repro.runtime.checkpoint.CheckpointManager.save`
+    via the manager's ``replicate=`` argument: each fresh save is
+    ``submit``-ted here and pushed by a background thread.  Guarantees:
+
+    * **never a job failure** — ``submit`` cannot raise; push errors
+      are absorbed into the status counters (``failed``,
+      ``last_error``) and the job keeps running local-only;
+    * **bounded lag** — at most ``max_lag`` pushes queue up; beyond
+      that the *oldest* pending checkpoint is dropped and counted as
+      ``superseded`` (for a chain, newer positions strictly dominate
+      older ones, so durability loss is bounded by the newest
+      un-pushed position, not silent);
+    * **recorded degradation** — :meth:`status` accounts for every
+      submitted key, and :attr:`ReplicationStatus.degraded` flips as
+      soon as anything failed to replicate.
+
+    ``synchronous=True`` pushes inline (each save blocks until the
+    peer acknowledged or retries exhausted) — for drills and tests
+    that need a deterministic transfer order.
+    """
+
+    def __init__(
+        self,
+        peer: StorePeer,
+        *,
+        retry: RetryPolicy | None = None,
+        max_lag: int = 64,
+        synchronous: bool = False,
+    ) -> None:
+        if max_lag < 1:
+            raise ValueError("max_lag must be >= 1")
+        self.peer = peer
+        self.retry = retry or RetryPolicy()
+        self.max_lag = max_lag
+        self.synchronous = synchronous
+        self._cond = threading.Condition()
+        self._queue: deque[tuple[str, ArtifactStore, str]] = deque()
+        self._thread: threading.Thread | None = None
+        self._busy = False
+        self._closed = False
+        self._counts = {
+            "submitted": 0,
+            "pushed": 0,
+            "present": 0,
+            "gone": 0,
+            "failed": 0,
+            "superseded": 0,
+        }
+        self._last_error = ""
+
+    # -- submission (the CheckpointManager.save hook) ------------------------
+
+    def submit(self, store: ArtifactStore, key: str) -> None:
+        """Replicate ``key`` from ``store`` to the peer; never raises."""
+        self._enqueue("push", store, key)
+
+    def retire(self, keys: list[str]) -> None:
+        """Delete retired entries (completed job) from the peer.
+
+        Best-effort: a failed peer delete only leaves stale chain
+        entries behind, which a later restore treats as extra work,
+        never as wrong results.
+        """
+        for key in keys:
+            self._enqueue("delete", None, key)
+
+    def _enqueue(self, op: str, store: ArtifactStore | None, key: str) -> None:
+        if self.synchronous:
+            self._run_op(op, store, key)
+            return
+        run_inline = False
+        with self._cond:
+            if op == "push":
+                self._counts["submitted"] += 1
+            if self._closed:
+                # Late submit after close: run inline rather than lose it.
+                run_inline = True
+            else:
+                self._queue.append((op, store, key))
+                while len(self._queue) > self.max_lag:
+                    old_op, _old_store, _old_key = self._queue.popleft()
+                    if old_op == "push":
+                        self._counts["superseded"] += 1
+                if self._thread is None:
+                    self._thread = threading.Thread(
+                        target=self._worker, name="simprof-replicate", daemon=True
+                    )
+                    self._thread.start()
+                self._cond.notify_all()
+        if run_inline:
+            self._run_op(op, store, key)
+
+    # -- the worker ----------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if not self._queue and self._closed:
+                    return
+                op, store, key = self._queue.popleft()
+                self._busy = True
+            try:
+                self._run_op(op, store, key, counted=True)
+            finally:
+                with self._cond:
+                    self._busy = False
+                    self._cond.notify_all()
+
+    def _run_op(
+        self,
+        op: str,
+        store: ArtifactStore | None,
+        key: str,
+        *,
+        counted: bool = False,
+    ) -> None:
+        if op == "push" and self.synchronous:
+            self._counts["submitted"] += 1
+        try:
+            if op == "delete":
+                self.peer.delete(key)
+                return
+            outcome = push_key(store, self.peer, key, retry=self.retry)
+            bucket = {
+                "pushed": "pushed",
+                "present": "present",
+                "gone": "gone",
+            }.get(outcome.action, "failed")
+            with self._cond:
+                self._counts[bucket] += 1
+                if not outcome.ok:
+                    self._last_error = outcome.error
+        except Exception as exc:  # noqa: BLE001 - replication must not kill jobs
+            with self._cond:
+                if op == "push":
+                    self._counts["failed"] += 1
+                self._last_error = str(exc)
+
+    # -- observation / lifecycle ---------------------------------------------
+
+    def status(self) -> ReplicationStatus:
+        with self._cond:
+            pending = sum(1 for op, _, _ in self._queue if op == "push")
+            if self._busy:
+                pending += 1  # the in-flight op is not acked yet
+            return ReplicationStatus(
+                submitted=self._counts["submitted"],
+                pushed=self._counts["pushed"],
+                present=self._counts["present"],
+                gone=self._counts["gone"],
+                failed=self._counts["failed"],
+                superseded=self._counts["superseded"],
+                pending=min(pending, self._counts["submitted"]),
+                last_error=self._last_error,
+            )
+
+    def flush(self, timeout: float | None = None) -> ReplicationStatus:
+        """Wait until the queue drains (or ``timeout``); returns status."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while self._queue or self._busy:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                self._cond.wait(timeout=remaining)
+        return self.status()
+
+    def close(self, *, flush: bool = True) -> ReplicationStatus:
+        """Drain (optionally) and stop the worker; returns final status."""
+        if flush:
+            self.flush()
+        with self._cond:
+            self._closed = True
+            if not flush:
+                while self._queue:
+                    op, _, _ = self._queue.popleft()
+                    if op == "push":
+                        self._counts["superseded"] += 1
+            self._cond.notify_all()
+            thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+        return self.status()
+
+
+def resolve_replication(
+    peer_root: str | Path | None = None, *, synchronous: bool | None = None
+) -> ReplicationPolicy | None:
+    """Build the ambient replication policy, if one is configured.
+
+    ``SIMPROF_REPLICA_PEER`` names a filesystem peer directory; when it
+    is unset (and no explicit ``peer_root`` is given) replication is
+    off and this returns ``None`` — the checkpoint hot path then does
+    no peer work at all.  ``SIMPROF_REPLICA_SYNC=1`` makes env-resolved
+    policies synchronous.
+    """
+    root = peer_root if peer_root is not None else os.environ.get(ENV_PEER)
+    if not root:
+        return None
+    if synchronous is None:
+        synchronous = os.environ.get(ENV_SYNC) == "1"
+    return ReplicationPolicy(FilesystemPeer(root), synchronous=synchronous)
+
+
+def resolve_peer(peer_root: str | Path | None = None) -> StorePeer | None:
+    """The configured peer endpoint (``SIMPROF_REPLICA_PEER``), if any."""
+    root = peer_root if peer_root is not None else os.environ.get(ENV_PEER)
+    if not root:
+        return None
+    return FilesystemPeer(root)
+
+
+# -- the inflight journal -----------------------------------------------------
+
+
+def inflight_store_key(store: ArtifactStore, job_key: str) -> str:
+    """Store key of a job's inflight-journal entry."""
+    return store.key_for(INFLIGHT_KIND, {"job": job_key})
+
+
+def register_inflight(
+    store: ArtifactStore,
+    job_key: str,
+    payload: dict[str, Any],
+    *,
+    replicate: ReplicationPolicy | None = None,
+) -> str:
+    """Journal a checkpointing job in the store itself.
+
+    ``payload`` must carry everything a successor needs to finish the
+    job without the original process — at minimum ``{"spec":
+    RunSpec.to_payload(), "checkpoint_every": N, "label": ...}``.
+    Because the journal is a normal store entry, it replicates to the
+    peer alongside the chains it describes.
+    """
+    key = inflight_store_key(store, job_key)
+    if not store.contains(key):
+        store.put(
+            key,
+            dict(payload),
+            kind=INFLIGHT_KIND,
+            params={"job": job_key, "label": str(payload.get("label", ""))},
+        )
+    if replicate is not None:
+        replicate.submit(store, key)
+    return key
+
+
+def clear_inflight(
+    store: ArtifactStore,
+    job_key: str,
+    *,
+    replicate: ReplicationPolicy | None = None,
+) -> None:
+    """Retire a job's journal entry (locally, and best-effort on the peer)."""
+    key = inflight_store_key(store, job_key)
+    store.delete(key)
+    if replicate is not None:
+        replicate.retire([key])
+
+
+def iter_inflight(store: ArtifactStore) -> Iterator[tuple[str, dict]]:
+    """``(job_key, payload)`` for every journalled inflight job, sorted."""
+    found = []
+    for manifest in store.entries():
+        if manifest.kind != INFLIGHT_KIND:
+            continue
+        try:
+            payload = store.get(manifest.key)
+        except KeyError:
+            continue  # corrupt journal entry: quarantined by the store
+        if isinstance(payload, dict) and "spec" in payload:
+            found.append((str(manifest.params.get("job", "")), payload))
+    found.sort(key=lambda kv: kv[0])
+    yield from found
+
+
+# -- fleet restore ------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class FleetRestore:
+    """One job's restore outcome."""
+
+    job_key: str
+    label: str
+    profile_key: str
+    digest: str
+    resumed_from: int
+
+
+def _restore_one(item: tuple[str, dict]) -> dict:
+    """Pool worker: finish one journalled job from its checkpoint chain.
+
+    Opens the store by root path (workers do not share the parent's
+    instance), resumes from the latest chain entry, materialises the
+    profile artifact, and retires the chain + journal entry.  Returns
+    a plain dict so the parent can rebuild :class:`FleetRestore`
+    whether the work ran in-process or in a pool.
+    """
+    root, payload = item
+    from repro.runtime.checkpoint import CheckpointManager, checkpoint_job_key
+    from repro.runtime.runner import RunSpec, _compute_profile_stream
+
+    store = ArtifactStore(root)
+    spec = RunSpec.from_payload(payload["spec"])
+    params = spec.profile_params()
+    job_key = checkpoint_job_key(params)
+    latest = CheckpointManager(store, job_key).latest()
+    resumed_from = 0 if latest is None else latest[0]
+    every = max(1, int(payload.get("checkpoint_every") or 1))
+    job = store.get_or_compute(
+        "profile",
+        params,
+        lambda: _compute_profile_stream(
+            spec, store, checkpoint_every=every, resume=True
+        ),
+    )
+    clear_inflight(store, job_key)
+    return {
+        "job_key": job_key,
+        "label": str(payload.get("label", spec.label)),
+        "profile_key": store.key_for("profile", params),
+        "digest": job.content_digest(),
+        "resumed_from": resumed_from,
+    }
+
+
+def restore_fleet(
+    store: ArtifactStore | None = None,
+    *,
+    jobs: int | None = None,
+    retries: int = 2,
+    backoff: float = 0.0,
+    seed: int = 0,
+) -> list[FleetRestore]:
+    """Finish every journalled inflight job, in parallel, bit-identically.
+
+    Discovery is the store's own inflight journal (pull it from a peer
+    first with :func:`pull_fleet` after a local-store loss).  Each job
+    resumes from its latest checkpoint and runs to completion through
+    the same code path a live worker uses, fanned out over
+    :func:`~repro.runtime.runner.map_tasks` — results come back in
+    journal order, so serial (``jobs=1``) and parallel restores are
+    byte-identical.
+    """
+    from repro.runtime.runner import map_tasks
+
+    if store is None:
+        store = default_store()
+    items = [
+        (str(store.root), payload) for _job_key, payload in iter_inflight(store)
+    ]
+    if not items:
+        return []
+    raw = map_tasks(
+        _restore_one,
+        items,
+        jobs=jobs,
+        retries=retries,
+        backoff=backoff,
+        seed=seed,
+    )
+    # Workers wrote through their own store instances; drop this
+    # process's memory tier so subsequent reads see the restored disk
+    # state instead of pre-wipe cached objects.
+    store.clear_memory()
+    return [
+        FleetRestore(
+            job_key=r["job_key"],
+            label=r["label"],
+            profile_key=r["profile_key"],
+            digest=r["digest"],
+            resumed_from=int(r["resumed_from"]),
+        )
+        for r in raw
+    ]
+

@@ -58,6 +58,7 @@ __all__ = [
     "resolve_jobs",
     "map_tasks",
     "run_specs",
+    "spec_stream",
 ]
 
 
@@ -76,6 +77,25 @@ class RunnerError(RuntimeError):
     """A spec kept failing after the configured retries."""
 
 
+def _backoff_sleep(backoff: float, seed: int, attempt: int, *coords: int) -> None:
+    """Exponential backoff with *deterministic* jitter.
+
+    The jitter factor is drawn from ``site_rng(seed, "runner.backoff",
+    *coords, attempt)`` — never from ambient randomness — so fault
+    replays wait bit-identical intervals.  The sleep is
+    ``backoff * 2**attempt * (1 + 0.5·u)`` with ``u ~ U[0, 1)``: the
+    floor equals the historical un-jittered schedule, the jitter only
+    ever stretches it, desynchronising retry herds without speeding
+    anything up behind a test's back.
+    """
+    if backoff <= 0:
+        return
+    from repro.faults.plan import site_rng
+
+    u = float(site_rng(seed, "runner.backoff", *coords, attempt).uniform())
+    time.sleep(backoff * (2.0**attempt) * (1.0 + 0.5 * u))
+
+
 def map_tasks(
     fn: Callable[[Any], Any],
     items: Iterable[Any],
@@ -83,6 +103,7 @@ def map_tasks(
     jobs: int | None = None,
     retries: int = 2,
     backoff: float = 0.0,
+    seed: int = 0,
     initializer: Callable[..., None] | None = None,
     initargs: tuple[Any, ...] = (),
 ) -> list[Any]:
@@ -95,9 +116,10 @@ def map_tasks(
 
     * results come back in input order, so serial (``jobs=1``) and
       parallel runs of a deterministic ``fn`` are byte-identical;
-    * per-item bounded retries with exponential backoff
-      (``backoff * 2**attempt`` seconds), surfacing as
-      :class:`RunnerError` when exhausted;
+    * per-item bounded retries with exponential backoff and
+      deterministic per-item jitter (``backoff * 2**attempt`` seconds
+      stretched by ``site_rng(seed, "runner.backoff", item, attempt)``),
+      surfacing as :class:`RunnerError` when exhausted;
     * a broken pool (OOM-killed worker, fork failure) degrades to
       in-process execution of the unfinished items — ``initializer``
       is then invoked locally so per-process context stays available.
@@ -111,15 +133,14 @@ def map_tasks(
     backoff = max(0.0, float(backoff))
     work = list(items)
 
-    def sleep_before_retry(attempt: int) -> None:
-        if backoff > 0:
-            time.sleep(backoff * (2.0**attempt))
+    def sleep_before_retry(attempt: int, index: int) -> None:
+        _backoff_sleep(backoff, seed, attempt, index)
 
-    def run_inline(item: Any) -> Any:
+    def run_inline(index: int, item: Any) -> Any:
         last: Exception | None = None
         for attempt in range(retries + 1):
             if attempt > 0:
-                sleep_before_retry(attempt - 1)
+                sleep_before_retry(attempt - 1, index)
             try:
                 return fn(item)
             except Exception as exc:  # noqa: BLE001 - rewrapped below
@@ -131,7 +152,7 @@ def map_tasks(
     if jobs <= 1 or len(work) <= 1:
         if initializer is not None:
             initializer(*initargs)
-        return [run_inline(item) for item in work]
+        return [run_inline(i, item) for i, item in enumerate(work)]
 
     results: list[Any] = [None] * len(work)
     done: set[int] = set()
@@ -160,7 +181,7 @@ def map_tasks(
                             f"task {work[i]!r} failed after "
                             f"{retries + 1} attempts: {exc}"
                         ) from exc
-                    sleep_before_retry(attempts[i] - 1)
+                    sleep_before_retry(attempts[i] - 1, i)
                     futures[pool.submit(fn, work[i])] = i
     except BrokenProcessPool:
         # A worker died hard (OOM, signal).  Finish what is left
@@ -169,7 +190,7 @@ def map_tasks(
             initializer(*initargs)
         for i, item in enumerate(work):
             if i not in done:
-                results[i] = run_inline(item)
+                results[i] = run_inline(i, item)
     return results
 
 
@@ -288,6 +309,27 @@ def _compute_profile(spec: RunSpec) -> JobProfile:
     return SimProf(spec.simprof).profile(trace)
 
 
+def spec_stream(spec: RunSpec):
+    """The raw event stream a spec profiles (workload + graph resolved).
+
+    Shared by the streaming compute path and the chaos drills so both
+    consume byte-identical streams for the same spec.
+    """
+    from repro.datagen.seeds import GRAPH_INPUTS
+    from repro.workloads import run_workload_stream
+
+    graph = GRAPH_INPUTS[spec.graph_name] if spec.graph_name else None
+    return run_workload_stream(
+        spec.workload,
+        spec.framework,
+        scale=spec.scale,
+        seed=spec.seed,
+        graph=graph,
+        input_name=spec.input_name or spec.graph_name or "default",
+        params=dict(spec.params) if spec.params else None,
+    )
+
+
 def _compute_profile_stream(
     spec: RunSpec,
     store: ArtifactStore,
@@ -295,6 +337,7 @@ def _compute_profile_stream(
     checkpoint_every: int,
     resume: bool = True,
     kill_after: int | None = None,
+    replicate: Any | None = None,
 ) -> JobProfile:
     """Streaming twin of :func:`_compute_profile` with checkpointing.
 
@@ -304,31 +347,59 @@ def _compute_profile_stream(
     snapshots in the shared store, and the next worker to pick up the
     same spec resumes bit-identically from the latest one.  On success
     the snapshots are cleared — the profile artifact supersedes them.
+
+    Two robustness layers ride along:
+
+    * the job registers itself in the store's **inflight journal**
+      (:mod:`repro.runtime.replicate`) while streaming, so a fleet of
+      killed workers can be rediscovered and restored wholesale by
+      :func:`~repro.runtime.replicate.restore_fleet`;
+    * with replication configured (``replicate=`` or the
+      ``SIMPROF_REPLICA_PEER`` environment), every fresh checkpoint —
+      and the journal entry itself — is mirrored to the peer.  An
+      env-resolved policy is owned here and drained on the way out
+      (success *or* simulated kill: the real-world analogue is the
+      replication agent outliving the worker process); a policy passed
+      in stays caller-owned.
     """
-    from repro.datagen.seeds import GRAPH_INPUTS
     from repro.runtime.checkpoint import (
         CheckpointManager,
         CheckpointPolicy,
         checkpoint_job_key,
     )
-    from repro.workloads import run_workload_stream
+    from repro.runtime.replicate import (
+        clear_inflight,
+        register_inflight,
+        resolve_replication,
+    )
 
-    graph = GRAPH_INPUTS[spec.graph_name] if spec.graph_name else None
-    manager = CheckpointManager(store, checkpoint_job_key(spec.profile_params()))
+    owned = replicate is None
+    replicate = resolve_replication() if replicate is None else replicate
+    manager = CheckpointManager(
+        store, checkpoint_job_key(spec.profile_params()), replicate=replicate
+    )
     policy = CheckpointPolicy(
         manager, every=checkpoint_every, resume=resume, kill_after=kill_after
     )
-    stream = run_workload_stream(
-        spec.workload,
-        spec.framework,
-        scale=spec.scale,
-        seed=spec.seed,
-        graph=graph,
-        input_name=spec.input_name or spec.graph_name or "default",
-        params=dict(spec.params) if spec.params else None,
+    register_inflight(
+        store,
+        manager.job_key,
+        {
+            "spec": spec.to_payload(),
+            "checkpoint_every": int(checkpoint_every),
+            "label": spec.label,
+        },
+        replicate=replicate,
     )
-    job = SimProf(spec.simprof).profile_stream(stream, checkpoint=policy)
+    try:
+        job = SimProf(spec.simprof).profile_stream(
+            spec_stream(spec), checkpoint=policy
+        )
+    finally:
+        if owned and replicate is not None:
+            replicate.close()
     manager.clear()
+    clear_inflight(store, manager.job_key, replicate=replicate)
     return job
 
 
@@ -452,11 +523,15 @@ class ExperimentRunner:
         timeout: float | None = None,
         checkpoint: str | Path | None = None,
         checkpoint_every: int | None = None,
+        seed: int = 0,
     ) -> None:
         self.store = store or default_store()
         self.jobs = resolve_jobs(jobs)
         self.retries = max(0, int(retries))
         self.backoff = max(0.0, float(backoff))
+        # Seeds the retry-backoff jitter (site "runner.backoff") — not
+        # any workload randomness, which lives in the specs themselves.
+        self.seed = int(seed)
         if timeout is not None and timeout <= 0:
             raise ValueError("timeout must be positive (or None)")
         self.timeout = timeout
@@ -485,14 +560,14 @@ class ExperimentRunner:
             jobs=self.jobs,
             retries=self.retries,
             backoff=self.backoff,
+            seed=self.seed,
             initializer=initializer,
             initargs=initargs,
         )
 
-    def _sleep_before_retry(self, attempt: int) -> None:
-        """Exponential backoff between attempts (attempt is 0-based)."""
-        if self.backoff > 0:
-            time.sleep(self.backoff * (2.0**attempt))
+    def _sleep_before_retry(self, attempt: int, *coords: int) -> None:
+        """Deterministically jittered backoff (attempt is 0-based)."""
+        _backoff_sleep(self.backoff, self.seed, attempt, *coords)
 
     def _mark_done(self, key: str) -> None:
         if self.checkpoint is not None:
@@ -710,6 +785,7 @@ def run_specs(
     timeout: float | None = None,
     checkpoint: str | Path | None = None,
     checkpoint_every: int | None = None,
+    seed: int = 0,
 ) -> list[RunResult]:
     """Convenience wrapper: run a batch against the default store."""
     runner = ExperimentRunner(
@@ -720,5 +796,6 @@ def run_specs(
         timeout=timeout,
         checkpoint=checkpoint,
         checkpoint_every=checkpoint_every,
+        seed=seed,
     )
     return runner.run(specs, want=want)

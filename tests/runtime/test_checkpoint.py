@@ -23,6 +23,14 @@ from repro.runtime.checkpoint import (
     checkpoint_job_key,
     drive_session,
     iter_checkpoint_manifests,
+    verify_checkpoints,
+)
+from repro.runtime.snapshot import (
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    decode_state,
+    encode_state,
+    state_digest,
 )
 from repro.runtime.store import ArtifactStore
 from repro.workloads import run_workload_stream
@@ -217,3 +225,126 @@ class TestSimProfCheckpointEntryPoints:
             _stream("spark"), checkpoint=CheckpointPolicy(manager, every=1)
         )
         assert resumed.content_digest() == want
+
+
+class TestChainCorruption:
+    """Damaged chain entries are quarantined, never resumed (satellite 3)."""
+
+    def _chain(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        manager = CheckpointManager(store, "job-c")
+        manager.save(5, {"position": 5, "session": {"x": 1}})
+        key9 = manager.save(9, {"position": 9, "session": {"x": 2}})
+        return store, manager, key9
+
+    def test_truncated_payload_falls_back_to_previous(self, tmp_path):
+        store, manager, key9 = self._chain(tmp_path)
+        # The newest checkpoint's payload is cut mid-write: the bytes
+        # no longer match the manifest digest.
+        path = store.root / f"{key9}.pkl"
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        store.clear_memory()  # a replacement worker reads cold
+        position, state = manager.latest()
+        assert position == 5 and state["session"] == {"x": 1}
+        # The damaged entry was parked for autopsy, not deleted.
+        assert (store.root / "quarantine" / f"{key9}.pkl").exists()
+
+    def test_snapshot_cut_before_store_falls_back(self, tmp_path):
+        """A snapshot truncated *before* storage: the byte digest
+        faithfully records garbage, so only snapshot-level validation
+        (SnapshotError on decode) can catch it."""
+        store, manager, key9 = self._chain(tmp_path)
+        torn = encode_state({"position": 9, "session": {"x": 2}})[:-7]
+        with pytest.raises(SnapshotError):
+            decode_state(torn)
+        store.put(
+            key9,
+            torn,
+            kind=CHECKPOINT_KIND,
+            params={
+                "job": "job-c",
+                "position": 9,
+                "snapshot": SNAPSHOT_VERSION,
+                "state_digest": state_digest(torn),
+            },
+        )
+        store.clear_memory()
+        position, state = manager.latest()
+        assert position == 5 and state["session"] == {"x": 1}
+        assert (store.root / "quarantine" / f"{key9}.pkl").exists()
+
+    def test_wrong_state_digest_falls_back(self, tmp_path):
+        store, manager, key9 = self._chain(tmp_path)
+        blob = encode_state({"position": 9, "session": {"x": 99}})
+        manifest = store.manifest(key9)
+        store.put(
+            key9, blob, kind=CHECKPOINT_KIND, params=manifest.params
+        )  # digest param still names the original state
+        store.clear_memory()
+        position, state = manager.latest()
+        assert position == 5 and state["session"] == {"x": 1}
+
+    def test_fully_corrupt_chain_resumes_from_scratch(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        manager = CheckpointManager(store, "job-d")
+        key = manager.save(3, {"position": 3, "session": {"x": 1}})
+        path = store.root / f"{key}.pkl"
+        path.write_bytes(b"\x00" * 10)
+        store.clear_memory()
+        assert manager.latest() is None
+
+
+class TestVerifyCheckpoints:
+    def test_deep_verify_classifies_all_three_ways(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        manager = CheckpointManager(store, "job-v")
+        good = manager.save(2, {"position": 2, "session": {"x": 1}})
+        bad_bytes = manager.save(4, {"position": 4, "session": {"x": 2}})
+        bad_snap = manager.save(6, {"position": 6, "session": {"x": 3}})
+        unverified = manager.save(8, {"position": 8, "session": {"x": 4}})
+        # bad_bytes: payload rots on disk after storage.
+        path = store.root / f"{bad_bytes}.pkl"
+        path.write_bytes(path.read_bytes()[:-4] + b"ROT!")
+        # bad_snap: digest-consistent garbage (torn before storage).
+        torn = encode_state({"position": 6, "session": {"x": 3}})[:-5]
+        store.put(
+            bad_snap,
+            torn,
+            kind=CHECKPOINT_KIND,
+            params={
+                "job": "job-v",
+                "position": 6,
+                "snapshot": SNAPSHOT_VERSION,
+                "state_digest": state_digest(torn),
+            },
+        )
+        # unverified: a pre-integrity-era entry with no recorded digest.
+        manifest = store.manifest(unverified)
+        manifest.payload_sha256 = ""
+        (store.root / f"{unverified}.json").write_text(manifest.to_json())
+
+        report = verify_checkpoints(store)
+        assert report["ok"] == [good]
+        assert sorted(report["corrupt"]) == sorted([bad_bytes, bad_snap])
+        assert report["unverified"] == [unverified]
+        # Dry verify quarantines nothing.
+        assert (store.root / f"{bad_bytes}.pkl").exists()
+
+        repaired = verify_checkpoints(store, repair=True)
+        assert sorted(repaired["corrupt"]) == sorted([bad_bytes, bad_snap])
+        assert not (store.root / f"{bad_bytes}.pkl").exists()
+        assert (store.root / "quarantine" / f"{bad_bytes}.pkl").exists()
+        # The chain now resumes from the newest healthy entry.
+        store.clear_memory()
+        position, _state = manager.latest()
+        assert position in (2, 8)
+
+    def test_non_checkpoint_entries_ignored(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put(
+            store.key_for("profile", {"a": 1}), {"v": 1},
+            kind="profile", params={"a": 1},
+        )
+        assert verify_checkpoints(store) == {
+            "ok": [], "corrupt": [], "unverified": [],
+        }

@@ -107,3 +107,216 @@ class TestCacheCheckpoints:
         assert main(["cache", "checkpoints"]) == 0
         out = capsys.readouterr().out
         assert "job-b" in out and "2 across 1 job(s)" in out
+
+
+class TestCacheReplicate:
+    def _seed_chain(self, job_key="job-rep"):
+        manager = CheckpointManager(default_store(), job_key)
+        manager.save(4, {"position": 4, "session": {"kind": "x"}})
+        manager.save(9, {"position": 9, "session": {"kind": "x"}})
+        return manager
+
+    def test_push_then_pull_roundtrip(self, tmp_path, capsys):
+        self._seed_chain()
+        peer = tmp_path / "peer"
+        assert main(["cache", "replicate", str(peer)]) == 0
+        out = capsys.readouterr().out
+        assert "pushed to" in out and "2 transferred" in out
+        # Second sweep: everything already digest-acknowledged.
+        assert main(["cache", "replicate", str(peer)]) == 0
+        assert "2 already present" in capsys.readouterr().out
+        # The disk dies; pull the chains back.
+        default_store().wipe()
+        assert main(["cache", "replicate", str(peer), "--pull"]) == 0
+        assert "pulled from" in capsys.readouterr().out
+        assert main(["cache", "checkpoints"]) == 0
+        assert "2 across 1 job(s)" in capsys.readouterr().out
+
+    def test_watch_bounded_by_rounds(self, tmp_path, capsys):
+        self._seed_chain()
+        peer = tmp_path / "peer"
+        assert main([
+            "cache", "replicate", str(peer),
+            "--watch", "--interval", "0.01", "--rounds", "2",
+        ]) == 0
+        assert capsys.readouterr().out.count("pushed to") == 2
+
+
+class TestGcPeerAckGuard:
+    """--gc must not collect entries the peer has not acknowledged."""
+
+    def _seed_chain(self, job_key="job-gc"):
+        manager = CheckpointManager(default_store(), job_key)
+        manager.save(4, {"position": 4, "session": {"kind": "x"}})
+        manager.save(9, {"position": 9, "session": {"kind": "x"}})
+        return manager
+
+    def test_unacked_entries_survive_gc(self, tmp_path, capsys):
+        self._seed_chain()
+        peer = tmp_path / "peer"  # configured but empty: nothing acked
+        assert main([
+            "cache", "checkpoints", "--gc", "--peer", str(peer),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "removed 0 checkpoint(s)" in out
+        assert "retained 2 checkpoint(s)" in out
+        assert "bounded-lag safety" in out
+        # Still listed — nothing was lost.
+        assert main(["cache", "checkpoints"]) == 0
+        assert "2 across 1 job(s)" in capsys.readouterr().out
+
+    def test_acked_entries_collect_normally(self, tmp_path, capsys):
+        self._seed_chain()
+        peer = tmp_path / "peer"
+        assert main(["cache", "replicate", str(peer)]) == 0
+        capsys.readouterr()
+        assert main([
+            "cache", "checkpoints", "--gc", "--peer", str(peer),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "removed 2 checkpoint(s)" in out
+        assert "retained" not in out
+
+    def test_env_configured_peer_guards_too(self, tmp_path, capsys, monkeypatch):
+        self._seed_chain()
+        monkeypatch.setenv("SIMPROF_REPLICA_PEER", str(tmp_path / "peer"))
+        assert main(["cache", "checkpoints", "--gc"]) == 0
+        assert "retained 2 checkpoint(s)" in capsys.readouterr().out
+
+    def test_force_overrides_the_guard(self, tmp_path, capsys):
+        self._seed_chain()
+        assert main([
+            "cache", "checkpoints", "--gc",
+            "--peer", str(tmp_path / "peer"), "--force",
+        ]) == 0
+        assert "removed 2 checkpoint(s)" in capsys.readouterr().out
+
+
+class TestFleetListing:
+    def test_fleet_rows_with_peer_ack(self, tmp_path, capsys):
+        from repro.runtime.replicate import register_inflight
+
+        store = default_store()
+        manager = CheckpointManager(store, "job-f")
+        manager.save(4, {"position": 4, "session": {"kind": "x"}})
+        manager.save(9, {"position": 9, "session": {"kind": "x"}})
+        register_inflight(
+            store, "job-f",
+            {"spec": {"workload": "wc"}, "checkpoint_every": 2, "label": "wc_sp"},
+        )
+        assert main(["cache", "checkpoints", "--fleet"]) == 0
+        out = capsys.readouterr().out
+        assert "1 journalled job(s)" in out
+        assert "wc_sp" in out and "job-f" in out
+        peer = tmp_path / "peer"
+        assert main(["cache", "replicate", str(peer)]) == 0
+        capsys.readouterr()
+        assert main([
+            "cache", "checkpoints", "--fleet", "--peer", str(peer),
+        ]) == 0
+        assert "2/2" in capsys.readouterr().out
+
+    def test_empty_journal(self, capsys):
+        assert main(["cache", "checkpoints", "--fleet"]) == 0
+        assert "0 journalled job(s)" in capsys.readouterr().out
+
+
+class TestVerifyDeepCheckpoints:
+    def test_digest_consistent_garbage_is_reported_and_repaired(
+        self, capsys
+    ):
+        from repro.runtime.checkpoint import CHECKPOINT_KIND
+        from repro.runtime.snapshot import (
+            SNAPSHOT_VERSION,
+            encode_state,
+            state_digest,
+        )
+
+        store = default_store()
+        manager = CheckpointManager(store, "job-v")
+        manager.save(4, {"position": 4, "session": {"kind": "x"}})
+        key9 = manager.save(9, {"position": 9, "session": {"kind": "x"}})
+        # Torn before storage: the byte digest faithfully records
+        # garbage, so only the deep (snapshot-level) pass can catch it.
+        torn = encode_state({"position": 9, "session": {"kind": "x"}})[:-7]
+        store.put(
+            key9, torn, kind=CHECKPOINT_KIND,
+            params={
+                "job": "job-v", "position": 9,
+                "snapshot": SNAPSHOT_VERSION,
+                "state_digest": state_digest(torn),
+            },
+        )
+        assert main(["cache", "verify"]) == 1
+        out = capsys.readouterr().out
+        assert f"CORRUPT: {key9}" in out
+        assert "1 checkpoint(s) deep-verified" in out
+        assert main(["cache", "verify", "--repair"]) == 0
+        out = capsys.readouterr().out
+        assert f"quarantined: {key9}" in out
+        # The quarantined entry no longer resumes; the chain fell back.
+        store.clear_memory()
+        position, _state = CheckpointManager(store, "job-v").latest()
+        assert position == 4
+
+
+class TestProfileFromPeer:
+    def test_from_peer_requires_resume(self):
+        with pytest.raises(SystemExit, match="requires --resume"):
+            main([*PROFILE_ARGS, "--checkpoint-every", "2",
+                  "--from-peer", "/tmp/nowhere"])
+
+    def test_disaster_recovery_resume_from_peer(self, tmp_path, capsys):
+        """Cut a genuine chain via the CLI's own entry point, replicate,
+        lose the local store, resume with --resume --from-peer."""
+        from repro.core.pipeline import SimProf, SimProfConfig
+        from repro.runtime.checkpoint import (
+            CheckpointPolicy,
+            WorkerKilled,
+            checkpoint_job_key,
+        )
+        from repro.workloads import run_workload_stream
+
+        config = SimProfConfig(
+            unit_size=10_000_000, snapshot_period=500_000, seed=0
+        )
+        job_key = checkpoint_job_key({
+            "workload": "wc", "framework": "spark", "scale": 0.08,
+            "seed": 0, "graph": "", "faults": "",
+            "profiler": config.profiler_config(),
+        })
+        manager = CheckpointManager(default_store(), job_key)
+        stream = run_workload_stream("wc", "spark", scale=0.08, seed=0)
+        with pytest.raises(WorkerKilled):
+            SimProf(config).analyze_stream(
+                stream,
+                checkpoint=CheckpointPolicy(manager, every=2, kill_after=15),
+            )
+        assert manager.latest() is not None
+        peer = tmp_path / "peer"
+        assert main(["cache", "replicate", str(peer)]) == 0
+        capsys.readouterr()
+        default_store().wipe()
+
+        assert main([
+            *PROFILE_ARGS, "--checkpoint-every", "2",
+            "--resume", "--from-peer", str(peer),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"pulled job {job_key}" in out
+        assert "retired on completion" in out
+
+    def test_env_peer_replicates_during_profile(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        peer = tmp_path / "peer"
+        monkeypatch.setenv("SIMPROF_REPLICA_PEER", str(peer))
+        monkeypatch.setenv("SIMPROF_REPLICA_SYNC", "1")
+        assert main([*PROFILE_ARGS, "--checkpoint-every", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "replication:" in out
+        assert "DEGRADED" not in out
+
+    def test_no_peer_no_replication_output(self, capsys):
+        assert main([*PROFILE_ARGS, "--checkpoint-every", "2"]) == 0
+        assert "replication:" not in capsys.readouterr().out

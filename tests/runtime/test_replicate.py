@@ -1,0 +1,375 @@
+"""Replication plane: peers, transfers, policy, journal, fleet restore.
+
+The contract under test (ISSUE 9): checkpoint chains migrate between
+stores with digest verification at every hop, transfers resume and
+quarantine rather than trust, replication never fails a job (it
+degrades and records), and a fleet of in-flight jobs restores in
+parallel byte-identically to a serial restore.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.pipeline import SimProf
+from repro.runtime.checkpoint import (
+    CheckpointManager,
+    WorkerKilled,
+    checkpoint_job_key,
+)
+from repro.runtime.replicate import (
+    INFLIGHT_KIND,
+    FilesystemPeer,
+    FlakyPeer,
+    FlakyPlan,
+    PeerPayloadMismatch,
+    ReplicationPolicy,
+    RetryPolicy,
+    clear_inflight,
+    inflight_store_key,
+    iter_inflight,
+    pull_fleet,
+    pull_job,
+    pull_key,
+    push_key,
+    register_inflight,
+    replicate_store,
+    restore_fleet,
+)
+from repro.runtime.runner import RunSpec, _compute_profile_stream, spec_stream
+from repro.runtime.store import ArtifactStore
+from tests.conftest import TEST_SCALE, TEST_SIMPROF_CONFIG
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "local")
+
+
+@pytest.fixture()
+def peer(tmp_path):
+    return FilesystemPeer(tmp_path / "peer")
+
+
+def _seed_entry(store, job="jobA", position=5, payload=b"x" * 200_000):
+    """One checkpoint-shaped entry with a verified payload digest."""
+    params = {"job": job, "position": position}
+    key = store.key_for("checkpoint", params)
+    store.put(key, payload, kind="checkpoint", params=params)
+    return key
+
+
+NO_BACKOFF = RetryPolicy(retries=3, backoff=0.0)
+
+
+class TestFilesystemPeerTransfers:
+    def test_push_is_byte_identical_and_idempotent(self, store, peer):
+        key = _seed_entry(store)
+        out = push_key(store, peer, key, retry=NO_BACKOFF)
+        assert out.action == "pushed" and out.ok
+        # Peer holds the exact same payload + manifest bytes.
+        assert (peer.root / f"{key}.pkl").read_bytes() == store.read_payload(key)
+        local_manifest = store.manifest(key)
+        assert peer.manifest(key).payload_sha256 == local_manifest.payload_sha256
+        assert peer.has(key, local_manifest.payload_sha256)
+        # Second push is a digest-verified no-op.
+        assert push_key(store, peer, key, retry=NO_BACKOFF).action == "present"
+
+    def test_pull_roundtrip_byte_identical(self, store, peer, tmp_path):
+        key = _seed_entry(store)
+        push_key(store, peer, key, retry=NO_BACKOFF)
+        other = ArtifactStore(tmp_path / "other")
+        out = pull_key(peer, other, key, retry=NO_BACKOFF)
+        assert out.action == "pulled"
+        assert other.read_payload(key) == store.read_payload(key)
+        assert other.get(key) == store.get(key)
+        assert pull_key(peer, other, key, retry=NO_BACKOFF).action == "present"
+
+    def test_push_resumes_partial_transfer(self, store, peer):
+        key = _seed_entry(store)
+        payload = store.read_payload(key)
+        # A previous attempt died after the first chunk.
+        head = payload[: peer.CHUNK]
+        peer.send_chunk(key, 0, head)
+        assert peer.transfer_offset(key) == len(head)
+        out = push_key(store, peer, key, retry=NO_BACKOFF)
+        assert out.action == "pushed"
+        # Only the remainder crossed the wire this time.
+        assert out.bytes_moved == len(payload) - len(head)
+        assert (peer.root / f"{key}.pkl").read_bytes() == payload
+
+    def test_commit_quarantines_mismatched_payload(self, store, peer):
+        key = _seed_entry(store)
+        manifest = store.manifest(key)
+        peer.send_chunk(key, 0, b"not the payload at all")
+        with pytest.raises(PeerPayloadMismatch):
+            peer.commit(key, manifest)
+        # Evidence parked on the peer, transfer slate wiped clean.
+        assert list((peer.root / "quarantine").iterdir())
+        assert peer.transfer_offset(key) == 0
+        assert peer.manifest(key) is None
+
+    def test_corrupt_local_entry_never_ships(self, store, peer):
+        key = _seed_entry(store)
+        # Rot the local payload behind the manifest's back.
+        path = store.root / f"{key}.pkl"
+        path.write_bytes(path.read_bytes()[:-10] + b"0123456789")
+        out = push_key(store, peer, key, retry=NO_BACKOFF)
+        assert out.action == "corrupt-local"
+        assert not (peer.root / f"{key}.pkl").exists()
+        # And the local entry went to quarantine, not back into service.
+        assert not store.contains(key)
+
+    def test_unverified_entry_refused(self, store, peer):
+        key = _seed_entry(store)
+        manifest = store.manifest(key)
+        manifest.payload_sha256 = ""
+        (store.root / f"{key}.json").write_text(manifest.to_json())
+        out = push_key(store, peer, key, retry=NO_BACKOFF)
+        assert out.action == "unverified"
+
+    def test_pull_missing_key(self, store, peer):
+        out = pull_key(peer, store, "checkpoint-v7-deadbeef", retry=NO_BACKOFF)
+        assert out.action == "missing"
+
+    def test_unreachable_peer_fails_without_raising(self, store):
+        key = _seed_entry(store)
+        bad = FilesystemPeer("/proc/nonexistent/peer")
+        out = push_key(store, bad, key, retry=RetryPolicy(retries=1, backoff=0.0))
+        assert out.action == "failed"
+        assert out.attempts == 2
+        assert out.error
+
+
+class TestFlakyPeer:
+    PLAN = FlakyPlan(
+        seed=5, drop_rate=0.2, stall_rate=0.05,
+        stall_seconds=0.0, corrupt_rate=0.15,
+    )
+
+    def test_fault_sequence_is_deterministic(self, store, tmp_path):
+        logs = []
+        for run in range(2):
+            flaky = FlakyPeer(
+                FilesystemPeer(tmp_path / f"peer{run}"), self.PLAN
+            )
+            key = _seed_entry(store)
+            out = push_key(
+                store, flaky, key, retry=RetryPolicy(retries=10, backoff=0.0)
+            )
+            assert out.ok
+            logs.append(flaky.faults)
+        assert logs[0] == logs[1]
+
+    def test_corruption_is_caught_and_retried(self, store, tmp_path):
+        # corrupt_rate=1: every chunk is damaged in flight, so every
+        # commit must quarantine — the push can never falsely succeed.
+        flaky = FlakyPeer(
+            FilesystemPeer(tmp_path / "p"),
+            FlakyPlan(seed=1, corrupt_rate=1.0),
+        )
+        key = _seed_entry(store, payload=b"y" * 1000)
+        out = push_key(store, flaky, key, retry=RetryPolicy(retries=2, backoff=0.0))
+        assert out.action == "failed"
+        assert not flaky.inner.has(key, store.manifest(key).payload_sha256)
+        assert list((flaky.inner.root / "quarantine").iterdir())
+
+    def test_total_drop_reports_failure(self, store, tmp_path):
+        flaky = FlakyPeer(
+            FilesystemPeer(tmp_path / "p"), FlakyPlan(seed=2, drop_rate=1.0)
+        )
+        key = _seed_entry(store, payload=b"z" * 100)
+        out = push_key(store, flaky, key, retry=RetryPolicy(retries=1, backoff=0.0))
+        assert out.action == "failed"
+        assert "injected drop" in out.error
+
+
+class TestRetryPolicy:
+    def test_jitter_is_deterministic_and_bounded(self):
+        a = RetryPolicy(retries=3, backoff=0.5, seed=7)
+        b = RetryPolicy(retries=3, backoff=0.5, seed=7)
+        for attempt in range(4):
+            base = 0.5 * 2.0**attempt
+            s = a.sleep_seconds(attempt, 99)
+            assert s == b.sleep_seconds(attempt, 99)
+            assert base <= s <= base * 1.5
+        # Different seed, different jitter.
+        c = RetryPolicy(retries=3, backoff=0.5, seed=8)
+        assert c.sleep_seconds(0, 99) != a.sleep_seconds(0, 99)
+
+    def test_zero_backoff_never_sleeps(self):
+        assert RetryPolicy(backoff=0.0).sleep_seconds(5) == 0.0
+
+
+class _GatedPeer(FilesystemPeer):
+    """A peer whose data plane blocks until the test releases it."""
+
+    def __init__(self, root):
+        super().__init__(root)
+        self.gate = threading.Event()
+
+    def send_chunk(self, key, offset, data):
+        self.gate.wait(timeout=30.0)
+        super().send_chunk(key, offset, data)
+
+
+class TestReplicationPolicy:
+    def test_async_push_accounts_for_everything(self, store, peer):
+        keys = [_seed_entry(store, position=i, payload=bytes([i]) * 50) for i in range(6)]
+        policy = ReplicationPolicy(peer, retry=NO_BACKOFF)
+        for key in keys:
+            policy.submit(store, key)
+        status = policy.close()
+        assert status.submitted == 6
+        assert status.pushed == 6
+        assert status.lag == 0 and not status.degraded
+        assert (
+            status.pushed + status.present + status.gone
+            + status.failed + status.superseded + status.pending
+        ) == status.submitted
+
+    def test_unreachable_peer_degrades_without_raising(self, store):
+        key = _seed_entry(store)
+        policy = ReplicationPolicy(
+            FilesystemPeer("/proc/nonexistent/peer"),
+            retry=RetryPolicy(retries=1, backoff=0.0),
+        )
+        policy.submit(store, key)  # must not raise
+        status = policy.close()
+        assert status.failed == 1
+        assert status.degraded
+        assert status.last_error
+
+    def test_bounded_lag_supersedes_oldest(self, store, tmp_path):
+        gated = _GatedPeer(tmp_path / "gated")
+        keys = [
+            _seed_entry(store, position=i, payload=bytes([i]) * 50)
+            for i in range(6)
+        ]
+        policy = ReplicationPolicy(gated, retry=NO_BACKOFF, max_lag=2)
+        try:
+            for key in keys:
+                policy.submit(store, key)
+        finally:
+            gated.gate.set()
+        status = policy.close()
+        assert status.submitted == 6
+        assert status.superseded > 0
+        assert status.degraded  # recorded, never silent
+        assert status.pushed + status.superseded == 6
+
+    def test_synchronous_mode_pushes_inline(self, store, peer):
+        key = _seed_entry(store)
+        policy = ReplicationPolicy(peer, retry=NO_BACKOFF, synchronous=True)
+        policy.submit(store, key)
+        assert peer.has(key, store.manifest(key).payload_sha256)
+        assert policy.status().pushed == 1
+
+
+class TestCheckpointManagerHook:
+    def test_save_replicates_and_clear_retires(self, store, peer):
+        policy = ReplicationPolicy(peer, retry=NO_BACKOFF, synchronous=True)
+        manager = CheckpointManager(store, "jobR", replicate=policy)
+        key = manager.save(3, {"position": 3, "session": {"kind": "t"}})
+        assert peer.has(key, store.manifest(key).payload_sha256)
+        # Idempotent re-save submits nothing new.
+        manager.save(3, {"position": 3, "session": {"kind": "t"}})
+        assert policy.status().submitted == 1
+        manager.clear()
+        assert peer.manifest(key) is None
+
+    def test_no_policy_is_a_no_op(self, store, peer):
+        manager = CheckpointManager(store, "jobR")
+        manager.save(3, {"position": 3, "session": {"kind": "t"}})
+        assert peer.keys() == []
+
+
+class TestInflightJournal:
+    def test_register_iter_clear_roundtrip(self, store):
+        payload = {"spec": {"workload": "wc"}, "checkpoint_every": 2, "label": "wc_sp"}
+        key = register_inflight(store, "jobJ", payload)
+        assert key == inflight_store_key(store, "jobJ")
+        assert list(iter_inflight(store)) == [("jobJ", payload)]
+        register_inflight(store, "jobJ", payload)  # idempotent
+        assert len(list(iter_inflight(store))) == 1
+        clear_inflight(store, "jobJ")
+        assert list(iter_inflight(store)) == []
+
+    def test_journal_replicates_with_chains(self, store, peer, tmp_path):
+        register_inflight(
+            store, "jobJ",
+            {"spec": {"workload": "wc"}, "checkpoint_every": 1, "label": "l"},
+        )
+        _seed_entry(store, job="jobJ")
+        report = replicate_store(store, peer, retry=NO_BACKOFF)
+        assert report.ok and len(report.moved) == 2
+        other = ArtifactStore(tmp_path / "recovered")
+        assert pull_fleet(peer, other, retry=NO_BACKOFF).ok
+        assert [j for j, _ in iter_inflight(other)] == ["jobJ"]
+
+    def test_pull_job_filters_by_job_key(self, store, peer, tmp_path):
+        _seed_entry(store, job="jobA", position=1)
+        _seed_entry(store, job="jobB", position=1)
+        register_inflight(store, "jobA", {"spec": {}, "label": "a"})
+        replicate_store(store, peer, retry=NO_BACKOFF)
+        other = ArtifactStore(tmp_path / "other")
+        report = pull_job(peer, other, "jobA", retry=NO_BACKOFF)
+        assert report.ok
+        pulled_kinds = sorted(m.kind for m in other.entries())
+        assert pulled_kinds == ["checkpoint", INFLIGHT_KIND]
+
+
+def _fleet_specs(n=2):
+    frameworks = ("spark", "hadoop")
+    return [
+        RunSpec(
+            "wc",
+            frameworks[i % 2],
+            scale=TEST_SCALE,
+            seed=i // 2,
+            simprof=TEST_SIMPROF_CONFIG,
+        )
+        for i in range(n)
+    ]
+
+
+class TestRestoreFleet:
+    def test_empty_journal_returns_nothing(self, store):
+        assert restore_fleet(store) == []
+
+    def test_parallel_restore_byte_identical_to_serial(self, store, tmp_path):
+        specs = _fleet_specs(2)
+        references = {}
+        for spec in specs:
+            job = SimProf(spec.simprof).profile_stream(spec_stream(spec))
+            references[checkpoint_job_key(spec.profile_params())] = (
+                job.content_digest()
+            )
+        # Kill both jobs mid-stream to leave chains + journal entries.
+        for i, spec in enumerate(specs):
+            with pytest.raises(WorkerKilled):
+                _compute_profile_stream(
+                    spec, store, checkpoint_every=1, kill_after=15 + i
+                )
+        # Snapshot the inflight state so serial and parallel restores
+        # start from identical stores.
+        mirror = ArtifactStore(tmp_path / "mirror")
+        peer = FilesystemPeer(tmp_path / "mirror")
+        replicate_store(store, peer, retry=NO_BACKOFF)
+
+        serial = restore_fleet(store, jobs=1)
+        assert [r.job_key for r in serial] == sorted(references)
+        # At least one job was past its first batch boundary when
+        # killed, so the restore genuinely resumed mid-chain.
+        assert any(r.resumed_from > 0 for r in serial)
+        parallel = restore_fleet(mirror, jobs=2)
+        assert [(r.job_key, r.digest) for r in serial] == [
+            (r.job_key, r.digest) for r in parallel
+        ]
+        for r in serial:
+            assert r.digest == references[r.job_key]
+        # Both stores end fully retired: no chains, no journal.
+        assert list(iter_inflight(store)) == []
+        assert list(iter_inflight(mirror)) == []

@@ -235,7 +235,7 @@ class TestBrokenPoolDegradation:
 
 
 class TestBackoff:
-    def test_exponential_backoff_between_retries(self, tmp_path, monkeypatch):
+    def _capture_sleeps(self, tmp_path, monkeypatch, seed=0):
         sleeps: list[float] = []
         monkeypatch.setattr(
             runner_module.time, "sleep", lambda s: sleeps.append(s)
@@ -247,9 +247,30 @@ class TestBackoff:
         monkeypatch.setattr(runner_module, "_materialise", always_fails)
         with pytest.raises(RunnerError, match="after 3 attempts"):
             ExperimentRunner(
-                ArtifactStore(tmp_path), jobs=1, retries=2, backoff=0.5
+                ArtifactStore(tmp_path), jobs=1, retries=2, backoff=0.5,
+                seed=seed,
             ).run([_spec()], want="profile")
-        assert sleeps == [0.5, 1.0]
+        return sleeps
+
+    def test_exponential_backoff_with_bounded_jitter(
+        self, tmp_path, monkeypatch
+    ):
+        # Jittered exponential backoff: each sleep lands in
+        # [base, 1.5 * base] where base doubles per attempt.
+        sleeps = self._capture_sleeps(tmp_path, monkeypatch)
+        assert len(sleeps) == 2
+        for attempt, s in enumerate(sleeps):
+            base = 0.5 * 2.0**attempt
+            assert base <= s <= base * 1.5
+
+    def test_backoff_jitter_is_seeded(self, tmp_path, monkeypatch):
+        # Same runner seed → identical sleep schedule (replayable);
+        # different seed → desynchronised jitter.
+        a = self._capture_sleeps(tmp_path / "a", monkeypatch, seed=3)
+        b = self._capture_sleeps(tmp_path / "b", monkeypatch, seed=3)
+        c = self._capture_sleeps(tmp_path / "c", monkeypatch, seed=4)
+        assert a == b
+        assert a != c
 
     def test_zero_backoff_never_sleeps(self, tmp_path, monkeypatch):
         monkeypatch.setattr(
