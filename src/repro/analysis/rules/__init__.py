@@ -1,7 +1,7 @@
 """Built-in rules; importing this package registers all of them.
 
 SPA001–SPA008 are per-module rules (:class:`~repro.analysis.base.Rule`);
-SPA009–SPA012 are whole-program rules
+SPA009–SPA013 are whole-program rules
 (:class:`~repro.analysis.project.ProjectRule`) that run in pass 2 with
 cross-module context.
 """
@@ -18,6 +18,7 @@ from repro.analysis.rules.spa009_snapshot_drift import SnapshotStateDrift
 from repro.analysis.rules.spa010_checkpoint_key import CheckpointKeyCompleteness
 from repro.analysis.rules.spa011_entropy_taint import EntropyTaint
 from repro.analysis.rules.spa012_resource_lifecycle import SharedResourceLifecycle
+from repro.analysis.rules.spa013_stage_inputs import UndeclaredStageInput
 
 __all__ = [
     "GlobalRngRule",
@@ -32,4 +33,5 @@ __all__ = [
     "CheckpointKeyCompleteness",
     "EntropyTaint",
     "SharedResourceLifecycle",
+    "UndeclaredStageInput",
 ]

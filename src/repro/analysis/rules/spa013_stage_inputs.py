@@ -1,0 +1,262 @@
+"""SPA013: undeclared stage inputs.
+
+A ``@stage_fn``-decorated function's provenance key covers exactly what
+the decorator declares: its ``inputs``/``params`` arguments, its
+``code=`` roots (plus the import closure of its module) and its
+``reads=`` declarations.  Anything else the function consumes — a
+module-level constant, an environment variable, a file on disk — can
+change without moving the key, so a warm cache returns a stale artifact
+while claiming full provenance.  This rule proves the declaration
+complete for the three ambient channels a stage can realistically
+reach:
+
+* **module globals** — a ``Load`` of an ``ALL_CAPS`` name bound at
+  module scope (directly or via a module-level/function-local
+  ``from … import``) needs ``reads=("global:<module>.<NAME>", …)``.
+  Lower-case bindings are functions/classes: they are code, and the
+  import closure already fingerprints them.
+* **environment variables** — ``os.environ[…]`` / ``os.environ.get`` /
+  ``os.getenv`` needs ``reads=("env:<NAME>", …)``.
+* **files** — ``open(…)`` in a read mode or ``….read_text()`` /
+  ``….read_bytes()`` needs a ``reads=("file:…", …)`` entry (matched by
+  prefix only: paths are rarely static, but the declaration forces the
+  author to surface the dependency).
+
+Constants the stage only *formats with* still count: the value reached
+the artifact, so it must be keyed.  Writes are outputs, not inputs —
+``open(path, "w")`` is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.base import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.project import (
+    ProjectContext,
+    ProjectRule,
+    register_project_rule,
+)
+
+#: Module-scope data constants follow the ALL_CAPS convention; a single
+#: capital letter (``T``, ``K``) is a type variable, not data.
+_ALL_CAPS = re.compile(r"^[A-Z][A-Z0-9_]+$")
+
+_ENV_GETTERS = frozenset({"os.getenv", "os.environ.get"})
+_FILE_READ_METHODS = frozenset({"read_text", "read_bytes"})
+
+
+def _stage_decorator(ctx: ModuleContext, fn: ast.FunctionDef) -> ast.Call | None:
+    """The ``@stage_fn(...)`` decorator call on ``fn``, if any."""
+    for dec in fn.decorator_list:
+        if not isinstance(dec, ast.Call):
+            continue
+        dotted = ctx.resolve_call(dec) or ""
+        if dotted.rpartition(".")[2] == "stage_fn":
+            return dec
+    return None
+
+
+def _declared_reads(decorator: ast.Call) -> set[str] | None:
+    """Literal ``reads=`` strings, or None if not statically knowable."""
+    reads: set[str] = set()
+    for kw in decorator.keywords:
+        if kw.arg != "reads":
+            continue
+        if not isinstance(kw.value, (ast.Tuple, ast.List, ast.Set)):
+            return None  # computed reads: assume the author knows best
+        for elt in kw.value.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                reads.add(elt.value)
+            else:
+                return None
+    return reads
+
+
+def _module_global_origins(ctx: ModuleContext) -> dict[str, str]:
+    """ALL_CAPS names bound at module scope -> their defining module."""
+    origins: dict[str, str] = {}
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, ast.ImportFrom) and stmt.module:
+            for alias in stmt.names:
+                bound = alias.asname or alias.name
+                if _ALL_CAPS.match(bound):
+                    origins[bound] = f"{stmt.module}.{alias.name}"
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name) and _ALL_CAPS.match(target.id):
+                    origins[target.id] = f"{ctx.module}.{target.id}"
+    return origins
+
+
+def _env_name(ctx: ModuleContext, node: ast.AST) -> str | None:
+    """The env-var name read by ``node``, '?' if dynamic, None if not one."""
+    if isinstance(node, ast.Subscript):
+        base = ctx.resolve(node.value) or ""
+        if base != "os.environ":
+            return None
+        key = node.slice
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            return key.value
+        return "?"
+    if isinstance(node, ast.Call):
+        dotted = ctx.resolve_call(node) or ""
+        if dotted not in _ENV_GETTERS:
+            return None
+        if node.args and isinstance(node.args[0], ast.Constant):
+            if isinstance(node.args[0].value, str):
+                return node.args[0].value
+        return "?"
+    return None
+
+
+def _is_file_read(ctx: ModuleContext, node: ast.Call) -> bool:
+    dotted = ctx.resolve_call(node) or ""
+    if dotted == "open":
+        mode = None
+        if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant):
+            mode = node.args[1].value
+        for kw in node.keywords:
+            if kw.arg == "mode" and isinstance(kw.value, ast.Constant):
+                mode = kw.value.value
+        if isinstance(mode, str) and any(c in mode for c in "wax"):
+            return False  # producing an output, not reading an input
+        return True
+    return (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr in _FILE_READ_METHODS
+    )
+
+
+@register_project_rule
+class UndeclaredStageInput(ProjectRule):
+    id = "SPA013"
+    name = "undeclared-stage-input"
+    rationale = (
+        "A @stage_fn function that reads a module global, environment "
+        "variable or file the decorator does not declare has an input "
+        "outside its provenance key: the ambient value can change "
+        "without invalidating the cached artifact, so warm runs return "
+        "stale results that claim full lineage."
+    )
+    hint = (
+        "declare the channel on the decorator — "
+        "reads=(\"global:<module>.<NAME>\",), reads=(\"env:<NAME>\",) or "
+        "reads=(\"file:<path>\",) — or pass the value in through params"
+    )
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        for module in sorted(project.index.modules):
+            ctx = project.module_context(module)
+            if ctx is None:
+                continue
+            module_origins = _module_global_origins(ctx)
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    decorator = _stage_decorator(ctx, node)
+                    if decorator is None:
+                        continue
+                    yield from self._check_stage(
+                        project, ctx, module, node, decorator, module_origins
+                    )
+
+    def _check_stage(
+        self,
+        project: ProjectContext,
+        ctx: ModuleContext,
+        module: str,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        decorator: ast.Call,
+        module_origins: dict[str, str],
+    ) -> Iterator[Finding]:
+        reads = _declared_reads(decorator)
+        if reads is None:
+            return
+        has_file_read = any(r.startswith("file:") for r in reads)
+
+        # Function-local ``from m import NAME`` bindings shadow (and
+        # extend) the module-scope origins inside this stage.
+        origins = dict(module_origins)
+        local_bound = {
+            a.arg for a in fn.args.args + fn.args.kwonlyargs + fn.args.posonlyargs
+        }
+        for node in ast.walk(fn):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    if _ALL_CAPS.match(bound):
+                        origins[bound] = f"{node.module}.{alias.name}"
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        local_bound.add(target.id)
+
+        flagged: set[str] = set()
+        for node in ast.walk(fn):
+            env = _env_name(ctx, node)
+            if env is not None:
+                if f"env:{env}" not in reads and f"env:{env}" not in flagged:
+                    flagged.add(f"env:{env}")
+                    yield self.finding(
+                        project,
+                        module=module,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"stage '{fn.name}' reads environment variable "
+                            f"{env!r} without declaring "
+                            f'reads=("env:{env}",)'
+                        ),
+                        qualname=fn.name,
+                    )
+                continue
+            if isinstance(node, ast.Call) and _is_file_read(ctx, node):
+                if not has_file_read and "file:" not in flagged:
+                    flagged.add("file:")
+                    yield self.finding(
+                        project,
+                        module=module,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"stage '{fn.name}' reads a file without a "
+                            'reads=("file:…",) declaration'
+                        ),
+                        qualname=fn.name,
+                    )
+                continue
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and _ALL_CAPS.match(node.id)
+                and node.id not in local_bound
+                and node.id in origins
+            ):
+                dotted = origins[node.id]
+                declared = f"global:{dotted}"
+                if declared not in reads and declared not in flagged:
+                    flagged.add(declared)
+                    yield self.finding(
+                        project,
+                        module=module,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"stage '{fn.name}' reads module global "
+                            f"{dotted!r} without declaring "
+                            f'reads=("{declared}",)'
+                        ),
+                        qualname=fn.name,
+                    )
+        return

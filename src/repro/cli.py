@@ -8,6 +8,8 @@ The everyday entry points::
     simprof figure fig7 --jobs 4         # regenerate a paper figure
     simprof sensitivity cc_sp            # input-sensitivity analysis
     simprof cache ls                     # inspect the artifact store
+    simprof cache graph --why KEY        # explain a stage recompute
+    simprof cache stats                  # provenance hit/miss counters
     simprof cache gc --stale             # evict outdated artifacts
     simprof stats                        # per-stage timing breakdown
     simprof check --strict src           # static determinism lints
@@ -167,6 +169,24 @@ def build_parser() -> argparse.ArgumentParser:
                           help="filter by artifact kind (profile, model)")
     cache_info = cache_sub.add_parser("info", help="show one entry's manifest")
     cache_info.add_argument("key", help="artifact key (see `simprof cache ls`)")
+    cache_graph = cache_sub.add_parser(
+        "graph",
+        help="inspect the stage-level provenance graph recorded in "
+             "manifests",
+    )
+    cache_graph.add_argument("--why", default=None, metavar="KEY",
+                             help="explain one stage artifact: its lineage "
+                                  "record and what changed vs the previous "
+                                  "run of the same node")
+    cache_graph.add_argument("--invalidated", action="store_true",
+                             help="list stage artifacts whose recorded code "
+                                  "fingerprint no longer matches the working "
+                                  "tree (they will recompute next run)")
+    cache_sub.add_parser(
+        "stats",
+        help="provenance counters: graph nodes, reuse hits/misses, "
+             "invalidation causes",
+    )
     cache_verify = cache_sub.add_parser(
         "verify", help="integrity-check payloads against manifest digests"
     )
@@ -658,7 +678,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         now = time.time()
         print(
             format_table(
-                ["key", "kind", "ver", "size", "hits", "compute", "age"],
+                ["key", "kind", "ver", "size", "hits", "compute", "depth",
+                 "age"],
                 [
                     (
                         m.key,
@@ -667,6 +688,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                         f"{m.size_bytes / 1024:.0f}K",
                         m.hits,
                         f"{m.compute_seconds:.2f}s",
+                        (m.provenance or {}).get("depth", "-"),
                         _format_age(now - m.created) if m.created else "?",
                     )
                     for m in entries
@@ -684,6 +706,112 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 1
         print(manifest.to_json())
+        return 0
+    if args.cache_command == "graph":
+        from repro.runtime.provenance import (
+            STAGE_KIND,
+            explain_key,
+            invalidated_entries,
+        )
+
+        if args.why is not None:
+            try:
+                explanation = explain_key(store, args.why)
+            except KeyError as exc:
+                print(f"error: {exc.args[0]}", file=sys.stderr)
+                return 1
+            record = explanation["record"]
+            print(f"{args.why}")
+            print(f"  node:   {record.get('node', '?')} "
+                  f"(stage {record.get('stage', '?')}, "
+                  f"depth {record.get('depth', '?')})")
+            print(f"  fn:     {record.get('fn', '?')}")
+            print(f"  params: {record.get('params_digest', '?')}")
+            code = record.get("code") or {}
+            print(f"  code:   {code.get('fingerprint', '?')} over "
+                  f"{len(code.get('modules', {}))} module(s) "
+                  f"(roots: {', '.join(code.get('roots', [])) or '-'})")
+            for inp in sorted(record.get("upstream") or {}):
+                up = record["upstream"][inp]
+                print(f"  input:  {inp} <- {up.get('node', '?')} "
+                      f"[{up.get('key', '?')}]")
+            if explanation["predecessor"] is None:
+                print("  first recorded run of this node (no predecessor)")
+            elif not explanation["changed"]:
+                print(f"  identical to predecessor "
+                      f"{explanation['predecessor']}")
+            else:
+                print(f"  vs predecessor {explanation['predecessor']}:")
+                for change in explanation["changed"]:
+                    detail = ""
+                    if change.get("modules"):
+                        detail = f" ({', '.join(change['modules'])})"
+                    if change.get("inputs"):
+                        detail = f" ({', '.join(change['inputs'])})"
+                    print(f"    changed: {change['what']}{detail}")
+            return 0
+        if args.invalidated:
+            stale = invalidated_entries(store)
+            for entry in stale:
+                mods = ", ".join(entry["modules"]) or "?"
+                print(f"  {entry['key']}  {entry['node']}  ({mods})")
+            print(f"{len(stale)} stage artifact(s) with stale code "
+                  f"fingerprints in {store.root}")
+            return 1 if stale else 0
+        nodes = [
+            m for m in store.entries()
+            if m.kind == STAGE_KIND and m.provenance
+        ]
+        nodes.sort(
+            key=lambda m: (m.provenance.get("depth", 0),
+                           m.provenance.get("node", ""))
+        )
+        print(
+            format_table(
+                ["node", "stage", "depth", "inputs", "key"],
+                [
+                    (
+                        m.provenance.get("node", "?"),
+                        m.provenance.get("stage", "?"),
+                        m.provenance.get("depth", "?"),
+                        ", ".join(sorted(m.provenance.get("upstream") or {}))
+                        or "-",
+                        m.key,
+                    )
+                    for m in nodes
+                ],
+                title=(
+                    f"Provenance graph: {store.root} "
+                    f"({len(nodes)} stage artifact(s))"
+                ),
+            )
+        )
+        return 0
+    if args.cache_command == "stats":
+        from repro.runtime.provenance import provenance_stats
+
+        stats = provenance_stats(store)
+        print(
+            format_table(
+                ["stage", "artifacts"],
+                list(stats["per_stage"].items()),
+                title=(
+                    f"Provenance: {stats['entries']} stage artifact(s), "
+                    f"max lineage depth {stats['max_depth']}"
+                ),
+            )
+        )
+        print(
+            f"\nrun_graph sessions: {stats['runs']}; "
+            f"node reuse {stats['hits']} hit(s) / "
+            f"{stats['misses']} miss(es)"
+        )
+        if stats["causes"]:
+            breakdown = ", ".join(
+                f"{cause}: {count}"
+                for cause, count in sorted(stats["causes"].items())
+            )
+            print(f"miss causes: {breakdown}")
         return 0
     if args.cache_command == "verify":
         from repro.runtime.checkpoint import verify_checkpoints

@@ -84,6 +84,7 @@ class PhaseModel:
         projection_dims: int | None = None,
         jobs: int | None = None,
         store: "ArtifactStore | None" = None,
+        features: "tuple[FeatureSpace, np.ndarray] | None" = None,
     ) -> "PhaseModel":
         """Phase formation: vectorise, select features, cluster.
 
@@ -91,11 +92,17 @@ class PhaseModel:
         before clustering (an ablation variant; None = off).  ``jobs``
         parallelises the silhouette k-sweep (``None`` = the
         ``SIMPROF_JOBS`` default); ``store`` enables the feature-matrix
-        cache.  Neither affects the fitted model: the result is
-        bit-identical whatever the worker count or cache state.
+        cache; ``features`` supplies a precomputed
+        ``FeatureSpace.fit(job, top_k)`` pair (the provenance graph's
+        featurize stage) instead of fitting one here.  None of the
+        three affects the fitted model: the result is bit-identical
+        whatever the worker count or cache state.
         """
         with stage_timer("feature-selection") as rec:
-            space, X = FeatureSpace.fit(job, top_k=top_k, store=store)
+            if features is None:
+                space, X = FeatureSpace.fit(job, top_k=top_k, store=store)
+            else:
+                space, X = features
             rec.add(features=space.n_features)
         if space.n_features == 0:
             # No method correlates with performance: the whole run is

@@ -12,6 +12,14 @@ wrappers over the engine so examples and benchmarks keep working;
 drivers that need many (workload, framework) pairs call
 ``prefetch_models``/``prefetch_profiles`` first so the batch executes as
 one runner pass instead of a serial loop.
+
+The figure drivers themselves run through the **provenance graph**
+(:mod:`repro.runtime.provenance`): each driver declares a ``report``
+stage over the per-spec chains wired by :func:`model_inputs`, and
+:func:`run_report` executes the graph incrementally — a warm re-run
+after a code edit recomputes only the stages whose code closure
+changed.  This module is orchestration (excluded from stage closures):
+nothing here is an input to any figure's value.
 """
 
 from __future__ import annotations
@@ -22,7 +30,9 @@ from typing import Any, Iterable, Sequence
 from repro.core.phases import PhaseModel
 from repro.core.pipeline import SimProf, SimProfConfig
 from repro.core.units import JobProfile
+from repro.runtime.provenance import StageGraph
 from repro.runtime.runner import ExperimentRunner, RunSpec
+from repro.runtime.stages import spec_nodes
 from repro.runtime.store import STORE_VERSION
 
 __all__ = [
@@ -33,8 +43,11 @@ __all__ = [
     "get_model",
     "get_profile",
     "make_spec",
+    "model_inputs",
     "prefetch_models",
     "prefetch_profiles",
+    "report_params",
+    "run_report",
 ]
 
 # Kept as an alias for the store version: bump STORE_VERSION (in
@@ -112,6 +125,70 @@ def prefetch_models(
 def prefetch_profiles(specs: Iterable[RunSpec]) -> None:
     """Materialise profile artifacts for pre-built specs in one batch."""
     ExperimentRunner().run(list(specs), want="profile")
+
+
+def model_inputs(
+    graph: StageGraph,
+    pairs: Iterable[tuple[str, str]],
+    cfg: ExperimentConfig,
+    *,
+    graph_name: str | None = None,
+    want: str = "model",
+    n_points: int | None = None,
+) -> tuple[dict[str, str], list[str]]:
+    """Wire per-spec stage chains for many pairs; return report inputs.
+
+    Returns ``(deps, labels)``: ``deps`` maps ``job:<label>`` (and,
+    with ``want="model"``, ``model:<label>``; with ``n_points``,
+    ``estimate:<label>``) to the wired node names — exactly the shape
+    a figure's report stage consumes — and ``labels`` lists the pair
+    labels in input order.  Chains already present in ``graph``
+    (another figure shares the spec) are reused, so a whole-suite
+    graph holds each workload's pipeline once.
+    """
+    from repro.workloads import label_of
+
+    deps: dict[str, str] = {}
+    labels: list[str] = []
+    for workload, framework in pairs:
+        spec = make_spec(workload, framework, cfg, graph_name=graph_name)
+        nodes = spec_nodes(graph, spec, want=want, n_points=n_points)
+        label = label_of(workload, framework)
+        labels.append(label)
+        deps[f"job:{label}"] = nodes["profile"]
+        if want == "model":
+            deps[f"model:{label}"] = nodes["model"]
+        if n_points is not None:
+            deps[f"estimate:{label}"] = nodes["estimate"]
+    return deps, labels
+
+
+def run_report(
+    graph: StageGraph,
+    node: str,
+    *,
+    runner: ExperimentRunner | None = None,
+) -> Any:
+    """Execute a figure graph incrementally and return one node's value."""
+    return (runner or ExperimentRunner()).run_graph(graph)[node]
+
+
+def report_params(
+    cfg: ExperimentConfig, labels: Sequence[str], **extra: Any
+) -> dict[str, Any]:
+    """Standard report-stage parameters: labels + experiment knobs.
+
+    ``seed`` and ``n_sampling_draws`` ride along because most report
+    stages draw their stochastic samplers from them; figure-specific
+    knobs arrive as ``extra``.  Everything lands in the node's key
+    material, so retuning any knob re-runs exactly the report stage.
+    """
+    return {
+        "labels": list(labels),
+        "seed": cfg.seed,
+        "n_sampling_draws": cfg.n_sampling_draws,
+        **extra,
+    }
 
 
 def get_profile(

@@ -9,16 +9,23 @@ each 100 M-instruction point in full.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 import numpy as np
 
-from repro.core.pipeline import SimProf
 from repro.core.systematic import SystematicConfig, SystematicSimProf
-from repro.experiments.common import ExperimentConfig, format_table
+from repro.experiments.common import (
+    ExperimentConfig,
+    format_table,
+    make_spec,
+    report_params,
+    run_report,
+)
 from repro.jvm.perf import PerfCounterReader
-from repro.workloads import run_workload
+from repro.runtime.provenance import StageGraph, stage_fn
+from repro.runtime.stages import spec_nodes
 
-__all__ = ["SystematicSweepResult", "run_systematic_sweep"]
+__all__ = ["SystematicSweepResult", "graph_systematic_sweep", "run_systematic_sweep"]
 
 
 @dataclass
@@ -48,37 +55,29 @@ class SystematicSweepResult:
         )
 
 
-def run_systematic_sweep(
-    cfg: ExperimentConfig | None = None,
-    *,
-    workload: str = "wc",
-    framework: str = "spark",
-    n_points: int = 20,
-    periods: tuple[int, ...] = (250_000, 1_000_000, 5_000_000),
-    detailed_size: int = 10_000,
+@stage_fn("report")
+def _systematic_report(
+    inputs: Mapping[str, Any], params: Mapping[str, Any]
 ) -> SystematicSweepResult:
-    """Sweep the systematic period on one benchmark.
+    """Period sweep over the cached trace/profile/model/points chain.
 
-    Needs sub-unit counters, so the workload is re-run here (the
-    experiment cache stores only per-unit profiles).
+    Sub-unit counters come from the *trace* artifact — the point of
+    wiring the raw trace as a graph input instead of re-running the
+    workload on every sweep invocation.
     """
-    cfg = cfg or ExperimentConfig()
-    trace = run_workload(workload, framework, scale=cfg.scale, seed=cfg.seed)
-    tool: SimProf = cfg.simprof_tool()
-    job = tool.profile(trace)
-    model = tool.form_phases(job)
-    points = tool.select_points(job, model, n_points)
-    reader = PerfCounterReader(
-        trace.thread(job.profile.thread_id)
-    )
+    trace = inputs["trace"]
+    job = inputs["job"]
+    model = inputs["model"]
+    points = inputs["points"]
+    reader = PerfCounterReader(trace.thread(job.profile.thread_id))
 
     rows = []
-    for period in periods:
+    for period in params["periods"]:
         sys_cfg = SystematicConfig(
-            detailed_size=detailed_size, period=period
+            detailed_size=params["detailed_size"], period=period
         )
         result = SystematicSimProf(sys_cfg).evaluate(
-            job, model, reader, points, rng=np.random.default_rng(cfg.seed)
+            job, model, reader, points, rng=np.random.default_rng(params["seed"])
         )
         rows.append(
             (
@@ -90,7 +89,70 @@ def run_systematic_sweep(
                 f"{100 * result.added_error:.2f}",
             )
         )
-    suffix = "sp" if framework == "spark" else "hp"
     return SystematicSweepResult(
-        label=f"{workload}_{suffix}", n_points=n_points, rows=rows
+        label=params["label"], n_points=params["n_points"], rows=rows
     )
+
+
+def graph_systematic_sweep(
+    graph: StageGraph,
+    cfg: ExperimentConfig,
+    *,
+    workload: str = "wc",
+    framework: str = "spark",
+    n_points: int = 20,
+    periods: tuple[int, ...] = (250_000, 1_000_000, 5_000_000),
+    detailed_size: int = 10_000,
+) -> str:
+    """Wire the systematic sweep into ``graph``; return the report node."""
+    spec = make_spec(workload, framework, cfg)
+    nodes = spec_nodes(graph, spec, n_points=n_points)
+    suffix = "sp" if framework == "spark" else "hp"
+    label = f"{workload}_{suffix}"
+    return graph.node(
+        f"report:ext_systematic:{label}",
+        _systematic_report,
+        params=report_params(
+            cfg,
+            [label],
+            label=label,
+            n_points=n_points,
+            periods=list(periods),
+            detailed_size=detailed_size,
+        ),
+        deps={
+            "trace": nodes["trace"],
+            "job": nodes["profile"],
+            "model": nodes["model"],
+            "points": nodes["estimate"],
+        },
+    )
+
+
+def run_systematic_sweep(
+    cfg: ExperimentConfig | None = None,
+    *,
+    workload: str = "wc",
+    framework: str = "spark",
+    n_points: int = 20,
+    periods: tuple[int, ...] = (250_000, 1_000_000, 5_000_000),
+    detailed_size: int = 10_000,
+) -> SystematicSweepResult:
+    """Sweep the systematic period on one benchmark.
+
+    Sub-unit counters come from the trace artifact, so a sweep rerun
+    (or a new period grid) reuses the cached trace instead of
+    re-running the workload.
+    """
+    cfg = cfg or ExperimentConfig()
+    graph = StageGraph("ext_systematic")
+    node = graph_systematic_sweep(
+        graph,
+        cfg,
+        workload=workload,
+        framework=framework,
+        n_points=n_points,
+        periods=periods,
+        detailed_size=detailed_size,
+    )
+    return run_report(graph, node)

@@ -10,18 +10,20 @@ shows that some phases stay non-homogeneous (quicksort, reduce…).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 from repro.core.analysis import CoVReport, cov_report
 from repro.experiments.common import (
     ExperimentConfig,
     all_label_pairs,
     format_table,
-    get_model,
-    prefetch_models,
+    model_inputs,
+    report_params,
+    run_report,
 )
-from repro.workloads import label_of
+from repro.runtime.provenance import StageGraph, stage_fn
 
-__all__ = ["Fig6Row", "Fig6Result", "run_fig6"]
+__all__ = ["Fig6Row", "Fig6Result", "graph_fig6", "run_fig6"]
 
 
 @dataclass(frozen=True)
@@ -56,20 +58,40 @@ class Fig6Result:
         )
 
 
-def run_fig6(cfg: ExperimentConfig | None = None) -> Fig6Result:
-    """Compute Figure 6 for all twelve benchmark configurations."""
-    cfg = cfg or ExperimentConfig()
-    prefetch_models(all_label_pairs(), cfg)
+@stage_fn("report")
+def _fig6_report(
+    inputs: Mapping[str, Any], params: Mapping[str, Any]
+) -> Fig6Result:
+    """CoV table over every benchmark's profile + phase model."""
     rows: list[Fig6Row] = []
-    for workload, framework in all_label_pairs():
-        job, model = get_model(workload, framework, cfg)
+    for label in params["labels"]:
+        job = inputs[f"job:{label}"]
+        model = inputs[f"model:{label}"]
         report: CoVReport = cov_report(job.profile.cpi(), model.assignments)
         rows.append(
             Fig6Row(
-                label=label_of(workload, framework),
+                label=label,
                 population=report.population,
                 weighted=report.weighted,
                 maximum=report.maximum,
             )
         )
     return Fig6Result(rows=rows)
+
+
+def graph_fig6(graph: StageGraph, cfg: ExperimentConfig) -> str:
+    """Wire Figure 6 into ``graph``; return the report node's name."""
+    deps, labels = model_inputs(graph, all_label_pairs(), cfg)
+    return graph.node(
+        "report:fig06",
+        _fig6_report,
+        params=report_params(cfg, labels),
+        deps=deps,
+    )
+
+
+def run_fig6(cfg: ExperimentConfig | None = None) -> Fig6Result:
+    """Compute Figure 6 for all twelve benchmark configurations."""
+    cfg = cfg or ExperimentConfig()
+    graph = StageGraph("fig06")
+    return run_report(graph, graph_fig6(graph, cfg))

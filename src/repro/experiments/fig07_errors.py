@@ -13,7 +13,8 @@ target.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -22,12 +23,13 @@ from repro.experiments.common import (
     ExperimentConfig,
     all_label_pairs,
     format_table,
-    get_model,
-    prefetch_models,
+    model_inputs,
+    report_params,
+    run_report,
 )
-from repro.workloads import label_of
+from repro.runtime.provenance import StageGraph, stage_fn
 
-__all__ = ["Fig7Row", "Fig7Result", "run_fig7", "APPROACHES"]
+__all__ = ["Fig7Row", "Fig7Result", "graph_fig7", "run_fig7", "APPROACHES"]
 
 APPROACHES = ("SECOND", "SRS", "CODE", "SimProf")
 
@@ -99,18 +101,17 @@ class Fig7Result:
         )
 
 
-def run_fig7(
-    cfg: ExperimentConfig | None = None,
-    *,
-    n_points: int = 20,
-    second_seconds: float = 10.0,
+@stage_fn("report")
+def _fig7_report(
+    inputs: Mapping[str, Any], params: Mapping[str, Any]
 ) -> Fig7Result:
-    """Compute Figure 7 for all twelve benchmark configurations."""
-    cfg = cfg or ExperimentConfig()
-    prefetch_models(all_label_pairs(), cfg)
+    """Error table: deterministic samplers once, stochastic ones averaged."""
+    n_points = params["n_points"]
+    second_seconds = params["second_seconds"]
     rows: list[Fig7Row] = []
-    for workload, framework in all_label_pairs():
-        job, model = get_model(workload, framework, cfg)
+    for label in params["labels"]:
+        job = inputs[f"job:{label}"]
+        model = inputs[f"model:{label}"]
         oracle = job.oracle_cpi()
 
         second = SecondSampler(seconds=second_seconds).sample(job).error_vs(oracle)
@@ -120,9 +121,9 @@ def run_fig7(
         simprof_sampler = SimProfSampler(n_points)
         srs_errors = []
         simprof_errors = []
-        for draw in range(cfg.n_sampling_draws):
+        for draw in range(params["n_sampling_draws"]):
             rng = np.random.default_rng(
-                np.random.SeedSequence([cfg.seed, draw])
+                np.random.SeedSequence([params["seed"], draw])
             )
             srs_errors.append(srs_sampler.sample(job, rng).error_vs(oracle))
             simprof_errors.append(
@@ -131,7 +132,7 @@ def run_fig7(
 
         rows.append(
             Fig7Row(
-                label=label_of(workload, framework),
+                label=label,
                 second=second,
                 srs=float(np.mean(srs_errors)),
                 code=code,
@@ -139,3 +140,37 @@ def run_fig7(
             )
         )
     return Fig7Result(rows=rows, n_points=n_points, second_seconds=second_seconds)
+
+
+def graph_fig7(
+    graph: StageGraph,
+    cfg: ExperimentConfig,
+    *,
+    n_points: int = 20,
+    second_seconds: float = 10.0,
+) -> str:
+    """Wire Figure 7 into ``graph``; return the report node's name."""
+    deps, labels = model_inputs(graph, all_label_pairs(), cfg)
+    return graph.node(
+        "report:fig07",
+        _fig7_report,
+        params=report_params(
+            cfg, labels, n_points=n_points, second_seconds=second_seconds
+        ),
+        deps=deps,
+    )
+
+
+def run_fig7(
+    cfg: ExperimentConfig | None = None,
+    *,
+    n_points: int = 20,
+    second_seconds: float = 10.0,
+) -> Fig7Result:
+    """Compute Figure 7 for all twelve benchmark configurations."""
+    cfg = cfg or ExperimentConfig()
+    graph = StageGraph("fig07")
+    node = graph_fig7(
+        graph, cfg, n_points=n_points, second_seconds=second_seconds
+    )
+    return run_report(graph, node)

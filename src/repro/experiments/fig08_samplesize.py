@@ -11,20 +11,23 @@ high-variance phases push its requirement above SECOND's.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 import numpy as np
 
 from repro.core.baselines import SecondSampler
+from repro.core.sampling import required_sample_size
 from repro.experiments.common import (
     ExperimentConfig,
     all_label_pairs,
     format_table,
-    get_model,
-    prefetch_models,
+    model_inputs,
+    report_params,
+    run_report,
 )
-from repro.workloads import label_of
+from repro.runtime.provenance import StageGraph, stage_fn
 
-__all__ = ["Fig8Row", "Fig8Result", "run_fig8"]
+__all__ = ["Fig8Row", "Fig8Result", "graph_fig8", "run_fig8"]
 
 
 @dataclass(frozen=True)
@@ -79,6 +82,70 @@ class Fig8Result:
         )
 
 
+def _simprof_sample_size(
+    job: Any, model: Any, *, relative_error: float, confidence: float
+) -> int:
+    """The stratified solver over the model's phase stats (Eq. 1 + 4)."""
+    stats = model.phase_stats(job.profile.cpi())
+    sizes = np.array([s.n_units for s in stats], dtype=np.float64)
+    stds = np.array([s.cpi_std for s in stats])
+    return required_sample_size(
+        sizes,
+        stds,
+        job.oracle_cpi(),
+        relative_error=relative_error,
+        confidence=confidence,
+    )
+
+
+@stage_fn("report")
+def _fig8_report(
+    inputs: Mapping[str, Any], params: Mapping[str, Any]
+) -> Fig8Result:
+    """Sample-size table: stratified solver at 5 %/2 % vs SECOND units."""
+    confidence = params["confidence"]
+    rows: list[Fig8Row] = []
+    for label in params["labels"]:
+        job = inputs[f"job:{label}"]
+        model = inputs[f"model:{label}"]
+        n5 = _simprof_sample_size(
+            job, model, relative_error=0.05, confidence=confidence
+        )
+        n2 = _simprof_sample_size(
+            job, model, relative_error=0.02, confidence=confidence
+        )
+        second = SecondSampler(seconds=params["second_seconds"]).sample(job)
+        rows.append(
+            Fig8Row(
+                label=label,
+                simprof_5pct=n5,
+                simprof_2pct=n2,
+                second_units=second.sample_size,
+                total_units=job.n_units,
+            )
+        )
+    return Fig8Result(rows=rows, confidence=confidence)
+
+
+def graph_fig8(
+    graph: StageGraph,
+    cfg: ExperimentConfig,
+    *,
+    confidence: float = 0.997,
+    second_seconds: float = 10.0,
+) -> str:
+    """Wire Figure 8 into ``graph``; return the report node's name."""
+    deps, labels = model_inputs(graph, all_label_pairs(), cfg)
+    return graph.node(
+        "report:fig08",
+        _fig8_report,
+        params=report_params(
+            cfg, labels, confidence=confidence, second_seconds=second_seconds
+        ),
+        deps=deps,
+    )
+
+
 def run_fig8(
     cfg: ExperimentConfig | None = None,
     *,
@@ -87,25 +154,8 @@ def run_fig8(
 ) -> Fig8Result:
     """Compute Figure 8 for all twelve benchmark configurations."""
     cfg = cfg or ExperimentConfig()
-    prefetch_models(all_label_pairs(), cfg)
-    tool = cfg.simprof_tool()
-    rows: list[Fig8Row] = []
-    for workload, framework in all_label_pairs():
-        job, model = get_model(workload, framework, cfg)
-        n5 = tool.sample_size_for(
-            job, model, relative_error=0.05, confidence=confidence
-        )
-        n2 = tool.sample_size_for(
-            job, model, relative_error=0.02, confidence=confidence
-        )
-        second = SecondSampler(seconds=second_seconds).sample(job)
-        rows.append(
-            Fig8Row(
-                label=label_of(workload, framework),
-                simprof_5pct=n5,
-                simprof_2pct=n2,
-                second_units=second.sample_size,
-                total_units=job.n_units,
-            )
-        )
-    return Fig8Result(rows=rows, confidence=confidence)
+    graph = StageGraph("fig08")
+    node = graph_fig8(
+        graph, cfg, confidence=confidence, second_seconds=second_seconds
+    )
+    return run_report(graph, node)

@@ -9,17 +9,19 @@ or two map/reduce operations.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 from repro.experiments.common import (
     ExperimentConfig,
     all_label_pairs,
     format_table,
-    get_model,
-    prefetch_models,
+    model_inputs,
+    report_params,
+    run_report,
 )
-from repro.workloads import label_of
+from repro.runtime.provenance import StageGraph, stage_fn
 
-__all__ = ["Fig9Result", "run_fig9"]
+__all__ = ["Fig9Result", "graph_fig9", "run_fig9"]
 
 
 @dataclass
@@ -49,12 +51,30 @@ class Fig9Result:
         )
 
 
+@stage_fn("report")
+def _fig9_report(
+    inputs: Mapping[str, Any], params: Mapping[str, Any]
+) -> Fig9Result:
+    """Phase count per benchmark, straight off the fitted models."""
+    counts: dict[str, int] = {}
+    for label in params["labels"]:
+        counts[label] = inputs[f"model:{label}"].k
+    return Fig9Result(counts=counts)
+
+
+def graph_fig9(graph: StageGraph, cfg: ExperimentConfig) -> str:
+    """Wire Figure 9 into ``graph``; return the report node's name."""
+    deps, labels = model_inputs(graph, all_label_pairs(), cfg)
+    return graph.node(
+        "report:fig09",
+        _fig9_report,
+        params=report_params(cfg, labels),
+        deps=deps,
+    )
+
+
 def run_fig9(cfg: ExperimentConfig | None = None) -> Fig9Result:
     """Compute Figure 9 for all twelve benchmark configurations."""
     cfg = cfg or ExperimentConfig()
-    prefetch_models(all_label_pairs(), cfg)
-    counts: dict[str, int] = {}
-    for workload, framework in all_label_pairs():
-        _job, model = get_model(workload, framework, cfg)
-        counts[label_of(workload, framework)] = model.k
-    return Fig9Result(counts=counts)
+    graph = StageGraph("fig09")
+    return run_report(graph, graph_fig9(graph, cfg))

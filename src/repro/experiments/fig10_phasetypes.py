@@ -11,18 +11,20 @@ than Spark.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 from repro.core.analysis import phase_type_distribution
 from repro.experiments.common import (
     ExperimentConfig,
     all_label_pairs,
     format_table,
-    get_model,
-    prefetch_models,
+    model_inputs,
+    report_params,
+    run_report,
 )
-from repro.workloads import label_of
+from repro.runtime.provenance import StageGraph, stage_fn
 
-__all__ = ["Fig10Result", "run_fig10", "PHASE_TYPES"]
+__all__ = ["Fig10Result", "graph_fig10", "run_fig10", "PHASE_TYPES"]
 
 PHASE_TYPES = ("map", "reduce", "sort", "io")
 
@@ -56,14 +58,32 @@ class Fig10Result:
         )
 
 
+@stage_fn("report")
+def _fig10_report(
+    inputs: Mapping[str, Any], params: Mapping[str, Any]
+) -> Fig10Result:
+    """Unit-weight share per phase type for every benchmark."""
+    shares: dict[str, dict[str, float]] = {}
+    for label in params["labels"]:
+        job = inputs[f"job:{label}"]
+        model = inputs[f"model:{label}"]
+        shares[label] = phase_type_distribution(job, model.assignments)
+    return Fig10Result(shares=shares)
+
+
+def graph_fig10(graph: StageGraph, cfg: ExperimentConfig) -> str:
+    """Wire Figure 10 into ``graph``; return the report node's name."""
+    deps, labels = model_inputs(graph, all_label_pairs(), cfg)
+    return graph.node(
+        "report:fig10",
+        _fig10_report,
+        params=report_params(cfg, labels),
+        deps=deps,
+    )
+
+
 def run_fig10(cfg: ExperimentConfig | None = None) -> Fig10Result:
     """Compute Figure 10 for all twelve benchmark configurations."""
     cfg = cfg or ExperimentConfig()
-    prefetch_models(all_label_pairs(), cfg)
-    shares: dict[str, dict[str, float]] = {}
-    for workload, framework in all_label_pairs():
-        job, model = get_model(workload, framework, cfg)
-        shares[label_of(workload, framework)] = phase_type_distribution(
-            job, model.assignments
-        )
-    return Fig10Result(shares=shares)
+    graph = StageGraph("fig10")
+    return run_report(graph, graph_fig10(graph, cfg))

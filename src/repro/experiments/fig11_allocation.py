@@ -12,13 +12,22 @@ sequential access) receives far less.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 import numpy as np
 
 from repro.core.sampling import stratified_sample
-from repro.experiments.common import ExperimentConfig, format_table, get_model
+from repro.experiments.common import (
+    ExperimentConfig,
+    format_table,
+    make_spec,
+    report_params,
+    run_report,
+)
+from repro.runtime.provenance import StageGraph, stage_fn
+from repro.runtime.stages import spec_nodes
 
-__all__ = ["Fig11Row", "Fig11Result", "run_fig11"]
+__all__ = ["Fig11Row", "Fig11Result", "graph_fig11", "run_fig11"]
 
 
 @dataclass(frozen=True)
@@ -61,22 +70,26 @@ class Fig11Result:
         )
 
 
-def run_fig11(
-    cfg: ExperimentConfig | None = None,
-    *,
-    workload: str = "cc",
-    framework: str = "spark",
-    n_points: int = 20,
+@stage_fn("report")
+def _fig11_report(
+    inputs: Mapping[str, Any], params: Mapping[str, Any]
 ) -> Fig11Result:
-    """Compute Figure 11 (defaults to cc_sp, as in the paper)."""
-    cfg = cfg or ExperimentConfig()
-    job, model = get_model(workload, framework, cfg)
+    """Per-phase allocation table for one benchmark's fitted model.
+
+    The allocation here floors at ``n_points`` (not the unit count) so
+    the paper's n=20 reading holds even for tiny test-scale profiles —
+    hence a fresh :func:`stratified_sample` call rather than reusing the
+    ``estimate`` stage's artifact.
+    """
+    job = inputs["job"]
+    model = inputs["model"]
+    n_points = params["n_points"]
     cpi = job.profile.cpi()
     est = stratified_sample(
         model.assignments,
         cpi,
         max(n_points, model.k),
-        rng=np.random.default_rng(cfg.seed),
+        rng=np.random.default_rng(params["seed"]),
         k=model.k,
     )
     stats = model.phase_stats(cpi)
@@ -92,7 +105,47 @@ def run_fig11(
         for s in stats
     ]
     rows.sort(key=lambda r: -r.weight)
-    suffix = "sp" if framework == "spark" else "hp"
     return Fig11Result(
-        workload_label=f"{workload}_{suffix}", n_points=n_points, rows=rows
+        workload_label=params["workload_label"],
+        n_points=n_points,
+        rows=rows,
     )
+
+
+def graph_fig11(
+    graph: StageGraph,
+    cfg: ExperimentConfig,
+    *,
+    workload: str = "cc",
+    framework: str = "spark",
+    n_points: int = 20,
+) -> str:
+    """Wire Figure 11 into ``graph``; return the report node's name."""
+    spec = make_spec(workload, framework, cfg)
+    nodes = spec_nodes(graph, spec)
+    suffix = "sp" if framework == "spark" else "hp"
+    label = f"{workload}_{suffix}"
+    return graph.node(
+        f"report:fig11:{label}",
+        _fig11_report,
+        params=report_params(
+            cfg, [label], n_points=n_points, workload_label=label
+        ),
+        deps={"job": nodes["profile"], "model": nodes["model"]},
+    )
+
+
+def run_fig11(
+    cfg: ExperimentConfig | None = None,
+    *,
+    workload: str = "cc",
+    framework: str = "spark",
+    n_points: int = 20,
+) -> Fig11Result:
+    """Compute Figure 11 (defaults to cc_sp, as in the paper)."""
+    cfg = cfg or ExperimentConfig()
+    graph = StageGraph("fig11")
+    node = graph_fig11(
+        graph, cfg, workload=workload, framework=framework, n_points=n_points
+    )
+    return run_report(graph, node)

@@ -12,6 +12,7 @@ total for most workloads).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -21,16 +22,17 @@ from repro.datagen.seeds import REFERENCE_INPUTS, TRAINING_INPUT
 from repro.experiments.common import (
     ExperimentConfig,
     format_table,
-    get_model,
-    get_profile,
     make_spec,
-    prefetch_models,
-    prefetch_profiles,
+    report_params,
+    run_report,
 )
+from repro.runtime.provenance import StageGraph, stage_fn
+from repro.runtime.stages import spec_nodes
 
 __all__ = [
     "SensitivityRow",
     "Fig12_13Result",
+    "graph_fig12_13",
     "run_fig12_13",
     "GRAPH_LABEL_PAIRS",
 ]
@@ -109,46 +111,28 @@ class Fig12_13Result:
         )
 
 
-def run_fig12_13(
-    cfg: ExperimentConfig | None = None,
-    *,
-    n_points: int = 20,
-    reference_names: tuple[str, ...] | None = None,
+@stage_fn("report")
+def _fig12_13_report(
+    inputs: Mapping[str, Any], params: Mapping[str, Any]
 ) -> Fig12_13Result:
-    """Compute Figures 12 and 13 over the Table II inputs."""
-    cfg = cfg or ExperimentConfig()
-    ref_names = reference_names or tuple(g.name for g in REFERENCE_INPUTS)
-
-    # One batch materialises the 4 training models and the 4 x 7
-    # reference profiles (parallel under SIMPROF_JOBS); the loop below
-    # then reads everything from the artifact store.
-    prefetch_models(GRAPH_LABEL_PAIRS, cfg, graph_name=TRAINING_INPUT.name)
-    prefetch_profiles(
-        make_spec(w, f, cfg, graph_name=name)
-        for w, f in GRAPH_LABEL_PAIRS
-        for name in ref_names
-    )
-
+    """Sensitivity test per graph workload over the reference profiles."""
+    n_points = params["n_points"]
+    ref_names = params["ref_names"]
     rows: list[SensitivityRow] = []
     details: dict[str, InputSensitivityResult] = {}
-    for workload, framework in GRAPH_LABEL_PAIRS:
-        train_job, model = get_model(
-            workload, framework, cfg, graph_name=TRAINING_INPUT.name
-        )
-        ref_jobs = {
-            name: get_profile(workload, framework, cfg, graph_name=name)
-            for name in ref_names
-        }
+    for label in params["labels"]:
+        train_job = inputs[f"job:{label}"]
+        model = inputs[f"model:{label}"]
+        ref_jobs = {name: inputs[f"ref:{label}:{name}"] for name in ref_names}
         result = input_sensitivity_test(model, train_job, ref_jobs)
 
         est = stratified_sample(
             model.assignments,
             train_job.profile.cpi(),
             max(n_points, model.k),
-            rng=np.random.default_rng(cfg.seed),
+            rng=np.random.default_rng(params["seed"]),
             k=model.k,
         )
-        label = f"{workload}_{'sp' if framework == 'spark' else 'hp'}"
         rows.append(
             SensitivityRow(
                 label=label,
@@ -164,3 +148,60 @@ def run_fig12_13(
         )
         details[label] = result
     return Fig12_13Result(rows=rows, details=details, n_points=n_points)
+
+
+def graph_fig12_13(
+    graph: StageGraph,
+    cfg: ExperimentConfig,
+    *,
+    n_points: int = 20,
+    reference_names: tuple[str, ...] | None = None,
+) -> str:
+    """Wire Figures 12-13 into ``graph``; return the report node's name.
+
+    Each workload contributes one training chain (profile + model on
+    the Google input) and one profile chain per reference input; the
+    report stage consumes them as ``job:``/``model:``/``ref:`` inputs.
+    """
+    ref_names = reference_names or tuple(g.name for g in REFERENCE_INPUTS)
+    deps: dict[str, str] = {}
+    labels: list[str] = []
+    for workload, framework in GRAPH_LABEL_PAIRS:
+        spec = make_spec(workload, framework, cfg, graph_name=TRAINING_INPUT.name)
+        nodes = spec_nodes(graph, spec)
+        label = f"{workload}_{'sp' if framework == 'spark' else 'hp'}"
+        labels.append(label)
+        deps[f"job:{label}"] = nodes["profile"]
+        deps[f"model:{label}"] = nodes["model"]
+        for name in ref_names:
+            ref_spec = make_spec(workload, framework, cfg, graph_name=name)
+            ref_nodes = spec_nodes(graph, ref_spec, want="profile")
+            deps[f"ref:{label}:{name}"] = ref_nodes["profile"]
+    return graph.node(
+        "report:fig12_13",
+        _fig12_13_report,
+        params=report_params(
+            cfg, labels, n_points=n_points, ref_names=list(ref_names)
+        ),
+        deps=deps,
+    )
+
+
+def run_fig12_13(
+    cfg: ExperimentConfig | None = None,
+    *,
+    n_points: int = 20,
+    reference_names: tuple[str, ...] | None = None,
+) -> Fig12_13Result:
+    """Compute Figures 12 and 13 over the Table II inputs.
+
+    The graph wires the 4 training chains and the 4 × 7 reference
+    profile chains; under ``SIMPROF_JOBS`` the ready stages of each
+    wave run in parallel.
+    """
+    cfg = cfg or ExperimentConfig()
+    graph = StageGraph("fig12_13")
+    node = graph_fig12_13(
+        graph, cfg, n_points=n_points, reference_names=reference_names
+    )
+    return run_report(graph, node)

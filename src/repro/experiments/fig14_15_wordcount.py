@@ -15,12 +15,25 @@ sorted by phase id), the CPI (blue dots / left axis) and the phase id
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 import numpy as np
 
-from repro.experiments.common import ExperimentConfig, format_table, get_model
+from repro.experiments.common import (
+    ExperimentConfig,
+    format_table,
+    make_spec,
+    report_params,
+    run_report,
+)
+from repro.runtime.provenance import StageGraph, stage_fn
+from repro.runtime.stages import spec_nodes
 
-__all__ = ["WordCountPhaseSeries", "run_wordcount_series"]
+__all__ = [
+    "WordCountPhaseSeries",
+    "graph_wordcount_series",
+    "run_wordcount_series",
+]
 
 
 @dataclass
@@ -61,12 +74,13 @@ class WordCountPhaseSeries:
         )
 
 
-def run_wordcount_series(
-    framework: str, cfg: ExperimentConfig | None = None
+@stage_fn("report")
+def _wordcount_report(
+    inputs: Mapping[str, Any], params: Mapping[str, Any]
 ) -> WordCountPhaseSeries:
-    """Figure 14 (``framework='spark'``) or 15 (``'hadoop'``)."""
-    cfg = cfg or ExperimentConfig()
-    job, model = get_model("wc", framework, cfg)
+    """Phase-sorted CPI series + per-phase summary for WordCount."""
+    job = inputs["job"]
+    model = inputs["model"]
     cpi = job.profile.cpi()
     order = np.argsort(model.assignments, kind="stable")
     stats = model.phase_stats(cpi)
@@ -84,10 +98,34 @@ def run_wordcount_series(
                 "top_methods": tops,
             }
         )
-    suffix = "sp" if framework == "spark" else "hp"
     return WordCountPhaseSeries(
-        label=f"wc_{suffix}",
+        label=params["label"],
         cpi_sorted=cpi[order],
         phase_sorted=model.assignments[order],
         phase_summary=summary,
     )
+
+
+def graph_wordcount_series(
+    graph: StageGraph, framework: str, cfg: ExperimentConfig
+) -> str:
+    """Wire Figure 14/15 into ``graph``; return the report node's name."""
+    spec = make_spec("wc", framework, cfg)
+    nodes = spec_nodes(graph, spec)
+    suffix = "sp" if framework == "spark" else "hp"
+    label = f"wc_{suffix}"
+    return graph.node(
+        f"report:fig14_15:{label}",
+        _wordcount_report,
+        params=report_params(cfg, [label], label=label),
+        deps={"job": nodes["profile"], "model": nodes["model"]},
+    )
+
+
+def run_wordcount_series(
+    framework: str, cfg: ExperimentConfig | None = None
+) -> WordCountPhaseSeries:
+    """Figure 14 (``framework='spark'``) or 15 (``'hadoop'``)."""
+    cfg = cfg or ExperimentConfig()
+    graph = StageGraph("fig14_15")
+    return run_report(graph, graph_wordcount_series(graph, framework, cfg))

@@ -94,11 +94,13 @@ __all__ = [
 #: Store kind of the inflight-job journal entries.
 INFLIGHT_KIND = "inflight"
 
-#: Kinds replicated by default: the checkpoint chains and the journal
-#: that names the jobs they belong to.  Finished artifacts (profiles,
-#: models) are reproducible from their specs and are not part of the
-#: disaster-recovery contract.
-REPLICATION_KINDS = ("checkpoint", INFLIGHT_KIND)
+#: Kinds replicated by default: the checkpoint chains, the journal
+#: that names the jobs they belong to, and the provenance-carrying
+#: stage artifacts — a restored fleet must answer ``cache graph
+#: --why`` (lineage, invalidation causes) without recomputing every
+#: stage.  Published aliases (profiles, models) are reproducible from
+#: their specs and stay outside the disaster-recovery contract.
+REPLICATION_KINDS = ("checkpoint", INFLIGHT_KIND, "stage")
 
 #: Environment variable naming the filesystem peer every checkpointing
 #: job replicates to (see :func:`resolve_replication`).

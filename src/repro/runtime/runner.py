@@ -40,19 +40,19 @@ import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.core.phases import PhaseModel
 from repro.core.pipeline import SimProf, SimProfConfig
 from repro.core.units import JobProfile
-from repro.runtime.instrument import stage_timer
 from repro.runtime.store import ArtifactStore, default_store
 
 __all__ = [
     "RunSpec",
     "RunResult",
+    "GraphResult",
     "RunnerError",
     "ExperimentRunner",
     "resolve_jobs",
@@ -259,15 +259,33 @@ class RunSpec:
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any]) -> "RunSpec":
+        """Rebuild a spec from :meth:`to_payload` output.
+
+        Tolerant by design: unknown top-level keys and unknown
+        ``simprof`` knobs are ignored, and missing optional fields take
+        their defaults — a journal or checkpoint written by a newer
+        schema still round-trips on an older engine instead of crashing
+        a resume.  Unknown knobs cannot silently alias: cache keys are
+        derived from the *reconstructed* spec, so a dropped knob yields
+        the same key an engine without that knob would compute.
+        """
+        raw = payload.get("simprof") or {}
+        if isinstance(raw, SimProfConfig):
+            simprof = raw
+        else:
+            known = {f.name for f in fields(SimProfConfig)}
+            simprof = SimProfConfig(
+                **{k: v for k, v in dict(raw).items() if k in known}
+            )
         return cls(
             workload=payload["workload"],
             framework=payload["framework"],
-            scale=payload["scale"],
-            seed=payload["seed"],
+            scale=payload.get("scale", 1.0),
+            seed=payload.get("seed", 0),
             graph_name=payload.get("graph_name"),
             input_name=payload.get("input_name"),
             params=payload.get("params") or None,
-            simprof=SimProfConfig(**payload["simprof"]),
+            simprof=simprof,
         )
 
 
@@ -287,26 +305,68 @@ class RunResult:
         return self.spec.label
 
 
+@dataclass
+class GraphResult:
+    """Outcome of one :meth:`ExperimentRunner.run_graph` execution.
+
+    Holds the resolved :class:`~repro.runtime.provenance.NodePlan` per
+    node; values stay in the store and load lazily (``result[name]``),
+    so a driver fetching only its report node never unpickles the
+    upstream traces.
+    """
+
+    store: ArtifactStore
+    plans: list[Any]  # list[NodePlan]
+
+    def plan(self, name: str) -> Any:
+        for plan in self.plans:
+            if plan.name == name:
+                return plan
+        raise KeyError(f"no stage node named {name!r}")
+
+    def key(self, name: str) -> str:
+        return self.plan(name).key
+
+    def cached(self, name: str) -> bool:
+        return self.plan(name).cached
+
+    @property
+    def executed(self) -> list[str]:
+        """Node names recomputed this run (in topological order)."""
+        return [p.name for p in self.plans if not p.cached]
+
+    @property
+    def hits(self) -> int:
+        return sum(p.cached for p in self.plans)
+
+    @property
+    def misses(self) -> int:
+        return len(self.plans) - self.hits
+
+    def __getitem__(self, name: str) -> Any:
+        return self.store.get(self.key(name))
+
+
 # -- computation (runs in the parent or in pool workers) ----------------------
 
 
 def _compute_profile(spec: RunSpec) -> JobProfile:
-    """Run the workload and profile its busiest thread (stages timed)."""
-    from repro.datagen.seeds import GRAPH_INPUTS
-    from repro.workloads import run_workload
+    """Run the workload and profile its busiest thread (stages timed).
 
-    graph = GRAPH_INPUTS[spec.graph_name] if spec.graph_name else None
-    with stage_timer("trace-gen"):
-        trace = run_workload(
-            spec.workload,
-            spec.framework,
-            scale=spec.scale,
-            seed=spec.seed,
-            graph=graph,
-            input_name=spec.input_name or spec.graph_name or "default",
-            params=dict(spec.params) if spec.params else None,
-        )
-    return SimProf(spec.simprof).profile(trace)
+    Expressed over the declared stage functions
+    (:mod:`repro.runtime.stages`) so the classic per-spec path and the
+    provenance graph compute values through identical code.
+    """
+    from repro.runtime.stages import (
+        stage_profile,
+        stage_trace_gen,
+        trace_params,
+    )
+
+    trace = stage_trace_gen({}, trace_params(spec))
+    return stage_profile(
+        {"trace": trace}, {"profiler": spec.simprof.profiler_config()}
+    )
 
 
 def spec_stream(spec: RunSpec):
@@ -564,6 +624,55 @@ class ExperimentRunner:
             initializer=initializer,
             initargs=initargs,
         )
+
+    # -- provenance-graph execution -------------------------------------------
+
+    def plan_graph(self, graph: Any, *, code: Any | None = None) -> list[Any]:
+        """Resolve a :class:`~repro.runtime.provenance.StageGraph` to
+        per-node keys, lineage records and hit/miss causes (no
+        execution)."""
+        from repro.runtime.provenance import plan_graph
+
+        return plan_graph(graph, self.store, code=code)
+
+    def run_graph(self, graph: Any, *, code: Any | None = None) -> GraphResult:
+        """Execute a stage graph incrementally.
+
+        Plans the graph (:func:`~repro.runtime.provenance.plan_graph`),
+        then repeatedly fans every *ready* miss — all upstream nodes
+        cached or already executed — out over :meth:`map_tasks`.
+        Workers materialise into the shared store and return keys, so
+        a parallel run is byte-identical to a serial one; nodes whose
+        full provenance digest matches an existing entry are never
+        re-executed, which is the entire point: after a one-line edit
+        to one estimator, only the stages whose code closure contains
+        that module run again.
+        """
+        from repro.runtime.provenance import (
+            execute_payload,
+            record_graph_run,
+            worker_payload,
+        )
+
+        plans = self.plan_graph(graph, code=code)
+        completed = {p.name for p in plans if p.cached}
+        pending = [p for p in plans if not p.cached]
+        while pending:
+            ready = [
+                p
+                for p in pending
+                if all(d in completed for d in p.node.deps.values())
+            ]
+            if not ready:  # pragma: no cover - topo order precludes this
+                stuck = sorted(p.name for p in pending)
+                raise RunnerError(f"stage graph deadlock at {stuck}")
+            self.map_tasks(
+                execute_payload, [worker_payload(p, self.store) for p in ready]
+            )
+            completed.update(p.name for p in ready)
+            pending = [p for p in pending if p.name not in completed]
+        record_graph_run(self.store, plans)
+        return GraphResult(store=self.store, plans=plans)
 
     def _sleep_before_retry(self, attempt: int, *coords: int) -> None:
         """Deterministically jittered backoff (attempt is 0-based)."""

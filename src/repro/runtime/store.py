@@ -175,6 +175,11 @@ class ArtifactManifest:
     # SHA-256 of the pickled payload; empty on entries written before
     # integrity checking existed (those read as "unverified").
     payload_sha256: str = ""
+    # Stage-level lineage (see repro.runtime.provenance): the logical
+    # node id, upstream artifact keys, parameter digest, and the code
+    # fingerprint of the stage's reachable-module closure.  Empty for
+    # artifacts written outside the provenance plane.
+    provenance: dict[str, Any] = field(default_factory=dict)
 
     def to_json(self) -> str:
         return json.dumps(
@@ -190,6 +195,7 @@ class ArtifactManifest:
                 "stages": self.stages,
                 "counters": self.counters,
                 "payload_sha256": self.payload_sha256,
+                "provenance": self.provenance,
             },
             indent=2,
             sort_keys=True,
@@ -210,6 +216,7 @@ class ArtifactManifest:
             stages=data.get("stages", {}),
             counters=data.get("counters", {}),
             payload_sha256=data.get("payload_sha256", ""),
+            provenance=data.get("provenance", {}),
         )
 
 
@@ -339,6 +346,7 @@ class ArtifactStore:
         compute_seconds: float = 0.0,
         stages: dict[str, float] | None = None,
         counters: dict[str, dict[str, float]] | None = None,
+        provenance: dict[str, Any] | None = None,
     ) -> ArtifactManifest:
         """Store a value and its manifest atomically."""
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
@@ -352,6 +360,7 @@ class ArtifactStore:
             stages=stages or {},
             counters=counters or {},
             payload_sha256=hashlib.sha256(payload).hexdigest(),
+            provenance=_jsonable(provenance or {}),
         )
         _atomic_write_bytes(self._value_path(key), payload)
         _atomic_write_bytes(
@@ -366,6 +375,8 @@ class ArtifactStore:
         kind: str,
         params: dict[str, Any],
         compute: Callable[[], Any],
+        *,
+        provenance: dict[str, Any] | None = None,
     ) -> Any:
         """The one-call workhorse: load by derived key or compute-and-store.
 
@@ -395,6 +406,7 @@ class ArtifactStore:
                 for name, s in stage_delta.items()
                 if s.counters
             },
+            provenance=provenance,
         )
         return value
 

@@ -89,7 +89,7 @@ class TestCacheHits:
         fresh = ArtifactStore(root)
         warm = run_check([tree], store=fresh)
         assert warm.n_cached == warm.n_files == 3
-        assert warm.n_project_cached == 4  # SPA009-SPA012
+        assert warm.n_project_cached == 5  # SPA009-SPA013
         assert fresh.stats.disk_hits >= warm.n_files + warm.n_project_cached
 
     def test_editing_one_file_reanalyzes_only_it(self, tree, tmp_path):
@@ -212,7 +212,7 @@ class TestCliEngineOptions:
         assert doc["version"] == "2.1.0"
         run = doc["runs"][0]
         rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
-        assert rule_ids == [f"SPA{n:03d}" for n in range(1, 13)]
+        assert rule_ids == [f"SPA{n:03d}" for n in range(1, 14)]
         by_rule = {r["ruleId"] for r in run["results"]}
         assert by_rule == {"SPA001", "SPA009"}
         spa9 = next(

@@ -582,3 +582,149 @@ class TestSPA012ResourceLifecycle:
             """,
         )
         assert findings == []
+
+
+class TestSPA013UndeclaredStageInput:
+    def test_undeclared_module_global_read(self):
+        findings = check(
+            "SPA013",
+            repro__pipeline__stages="""
+            from repro.runtime.provenance import stage_fn
+
+            LIMITS = {"wc": 10}
+
+            @stage_fn("trace-gen")
+            def stage_run(inputs, params):
+                return LIMITS[params["workload"]]
+            """,
+        )
+        assert [f.rule for f in findings] == ["SPA013"]
+        assert "repro.pipeline.stages.LIMITS" in findings[0].message
+        assert findings[0].qualname == "stage_run"
+
+    def test_function_local_import_of_constant(self):
+        # The stage_trace_gen shape: a lazy ``from m import CONST``
+        # inside the stage body is still an ambient input.
+        findings = check(
+            "SPA013",
+            repro__pipeline__stages="""
+            from repro.runtime.provenance import stage_fn
+
+            @stage_fn("trace-gen")
+            def stage_run(inputs, params):
+                from repro.datagen.seeds import GRAPH_INPUTS
+                return GRAPH_INPUTS[params["graph"]]
+            """,
+        )
+        assert len(findings) == 1
+        assert "repro.datagen.seeds.GRAPH_INPUTS" in findings[0].message
+
+    def test_declared_global_is_clean(self):
+        findings = check(
+            "SPA013",
+            repro__pipeline__stages="""
+            from repro.runtime.provenance import stage_fn
+
+            @stage_fn(
+                "trace-gen",
+                reads=("global:repro.datagen.seeds.GRAPH_INPUTS",),
+            )
+            def stage_run(inputs, params):
+                from repro.datagen.seeds import GRAPH_INPUTS
+                return GRAPH_INPUTS[params["graph"]]
+            """,
+        )
+        assert findings == []
+
+    def test_env_var_read(self):
+        findings = check(
+            "SPA013",
+            repro__pipeline__stages="""
+            import os
+
+            from repro.runtime.provenance import stage_fn
+
+            @stage_fn("profile")
+            def stage_run(inputs, params):
+                return os.environ.get("SIMPROF_JOBS", "1")
+            """,
+        )
+        assert len(findings) == 1
+        assert "'SIMPROF_JOBS'" in findings[0].message
+        assert 'reads=("env:SIMPROF_JOBS",)' in findings[0].message
+
+    def test_declared_env_var_is_clean(self):
+        findings = check(
+            "SPA013",
+            repro__pipeline__stages="""
+            import os
+
+            from repro.runtime.provenance import stage_fn
+
+            @stage_fn("profile", reads=("env:SIMPROF_JOBS",))
+            def stage_run(inputs, params):
+                return os.getenv("SIMPROF_JOBS")
+            """,
+        )
+        assert findings == []
+
+    def test_file_read_needs_declaration(self):
+        findings = check(
+            "SPA013",
+            repro__pipeline__stages="""
+            from repro.runtime.provenance import stage_fn
+
+            @stage_fn("trace-gen")
+            def stage_run(inputs, params):
+                with open(params["path"]) as fh:
+                    return fh.read()
+            """,
+        )
+        assert len(findings) == 1
+        assert "reads a file" in findings[0].message
+
+    def test_file_write_is_an_output_not_an_input(self):
+        findings = check(
+            "SPA013",
+            repro__pipeline__stages="""
+            from repro.runtime.provenance import stage_fn
+
+            @stage_fn("report")
+            def stage_run(inputs, params):
+                with open(params["path"], "w") as fh:
+                    fh.write("done")
+                return 1
+            """,
+        )
+        assert findings == []
+
+    def test_lowercase_imports_and_classes_are_code_not_inputs(self):
+        # Functions/classes are fingerprinted by the import closure;
+        # only ALL_CAPS data constants need a reads= declaration.
+        findings = check(
+            "SPA013",
+            repro__pipeline__stages="""
+            import numpy as np
+
+            from repro.core.profiler import SimProfProfiler
+            from repro.runtime.provenance import stage_fn
+
+            @stage_fn("profile")
+            def stage_run(inputs, params):
+                profiler = SimProfProfiler(params["profiler"])
+                return profiler.profile(np.asarray(inputs["trace"]))
+            """,
+        )
+        assert findings == []
+
+    def test_undecorated_functions_ignored(self):
+        findings = check(
+            "SPA013",
+            repro__pipeline__helpers="""
+            LIMITS = {"wc": 10}
+
+            def helper(workload):
+                return LIMITS[workload]
+            """,
+        )
+        assert findings == []

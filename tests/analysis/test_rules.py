@@ -674,7 +674,7 @@ class TestRegistry:
         from repro.analysis import all_project_rules
 
         ids = [r.id for r in all_project_rules()]
-        assert ids == ["SPA009", "SPA010", "SPA011", "SPA012"]
+        assert ids == ["SPA009", "SPA010", "SPA011", "SPA012", "SPA013"]
 
     def test_unknown_rule_raises(self):
         with pytest.raises(KeyError, match="SPA999"):

@@ -130,3 +130,66 @@ class TestStats:
         assert "trace-gen" in out
         assert "profiling" in out
         assert "compute invested" in out
+
+
+def _run_synthetic_graph(bias: int = 0):
+    """Materialise a tiny stage chain into the default (env-isolated)
+    store; returns the GraphResult."""
+    from repro.runtime.runner import ExperimentRunner
+
+    from tests.runtime.test_provenance import _chain
+
+    graph = _chain(bias=bias)
+    return ExperimentRunner().run_graph(graph)
+
+
+class TestCacheGraph:
+    def test_table_lists_nodes_by_depth(self, capsys):
+        _run_synthetic_graph()
+        assert main(["cache", "graph"]) == 0
+        out = capsys.readouterr().out
+        assert "t/seq" in out and "t/scale" in out and "t/total" in out
+        # Depth order: the trace-gen root precedes the report sink.
+        assert out.index("t/seq") < out.index("t/total")
+
+    def test_why_explains_a_recompute(self, capsys):
+        _run_synthetic_graph(bias=0)
+        result = _run_synthetic_graph(bias=1)
+        assert main(["cache", "graph", "--why", result.key("total")]) == 0
+        out = capsys.readouterr().out
+        assert "t/total" in out
+        assert "changed: params" in out
+
+    def test_why_unknown_key_fails(self, capsys):
+        assert main(["cache", "graph", "--why", "stage-v0-nope"]) == 1
+        assert "no provenance" in capsys.readouterr().err
+
+    def test_invalidated_clean_tree(self, capsys):
+        _run_synthetic_graph()
+        assert main(["cache", "graph", "--invalidated"]) == 0
+        assert "0 stage artifact(s) with stale code" in capsys.readouterr().out
+
+    def test_ls_shows_lineage_depth(self, capsys):
+        _run_synthetic_graph()
+        assert main(["cache", "ls", "--kind", "stage"]) == 0
+        out = capsys.readouterr().out
+        assert "depth" in out
+        assert "stage-" in out
+
+
+class TestCacheStatsCommand:
+    def test_reports_provenance_counters(self, capsys):
+        _run_synthetic_graph(bias=0)
+        _run_synthetic_graph(bias=2)
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "4 stage artifact(s)" in out
+        assert "max lineage depth 2" in out
+        assert "run_graph sessions: 2" in out
+        assert "2 hit(s) / 4 miss(es)" in out
+        assert "params" in out  # miss-cause breakdown
+
+    def test_empty_store(self, capsys):
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "0 stage artifact(s)" in out

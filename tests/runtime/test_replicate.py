@@ -373,3 +373,49 @@ class TestRestoreFleet:
         # Both stores end fully retired: no chains, no journal.
         assert list(iter_inflight(store)) == []
         assert list(iter_inflight(mirror)) == []
+
+
+class TestStageReplication:
+    """Provenance manifests ride the disaster-recovery contract: a
+    restored fleet answers ``cache graph --why`` without recomputing."""
+
+    def _populate_stage_chain(self, store):
+        from repro.runtime.runner import ExperimentRunner
+
+        from tests.runtime.test_provenance import _chain
+
+        runner = ExperimentRunner(store=store)
+        runner.run_graph(_chain(bias=0))
+        return runner.run_graph(_chain(bias=1))
+
+    def test_stage_kind_is_replicated(self):
+        from repro.runtime.replicate import REPLICATION_KINDS
+
+        assert "stage" in REPLICATION_KINDS
+
+    def test_stage_entries_survive_wipe_and_pull(self, store, peer, tmp_path):
+        result = self._populate_stage_chain(store)
+        report = replicate_store(store, peer, retry=NO_BACKOFF)
+        assert report.ok
+        # 4 stage entries (3 cold + 1 re-biased report), nothing else.
+        assert sum(o.action == "pushed" for o in report.outcomes) == 4
+
+        restored = ArtifactStore(tmp_path / "restored")
+        assert pull_fleet(peer, restored, retry=NO_BACKOFF).ok
+
+        # Lineage and recompute causes answer from manifests alone.
+        from repro.runtime.provenance import explain_key, lineage
+
+        walk = [
+            (dist, m.provenance["node"])
+            for dist, m in lineage(restored, result.key("total"))
+        ]
+        assert walk == [(0, "t/total"), (1, "t/scale"), (2, "t/seq")]
+        why = explain_key(restored, result.key("total"))
+        assert why["predecessor"] is not None
+        assert {c["what"] for c in why["changed"]} == {"params"}
+
+        # Values came over byte-identically too.
+        for name in ("seq", "scale", "total"):
+            key = result.key(name)
+            assert restored.read_payload(key) == store.read_payload(key)

@@ -88,6 +88,56 @@ class TestKeys:
         clone = RunSpec.from_payload(spec.to_payload())
         assert clone == spec
 
+    def test_payload_roundtrip_ignores_unknown_keys(self):
+        """Forward compatibility: a payload written by a newer schema
+        (extra top-level fields, unknown simprof knobs) still loads."""
+        spec = _spec(seed=7)
+        payload = spec.to_payload()
+        payload["future_field"] = {"nested": True}
+        payload["simprof"] = {
+            **dict(payload["simprof"]),
+            "future_knob": 99,
+        }
+        clone = RunSpec.from_payload(payload)
+        assert clone == spec
+        # The reconstructed spec derives the same cache keys as an
+        # engine that never had the unknown knob — no silent aliasing.
+        assert clone.profile_params() == spec.profile_params()
+
+    def test_payload_missing_optionals_take_defaults(self):
+        clone = RunSpec.from_payload({"workload": "wc", "framework": "spark"})
+        assert clone.scale == 1.0
+        assert clone.seed == 0
+        assert clone.graph_name is None
+        assert clone.params is None
+
+    def test_dedupe_key_distinguishes_want_kinds(self, tmp_path):
+        """The same spec dedupes separately per ``want``: a profile-only
+        run must not satisfy a model request (and vice versa)."""
+        runner = ExperimentRunner(store=ArtifactStore(tmp_path))
+        spec = _spec()
+        assert runner._dedupe_key(spec, "profile") != runner._dedupe_key(
+            spec, "model"
+        )
+
+    def test_dedupe_key_collapses_equivalent_specs(self, tmp_path):
+        """Specs differing only in model-layer knobs share a profile
+        dedupe key (one workload simulation serves both) but get
+        distinct model keys."""
+        runner = ExperimentRunner(store=ArtifactStore(tmp_path))
+        s0 = _spec()
+        s1 = _spec(
+            simprof=SimProfConfig(
+                unit_size=10_000_000, snapshot_period=500_000, top_k_methods=5
+            )
+        )
+        assert runner._dedupe_key(s0, "profile") == runner._dedupe_key(
+            s1, "profile"
+        )
+        assert runner._dedupe_key(s0, "model") != runner._dedupe_key(
+            s1, "model"
+        )
+
 
 class TestRunnerSerial:
     def test_run_returns_input_order_and_dedupes(self, tmp_path):
